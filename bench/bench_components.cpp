@@ -1,0 +1,81 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator substrate itself:
+ * DRAM channel scheduling, scratchpad banking, PCU pipeline stepping
+ * and the end-to-end compile path. These guard the simulator's own
+ * performance (host seconds per simulated cycle), not modelled
+ * hardware performance.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "apps/apps.hpp"
+#include "compiler/mapper.hpp"
+#include "sim/dram.hpp"
+#include "sim/scratchpad.hpp"
+
+using namespace plast;
+
+static void
+BM_DramChannel(benchmark::State &state)
+{
+    DramParams params;
+    DramChannel ch(params, 0);
+    std::vector<DramReq> done;
+    uint64_t addr = 0, tag = 0;
+    Cycles now = 0;
+    for (auto _ : state) {
+        if (ch.canSubmit())
+            ch.submit({(addr += 64), false, ++tag}, now);
+        done.clear();
+        ch.step(++now, done);
+        benchmark::DoNotOptimize(done.size());
+    }
+}
+BENCHMARK(BM_DramChannel);
+
+static void
+BM_ScratchpadConflict(benchmark::State &state)
+{
+    Scratchpad sp;
+    ScratchCfg cfg;
+    cfg.sizeWords = 4096;
+    sp.configure(cfg, 16, 65536);
+    std::vector<uint32_t> addrs;
+    for (uint32_t i = 0; i < 16; ++i)
+        addrs.push_back(i * 17);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sp.conflictCycles(addrs));
+}
+BENCHMARK(BM_ScratchpadConflict);
+
+static void
+BM_CompileInnerProduct(benchmark::State &state)
+{
+    setVerbose(false);
+    for (auto _ : state) {
+        apps::AppInstance app =
+            apps::makeInnerProduct(apps::Scale::kTiny, 2);
+        auto res = compiler::compileProgram(
+            app.prog, ArchParams::plasticineFinal());
+        benchmark::DoNotOptimize(res.report.pcusUsed);
+    }
+}
+BENCHMARK(BM_CompileInnerProduct);
+
+static void
+BM_SimulateInnerProduct(benchmark::State &state)
+{
+    setVerbose(false);
+    for (auto _ : state) {
+        apps::AppInstance app =
+            apps::makeInnerProduct(apps::Scale::kTiny, 2);
+        Runner r(app.prog);
+        app.load(r);
+        auto res = r.run();
+        benchmark::DoNotOptimize(res.cycles);
+    }
+}
+BENCHMARK(BM_SimulateInnerProduct);
+
+BENCHMARK_MAIN();

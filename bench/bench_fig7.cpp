@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Regenerates Figure 7 (a-f): normalized PCU area overhead
+ * (AreaPCU / MinPCU - 1) per benchmark while sweeping one parameter,
+ * minimizing over the rest of the space; infeasible values print "x".
+ * Axes are swept in the paper's order, fixing each tuned value before
+ * the next sweep (6 stages, 6 registers, 6 scalar ins, ...).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "base/logging.hpp"
+#include "model/tuning.hpp"
+
+using namespace plast;
+using model::Tuner;
+
+namespace
+{
+
+void
+panel(const Tuner &tuner, char label, Tuner::Axis axis,
+      const std::vector<uint32_t> &values, const PcuParams &base,
+      const std::vector<Tuner::Axis> &fixed)
+{
+    std::printf("\n--- Figure 7%c: overhead vs %s per PCU ---\n", label,
+                Tuner::axisName(axis).c_str());
+    std::printf("%-14s", "benchmark");
+    for (uint32_t v : values)
+        std::printf(" %6u", v);
+    std::printf("\n");
+    for (size_t bi = 0; bi < tuner.numBenches(); ++bi) {
+        auto series = tuner.sweep(bi, axis, values, base, fixed);
+        std::printf("%-14s", tuner.benchName(bi).c_str());
+        for (double o : series) {
+            if (o < 0)
+                std::printf("      x");
+            else
+                std::printf(" %5.0f%%", 100.0 * o);
+        }
+        std::printf("\n");
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    setVerbose(false);
+    Tuner tuner(model::benchmarkLeaves(), model::AreaModel{});
+
+    PcuParams base; // final values pinned as the sweep progresses
+
+    panel(tuner, 'a', Tuner::Axis::kStages,
+          {4, 5, 6, 7, 8, 10, 12, 16}, base, {});
+    panel(tuner, 'b', Tuner::Axis::kRegs, {2, 4, 6, 8, 12, 16}, base,
+          {Tuner::Axis::kStages});
+    panel(tuner, 'c', Tuner::Axis::kScalarIns, {1, 2, 4, 6, 8, 10},
+          base, {Tuner::Axis::kStages, Tuner::Axis::kRegs});
+    panel(tuner, 'd', Tuner::Axis::kScalarOuts, {1, 2, 3, 4, 5, 6},
+          base,
+          {Tuner::Axis::kStages, Tuner::Axis::kRegs,
+           Tuner::Axis::kScalarIns});
+    panel(tuner, 'e', Tuner::Axis::kVectorIns, {1, 2, 3, 4, 6, 8, 10},
+          base,
+          {Tuner::Axis::kStages, Tuner::Axis::kRegs,
+           Tuner::Axis::kScalarIns, Tuner::Axis::kScalarOuts});
+    panel(tuner, 'f', Tuner::Axis::kVectorOuts, {1, 2, 3, 4, 5, 6},
+          base,
+          {Tuner::Axis::kStages, Tuner::Axis::kRegs,
+           Tuner::Axis::kScalarIns, Tuner::Axis::kScalarOuts,
+           Tuner::Axis::kVectorIns});
+
+    std::printf("\nSelected (Table 3): 6 stages, 6 registers, 6 scalar "
+                "ins, 5 scalar outs, 3 vector ins, 3 vector outs\n");
+    return 0;
+}

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Regenerates Table 5: the component-wise area breakdown of the final
+ * Plasticine architecture (paper: 112.8 mm^2 at 28 nm, PCU 0.849 mm^2,
+ * PMU 0.532 mm^2, interconnect 16.7%, memory controller 5%).
+ */
+
+#include <cstdio>
+
+#include "model/area.hpp"
+#include "model/power.hpp"
+
+using namespace plast;
+
+int
+main()
+{
+    ArchParams params = ArchParams::plasticineFinal();
+    model::AreaModel area;
+    model::AreaModel::Breakdown b = area.chipBreakdown(params);
+
+    std::printf("=== Table 5: Plasticine area breakdown (28 nm) ===\n");
+    std::printf("%s\n", params.describe().c_str());
+    std::printf("%s", b.table().c_str());
+
+    std::printf("\nPaper reference points: PCU 0.849 mm^2, PMU 0.532 "
+                "mm^2, chip 112.8 mm^2\n");
+    std::printf("Model:                  PCU %.3f mm^2, PMU %.3f mm^2, "
+                "chip %.1f mm^2\n",
+                b.pcuEach, b.pmuEach, b.chip);
+
+    model::PowerModel power;
+    std::printf("\nPeak power at 1 GHz: %.1f W (paper: 49 W)\n",
+                power.peak(params));
+    double tflops = static_cast<double>(params.numPcus()) *
+                    params.pcu.lanes * params.pcu.stages * 2.0 / 1e3;
+    std::printf("Peak FP throughput: %.1f GFLOPS-equivalent lanes "
+                "(paper: 12.3 TFLOPS peak)\n",
+                tflops);
+    std::printf("On-chip scratchpad: %.1f MB (paper: 16 MB)\n",
+                params.numPmus() * params.pmu.totalBytes() / 1.0e6);
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Domain example: ranking pages of a small link graph with PageRank.
+ * Exercises the sparse path — per-iteration gathers of predecessor
+ * contributions through the address coalescing units — and prints the
+ * top-ranked pages plus DRAM random-access statistics.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "apps/apps.hpp"
+
+using namespace plast;
+
+int
+main()
+{
+    setVerbose(false);
+    apps::AppInstance app = apps::makePageRank(apps::Scale::kTiny);
+
+    Runner runner(app.prog);
+    app.load(runner);
+
+    // Make page 7 a hub: many pages link to it.
+    auto &links = runner.dram(0); // links[p][l]: predecessors of p
+    const int n = 128, l = 8;
+    for (int p = 0; p < n; p += 3)
+        links[static_cast<size_t>(p) * l] = intToWord(7);
+    for (int e = 0; e < l; ++e)
+        links[7 * l + e] = intToWord((e * 31) % n);
+
+    Runner::Result res = runner.runValidated();
+
+    std::vector<Word> rank = runner.readDram(1);
+    std::vector<std::pair<float, int>> order;
+    for (int p = 0; p < n; ++p)
+        order.push_back({wordToFloat(rank[p]), p});
+    std::sort(order.rbegin(), order.rend());
+
+    std::printf("top pages after 2 damped iterations:\n");
+    for (int k = 0; k < 5; ++k)
+        std::printf("  page %3d  rank %.5f\n", order[k].second,
+                    order[k].first);
+
+    std::printf("\nsparse memory behaviour:\n");
+    std::printf("  gather lanes coalesced : %llu\n",
+                static_cast<unsigned long long>(
+                    res.stats.get("mem.coalescedLanes")));
+    std::printf("  DRAM bursts            : %llu\n",
+                static_cast<unsigned long long>(
+                    res.stats.get("mem.bursts")));
+    std::printf("  cycles                 : %llu\n",
+                static_cast<unsigned long long>(res.cycles));
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Tooling example: compile a benchmark and print the configuration
+ * "assembly" the compiler produced — every configured PCU stage, PMU
+ * port program, AG command generator, control box, and routed channel
+ * (the paper's §3.6 configuration description).
+ *
+ * Usage: ./inspect_mapping [benchmark-name]   (default: GEMM)
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "apps/apps.hpp"
+#include "arch/disasm.hpp"
+#include "compiler/mapper.hpp"
+
+using namespace plast;
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    std::string name = argc > 1 ? argv[1] : "GEMM";
+    for (const auto &spec : apps::allApps()) {
+        if (spec.name != name)
+            continue;
+        apps::AppInstance app = spec.make(apps::Scale::kTiny);
+        std::printf("--- controller tree ---\n%s\n",
+                    app.prog.dump().c_str());
+        compiler::MapResult res = compiler::compileProgram(
+            app.prog, ArchParams::plasticineFinal());
+        if (!res.report.ok) {
+            std::fprintf(stderr, "mapping failed: %s\n",
+                         res.report.error.c_str());
+            return 1;
+        }
+        std::printf("--- configuration assembly ---\n%s",
+                    disasmFabric(res.fabric).c_str());
+        std::printf("\n%s\n",
+                    res.report.summary(ArchParams{}).c_str());
+        return 0;
+    }
+    std::fprintf(stderr, "unknown benchmark '%s'\n", name.c_str());
+    return 1;
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Breadth-first search (Table 4): a data-dependent frontier traversal
+ * over a layered synthetic graph (paper: E[edges]/node = 8, 10
+ * layers). Each level: (1) FlatMap over all nodes builds the frontier
+ * from the distance array (dynamic count, deduplicated by
+ * construction); (2) an address pipeline expands frontier nodes to
+ * edge slots through an on-chip gather; (3) two DRAM gathers fetch
+ * neighbor ids and their distances; (4) a predicated scatter marks
+ * newly discovered nodes. Every loop bound downstream of the FlatMap
+ * is a runtime scalar (count x edges-per-node).
+ */
+
+#include "apps/apps.hpp"
+#include "apps/common.hpp"
+
+namespace plast::apps
+{
+
+using namespace pir;
+
+AppInstance
+makeBfs(Scale scale)
+{
+    const int64_t levels = scale == Scale::kTiny ? 4 : 6;
+    const int64_t layer = scale == Scale::kTiny ? 48 : 128;
+    const int64_t n = layer * levels;
+    const int64_t e = 8; ///< edges per node
+
+    Builder b("BFS");
+    MemId vedges = b.dram("edges", static_cast<uint64_t>(n * e));
+    MemId vdist = b.dram("dist", static_cast<uint64_t>(n));
+    MemId sfront = b.sram("frontier", static_cast<uint64_t>(n),
+                          BankingMode::kDup);
+    MemId saddr = b.sram("eaddr", static_cast<uint64_t>(layer * e));
+    MemId snbr = b.sram("nbrs", static_cast<uint64_t>(layer * e));
+    MemId sdg = b.sram("ndist", static_cast<uint64_t>(layer * e));
+
+    NodeId root = b.outer("root", CtrlScheme::kSequential, {}, kNone);
+    CtrId lv = b.ctr("lv", 0, levels);
+    NodeId level = b.outer("level", CtrlScheme::kSequential, {lv}, root);
+
+    // (1) frontier = { nodes with dist == lv } (dedup by construction)
+    CtrId nv = b.ctr("nv", 0, n, 1, true);
+    ExprId ne = b.ctrE(nv);
+    ExprId is_cur = b.alu(FuOp::kIEq, b.streamRef(0), b.ctrE(lv));
+    NodeId leaf_f =
+        b.compute("frontier", level, {nv}, {StreamIn{vdist, ne}}, {},
+                  {Builder::flatMap(sfront, ne, is_cur)});
+
+    // (2) expand to edge-slot addresses: eaddr[i] = frontier[i/e]*e + i%e
+    CtrId i1 = b.ctrDyn("i1", leaf_f, 0, 0, 1, true,
+                        static_cast<int32_t>(e));
+    ExprId fid = b.load(
+        sfront, b.alu(FuOp::kShr, b.ctrE(i1), b.immI(3))); // i / 8
+    ExprId slot = b.alu(FuOp::kAnd, b.ctrE(i1), b.immI(7));
+    ExprId eaddr = b.ima(fid, b.immI(static_cast<int32_t>(e)), slot);
+    NodeId leaf_a =
+        b.compute("expand", level, {i1}, {}, {},
+                  {Builder::storeSram(saddr, b.ctrE(i1), eaddr)});
+    (void)leaf_a;
+
+    // (3) gather neighbor ids, then their distances.
+    b.gather("gatherNbrs", level, vedges, saddr, snbr, layer * e, leaf_f,
+             0, static_cast<int32_t>(e));
+    b.gather("gatherDist", level, vdist, snbr, sdg, layer * e, leaf_f, 0,
+             static_cast<int32_t>(e));
+
+    // (4) scatter lv+1 to unvisited neighbors.
+    CtrId i2 = b.ctrDyn("i2", leaf_f, 0, 0, 1, true,
+                        static_cast<int32_t>(e));
+    ExprId nbr = b.load(snbr, b.ctrE(i2));
+    ExprId nd = b.load(sdg, b.ctrE(i2));
+    ExprId unvisited = b.alu(FuOp::kIEq, nd, b.immI(-1));
+    ExprId next_lv = b.iadd(b.ctrE(lv), b.immI(1));
+    b.compute("visit", level, {i2}, {}, {},
+              {Builder::scatterOut(vdist, nbr, next_lv, unvisited)});
+
+    AppInstance app;
+    app.name = "BFS";
+    app.prog = b.finish(root);
+    app.load = [=](Runner &rn) {
+        // Layered graph: each node's e edges go to the next layer
+        // (the last layer points back into itself, already visited).
+        Rng rng(0xe1);
+        auto &edges = rn.dram(vedges);
+        for (int64_t node = 0; node < n; ++node) {
+            int64_t lyr = node / layer;
+            int64_t next_base = std::min(lyr + 1, levels - 1) * layer;
+            for (int64_t k = 0; k < e; ++k) {
+                edges[static_cast<size_t>(node * e + k)] =
+                    intToWord(static_cast<int32_t>(
+                        next_base +
+                        static_cast<int64_t>(rng.nextBounded(
+                            static_cast<uint64_t>(layer)))));
+            }
+        }
+        auto &dist = rn.dram(vdist);
+        for (auto &w : dist)
+            w = intToWord(-1);
+        dist[0] = intToWord(0); // the root lives in layer 0
+    };
+    app.flops = static_cast<double>(levels) * (n + 4.0 * layer * e);
+    app.dramBytes =
+        4.0 * levels * (static_cast<double>(n) + 3.0 * layer * e);
+    app.sparse = true;
+    app.paperScale = (8.0 * 10 * 4096) / app.flops;
+    return app;
+}
+
+} // namespace plast::apps

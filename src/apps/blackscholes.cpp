@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Black-Scholes European option pricing (Table 4): a deeply pipelined
+ * floating-point kernel (dozens of FU stages, like the paper's ~80)
+ * over streamed spot / strike / expiry arrays, producing call and put
+ * prices. Compute-dense enough that the fabric parallelises it to the
+ * memory-bound regime. Uses the Abramowitz-Stegun polynomial for the
+ * cumulative normal distribution.
+ */
+
+#include "apps/apps.hpp"
+#include "apps/common.hpp"
+
+namespace plast::apps
+{
+
+using namespace pir;
+
+namespace
+{
+
+/** CND(x) via the A&S 5-term polynomial; ~20 FU ops. */
+ExprId
+cnd(Builder &b, ExprId x)
+{
+    ExprId ax = b.alu(FuOp::kFAbs, x);
+    ExprId k = b.alu(FuOp::kFRecip,
+                     b.alu(FuOp::kFMA, ax, b.immF(0.2316419f),
+                           b.immF(1.0f)));
+    ExprId poly = b.immF(1.330274429f);
+    poly = b.alu(FuOp::kFMA, poly, k, b.immF(-1.821255978f));
+    poly = b.alu(FuOp::kFMA, poly, k, b.immF(1.781477937f));
+    poly = b.alu(FuOp::kFMA, poly, k, b.immF(-0.356563782f));
+    poly = b.alu(FuOp::kFMA, poly, k, b.immF(0.319381530f));
+    poly = b.fmul(poly, k);
+    ExprId pdf =
+        b.fmul(b.immF(0.3989422804f),
+               b.alu(FuOp::kFExp,
+                     b.fmul(b.immF(-0.5f), b.fmul(ax, ax))));
+    ExprId w = b.fmul(pdf, poly); // P(X > |x|)
+    ExprId pos = b.fsub(b.immF(1.0f), w);
+    return b.alu(FuOp::kMux, b.alu(FuOp::kFGe, x, b.immF(0.0f)), pos, w);
+}
+
+} // namespace
+
+AppInstance
+makeBlackScholes(Scale scale, uint32_t par)
+{
+    const uint64_t n = scale == Scale::kTiny ? 2048 : (1ull << 17);
+    const double paper_n = 96e6;
+    const float rate = 0.02f, vol = 0.30f;
+
+    Builder b("BlackScholes");
+    MemId spot = b.dram("spot", n);
+    MemId strike = b.dram("strike", n);
+    MemId expiry = b.dram("expiry", n);
+    MemId call = b.dram("call", n);
+    MemId put = b.dram("put", n);
+    NodeId root = b.outer("root", CtrlScheme::kSequential, {}, kNone);
+
+    const uint64_t chunk = n / par;
+    for (uint32_t p = 0; p < par; ++p) {
+        CtrId i = b.ctr(strfmt("i%u", p),
+                        static_cast<int64_t>(p * chunk),
+                        static_cast<int64_t>((p + 1) * chunk), 1, true);
+        ExprId ie = b.ctrE(i);
+        ExprId s = b.streamRef(0);
+        ExprId k = b.streamRef(1);
+        ExprId t = b.streamRef(2);
+
+        ExprId sqrt_t = b.alu(FuOp::kFSqrt, t);
+        ExprId vsq = b.fmul(b.immF(vol), sqrt_t);
+        ExprId log_sk = b.alu(FuOp::kFLog, b.fdiv(s, k));
+        ExprId drift = b.fmul(
+            b.immF(rate + 0.5f * vol * vol), t);
+        ExprId d1 = b.fdiv(b.fadd(log_sk, drift), vsq);
+        ExprId d2 = b.fsub(d1, vsq);
+        ExprId disc =
+            b.alu(FuOp::kFExp, b.fmul(b.immF(-rate), t)); // e^{-rT}
+        ExprId kd = b.fmul(k, disc);
+        ExprId nd1 = cnd(b, d1);
+        ExprId nd2 = cnd(b, d2);
+        ExprId c = b.fsub(b.fmul(s, nd1), b.fmul(kd, nd2));
+        // put = K e^{-rT} N(-d2) - S N(-d1) = c + Ke^{-rT} - S
+        ExprId pv = b.fsub(b.fadd(c, kd), s);
+
+        b.compute(strfmt("bs%u", p), root, {i},
+                  {StreamIn{spot, ie}, StreamIn{strike, ie},
+                   StreamIn{expiry, ie}},
+                  {},
+                  {Builder::streamOut(call, ie, c),
+                   Builder::streamOut(put, ie, pv)});
+    }
+
+    AppInstance app;
+    app.name = "BlackScholes";
+    app.prog = b.finish(root);
+    app.load = [=](Runner &r) {
+        fillFloats(r.dram(spot), 0x51, 20.0f, 120.0f);
+        fillFloats(r.dram(strike), 0x52, 20.0f, 120.0f);
+        fillFloats(r.dram(expiry), 0x53, 0.1f, 2.0f);
+    };
+    app.flops = 60.0 * static_cast<double>(n);
+    app.dramBytes = 20.0 * static_cast<double>(n);
+    app.paperScale = paper_n / static_cast<double>(n);
+    return app;
+}
+
+} // namespace plast::apps

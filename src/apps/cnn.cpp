@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Convolutional layer + ReLU (Table 4): per (output-feature, row)
+ * iteration, a per-lane fold accumulates the 3D convolution over
+ * (input channels, kernel window) with a 14-wide SIMD slice of output
+ * columns; kernel weights broadcast from a PMU, input rows stream
+ * lane-linearly (the sliding-window reuse the paper captures with
+ * line buffers / the shift network). A second pipeline applies ReLU
+ * in place, and a third performs 2x2 max pooling through on-fabric
+ * gather addressing (the pooled window is strided across lanes, so the
+ * PCU computes the address vectors and the PMU serves them in gather
+ * mode) before both feature maps are written back.
+ */
+
+#include "apps/apps.hpp"
+#include "apps/common.hpp"
+
+namespace plast::apps
+{
+
+using namespace pir;
+
+AppInstance
+makeCnn(Scale scale)
+{
+    const int64_t cin = scale == Scale::kTiny ? 2 : 8;
+    const int64_t f = scale == Scale::kTiny ? 2 : 16;
+    const int64_t h = scale == Scale::kTiny ? 16 : 18;
+    const int64_t w = h, kk = 3;
+    const int64_t oh = h - kk + 1, ow = w - kk + 1; // 14 x 14
+
+    Builder b("CNN");
+    MemId vin = b.dram("in", static_cast<uint64_t>(cin * h * w));
+    MemId vwt = b.dram("wt", static_cast<uint64_t>(f * cin * kk * kk));
+    MemId vout = b.dram("out", static_cast<uint64_t>(f * oh * ow));
+    const int64_t ph = oh / 2, pw = ow / 2;
+    MemId vpool = b.dram("pool", static_cast<uint64_t>(f * ph * pw));
+    const uint32_t unroll = scale == Scale::kTiny ? 1 : 4;
+    const int64_t fslice = f / unroll;
+    MemId sin = b.sram("inS", static_cast<uint64_t>(cin * h * w));
+    MemId swt = b.sram("wtS", static_cast<uint64_t>(f * cin * kk * kk));
+    std::vector<MemId> souts;
+    for (uint32_t u = 0; u < unroll; ++u)
+        souts.push_back(b.sram(strfmt("outS%u", u),
+                               static_cast<uint64_t>(fslice * oh * ow)));
+
+    NodeId root = b.outer("root", CtrlScheme::kSequential, {}, kNone);
+    b.loadTile("loadIn", root, vin, sin, b.immI(0), cin, h * w, h * w);
+    b.loadTile("loadWt", root, vwt, swt, b.immI(0), 1, f * cin * kk * kk,
+               0);
+
+    for (uint32_t u = 0; u < unroll; ++u) {
+        CtrId fo = b.ctr(strfmt("fo%u", u),
+                         static_cast<int64_t>(u) * fslice,
+                         static_cast<int64_t>(u + 1) * fslice);
+        CtrId x = b.ctr(strfmt("x%u", u), 0, oh);
+        NodeId fx = b.outer(strfmt("fxLoop%u", u),
+                            CtrlScheme::kMetapipe, {fo, x}, root, 2);
+
+        CtrId c = b.ctr(strfmt("c%u", u), 0, cin);
+        CtrId kx = b.ctr(strfmt("kx%u", u), 0, kk);
+        CtrId ky = b.ctr(strfmt("ky%u", u), 0, kk);
+        CtrId y = b.ctr(strfmt("y%u", u), 0, ow, 1, true);
+        // in[c][(x+kx)][y+ky] — lane-linear in y
+        ExprId in_addr = b.ima(
+            b.iadd(b.ctrE(x), b.ctrE(kx)),
+            b.immI(static_cast<int32_t>(w)),
+            b.ima(b.ctrE(c), b.immI(static_cast<int32_t>(h * w)),
+                  b.iadd(b.ctrE(y), b.ctrE(ky))));
+        ExprId iv = b.load(sin, in_addr);
+        // wt[fo][c][kx][ky] — broadcast
+        ExprId wt_addr = b.ima(
+            b.ctrE(fo), b.immI(static_cast<int32_t>(cin * kk * kk)),
+            b.ima(b.ctrE(c), b.immI(static_cast<int32_t>(kk * kk)),
+                  b.ima(b.ctrE(kx), b.immI(static_cast<int32_t>(kk)),
+                        b.ctrE(ky))));
+        ExprId wv = b.load(swt, wt_addr);
+        ExprId out_addr = b.ima(
+            b.isub(b.ctrE(fo),
+                   b.immI(static_cast<int32_t>(u) *
+                          static_cast<int32_t>(fslice))),
+            b.immI(static_cast<int32_t>(oh * ow)),
+            b.ima(b.ctrE(x), b.immI(static_cast<int32_t>(ow)),
+                  b.ctrE(y)));
+        b.compute(strfmt("conv%u", u), fx, {c, kx, ky, y}, {}, {},
+                  {Builder::foldToSram(FuOp::kFAdd, b.fmul(iv, wv), c,
+                                       souts[u], out_addr,
+                                       /*accumulate=*/false,
+                                       /*crossLane=*/false)});
+
+        // ReLU in place over this slice's finished maps.
+        CtrId o = b.ctr(strfmt("o%u", u), 0, fslice * oh * ow, 1, true);
+        ExprId oaddr = b.ctrE(o);
+        ExprId relu = b.alu(FuOp::kFMax, b.load(souts[u], oaddr),
+                            b.immF(0.0f));
+        b.compute(strfmt("relu%u", u), root, {o}, {}, {},
+                  {Builder::storeSram(souts[u], oaddr, relu)});
+
+        b.storeTile(strfmt("storeOut%u", u), root, vout, souts[u],
+                    b.immI(static_cast<int32_t>(u) *
+                           static_cast<int32_t>(fslice * oh * ow)),
+                    fslice, oh * ow, oh * ow);
+
+        // 2x2 max pooling: the window elements are lane-strided, so
+        // the addresses are computed on the PCU and gathered from the
+        // scratchpad.
+        MemId spool = b.sram(strfmt("poolS%u", u),
+                             static_cast<uint64_t>(fslice * ph * pw));
+        CtrId f2 = b.ctr(strfmt("f2_%u", u), 0, fslice);
+        CtrId px = b.ctr(strfmt("px%u", u), 0, ph);
+        CtrId py = b.ctr(strfmt("py%u", u), 0, pw, 1, true);
+        ExprId base = b.ima(
+            b.ctrE(f2), b.immI(static_cast<int32_t>(oh * ow)),
+            b.ima(b.ctrE(px), b.immI(static_cast<int32_t>(2 * ow)),
+                  b.imul(b.ctrE(py), b.immI(2))));
+        ExprId v00 = b.load(souts[u], base);
+        ExprId v01 = b.load(souts[u], b.iadd(base, b.immI(1)));
+        ExprId v10 = b.load(
+            souts[u], b.iadd(base, b.immI(static_cast<int32_t>(ow))));
+        ExprId v11 = b.load(
+            souts[u],
+            b.iadd(base, b.immI(static_cast<int32_t>(ow + 1))));
+        ExprId mx = b.alu(FuOp::kFMax, b.alu(FuOp::kFMax, v00, v01),
+                          b.alu(FuOp::kFMax, v10, v11));
+        ExprId paddr = b.ima(
+            b.ctrE(f2), b.immI(static_cast<int32_t>(ph * pw)),
+            b.ima(b.ctrE(px), b.immI(static_cast<int32_t>(pw)),
+                  b.ctrE(py)));
+        b.compute(strfmt("pool%u", u), root, {f2, px, py}, {}, {},
+                  {Builder::storeSram(spool, paddr, mx)});
+        b.storeTile(strfmt("storePool%u", u), root, vpool, spool,
+                    b.immI(static_cast<int32_t>(u) *
+                           static_cast<int32_t>(fslice * ph * pw)),
+                    fslice, ph * pw, ph * pw);
+    }
+
+    AppInstance app;
+    app.name = "CNN";
+    app.prog = b.finish(root);
+    app.load = [=](Runner &rn) {
+        fillFloats(rn.dram(vin), 0xb1, -1.0f, 1.0f);
+        fillFloats(rn.dram(vwt), 0xb2, -0.5f, 0.5f);
+    };
+    app.flops = 2.0 * static_cast<double>(f) * oh * ow * cin * kk * kk +
+                4.0 * static_cast<double>(f) * ph * pw;
+    app.dramBytes = 4.0 * (static_cast<double>(cin) * h * w +
+                           f * cin * kk * kk + f * oh * ow);
+    app.paperScale = 884736.0 * 57600 / 1e6 / app.flops * 1e3;
+    return app;
+}
+
+} // namespace plast::apps

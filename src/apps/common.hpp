@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Shared helpers for benchmark construction: deterministic data
+ * generators and common PIR idioms (parallel partial-fold combiners).
+ */
+
+#ifndef PLAST_APPS_COMMON_HPP
+#define PLAST_APPS_COMMON_HPP
+
+#include <vector>
+
+#include "base/rng.hpp"
+#include "base/types.hpp"
+#include "pir/builder.hpp"
+
+namespace plast::apps
+{
+
+/** Fill with uniform floats in [lo, hi). */
+inline void
+fillFloats(std::vector<Word> &buf, uint64_t seed, float lo = 0.0f,
+           float hi = 1.0f)
+{
+    Rng rng(seed);
+    for (auto &w : buf)
+        w = floatToWord(rng.nextFloat(lo, hi));
+}
+
+/** Fill with uniform ints in [0, bound). */
+inline void
+fillInts(std::vector<Word> &buf, uint64_t seed, int32_t bound)
+{
+    Rng rng(seed);
+    for (auto &w : buf)
+        w = intToWord(static_cast<int32_t>(rng.nextBounded(
+            static_cast<uint64_t>(bound))));
+}
+
+/**
+ * Combiner leaf: sums `parts.size()` cross-leaf scalar streams into one
+ * value and emits it to `argOut`. Uses a single-lane wavefront (a
+ * vectorized one-trip counter) so the reduction tree sees exactly one
+ * valid lane.
+ */
+inline pir::NodeId
+combineScalars(pir::Builder &b, pir::NodeId parent,
+               const std::vector<pir::ScalarIn> &parts, FuOp op,
+               int32_t argOut, const std::string &name = "combine")
+{
+    using namespace pir;
+    CtrId one = b.ctr(name + ".one", 0, 1, 1, /*vectorized=*/true);
+    ExprId sum = b.scalarRef(0);
+    for (size_t i = 1; i < parts.size(); ++i)
+        sum = b.alu(op, sum, b.scalarRef(static_cast<int32_t>(i)));
+    Sink s = Builder::fold(op, sum, one, argOut);
+    return b.compute(name, parent, {one}, {}, parts, {s});
+}
+
+} // namespace plast::apps
+
+#endif // PLAST_APPS_COMMON_HPP

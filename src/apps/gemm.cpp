@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Single-precision GEMM (Table 4): C = A x B with a three-level tile
+ * hierarchy. A and B tiles are double-buffered under a metapipelined
+ * (i, j) tile loop; the k tile loop accumulates partial products into
+ * the C tile in place (PMU read-modify-write with periodic clearing);
+ * the inner pattern is a per-lane fold over a 16-wide output slice.
+ */
+
+#include "apps/apps.hpp"
+#include "apps/common.hpp"
+
+namespace plast::apps
+{
+
+using namespace pir;
+
+AppInstance
+makeGemm(Scale scale)
+{
+    // C[m x p] = A[m x n] * B[n x p]
+    const int64_t m = scale == Scale::kTiny ? 32 : 64;
+    const int64_t n = scale == Scale::kTiny ? 64 : 256;
+    const int64_t p = scale == Scale::kTiny ? 32 : 128;
+    const int64_t ti = 16, tk = 32, tj = 32;
+
+    Builder b("GEMM");
+    MemId va = b.dram("A", static_cast<uint64_t>(m * n));
+    MemId vb = b.dram("B", static_cast<uint64_t>(n * p));
+    MemId vc = b.dram("C", static_cast<uint64_t>(m * p));
+    const uint32_t unroll = scale == Scale::kTiny ? 2 : 8;
+    const int64_t slice = ti / unroll; ///< output rows per parallel PCU
+    MemId sa = b.sram("aTile", static_cast<uint64_t>(ti * tk));
+    MemId sb = b.sram("bTile", static_cast<uint64_t>(tk * tj));
+    std::vector<MemId> scs;
+    for (uint32_t u = 0; u < unroll; ++u)
+        scs.push_back(b.sram(strfmt("cTile%u", u),
+                             static_cast<uint64_t>(slice * tj)));
+
+    NodeId root = b.outer("root", CtrlScheme::kSequential, {}, kNone);
+    CtrId iT = b.ctr("iT", 0, m / ti);
+    CtrId jT = b.ctr("jT", 0, p / tj);
+    NodeId ij = b.outer("ijTiles", CtrlScheme::kMetapipe, {iT, jT}, root);
+    for (MemId sc : scs)
+        b.clearAccumAt(sc, ij); // C slices accumulate across k tiles
+    CtrId kT = b.ctr("kT", 0, n / tk);
+    NodeId kseq = b.outer("kTiles", CtrlScheme::kMetapipe, {kT}, ij);
+
+    // A tile: rows ti x words tk from A[iT*ti, kT*tk].
+    ExprId a_base = b.iadd(
+        b.imul(b.ctrE(iT), b.immI(static_cast<int32_t>(ti * n))),
+        b.imul(b.ctrE(kT), b.immI(static_cast<int32_t>(tk))));
+    b.loadTile("loadA", kseq, va, sa, a_base, ti, tk, n);
+    // B tile: rows tk x words tj from B[kT*tk, jT*tj].
+    ExprId b_base = b.iadd(
+        b.imul(b.ctrE(kT), b.immI(static_cast<int32_t>(tk * p))),
+        b.imul(b.ctrE(jT), b.immI(static_cast<int32_t>(tj))));
+    b.loadTile("loadB", kseq, vb, sb, b_base, tk, tj, p);
+
+    // Inner pattern, unrolled: each parallel PCU covers `slice` output
+    // rows and accumulates over kk with 16 lanes of jj.
+    for (uint32_t u = 0; u < unroll; ++u) {
+        CtrId ii = b.ctr(strfmt("ii%u", u),
+                         static_cast<int64_t>(u) * slice,
+                         static_cast<int64_t>(u + 1) * slice);
+        CtrId jjB = b.ctr(strfmt("jjB%u", u), 0, tj / 16);
+        CtrId kk = b.ctr(strfmt("kk%u", u), 0, tk);
+        CtrId jj = b.ctr(strfmt("jj%u", u), 0, 16, 1, true);
+        ExprId av = b.load(
+            sa,
+            b.ima(b.ctrE(ii), b.immI(static_cast<int32_t>(tk)),
+                  b.ctrE(kk)));                     // broadcast
+        ExprId col = b.ima(b.ctrE(jjB), b.immI(16), b.ctrE(jj));
+        ExprId bv = b.load(
+            sb, b.ima(b.ctrE(kk), b.immI(static_cast<int32_t>(tj)),
+                      col));
+        ExprId c_addr = b.ima(
+            b.isub(b.ctrE(ii),
+                   b.immI(static_cast<int32_t>(u * slice))),
+            b.immI(static_cast<int32_t>(tj)), col);
+        Sink acc = Builder::foldToSram(FuOp::kFAdd, b.fmul(av, bv), kk,
+                                       scs[u], c_addr,
+                                       /*accumulate=*/true,
+                                       /*crossLane=*/false);
+        b.compute(strfmt("mac%u", u), kseq, {ii, jjB, kk, jj}, {}, {},
+                  {acc});
+    }
+
+    // Store the finished C slices.
+    for (uint32_t u = 0; u < unroll; ++u) {
+        ExprId c_base = b.iadd(
+            b.iadd(b.imul(b.ctrE(iT),
+                          b.immI(static_cast<int32_t>(ti * p))),
+                   b.imul(b.ctrE(jT),
+                          b.immI(static_cast<int32_t>(tj)))),
+            b.immI(static_cast<int32_t>(u * slice * p)));
+        b.storeTile(strfmt("storeC%u", u), ij, vc, scs[u], c_base,
+                    slice, tj, p);
+    }
+
+    AppInstance app;
+    app.name = "GEMM";
+    app.prog = b.finish(root);
+    app.load = [va, vb](Runner &r) {
+        fillFloats(r.dram(va), 0x61, -1.0f, 1.0f);
+        fillFloats(r.dram(vb), 0x62, -1.0f, 1.0f);
+    };
+    app.flops = 2.0 * static_cast<double>(m) * n * p;
+    app.dramBytes =
+        4.0 * (static_cast<double>(m) * n * (p / tj) +
+               static_cast<double>(n) * p * (m / ti) +
+               static_cast<double>(m) * p);
+    // Paper: [47 x 7680] * [7680 x 3840]
+    app.paperScale = (2.0 * 47 * 7680 * 3840) / app.flops;
+    return app;
+}
+
+} // namespace plast::apps

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * K-means clustering (Table 4): per iteration, point tiles stream
+ * through a distance pipeline (cross-lane folds), an argmin selection,
+ * and a dense HashReduce — data-dependent scatter-accumulate of point
+ * coordinates and counts into per-cluster accumulators — followed by a
+ * centroid update with a guarded divide.
+ */
+
+#include "apps/apps.hpp"
+#include "apps/common.hpp"
+
+namespace plast::apps
+{
+
+using namespace pir;
+
+AppInstance
+makeKmeans(Scale scale)
+{
+    const int64_t k = 8, d = 16;
+    const int64_t pts = scale == Scale::kTiny ? 128 : 512;
+    const int64_t rt = 64;
+    const int64_t iters = 2;
+
+    Builder b("Kmeans");
+    MemId vx = b.dram("x", static_cast<uint64_t>(pts * d));
+    MemId vc0 = b.dram("c0", static_cast<uint64_t>(k * d));
+    MemId vc = b.dram("c", static_cast<uint64_t>(k * d));
+    MemId sc = b.sram("cS", static_cast<uint64_t>(k * d));
+    MemId sx = b.sram("xT", static_cast<uint64_t>(rt * d));
+    MemId sdist = b.sram("distT", static_cast<uint64_t>(rt * k));
+    MemId smin = b.sram("minT", static_cast<uint64_t>(rt));
+    MemId sasn = b.sram("asnT", static_cast<uint64_t>(rt));
+    MemId ssum = b.sram("sumS", static_cast<uint64_t>(k * d));
+    MemId scnt = b.sram("cntS", static_cast<uint64_t>(k));
+
+    NodeId root = b.outer("root", CtrlScheme::kSequential, {}, kNone);
+    b.loadTile("loadC", root, vc0, sc, b.immI(0), 1, k * d, 0);
+    CtrId it = b.ctr("it", 0, iters);
+    NodeId iter = b.outer("iter", CtrlScheme::kSequential, {it}, root);
+    b.clearAccumAt(ssum, iter);
+    b.clearAccumAt(scnt, iter);
+
+    CtrId t = b.ctr("t", 0, pts / rt);
+    NodeId tiles = b.outer("tiles", CtrlScheme::kMetapipe, {t}, iter);
+    b.loadTile("loadX", tiles, vx, sx,
+               b.imul(b.ctrE(t), b.immI(static_cast<int32_t>(rt * d))),
+               rt, d, d);
+
+    // dist[r][kk] = |x[r] - c[kk]|^2  (cross-lane fold over d)
+    CtrId r = b.ctr("r", 0, rt);
+    CtrId kk = b.ctr("kk", 0, k);
+    CtrId dv = b.ctr("dv", 0, d, 1, true);
+    ExprId xd = b.load(
+        sx, b.iadd(b.imul(b.ctrE(r), b.immI(static_cast<int32_t>(d))),
+                   b.ctrE(dv)));
+    ExprId cd = b.load(
+        sc, b.iadd(b.imul(b.ctrE(kk), b.immI(static_cast<int32_t>(d))),
+                   b.ctrE(dv)));
+    ExprId diff = b.fsub(xd, cd);
+    ExprId dist_addr =
+        b.iadd(b.imul(b.ctrE(r), b.immI(static_cast<int32_t>(k))),
+               b.ctrE(kk));
+    b.compute("dist", tiles, {r, kk, dv}, {}, {},
+              {Builder::foldToSram(FuOp::kFAdd, b.fmul(diff, diff), dv,
+                                   sdist, dist_addr)});
+
+    // min over clusters
+    CtrId r3 = b.ctr("r3", 0, rt);
+    CtrId kv = b.ctr("kv", 0, k, 1, true);
+    ExprId dval = b.load(
+        sdist,
+        b.iadd(b.imul(b.ctrE(r3), b.immI(static_cast<int32_t>(k))),
+               b.ctrE(kv)));
+    b.compute("minD", tiles, {r3, kv}, {}, {},
+              {Builder::foldToSram(FuOp::kFMin, dval, kv, smin,
+                                   b.ctrE(r3))});
+
+    // argmin: largest cluster index whose distance equals the minimum
+    CtrId r4 = b.ctr("r4", 0, rt);
+    CtrId kv2 = b.ctr("kv2", 0, k, 1, true);
+    ExprId dval2 = b.load(
+        sdist,
+        b.iadd(b.imul(b.ctrE(r4), b.immI(static_cast<int32_t>(k))),
+               b.ctrE(kv2)));
+    ExprId mval = b.load(smin, b.ctrE(r4)); // broadcast
+    ExprId cand = b.alu(FuOp::kMux, b.alu(FuOp::kFEq, dval2, mval),
+                        b.ctrE(kv2), b.immI(-1));
+    b.compute("argmin", tiles, {r4, kv2}, {}, {},
+              {Builder::foldToSram(FuOp::kIMax, cand, kv2, sasn,
+                                   b.ctrE(r4))});
+
+    // HashReduce: sum[assign[r]] += x[r]; cnt[assign[r]] += 1
+    CtrId r5 = b.ctr("r5", 0, rt);
+    CtrId dB = b.ctr("dB", 0, d / 16);
+    CtrId dd = b.ctr("dd", 0, 16, 1, true);
+    ExprId dj = b.iadd(b.imul(b.ctrE(dB), b.immI(16)), b.ctrE(dd));
+    ExprId asn = b.load(sasn, b.ctrE(r5)); // broadcast
+    ExprId sum_addr =
+        b.iadd(b.imul(asn, b.immI(static_cast<int32_t>(d))), dj);
+    ExprId xval = b.load(
+        sx, b.iadd(b.imul(b.ctrE(r5), b.immI(static_cast<int32_t>(d))),
+                   dj));
+    b.compute("accum", tiles, {r5, dB, dd}, {}, {},
+              {Builder::storeSram(ssum, sum_addr, xval, true)});
+
+    CtrId rB = b.ctr("rB", 0, rt / 16);
+    CtrId rr = b.ctr("rr", 0, 16, 1, true);
+    ExprId asn_r = b.load(
+        sasn, b.iadd(b.imul(b.ctrE(rB), b.immI(16)), b.ctrE(rr)));
+    b.compute("count", tiles, {rB, rr}, {}, {},
+              {Builder::storeSram(scnt, asn_r, b.immF(1.0f), true)});
+
+    // new centroids: c[kk] = cnt[kk] ? sum[kk]/cnt[kk] : 0
+    CtrId k2 = b.ctr("k2", 0, k);
+    CtrId d2 = b.ctr("d2", 0, d, 1, true);
+    ExprId caddr =
+        b.iadd(b.imul(b.ctrE(k2), b.immI(static_cast<int32_t>(d))),
+               b.ctrE(d2));
+    ExprId cnt = b.load(scnt, b.ctrE(k2)); // broadcast
+    ExprId sum = b.load(ssum, caddr);
+    ExprId newc = b.alu(FuOp::kMux, b.alu(FuOp::kFGt, cnt, b.immF(0.0f)),
+                        b.fdiv(sum, cnt), b.immF(0.0f));
+    b.compute("newC", iter, {k2, d2}, {}, {},
+              {Builder::storeSram(sc, caddr, newc)});
+
+    b.storeTile("storeC", root, vc, sc, b.immI(0), 1, k * d, 0);
+
+    AppInstance app;
+    app.name = "Kmeans";
+    app.prog = b.finish(root);
+    app.load = [=](Runner &rn) {
+        fillFloats(rn.dram(vx), 0xa1, -1.0f, 1.0f);
+        fillFloats(rn.dram(vc0), 0xa2, -1.0f, 1.0f);
+    };
+    app.flops = static_cast<double>(iters) * pts * (3.0 * k * d + 2 * k);
+    app.dramBytes = 4.0 * (static_cast<double>(iters) * pts * d + 2 * k * d);
+    app.paperScale = (50.0 * 1536 * (3.0 * 20 * 96)) / app.flops;
+    app.serialSteps = static_cast<double>(iters) * 4;
+    return app;
+}
+
+} // namespace plast::apps

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Logistic regression by batch gradient descent (Table 4): per epoch,
+ * a metapipelined tile loop computes per-point scores (cross-lane dot
+ * folds), logistic deltas, and rank-1 gradient accumulation; the
+ * weight vector is then updated in place (a persistent, never-cleared
+ * accumulator fed by two writers: the initial load and the update).
+ */
+
+#include "apps/apps.hpp"
+#include "apps/common.hpp"
+
+namespace plast::apps
+{
+
+using namespace pir;
+
+AppInstance
+makeLogReg(Scale scale)
+{
+    const int64_t d = 64;
+    const int64_t pts = scale == Scale::kTiny ? 128 : 512;
+    const int64_t rt = 64;
+    const int64_t epochs = scale == Scale::kTiny ? 2 : 3;
+    const float lr = 0.1f;
+
+    Builder b("LogReg");
+    MemId vx = b.dram("x", static_cast<uint64_t>(pts * d));
+    MemId vy = b.dram("y", static_cast<uint64_t>(pts));
+    MemId vw0 = b.dram("w0", static_cast<uint64_t>(d));
+    MemId vw = b.dram("w", static_cast<uint64_t>(d));
+    MemId sw = b.sram("wS", static_cast<uint64_t>(d));
+    MemId sx = b.sram("xT", static_cast<uint64_t>(rt * d));
+    MemId sy = b.sram("yT", static_cast<uint64_t>(rt));
+    MemId sdot = b.sram("dotT", static_cast<uint64_t>(rt));
+    MemId sdel = b.sram("delT", static_cast<uint64_t>(rt));
+    MemId sg = b.sram("gradS", static_cast<uint64_t>(d));
+
+    NodeId root = b.outer("root", CtrlScheme::kSequential, {}, kNone);
+    b.loadTile("loadW", root, vw0, sw, b.immI(0), 1, d, 0);
+    CtrId e = b.ctr("e", 0, epochs);
+    NodeId ep = b.outer("epoch", CtrlScheme::kSequential, {e}, root);
+    b.clearAccumAt(sg, ep);
+    b.clearAccumAt(sw, kNeverClear);
+
+    CtrId t = b.ctr("t", 0, pts / rt);
+    NodeId tiles = b.outer("tiles", CtrlScheme::kMetapipe, {t}, ep);
+    b.loadTile("loadX", tiles, vx, sx,
+               b.imul(b.ctrE(t), b.immI(static_cast<int32_t>(rt * d))),
+               rt, d, d);
+    b.loadTile("loadY", tiles, vy, sy,
+               b.imul(b.ctrE(t), b.immI(static_cast<int32_t>(rt))), 1,
+               rt, 0);
+
+    // dot[r] = w . x[r]
+    CtrId r = b.ctr("r", 0, rt);
+    CtrId dB = b.ctr("dB", 0, d / 16);
+    CtrId dd = b.ctr("dd", 0, 16, 1, true);
+    ExprId di = b.iadd(b.imul(b.ctrE(dB), b.immI(16)), b.ctrE(dd));
+    ExprId wv = b.load(sw, di);
+    ExprId xv = b.load(
+        sx, b.iadd(b.imul(b.ctrE(r), b.immI(static_cast<int32_t>(d))),
+                   di));
+    b.compute("dot", tiles, {r, dB, dd}, {}, {},
+              {Builder::foldToSram(FuOp::kFAdd, b.fmul(wv, xv), dB, sdot,
+                                   b.ctrE(r))});
+
+    // delta[r] = sigmoid(dot[r]) - y[r]
+    CtrId rB = b.ctr("rB", 0, rt / 16);
+    CtrId rr = b.ctr("rr", 0, 16, 1, true);
+    ExprId ri = b.iadd(b.imul(b.ctrE(rB), b.immI(16)), b.ctrE(rr));
+    ExprId dv = b.load(sdot, ri);
+    ExprId sig = b.fdiv(
+        b.immF(1.0f),
+        b.fadd(b.immF(1.0f),
+               b.alu(FuOp::kFExp, b.alu(FuOp::kFNeg, dv))));
+    ExprId delta = b.fsub(sig, b.load(sy, ri));
+    b.compute("delta", tiles, {rB, rr}, {}, {},
+              {Builder::storeSram(sdel, ri, delta)});
+
+    // grad[j] += delta[r] * x[r][j]
+    CtrId r2 = b.ctr("r2", 0, rt);
+    CtrId dB2 = b.ctr("dB2", 0, d / 16);
+    CtrId dd2 = b.ctr("dd2", 0, 16, 1, true);
+    ExprId dj = b.iadd(b.imul(b.ctrE(dB2), b.immI(16)), b.ctrE(dd2));
+    ExprId del_r = b.load(sdel, b.ctrE(r2)); // broadcast
+    ExprId x_rj = b.load(
+        sx, b.iadd(b.imul(b.ctrE(r2), b.immI(static_cast<int32_t>(d))),
+                   dj));
+    b.compute("grad", tiles, {r2, dB2, dd2}, {}, {},
+              {Builder::storeSram(sg, dj, b.fmul(del_r, x_rj),
+                                  /*accumulate=*/true)});
+
+    // w[j] -= lr * grad[j] (in-place persistent accumulator)
+    CtrId dB3 = b.ctr("dB3", 0, d / 16);
+    CtrId dd3 = b.ctr("dd3", 0, 16, 1, true);
+    ExprId dj3 = b.iadd(b.imul(b.ctrE(dB3), b.immI(16)), b.ctrE(dd3));
+    ExprId upd = b.fmul(b.immF(-lr), b.load(sg, dj3));
+    b.compute("update", ep, {dB3, dd3}, {}, {},
+              {Builder::storeSram(sw, dj3, upd, /*accumulate=*/true)});
+
+    b.storeTile("storeW", root, vw, sw, b.immI(0), 1, d, 0);
+
+    AppInstance app;
+    app.name = "LogReg";
+    app.prog = b.finish(root);
+    app.load = [=](Runner &rn) {
+        fillFloats(rn.dram(vx), 0x81, -1.0f, 1.0f);
+        fillFloats(rn.dram(vy), 0x82, 0.0f, 1.0f);
+        for (auto &w : rn.dram(vy))
+            w = floatToWord(wordToFloat(w) > 0.5f ? 1.0f : 0.0f);
+        fillFloats(rn.dram(vw0), 0x83, -0.1f, 0.1f);
+    };
+    app.flops = static_cast<double>(epochs) * pts * (4.0 * d + 10);
+    app.dramBytes =
+        4.0 * (static_cast<double>(epochs) * pts * (d + 1) + 2 * d);
+    app.paperScale = (5.0 * 1536 * (4.0 * 384 + 10)) / app.flops;
+    app.serialSteps = static_cast<double>(epochs) * (pts / rt) * 3;
+    return app;
+}
+
+} // namespace plast::apps

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * PageRank (Table 4): per iteration, a dense pass divides each page's
+ * rank by its out-degree into a contribution array, then a sparse pass
+ * gathers predecessor contributions through the coalescing units and
+ * folds them with the damping post-op rank' = (1-d)/N + d * sum.
+ * Links use a fixed in-degree (ELL-style) layout.
+ */
+
+#include "apps/apps.hpp"
+#include "apps/common.hpp"
+
+namespace plast::apps
+{
+
+using namespace pir;
+
+AppInstance
+makePageRank(Scale scale)
+{
+    const int64_t n = scale == Scale::kTiny ? 128 : 512; ///< pages
+    const int64_t l = 8;  ///< in-links per page (paper E[edges] = 8)
+    const int64_t rt = 64;
+    const int64_t iters = 2;
+    const float damp = 0.85f;
+
+    Builder b("PageRank");
+    MemId vlinks = b.dram("links", static_cast<uint64_t>(n * l));
+    MemId vrank = b.dram("rank", static_cast<uint64_t>(n));
+    MemId vdeg = b.dram("deg", static_cast<uint64_t>(n));
+    MemId vcontrib = b.dram("contrib", static_cast<uint64_t>(n));
+    MemId slinks = b.sram("linksT", static_cast<uint64_t>(rt * l));
+    MemId scg = b.sram("cg", static_cast<uint64_t>(rt * l));
+    MemId snew = b.sram("newT", static_cast<uint64_t>(rt));
+
+    NodeId root = b.outer("root", CtrlScheme::kSequential, {}, kNone);
+    CtrId it = b.ctr("it", 0, iters);
+    NodeId iter = b.outer("iter", CtrlScheme::kSequential, {it}, root);
+
+    // Phase 1: contrib[p] = rank[p] / deg[p] (streaming).
+    CtrId p = b.ctr("p", 0, n, 1, true);
+    ExprId pe = b.ctrE(p);
+    ExprId contrib = b.fdiv(b.streamRef(0), b.streamRef(1));
+    b.compute("contrib", iter, {p},
+              {StreamIn{vrank, pe}, StreamIn{vdeg, pe}}, {},
+              {Builder::streamOut(vcontrib, pe, contrib)});
+
+    // Phase 2: gather predecessor contributions, damped fold.
+    CtrId t = b.ctr("t", 0, n / rt);
+    NodeId tiles = b.outer("tiles", CtrlScheme::kMetapipe, {t}, iter);
+    ExprId lbase =
+        b.imul(b.ctrE(t), b.immI(static_cast<int32_t>(rt * l)));
+    b.loadTile("loadLinks", tiles, vlinks, slinks, lbase, 1, rt * l, 0);
+    b.gather("gatherC", tiles, vcontrib, slinks, scg, rt * l);
+
+    CtrId r = b.ctr("r", 0, rt);
+    CtrId j = b.ctr("j", 0, l, 1, true);
+    ExprId cidx =
+        b.iadd(b.imul(b.ctrE(r), b.immI(static_cast<int32_t>(l))),
+               b.ctrE(j));
+    Sink fold = Builder::foldToSram(FuOp::kFAdd, b.load(scg, cidx), j,
+                                    snew, b.ctrE(r));
+    fold.postScale = b.immF(damp);
+    fold.postOffset = b.immF((1.0f - damp) / static_cast<float>(n));
+    b.compute("damp", tiles, {r, j}, {}, {}, {fold});
+
+    b.storeTile("storeRank", tiles, vrank, snew,
+                b.imul(b.ctrE(t), b.immI(static_cast<int32_t>(rt))), 1,
+                rt, 0);
+
+    AppInstance app;
+    app.name = "PageRank";
+    app.prog = b.finish(root);
+    app.load = [=](Runner &rn) {
+        // Random graph; degrees >= 1 so the divide is safe.
+        fillInts(rn.dram(vlinks), 0xd1, static_cast<int32_t>(n));
+        auto &deg = rn.dram(vdeg);
+        Rng rng(0xd2);
+        for (auto &w : deg)
+            w = floatToWord(
+                1.0f + static_cast<float>(rng.nextBounded(12)));
+        for (auto &w : rn.dram(vrank))
+            w = floatToWord(1.0f / static_cast<float>(n));
+    };
+    app.flops = static_cast<double>(iters) * (n + 2.0 * n * l);
+    app.dramBytes = 4.0 * iters * (3.0 * n + 2.0 * n * l);
+    app.sparse = true;
+    app.paperScale = (100.0 * (7680 + 2.0 * 7680 * 8)) / app.flops;
+    return app;
+}
+
+} // namespace plast::apps

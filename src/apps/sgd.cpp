@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Stochastic gradient descent for linear regression (Table 4):
+ * minibatch updates under an inherently sequential outer loop — each
+ * minibatch computes predictions, residuals, and a gradient that
+ * immediately updates the in-place weight vector before the next
+ * minibatch starts (loop-carried dependence through w).
+ */
+
+#include "apps/apps.hpp"
+#include "apps/common.hpp"
+
+namespace plast::apps
+{
+
+using namespace pir;
+
+AppInstance
+makeSgd(Scale scale)
+{
+    const int64_t d = 64;
+    const int64_t mb = 64; ///< minibatch size
+    const int64_t nmb = scale == Scale::kTiny ? 2 : 8;
+    const int64_t epochs = 2;
+    const float lr = 0.05f;
+    const int64_t pts = mb * nmb;
+
+    Builder b("SGD");
+    MemId vx = b.dram("x", static_cast<uint64_t>(pts * d));
+    MemId vy = b.dram("y", static_cast<uint64_t>(pts));
+    MemId vw0 = b.dram("w0", static_cast<uint64_t>(d));
+    MemId vw = b.dram("w", static_cast<uint64_t>(d));
+    MemId sw = b.sram("wS", static_cast<uint64_t>(d));
+    MemId sx = b.sram("xT", static_cast<uint64_t>(mb * d));
+    MemId sy = b.sram("yT", static_cast<uint64_t>(mb));
+    MemId sdot = b.sram("dotT", static_cast<uint64_t>(mb));
+    MemId sdel = b.sram("delT", static_cast<uint64_t>(mb));
+    MemId sg = b.sram("gradS", static_cast<uint64_t>(d));
+
+    NodeId root = b.outer("root", CtrlScheme::kSequential, {}, kNone);
+    b.loadTile("loadW", root, vw0, sw, b.immI(0), 1, d, 0);
+    CtrId e = b.ctr("e", 0, epochs);
+    CtrId m = b.ctr("m", 0, nmb);
+    NodeId loop = b.outer("mbLoop", CtrlScheme::kSequential, {e, m}, root);
+    b.clearAccumAt(sg, loop);
+    b.clearAccumAt(sw, kNeverClear);
+
+    b.loadTile("loadX", loop, vx, sx,
+               b.imul(b.ctrE(m), b.immI(static_cast<int32_t>(mb * d))),
+               mb, d, d);
+    b.loadTile("loadY", loop, vy, sy,
+               b.imul(b.ctrE(m), b.immI(static_cast<int32_t>(mb))), 1,
+               mb, 0);
+
+    CtrId r = b.ctr("r", 0, mb);
+    CtrId dB = b.ctr("dB", 0, d / 16);
+    CtrId dd = b.ctr("dd", 0, 16, 1, true);
+    ExprId di = b.iadd(b.imul(b.ctrE(dB), b.immI(16)), b.ctrE(dd));
+    ExprId wv = b.load(sw, di);
+    ExprId xv = b.load(
+        sx, b.iadd(b.imul(b.ctrE(r), b.immI(static_cast<int32_t>(d))),
+                   di));
+    b.compute("dot", loop, {r, dB, dd}, {}, {},
+              {Builder::foldToSram(FuOp::kFAdd, b.fmul(wv, xv), dB, sdot,
+                                   b.ctrE(r))});
+
+    CtrId rB = b.ctr("rB", 0, mb / 16);
+    CtrId rr = b.ctr("rr", 0, 16, 1, true);
+    ExprId ri = b.iadd(b.imul(b.ctrE(rB), b.immI(16)), b.ctrE(rr));
+    ExprId resid = b.fsub(b.load(sdot, ri), b.load(sy, ri));
+    b.compute("resid", loop, {rB, rr}, {}, {},
+              {Builder::storeSram(sdel, ri, resid)});
+
+    CtrId r2 = b.ctr("r2", 0, mb);
+    CtrId dB2 = b.ctr("dB2", 0, d / 16);
+    CtrId dd2 = b.ctr("dd2", 0, 16, 1, true);
+    ExprId dj = b.iadd(b.imul(b.ctrE(dB2), b.immI(16)), b.ctrE(dd2));
+    ExprId del_r = b.load(sdel, b.ctrE(r2)); // broadcast
+    ExprId x_rj = b.load(
+        sx, b.iadd(b.imul(b.ctrE(r2), b.immI(static_cast<int32_t>(d))),
+                   dj));
+    b.compute("grad", loop, {r2, dB2, dd2}, {}, {},
+              {Builder::storeSram(sg, dj, b.fmul(del_r, x_rj), true)});
+
+    CtrId dB3 = b.ctr("dB3", 0, d / 16);
+    CtrId dd3 = b.ctr("dd3", 0, 16, 1, true);
+    ExprId dj3 = b.iadd(b.imul(b.ctrE(dB3), b.immI(16)), b.ctrE(dd3));
+    ExprId upd = b.fmul(b.immF(-lr / static_cast<float>(mb)),
+                        b.load(sg, dj3));
+    b.compute("update", loop, {dB3, dd3}, {}, {},
+              {Builder::storeSram(sw, dj3, upd, true)});
+
+    b.storeTile("storeW", root, vw, sw, b.immI(0), 1, d, 0);
+
+    AppInstance app;
+    app.name = "SGD";
+    app.prog = b.finish(root);
+    app.load = [=](Runner &rn) {
+        fillFloats(rn.dram(vx), 0x91, -1.0f, 1.0f);
+        fillFloats(rn.dram(vy), 0x92, -2.0f, 2.0f);
+        fillFloats(rn.dram(vw0), 0x93, -0.1f, 0.1f);
+    };
+    app.flops = static_cast<double>(epochs) * pts * (4.0 * d + 4);
+    app.dramBytes =
+        4.0 * (static_cast<double>(epochs) * pts * (d + 1) + 2 * d);
+    app.paperScale = (30.0 * 38400 * (4.0 * 768 + 4)) / app.flops;
+    app.serialSteps = static_cast<double>(epochs) * nmb * 6;
+    return app;
+}
+
+} // namespace plast::apps

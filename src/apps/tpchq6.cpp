@@ -1,0 +1,84 @@
+/**
+ * @file
+ * TPC-H Query 6 (Table 4): a filter-reduce over the lineitem table.
+ * Four streamed columns (shipdate, discount, quantity, extended
+ * price); rows passing the date / discount / quantity predicates
+ * contribute price * discount to the revenue aggregate. The filter is
+ * fused into the fold with a predicated select, exactly as the paper's
+ * FlatMap-into-Fold pipeline.
+ */
+
+#include "apps/apps.hpp"
+#include "apps/common.hpp"
+
+namespace plast::apps
+{
+
+using namespace pir;
+
+AppInstance
+makeTpchQ6(Scale scale, uint32_t par)
+{
+    const uint64_t n = scale == Scale::kTiny ? 4096 : (1ull << 20);
+    const double paper_n = 960e6;
+    const int32_t kDateLo = 19940101, kDateHi = 19950101;
+    const int32_t kQtyMax = 24;
+
+    Builder b("TPCHQ6");
+    MemId dates = b.dram("shipdate", n);
+    MemId disc = b.dram("discount", n);
+    MemId qty = b.dram("quantity", n);
+    MemId price = b.dram("price", n);
+    int32_t out = b.argOut();
+    NodeId root = b.outer("root", CtrlScheme::kSequential, {}, kNone);
+
+    std::vector<ScalarIn> parts;
+    const uint64_t chunk = n / par;
+    for (uint32_t p = 0; p < par; ++p) {
+        CtrId i = b.ctr(strfmt("i%u", p),
+                        static_cast<int64_t>(p * chunk),
+                        static_cast<int64_t>((p + 1) * chunk), 1, true);
+        ExprId ie = b.ctrE(i);
+        ExprId d = b.streamRef(0);
+        ExprId dc = b.streamRef(1);
+        ExprId q = b.streamRef(2);
+        ExprId pr = b.streamRef(3);
+        ExprId cond =
+            b.alu(FuOp::kAnd,
+                  b.alu(FuOp::kAnd, b.alu(FuOp::kIGe, d, b.immI(kDateLo)),
+                        b.alu(FuOp::kILt, d, b.immI(kDateHi))),
+                  b.alu(FuOp::kAnd,
+                        b.alu(FuOp::kAnd,
+                              b.alu(FuOp::kFGe, dc, b.immF(0.05f)),
+                              b.alu(FuOp::kFLe, dc, b.immF(0.07f))),
+                        b.alu(FuOp::kILt, q, b.immI(kQtyMax))));
+        ExprId contrib =
+            b.alu(FuOp::kMux, cond, b.fmul(pr, dc), b.immF(0.0f));
+        Sink fold = Builder::foldToScalar(FuOp::kFAdd, contrib, i);
+        NodeId leaf = b.compute(
+            strfmt("q6_%u", p), root, {i},
+            {StreamIn{dates, ie}, StreamIn{disc, ie}, StreamIn{qty, ie},
+             StreamIn{price, ie}},
+            {}, {fold});
+        parts.push_back({leaf, 0});
+    }
+    combineScalars(b, root, parts, FuOp::kFAdd, out);
+
+    AppInstance app;
+    app.name = "TPCHQ6";
+    app.prog = b.finish(root);
+    app.load = [=](Runner &r) {
+        fillInts(r.dram(dates), 0x41, 19960000);
+        for (auto &w : r.dram(dates))
+            w = intToWord(19930000 + wordToInt(w) % 30000);
+        fillFloats(r.dram(disc), 0x42, 0.0f, 0.1f);
+        fillInts(r.dram(qty), 0x43, 50);
+        fillFloats(r.dram(price), 0x44, 100.0f, 1000.0f);
+    };
+    app.flops = 8.0 * static_cast<double>(n);
+    app.dramBytes = 16.0 * static_cast<double>(n);
+    app.paperScale = paper_n / static_cast<double>(n);
+    return app;
+}
+
+} // namespace plast::apps

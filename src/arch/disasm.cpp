@@ -1,0 +1,198 @@
+#include "arch/disasm.hpp"
+
+#include "base/logging.hpp"
+
+namespace plast
+{
+
+namespace
+{
+
+std::string
+chainDesc(const ChainCfg &chain)
+{
+    if (chain.ctrs.empty())
+        return "once";
+    std::string out;
+    for (size_t i = 0; i < chain.ctrs.size(); ++i) {
+        const CounterCfg &c = chain.ctrs[i];
+        if (i)
+            out += " x ";
+        if (c.maxFromScalarIn >= 0)
+            out += strfmt("[%lld:si%d*%d:%lld]",
+                          static_cast<long long>(c.min),
+                          c.maxFromScalarIn, c.boundScale,
+                          static_cast<long long>(c.step));
+        else
+            out += strfmt("[%lld:%lld:%lld]",
+                          static_cast<long long>(c.min),
+                          static_cast<long long>(c.max),
+                          static_cast<long long>(c.step));
+        if (c.vectorized)
+            out += "v";
+    }
+    return out;
+}
+
+std::string
+ctrlDesc(const ControlCfg &ctrl)
+{
+    if (ctrl.tokenIns.empty() && ctrl.doneOuts.empty())
+        return "self-start";
+    std::string out = "tok[";
+    for (size_t i = 0; i < ctrl.tokenIns.size(); ++i)
+        out += strfmt("%s%u", i ? "," : "", ctrl.tokenIns[i]);
+    out += "] done[";
+    for (size_t i = 0; i < ctrl.doneOuts.size(); ++i)
+        out += strfmt("%s%u", i ? "," : "", ctrl.doneOuts[i]);
+    return out + "]";
+}
+
+std::string
+emitDesc(const EmitCond &cond)
+{
+    return cond.always ? "every" : strfmt("last@%u", cond.level);
+}
+
+} // namespace
+
+std::string
+disasmPcu(const PcuCfg &cfg, uint32_t index)
+{
+    std::string out =
+        strfmt("pcu%-3u %-24s ctr %s  %s\n", index, cfg.name.c_str(),
+               chainDesc(cfg.chain).c_str(), ctrlDesc(cfg.ctrl).c_str());
+    for (size_t s = 0; s < cfg.stages.size(); ++s)
+        out += strfmt("    s%zu: %s\n", s, cfg.stages[s].describe().c_str());
+    for (size_t p = 0; p < cfg.vecOuts.size(); ++p) {
+        if (!cfg.vecOuts[p].enabled)
+            continue;
+        out += strfmt("    vo%zu <- r%u (%s)%s\n", p,
+                      cfg.vecOuts[p].srcReg,
+                      emitDesc(cfg.vecOuts[p].cond).c_str(),
+                      cfg.vecOuts[p].coalesce ? " coalesce" : "");
+    }
+    for (size_t p = 0; p < cfg.scalOuts.size(); ++p) {
+        const ScalOutCfg &so = cfg.scalOuts[p];
+        if (!so.enabled)
+            continue;
+        if (so.countOfVecOut >= 0)
+            out += strfmt("    so%zu <- count(vo%d)\n", p,
+                          so.countOfVecOut);
+        else
+            out += strfmt("    so%zu <- r%u (%s)\n", p, so.srcReg,
+                          emitDesc(so.cond).c_str());
+    }
+    return out;
+}
+
+namespace
+{
+
+std::string
+portDesc(const char *label, const PmuPortCfg &port)
+{
+    if (!port.enabled)
+        return "";
+    std::string out = strfmt("    %s: ctr %s  %s", label,
+                             chainDesc(port.chain).c_str(),
+                             ctrlDesc(port.ctrl).c_str());
+    if (port.appendMode)
+        out += " append";
+    if (port.vecLinear)
+        out += " vec-linear";
+    if (port.broadcast)
+        out += " broadcast";
+    if (port.addrVecIn >= 0)
+        out += strfmt(" addr<-vi%d", port.addrVecIn);
+    if (port.dataVecIn >= 0)
+        out += strfmt(" data<-vi%d", port.dataVecIn);
+    if (port.dataVecOut >= 0)
+        out += strfmt(" data->vo%d", port.dataVecOut);
+    if (port.accumulate)
+        out += strfmt(" rmw(%s)", fuOpName(port.accumOp).c_str());
+    if (port.swapEvery)
+        out += strfmt(" swap/%u", port.swapEvery);
+    if (port.clearEvery)
+        out += strfmt(" clear/%u", port.clearEvery);
+    out += "\n";
+    for (size_t s = 0; s < port.addrStages.size(); ++s)
+        out += strfmt("        a%zu: %s\n", s,
+                      port.addrStages[s].describe().c_str());
+    return out;
+}
+
+} // namespace
+
+std::string
+disasmPmu(const PmuCfg &cfg, uint32_t index)
+{
+    std::string out = strfmt(
+        "pmu%-3u %-24s %s %u words x %u bufs\n", index, cfg.name.c_str(),
+        bankingModeName(cfg.scratch.mode).c_str(), cfg.scratch.sizeWords,
+        cfg.scratch.numBufs);
+    out += portDesc("wr ", cfg.write);
+    out += portDesc("wr2", cfg.write2);
+    out += portDesc("rd ", cfg.read);
+    return out;
+}
+
+std::string
+disasmAg(const AgCfg &cfg, uint32_t index)
+{
+    std::string out = strfmt(
+        "ag%-4u %-24s %s ch%u base=0x%llx ctr %s  %s\n", index,
+        cfg.name.c_str(), agModeName(cfg.mode).c_str(), cfg.channel,
+        static_cast<unsigned long long>(cfg.base),
+        chainDesc(cfg.chain).c_str(), ctrlDesc(cfg.ctrl).c_str());
+    if (cfg.mode == AgMode::kDenseLoad)
+        out += strfmt("    words/cmd=%u -> vo%d\n", cfg.wordsPerCmd,
+                      cfg.dataVecOut);
+    for (size_t s = 0; s < cfg.addrStages.size(); ++s)
+        out += strfmt("    a%zu: %s\n", s,
+                      cfg.addrStages[s].describe().c_str());
+    return out;
+}
+
+std::string
+disasmBox(const ControlBoxCfg &cfg, uint32_t index)
+{
+    std::string out = strfmt(
+        "box%-3u %-24s %s depth=%u ctr %s  %s\n", index,
+        cfg.name.c_str(), ctrlSchemeName(cfg.scheme).c_str(), cfg.depth,
+        chainDesc(cfg.chain).c_str(), ctrlDesc(cfg.ctrl).c_str());
+    out += strfmt("    starts=%zu dones=%zu", cfg.childStartOuts.size(),
+                  cfg.childDoneIns.size());
+    for (const auto &ex : cfg.exports)
+        out += strfmt(" export c%u->so%u", ex.ctrIdx, ex.scalarOutPort);
+    out += "\n";
+    return out;
+}
+
+std::string
+disasmFabric(const FabricConfig &cfg)
+{
+    std::string out = cfg.describe() + "\n\n";
+    for (size_t i = 0; i < cfg.pcus.size(); ++i) {
+        if (cfg.pcus[i].used)
+            out += disasmPcu(cfg.pcus[i], static_cast<uint32_t>(i));
+    }
+    for (size_t i = 0; i < cfg.pmus.size(); ++i) {
+        if (cfg.pmus[i].used)
+            out += disasmPmu(cfg.pmus[i], static_cast<uint32_t>(i));
+    }
+    for (size_t i = 0; i < cfg.ags.size(); ++i) {
+        if (cfg.ags[i].used)
+            out += disasmAg(cfg.ags[i], static_cast<uint32_t>(i));
+    }
+    for (size_t i = 0; i < cfg.boxes.size(); ++i) {
+        if (cfg.boxes[i].used)
+            out += disasmBox(cfg.boxes[i], static_cast<uint32_t>(i));
+    }
+    out += "\nchannels:\n";
+    for (const ChannelCfg &ch : cfg.channels)
+        out += "  " + ch.describe() + "\n";
+    return out;
+}
+
+} // namespace plast

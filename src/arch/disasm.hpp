@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Configuration disassembler: renders a FabricConfig as the textual
+ * "assembly" the paper describes (§3.6: "a Plasticine configuration
+ * description, akin to an assembly language, which is used to generate
+ * a static configuration bitstream"). Useful for debugging mappings
+ * and for documenting what the compiler produced.
+ */
+
+#ifndef PLAST_ARCH_DISASM_HPP
+#define PLAST_ARCH_DISASM_HPP
+
+#include <string>
+
+#include "arch/config.hpp"
+
+namespace plast
+{
+
+/** Disassemble one unit. */
+std::string disasmPcu(const PcuCfg &cfg, uint32_t index);
+std::string disasmPmu(const PmuCfg &cfg, uint32_t index);
+std::string disasmAg(const AgCfg &cfg, uint32_t index);
+std::string disasmBox(const ControlBoxCfg &cfg, uint32_t index);
+
+/** Disassemble the whole configured fabric (used units + channels). */
+std::string disasmFabric(const FabricConfig &cfg);
+
+} // namespace plast
+
+#endif // PLAST_ARCH_DISASM_HPP

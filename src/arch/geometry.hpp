@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Physical layout of the Plasticine chip (Figure 5): a gridCols x gridRows
+ * checkerboard of PCUs and PMUs, a (gridCols+1) x (gridRows+1) mesh of
+ * switches, and address generators attached to the switch rows on the
+ * left and right chip edges.
+ */
+
+#ifndef PLAST_ARCH_GEOMETRY_HPP
+#define PLAST_ARCH_GEOMETRY_HPP
+
+#include <cstdint>
+#include <cstdlib>
+
+#include "arch/config.hpp"
+#include "arch/params.hpp"
+
+namespace plast
+{
+
+/** Switch-grid coordinate. */
+struct SwitchCoord
+{
+    int col = 0;
+    int row = 0;
+
+    bool
+    operator==(const SwitchCoord &o) const
+    {
+        return col == o.col && row == o.row;
+    }
+};
+
+/** Chip geometry helper: maps unit indices to grid sites. */
+class Geometry
+{
+  public:
+    explicit Geometry(const ArchParams &params) : p_(params) {}
+
+    uint32_t cols() const { return p_.gridCols; }
+    uint32_t rows() const { return p_.gridRows; }
+
+    /**
+     * Checkerboard: site (c, r) holds a PCU when (c + r) is even, a PMU
+     * otherwise; this yields a 1:1 PCU:PMU ratio with every PCU adjacent
+     * to PMUs on all sides.
+     */
+    bool
+    siteIsPcu(uint32_t c, uint32_t r) const
+    {
+        return ((c + r) & 1u) == 0;
+    }
+
+    /** Dense per-class index of the unit at a site. */
+    uint32_t unitIndexAt(uint32_t c, uint32_t r) const;
+
+    /** Grid site of the idx'th PCU (or PMU). */
+    void siteOf(UnitClass cls, uint32_t idx, uint32_t &c, uint32_t &r) const;
+
+    /**
+     * The switch nearest a unit's output corner; units connect to the
+     * four surrounding switches, we canonicalize to the top-left one.
+     */
+    SwitchCoord
+    switchOf(UnitClass cls, uint32_t idx) const;
+
+    /** Switch site an AG is attached to (left/right edges, §3.4). */
+    SwitchCoord agSwitch(uint32_t agIdx) const;
+
+    /** DRAM channel an AG is bound to (round-robin over edges). */
+    uint32_t agChannel(uint32_t agIdx) const;
+
+    /** Manhattan distance between two switches (route length bound). */
+    static uint32_t
+    manhattan(const SwitchCoord &a, const SwitchCoord &b)
+    {
+        return static_cast<uint32_t>(std::abs(a.col - b.col) +
+                                     std::abs(a.row - b.row));
+    }
+
+  private:
+    ArchParams p_;
+};
+
+} // namespace plast
+
+#endif // PLAST_ARCH_GEOMETRY_HPP

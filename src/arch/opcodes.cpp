@@ -1,0 +1,138 @@
+#include "arch/opcodes.hpp"
+
+#include <limits>
+
+#include "base/logging.hpp"
+#include "base/types.hpp"
+
+namespace plast
+{
+
+bool
+fuOpIsFloat(FuOp op)
+{
+    switch (op) {
+      case FuOp::kFAdd: case FuOp::kFSub: case FuOp::kFMul:
+      case FuOp::kFDiv: case FuOp::kFMin: case FuOp::kFMax:
+      case FuOp::kFAbs: case FuOp::kFNeg:
+      case FuOp::kFLt: case FuOp::kFLe: case FuOp::kFGt:
+      case FuOp::kFGe: case FuOp::kFEq: case FuOp::kFNe:
+      case FuOp::kFExp: case FuOp::kFLog: case FuOp::kFSqrt:
+      case FuOp::kFRecip: case FuOp::kFMA:
+        return true;
+      default:
+        return false;
+    }
+}
+
+int
+fuOpArity(FuOp op)
+{
+    switch (op) {
+      case FuOp::kNop: case FuOp::kIAbs: case FuOp::kNot:
+      case FuOp::kFAbs: case FuOp::kFNeg: case FuOp::kFExp:
+      case FuOp::kFLog: case FuOp::kFSqrt: case FuOp::kFRecip:
+      case FuOp::kI2F: case FuOp::kF2I:
+        return 1;
+      case FuOp::kMux: case FuOp::kFMA: case FuOp::kIMA:
+        return 3;
+      default:
+        return 2;
+    }
+}
+
+std::string
+fuOpName(FuOp op)
+{
+    switch (op) {
+      case FuOp::kNop: return "nop";
+      case FuOp::kIAdd: return "iadd";
+      case FuOp::kISub: return "isub";
+      case FuOp::kIMul: return "imul";
+      case FuOp::kIDiv: return "idiv";
+      case FuOp::kIMod: return "imod";
+      case FuOp::kIMin: return "imin";
+      case FuOp::kIMax: return "imax";
+      case FuOp::kIAbs: return "iabs";
+      case FuOp::kAnd: return "and";
+      case FuOp::kOr: return "or";
+      case FuOp::kXor: return "xor";
+      case FuOp::kNot: return "not";
+      case FuOp::kShl: return "shl";
+      case FuOp::kShr: return "shr";
+      case FuOp::kILt: return "ilt";
+      case FuOp::kILe: return "ile";
+      case FuOp::kIGt: return "igt";
+      case FuOp::kIGe: return "ige";
+      case FuOp::kIEq: return "ieq";
+      case FuOp::kINe: return "ine";
+      case FuOp::kFAdd: return "fadd";
+      case FuOp::kFSub: return "fsub";
+      case FuOp::kFMul: return "fmul";
+      case FuOp::kFDiv: return "fdiv";
+      case FuOp::kFMin: return "fmin";
+      case FuOp::kFMax: return "fmax";
+      case FuOp::kFAbs: return "fabs";
+      case FuOp::kFNeg: return "fneg";
+      case FuOp::kFLt: return "flt";
+      case FuOp::kFLe: return "fle";
+      case FuOp::kFGt: return "fgt";
+      case FuOp::kFGe: return "fge";
+      case FuOp::kFEq: return "feq";
+      case FuOp::kFNe: return "fne";
+      case FuOp::kFExp: return "fexp";
+      case FuOp::kFLog: return "flog";
+      case FuOp::kFSqrt: return "fsqrt";
+      case FuOp::kFRecip: return "frecip";
+      case FuOp::kI2F: return "i2f";
+      case FuOp::kF2I: return "f2i";
+      case FuOp::kMux: return "mux";
+      case FuOp::kFMA: return "fma";
+      case FuOp::kIMA: return "ima";
+      default: return "op?";
+    }
+}
+
+bool
+fuOpIsReducible(FuOp op)
+{
+    switch (op) {
+      case FuOp::kIAdd: case FuOp::kIMul: case FuOp::kIMin:
+      case FuOp::kIMax: case FuOp::kAnd: case FuOp::kOr:
+      case FuOp::kXor: case FuOp::kFAdd: case FuOp::kFMul:
+      case FuOp::kFMin: case FuOp::kFMax:
+        return true;
+      default:
+        return false;
+    }
+}
+
+uint32_t
+fuOpIdentity(FuOp op)
+{
+    switch (op) {
+      case FuOp::kIAdd: case FuOp::kXor: case FuOp::kOr:
+        return 0;
+      case FuOp::kIMul:
+        return 1;
+      case FuOp::kAnd:
+        return 0xffffffffu;
+      case FuOp::kIMin:
+        return intToWord(std::numeric_limits<int32_t>::max());
+      case FuOp::kIMax:
+        return intToWord(std::numeric_limits<int32_t>::min());
+      case FuOp::kFAdd:
+        return floatToWord(0.0f);
+      case FuOp::kFMul:
+        return floatToWord(1.0f);
+      case FuOp::kFMin:
+        return floatToWord(std::numeric_limits<float>::infinity());
+      case FuOp::kFMax:
+        return floatToWord(-std::numeric_limits<float>::infinity());
+      default:
+        panic("fuOpIdentity: op %s is not a reduction combiner",
+              fuOpName(op).c_str());
+    }
+}
+
+} // namespace plast

@@ -1,0 +1,22 @@
+#include "arch/params.hpp"
+
+#include "base/logging.hpp"
+
+namespace plast
+{
+
+std::string
+ArchParams::describe() const
+{
+    return strfmt(
+        "Plasticine %ux%u (%u PCUs, %u PMUs), PCU[%u lanes, %u stages, "
+        "%u regs, %u/%u scal io, %u/%u vec io], PMU[%u banks x %u KB, "
+        "%u stages], DRAM[%u ch, %.1f GB/s peak], %u AGs",
+        gridCols, gridRows, numPcus(), numPmus(), pcu.lanes, pcu.stages,
+        pcu.regsPerStage, pcu.scalarIns, pcu.scalarOuts, pcu.vectorIns,
+        pcu.vectorOuts, pmu.banks, pmu.bankKilobytes, pmu.stages,
+        dram.channels, dram.peakBytesPerCycle(),
+        numAgs);
+}
+
+} // namespace plast

@@ -1,0 +1,84 @@
+#include "base/logging.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace plast
+{
+
+namespace
+{
+bool gVerbose = true;
+} // namespace
+
+void
+setVerbose(bool verbose)
+{
+    gVerbose = verbose;
+}
+
+bool
+verbose()
+{
+    return gVerbose;
+}
+
+std::string
+vstrfmt(const char *fmt, va_list ap)
+{
+    va_list ap2;
+    va_copy(ap2, ap);
+    int n = std::vsnprintf(nullptr, 0, fmt, ap);
+    if (n < 0) {
+        va_end(ap2);
+        return std::string(fmt);
+    }
+    std::string out(static_cast<size_t>(n), '\0');
+    std::vsnprintf(out.data(), static_cast<size_t>(n) + 1, fmt, ap2);
+    va_end(ap2);
+    return out;
+}
+
+std::string
+strfmt(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string out = vstrfmt(fmt, ap);
+    va_end(ap);
+    return out;
+}
+
+namespace detail
+{
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (gVerbose)
+        std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+} // namespace detail
+} // namespace plast

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * All benchmark data is generated with this splitmix64-based generator so
+ * that runs are bit-reproducible across platforms (no dependence on
+ * libstdc++ distribution internals).
+ */
+
+#ifndef PLAST_BASE_RNG_HPP
+#define PLAST_BASE_RNG_HPP
+
+#include <cstdint>
+
+namespace plast
+{
+
+/** splitmix64: tiny, fast, high-quality 64-bit generator. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+    uint64_t
+    next()
+    {
+        uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform in [0, bound). bound must be > 0. */
+    uint64_t
+    nextBounded(uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform float in [0, 1). */
+    float
+    nextFloat()
+    {
+        return static_cast<float>(next() >> 40) /
+               static_cast<float>(1ull << 24);
+    }
+
+    /** Uniform float in [lo, hi). */
+    float
+    nextFloat(float lo, float hi)
+    {
+        return lo + (hi - lo) * nextFloat();
+    }
+
+  private:
+    uint64_t state_;
+};
+
+} // namespace plast
+
+#endif // PLAST_BASE_RNG_HPP

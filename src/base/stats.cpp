@@ -1,0 +1,26 @@
+#include "base/stats.hpp"
+
+namespace plast
+{
+
+uint64_t
+StatSet::sumPrefix(const std::string &prefix) const
+{
+    uint64_t total = 0;
+    for (auto it = counters_.lower_bound(prefix); it != counters_.end();
+         ++it) {
+        if (it->first.compare(0, prefix.size(), prefix) != 0)
+            break;
+        total += it->second;
+    }
+    return total;
+}
+
+void
+StatSet::dump(std::ostream &os) const
+{
+    for (const auto &[name, value] : counters_)
+        os << name << " = " << value << "\n";
+}
+
+} // namespace plast

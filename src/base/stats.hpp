@@ -1,0 +1,63 @@
+/**
+ * @file
+ * A lightweight named-statistics registry. Simulator components register
+ * counters under hierarchical names ("pcu03.activeCycles"); harnesses dump
+ * or query them after a run.
+ */
+
+#ifndef PLAST_BASE_STATS_HPP
+#define PLAST_BASE_STATS_HPP
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace plast
+{
+
+/** A flat registry of uint64 counters keyed by dotted names. */
+class StatSet
+{
+  public:
+    /** Add delta to the named counter (created at zero on first use). */
+    void
+    add(const std::string &name, uint64_t delta = 1)
+    {
+        counters_[name] += delta;
+    }
+
+    void
+    set(const std::string &name, uint64_t value)
+    {
+        counters_[name] = value;
+    }
+
+    uint64_t
+    get(const std::string &name) const
+    {
+        auto it = counters_.find(name);
+        return it == counters_.end() ? 0 : it->second;
+    }
+
+    bool
+    has(const std::string &name) const
+    {
+        return counters_.count(name) != 0;
+    }
+
+    const std::map<std::string, uint64_t> &all() const { return counters_; }
+
+    /** Sum of all counters whose name starts with the given prefix. */
+    uint64_t sumPrefix(const std::string &prefix) const;
+
+    void dump(std::ostream &os) const;
+    void clear() { counters_.clear(); }
+
+  private:
+    std::map<std::string, uint64_t> counters_;
+};
+
+} // namespace plast
+
+#endif // PLAST_BASE_STATS_HPP

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Fundamental simulator-wide types: machine words, addresses, cycles, and
+ * the SIMD vector that flows through the Plasticine fabric.
+ */
+
+#ifndef PLAST_BASE_TYPES_HPP
+#define PLAST_BASE_TYPES_HPP
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+namespace plast
+{
+
+/** A 32-bit machine word; interpretation (int/float) is per-operation. */
+using Word = uint32_t;
+
+/** Byte address into the accelerator's DRAM address space. */
+using Addr = uint64_t;
+
+/** Fabric clock cycle count (1 GHz fabric clock). */
+using Cycles = uint64_t;
+
+/** Bytes per word and per DRAM burst (64 B = one 16-lane vector). */
+constexpr uint32_t kWordBytes = 4;
+constexpr uint32_t kBurstBytes = 64;
+
+/** Hard upper bound on SIMD lanes (Table 3 sweeps 4..32). */
+constexpr uint32_t kMaxLanes = 32;
+
+/** Reinterpret a word as IEEE-754 single-precision float. */
+inline float
+wordToFloat(Word w)
+{
+    float f;
+    std::memcpy(&f, &w, sizeof(f));
+    return f;
+}
+
+/** Reinterpret a float as a 32-bit word. */
+inline Word
+floatToWord(float f)
+{
+    Word w;
+    std::memcpy(&w, &f, sizeof(w));
+    return w;
+}
+
+inline int32_t
+wordToInt(Word w)
+{
+    int32_t v;
+    std::memcpy(&v, &w, sizeof(v));
+    return v;
+}
+
+inline Word
+intToWord(int32_t v)
+{
+    Word w;
+    std::memcpy(&w, &v, sizeof(w));
+    return w;
+}
+
+/**
+ * A SIMD vector travelling on the vector network or through a PCU
+ * pipeline: up to kMaxLanes words plus a per-lane valid mask (the mask
+ * carries FlatMap/filter validity).
+ */
+struct Vec
+{
+    std::array<Word, kMaxLanes> lane{};
+    uint32_t mask = 0;
+
+    static Vec
+    broadcast(Word w, uint32_t lanes)
+    {
+        Vec v;
+        for (uint32_t i = 0; i < lanes; ++i)
+            v.lane[i] = w;
+        v.mask = lanes >= 32 ? 0xffffffffu : ((1u << lanes) - 1);
+        return v;
+    }
+
+    bool valid(uint32_t i) const { return (mask >> i) & 1u; }
+    void setValid(uint32_t i) { mask |= (1u << i); }
+    void clearValid(uint32_t i) { mask &= ~(1u << i); }
+    uint32_t popcount() const { return __builtin_popcount(mask); }
+};
+
+} // namespace plast
+
+#endif // PLAST_BASE_TYPES_HPP

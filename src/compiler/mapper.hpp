@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The compiler driver (§3.6): lowers a PIR program onto the Plasticine
+ * fabric. Pipeline:
+ *
+ *   1. lower every compute leaf to a virtual PCU   (vleaf)
+ *   2. partition virtual units into physical PCUs  (partition)
+ *   3. plan memories: one PMU per (memory, reader), N-buffering and
+ *      swap/clear cadence from the controller hierarchy
+ *   4. generate unit configurations, data channels and the token /
+ *      credit control graph (control boxes in switches, §3.5)
+ *   5. place units on the 16x8 grid and route every channel over the
+ *      switch network with per-link track capacities; routed hop counts
+ *      become channel latencies
+ *
+ * The result is a FabricConfig — the static "bitstream" the simulator
+ * executes — plus a MappingReport with the utilization statistics the
+ * evaluation section reports (Table 7, Figure 7).
+ */
+
+#ifndef PLAST_COMPILER_MAPPER_HPP
+#define PLAST_COMPILER_MAPPER_HPP
+
+#include <string>
+
+#include "arch/config.hpp"
+#include "arch/params.hpp"
+#include "compiler/partition.hpp"
+#include "pir/ir.hpp"
+
+namespace plast::compiler
+{
+
+struct MappingReport
+{
+    bool ok = false;
+    std::string error;
+
+    uint32_t pcusUsed = 0;
+    uint32_t pmusUsed = 0;
+    uint32_t agsUsed = 0;
+    uint32_t boxesUsed = 0;
+    uint32_t channels = 0;
+    uint64_t routedHops = 0;
+
+    /** Aggregate chunk metrics (Figure 7 cost-model inputs). */
+    uint32_t stagesUsed = 0;     ///< sum over PCUs of configured stages
+    uint32_t regsUsed = 0;       ///< sum of peak live registers
+    uint64_t sramWordsUsed = 0;  ///< logical words incl. N-buffering
+    uint32_t fuActive = 0;       ///< stages x lanes over used PCUs
+
+    std::string summary(const ArchParams &params) const;
+};
+
+struct MapResult
+{
+    FabricConfig fabric;
+    MappingReport report;
+    /** Byte base of each DRAM buffer in the accelerator address space
+     *  (indexed by pir MemId; zero for SRAM entries). */
+    std::vector<Addr> dramBase;
+};
+
+/**
+ * Compile a program (arguments already bound) for the given
+ * architecture. Fatals on malformed programs; capacity overruns are
+ * reported via report.ok/error so design-space sweeps can observe
+ * infeasible points.
+ */
+MapResult compileProgram(const pir::Program &prog,
+                         const ArchParams &params);
+
+} // namespace plast::compiler
+
+#endif // PLAST_COMPILER_MAPPER_HPP

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Analytical model of the paper's baseline: an Altera Stratix V FPGA
+ * with a 150 MHz fabric clock, a 400 MHz memory-controller clock, and
+ * 48 GB of DDR3-800 across 6 ganged channels with 37.5 GB/s peak
+ * (§4.4). Since the physical device is unavailable (see DESIGN.md),
+ * per-benchmark runtime is bounded by first-order resource
+ * constraints:
+ *
+ *  - compute: DSP-limited FP multiply throughput plus ALM-limited
+ *    adders at the fabric clock; deep pipelines replicate until the
+ *    DSP/ALM budget is exhausted,
+ *  - memory: streaming traffic at the ganged peak bandwidth; random
+ *    accesses pay the full 64 B line per useful word because the
+ *    ganged controller cannot split requests across channels, with
+ *    soft-logic gather/scatter adding a fixed issue cost per element,
+ *  - BRAM: on-chip tile capacity caps exploitable locality.
+ *
+ * Power comes from a PowerPlay-style model: device static plus
+ * utilization-dependent dynamic terms (the paper's per-benchmark FPGA
+ * powers run 21.5-34.4 W).
+ */
+
+#ifndef PLAST_FPGA_FPGA_MODEL_HPP
+#define PLAST_FPGA_FPGA_MODEL_HPP
+
+#include "apps/apps.hpp"
+
+namespace plast::fpga
+{
+
+struct FpgaDevice
+{
+    double fabricHz = 150e6;
+    double peakBytesPerSec = 37.5e9;
+    /** Useful fraction of a ganged 6-channel line per random word. */
+    double randomEfficiency = 4.0 / 64.0;
+    /** Soft-logic gather/scatter issue rate (elements per cycle). */
+    double sgIssuePerCycle = 4.0;
+    uint32_t dsps = 256;       ///< 27x27 DSP blocks
+    uint32_t alms = 234000;    ///< adaptive logic modules
+    double bramBytes = 6.25e6; ///< ~50 Mb of M20K
+    /** ALMs per soft FP adder / per soft FP multiplier support. */
+    double almsPerFpAdd = 550;
+    double almsPerFpMulSupport = 120;
+};
+
+struct FpgaEstimate
+{
+    double seconds = 0;
+    double watts = 0;
+    double logicUtil = 0; ///< fraction of ALMs
+    double memUtil = 0;   ///< fraction of BRAM
+    bool computeBound = false;
+};
+
+/** Estimate runtime/power of a benchmark on the baseline FPGA. */
+FpgaEstimate estimateFpga(const apps::AppInstance &app,
+                          const FpgaDevice &dev = FpgaDevice{});
+
+} // namespace plast::fpga
+
+#endif // PLAST_FPGA_FPGA_MODEL_HPP

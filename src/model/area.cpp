@@ -1,0 +1,101 @@
+#include "model/area.hpp"
+
+#include "base/logging.hpp"
+
+namespace plast::model
+{
+
+double
+AreaModel::pcuArea(const PcuParams &p) const
+{
+    double fus = c_.fu * p.lanes * p.stages;
+    double regs = c_.reg * p.lanes * p.stages * p.regsPerStage;
+    double fifos = c_.vecFifo * p.vectorIns * (p.lanes / 16.0) +
+                   c_.scalFifo * p.scalarIns;
+    // Output crossbars scale with the output counts.
+    double xbar = 0.002 * p.vectorOuts * (p.lanes / 16.0) +
+                  0.0005 * p.scalarOuts;
+    return fus + regs + fifos + xbar + c_.control;
+}
+
+double
+AreaModel::pmuArea(const PmuParams &p) const
+{
+    double scratch = c_.sramPerKb * p.banks * p.bankKilobytes;
+    double fus = c_.scalarFu * p.stages;
+    double regs = c_.pmuReg * p.stages * p.regsPerStage;
+    double fifos = c_.vecFifo / 3.0 * p.vectorIns +
+                   c_.scalFifo * p.scalarIns;
+    return scratch + fus + regs + fifos + 0.001;
+}
+
+double
+AreaModel::switchArea(const ArchParams &p) const
+{
+    // Link width relative to the calibration point (4 vector tracks of
+    // 16 lanes dominate switch area).
+    double rel = (p.vectorTracks * p.pcu.lanes) / (4.0 * 16.0) * 0.85 +
+                 (p.scalarTracks / 4.0) * 0.10 +
+                 (p.controlTracks / 32.0) * 0.05;
+    return c_.switchBase * rel;
+}
+
+AreaModel::Breakdown
+AreaModel::chipBreakdown(const ArchParams &p) const
+{
+    Breakdown b;
+    b.pcuFus = c_.fu * p.pcu.lanes * p.pcu.stages;
+    b.pcuRegs = c_.reg * p.pcu.lanes * p.pcu.stages * p.pcu.regsPerStage;
+    b.pcuFifos = c_.vecFifo * p.pcu.vectorIns * (p.pcu.lanes / 16.0) +
+                 c_.scalFifo * p.pcu.scalarIns;
+    b.pcuControl = c_.control;
+    b.pcuEach = pcuArea(p.pcu);
+    b.pcuTotal = b.pcuEach * p.numPcus();
+
+    b.pmuScratch = c_.sramPerKb * p.pmu.banks * p.pmu.bankKilobytes;
+    b.pmuFus = c_.scalarFu * p.pmu.stages;
+    b.pmuRegs = c_.pmuReg * p.pmu.stages * p.pmu.regsPerStage;
+    b.pmuFifos = c_.vecFifo / 3.0 * p.pmu.vectorIns +
+                 c_.scalFifo * p.pmu.scalarIns;
+    b.pmuControl = 0.001;
+    b.pmuEach = pmuArea(p.pmu);
+    b.pmuTotal = b.pmuEach * p.numPmus();
+
+    b.interconnect = switchArea(p) * p.switchCols() * p.switchRows();
+    b.memController =
+        c_.coalescingUnit * p.dram.channels + c_.ag * p.numAgs;
+    b.chip = b.pcuTotal + b.pmuTotal + b.interconnect + b.memController;
+    return b;
+}
+
+std::string
+AreaModel::Breakdown::table() const
+{
+    std::string out;
+    auto row = [&](const char *name, double mm2, double pct) {
+        out += strfmt("  %-28s %8.3f mm2  %6.2f%%\n", name, mm2, pct);
+    };
+    out += "PCU (single unit)\n";
+    row("FUs", pcuFus, 100.0 * pcuFus / pcuEach);
+    row("Registers", pcuRegs, 100.0 * pcuRegs / pcuEach);
+    row("FIFOs", pcuFifos, 100.0 * pcuFifos / pcuEach);
+    row("Control", pcuControl, 100.0 * pcuControl / pcuEach);
+    row("Total (single PCU)", pcuEach, 100.0);
+    out += "PMU (single unit)\n";
+    row("Scratchpad", pmuScratch, 100.0 * pmuScratch / pmuEach);
+    row("FIFOs", pmuFifos, 100.0 * pmuFifos / pmuEach);
+    row("Registers", pmuRegs, 100.0 * pmuRegs / pmuEach);
+    row("FUs", pmuFus, 100.0 * pmuFus / pmuEach);
+    row("Control", pmuControl, 100.0 * pmuControl / pmuEach);
+    row("Total (single PMU)", pmuEach, 100.0);
+    out += "Chip\n";
+    row("PCUs", pcuTotal, 100.0 * pcuTotal / chip);
+    row("PMUs", pmuTotal, 100.0 * pmuTotal / chip);
+    row("Interconnect", interconnect, 100.0 * interconnect / chip);
+    row("Memory controller", memController,
+        100.0 * memController / chip);
+    row("Plasticine total", chip, 100.0);
+    return out;
+}
+
+} // namespace plast::model

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Analytical area model at 28 nm, calibrated to the paper's published
+ * synthesis results (Table 5): component unit costs are derived from
+ * the final architecture's breakdown (PCU 0.849 mm^2 with 73% FUs,
+ * PMU 0.532 mm^2 with 90% scratchpad, interconnect 18.8 mm^2, memory
+ * controllers 5.6 mm^2, chip 112.8 mm^2) and then applied
+ * parametrically across the Table 3 design space for the Figure 7
+ * sweeps and the Table 6 estimates.
+ */
+
+#ifndef PLAST_MODEL_AREA_HPP
+#define PLAST_MODEL_AREA_HPP
+
+#include <string>
+
+#include "arch/params.hpp"
+
+namespace plast::model
+{
+
+/** Calibrated 28 nm component costs (mm^2). */
+struct AreaCosts
+{
+    // PCU: 0.622 mm^2 of FUs = 16 lanes x 6 stages.
+    double fu = 0.622 / (16 * 6);
+    // 0.144 mm^2 of pipeline registers = 96 FU sites x 6 regs.
+    double reg = 0.144 / (16.0 * 6 * 6);
+    // 0.082 mm^2 of input FIFOs = 3 vector + 6 scalar FIFOs.
+    double vecFifo = 0.024;
+    double scalFifo = (0.082 - 3 * 0.024) / 6;
+    double control = 0.001;
+    // PMU: 0.477 mm^2 of SRAM for 256 KB.
+    double sramPerKb = 0.477 / 256.0;
+    // PMU scalar datapath: 0.007 mm^2 of FUs over 4 stages.
+    double scalarFu = 0.007 / 4;
+    double pmuReg = 0.023 / (4.0 * 6);
+    // Interconnect: 18.796 mm^2 over a 17 x 9 switch grid at the
+    // default track counts; scales with link width.
+    double switchBase = 18.796 / (17.0 * 9);
+    // Memory controller: 4 coalescing units + 34 AGs = 5.616 mm^2.
+    double coalescingUnit = 0.724;
+    double ag = (5.616 - 4 * 0.724) / 34;
+};
+
+class AreaModel
+{
+  public:
+    explicit AreaModel(AreaCosts costs = AreaCosts{}) : c_(costs) {}
+
+    const AreaCosts &costs() const { return c_; }
+
+    /** Area of one PCU under the given parameters. */
+    double pcuArea(const PcuParams &p) const;
+
+    /** Area of one PMU under the given parameters. */
+    double pmuArea(const PmuParams &p) const;
+
+    /** Area of one switch (three networks share the site). */
+    double switchArea(const ArchParams &p) const;
+
+    /** Component-wise chip area (Table 5). */
+    struct Breakdown
+    {
+        double pcuEach = 0, pcuTotal = 0;
+        double pcuFus = 0, pcuRegs = 0, pcuFifos = 0, pcuControl = 0;
+        double pmuEach = 0, pmuTotal = 0;
+        double pmuScratch = 0, pmuFifos = 0, pmuRegs = 0, pmuFus = 0,
+               pmuControl = 0;
+        double interconnect = 0;
+        double memController = 0;
+        double chip = 0;
+        std::string table() const;
+    };
+    Breakdown chipBreakdown(const ArchParams &p) const;
+
+    double chipArea(const ArchParams &p) const
+    {
+        return chipBreakdown(p).chip;
+    }
+
+  private:
+    AreaCosts c_;
+};
+
+} // namespace plast::model
+
+#endif // PLAST_MODEL_AREA_HPP

@@ -1,0 +1,136 @@
+#include "model/asic.hpp"
+
+#include <algorithm>
+
+#include "base/logging.hpp"
+#include "compiler/mapper.hpp"
+#include "compiler/partition.hpp"
+#include "compiler/vleaf.hpp"
+
+namespace plast::model
+{
+
+using namespace compiler;
+
+GeneralityRow
+estimateGenerality(const std::string &name, const pir::Program &prog,
+                   const AreaModel &model, const ArchParams &finalParams)
+{
+    GeneralityRow row;
+    row.name = name;
+    const AreaCosts &c = model.costs();
+
+    // Lower every compute leaf and partition it under generous caps to
+    // recover the per-chunk requirements (the "heterogeneous" units).
+    PcuParams wide;
+    wide.stages = 16;
+    wide.regsPerStage = 16;
+    wide.scalarIns = 16;
+    wide.scalarOuts = 6;
+    wide.vectorIns = 10;
+    wide.vectorOuts = 6;
+    std::vector<ChunkMetrics> chunks;
+    for (size_t i = 0; i < prog.nodes.size(); ++i) {
+        if (prog.nodes[i].kind != pir::NodeKind::kCompute)
+            continue;
+        VirtualLeaf vl = lowerLeaf(prog, static_cast<pir::NodeId>(i), 16);
+        PartitionResult pr = partitionLeaf(vl, wide);
+        fatal_if(!pr.ok, "generality estimate: %s does not partition",
+                 vl.name.c_str());
+        for (const Chunk &ch : pr.chunks)
+            chunks.push_back(ch.metrics);
+    }
+
+    // Memory requirements from the real mapper (PMU instances incl.
+    // duplication and N-buffering).
+    MapResult mapped = compileProgram(prog, finalParams);
+    fatal_if(!mapped.report.ok, "generality estimate: mapping failed");
+    uint32_t n_pmus = std::max(1u, mapped.report.pmusUsed);
+    std::vector<double> mem_kb;
+    for (const PmuCfg &p : mapped.fabric.pmus) {
+        if (p.used)
+            mem_kb.push_back(static_cast<double>(p.scratch.numBufs) *
+                             p.scratch.sizeWords * 4.0 / 1024.0);
+    }
+    while (mem_kb.size() < n_pmus)
+        mem_kb.push_back(1.0);
+    uint32_t n_ags = std::max(1u, mapped.report.agsUsed);
+
+    const uint32_t lanes = 16;
+
+    // --- ASIC: fixed-function datapaths and exactly sized SRAMs ----
+    // No configuration muxes/registers (~45% of FU area), fixed wiring
+    // instead of FIFO-buffered buses, fixed banking (~15% SRAM saving),
+    // fixed-function DMA engines.
+    double asic_compute = 0;
+    for (const auto &m : chunks) {
+        asic_compute += m.stages * lanes * c.fu * 0.45;
+        asic_compute += m.regs * lanes * c.reg * 0.6;
+    }
+    double asic_mem = 0;
+    for (double kb : mem_kb)
+        asic_mem += kb * c.sramPerKb * 0.85;
+    double asic_mc = finalParams.dram.channels * c.coalescingUnit * 0.5 +
+                     n_ags * c.ag * 0.5;
+    row.asic = asic_compute + asic_mem + asic_mc;
+
+    // --- a. heterogeneous reconfigurable units ----------------------
+    double het_compute = 0;
+    for (const auto &m : chunks) {
+        PcuParams p;
+        p.lanes = lanes;
+        p.stages = std::max(1u, m.stages);
+        p.regsPerStage = std::max(1u, m.regs);
+        p.scalarIns = std::max(1u, m.scalarIns);
+        p.scalarOuts = std::max(1u, m.scalarOuts);
+        p.vectorIns = std::max(1u, m.vectorIns);
+        p.vectorOuts = std::max(1u, m.vectorOuts);
+        het_compute += model.pcuArea(p);
+    }
+    auto pmu_of_kb = [&](double kb) {
+        PmuParams p = finalParams.pmu;
+        p.bankKilobytes = std::max(
+            1u, static_cast<uint32_t>((kb + p.banks - 1) / p.banks));
+        return model.pmuArea(p);
+    };
+    double het_mem = 0;
+    for (double kb : mem_kb)
+        het_mem += pmu_of_kb(kb);
+    double mc = finalParams.dram.channels * c.coalescingUnit +
+                n_ags * c.ag;
+    row.hetero = het_compute + het_mem + mc;
+
+    // --- b. homogeneous PMUs (benchmark max size) ---------------------
+    double max_kb = *std::max_element(mem_kb.begin(), mem_kb.end());
+    double homo_mem = n_pmus * pmu_of_kb(max_kb);
+    row.homoPmu = het_compute + homo_mem + mc;
+
+    // --- c. homogeneous PCUs (benchmark max parameters) ----------------
+    PcuParams homo;
+    homo.lanes = lanes;
+    homo.stages = homo.regsPerStage = homo.scalarIns = 1;
+    homo.scalarOuts = homo.vectorIns = homo.vectorOuts = 1;
+    for (const auto &m : chunks) {
+        homo.stages = std::max(homo.stages, m.stages);
+        homo.regsPerStage = std::max(homo.regsPerStage, m.regs);
+        homo.scalarIns = std::max(homo.scalarIns, m.scalarIns);
+        homo.scalarOuts = std::max(homo.scalarOuts, m.scalarOuts);
+        homo.vectorIns = std::max(homo.vectorIns, m.vectorIns);
+        homo.vectorOuts = std::max(homo.vectorOuts, m.vectorOuts);
+    }
+    double homo_compute = chunks.size() * model.pcuArea(homo);
+    row.homoPcu = homo_compute + homo_mem + mc;
+
+    // --- d. PMUs generalized across applications (256 KB) -------------
+    double gen_mem = n_pmus * model.pmuArea(finalParams.pmu);
+    row.genPmu = homo_compute + gen_mem + mc;
+
+    // --- e. PCUs generalized across applications (Table 3) -----------
+    double gen_compute =
+        mapped.report.pcusUsed * model.pcuArea(finalParams.pcu);
+    row.genPcu = gen_compute + gen_mem + mc;
+
+    return row;
+}
+
+} // namespace plast::model

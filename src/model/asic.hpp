@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Table 6: the cost of generality, estimated as a chain of successively
+ * more general designs with identical performance:
+ *
+ *   ASIC -> (a) reconfigurable heterogeneous PCUs/PMUs
+ *        -> (b) homogeneous PMUs (benchmark-specific size)
+ *        -> (c) homogeneous PCUs (benchmark-specific parameters)
+ *        -> (d) PMUs generalized across applications (256 KB)
+ *        -> (e) PCUs generalized across applications (Table 3)
+ *
+ * Compute resources are sized from the benchmarks' virtual units and
+ * the partitioner; memory resources from the mapper's PMU allocation.
+ */
+
+#ifndef PLAST_MODEL_ASIC_HPP
+#define PLAST_MODEL_ASIC_HPP
+
+#include <string>
+#include <vector>
+
+#include "arch/params.hpp"
+#include "model/area.hpp"
+#include "pir/ir.hpp"
+
+namespace plast::model
+{
+
+struct GeneralityRow
+{
+    std::string name;
+    double asic = 0;     ///< fixed-function estimate (mm^2)
+    double hetero = 0;   ///< a. reconfigurable heterogeneous units
+    double homoPmu = 0;  ///< b. one PMU design per benchmark
+    double homoPcu = 0;  ///< c. one PCU design per benchmark
+    double genPmu = 0;   ///< d. PMUs generalized across benchmarks
+    double genPcu = 0;   ///< e. PCUs generalized across benchmarks
+
+    // Successive and cumulative overheads, as in Table 6.
+    double aRatio() const { return hetero / asic; }
+    double bRatio() const { return homoPmu / hetero; }
+    double cRatio() const { return homoPcu / homoPmu; }
+    double dRatio() const { return genPmu / homoPcu; }
+    double eRatio() const { return genPcu / genPmu; }
+    double cumulative() const { return genPcu / asic; }
+};
+
+/** Estimate the generality chain for one benchmark program. */
+GeneralityRow estimateGenerality(const std::string &name,
+                                 const pir::Program &prog,
+                                 const AreaModel &model,
+                                 const ArchParams &finalParams);
+
+} // namespace plast::model
+
+#endif // PLAST_MODEL_ASIC_HPP

@@ -1,0 +1,56 @@
+#include "model/power.hpp"
+
+namespace plast::model
+{
+
+double
+PowerModel::peak(const ArchParams &p) const
+{
+    double lane_ops = static_cast<double>(p.numPcus()) * p.pcu.lanes *
+                      p.pcu.stages; // every FU busy every cycle
+    double sram_words = static_cast<double>(p.numPmus()) * p.pmu.banks;
+    double dram_bytes = p.dram.peakBytesPerCycle();
+    double net_words =
+        static_cast<double>(p.numPcus()) * p.pcu.lanes * 2.0;
+    return c_.chipStatic + p.numPcus() * c_.pcuStatic +
+           p.numPmus() * c_.pmuStatic + p.numAgs * c_.agStatic +
+           lane_ops * c_.perLaneOp + sram_words * c_.perSramWord +
+           dram_bytes * c_.perDramByte + net_words * c_.perNetHopWord;
+}
+
+double
+PowerModel::estimate(const StatSet &stats,
+                     const compiler::MappingReport &rep,
+                     const ArchParams &params) const
+{
+    (void)params;
+    double cycles = static_cast<double>(stats.get("cycles"));
+    if (cycles <= 0)
+        cycles = 1;
+
+    double lane_ops = 0, sram_words = 0, dram_bytes = 0;
+    for (const auto &[name, value] : stats.all()) {
+        if (name.size() > 8 &&
+            name.compare(name.size() - 7, 7, "laneOps") == 0)
+            lane_ops += static_cast<double>(value);
+        if (name.find("wordsRead") != std::string::npos ||
+            name.find("wordsWritten") != std::string::npos)
+            sram_words += static_cast<double>(value);
+    }
+    dram_bytes = static_cast<double>(stats.get("mem.bytesRead") +
+                                     stats.get("mem.bytesWritten"));
+    // Routed traffic approximated by average hop length of the design.
+    double avg_hops =
+        rep.channels ? static_cast<double>(rep.routedHops) / rep.channels
+                     : 2.0;
+    double net_words = lane_ops / 4.0 * avg_hops / 4.0;
+
+    return c_.chipStatic + rep.pcusUsed * c_.pcuStatic +
+           rep.pmusUsed * c_.pmuStatic + rep.agsUsed * c_.agStatic +
+           (lane_ops / cycles) * c_.perLaneOp +
+           (sram_words / cycles) * c_.perSramWord +
+           (dram_bytes / cycles) * c_.perDramByte +
+           (net_words / cycles) * c_.perNetHopWord;
+}
+
+} // namespace plast::model

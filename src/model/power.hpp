@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Activity-based power model, calibrated so the final architecture
+ * peaks at the paper's 49 W @ 1 GHz (Table 7 per-benchmark powers run
+ * 10-43 W): a chip-static floor, per-configured-unit clocking power
+ * (unused units are clock/power gated, §4.5), and dynamic energy
+ * proportional to FU lane-operations, scratchpad word accesses, routed
+ * vector traffic, and DRAM bytes — all taken from simulator statistics.
+ */
+
+#ifndef PLAST_MODEL_POWER_HPP
+#define PLAST_MODEL_POWER_HPP
+
+#include "arch/params.hpp"
+#include "base/stats.hpp"
+#include "compiler/mapper.hpp"
+
+namespace plast::model
+{
+
+struct PowerCosts
+{
+    double chipStatic = 3.5;       ///< W, whole chip
+    double pcuStatic = 0.055;      ///< W per configured PCU
+    double pmuStatic = 0.075;      ///< W per configured PMU (SRAM leakage)
+    double agStatic = 0.03;        ///< W per configured AG + CU share
+    double perLaneOp = 4.0e-3;     ///< W per (lane-op / cycle)
+    double perSramWord = 6.0e-3;   ///< W per (scratch word / cycle)
+    double perDramByte = 0.11;     ///< W per (DRAM byte / cycle)
+    double perNetHopWord = 0.9e-3; ///< W per (routed word-hop / cycle)
+};
+
+class PowerModel
+{
+  public:
+    explicit PowerModel(PowerCosts costs = PowerCosts{}) : c_(costs) {}
+
+    /** Peak chip power with every unit at full activity (~49 W). */
+    double peak(const ArchParams &p) const;
+
+    /** Average power of a finished run from simulator statistics. */
+    double estimate(const StatSet &stats,
+                    const compiler::MappingReport &rep,
+                    const ArchParams &params) const;
+
+  private:
+    PowerCosts c_;
+};
+
+} // namespace plast::model
+
+#endif // PLAST_MODEL_POWER_HPP

@@ -1,0 +1,166 @@
+#include "model/tuning.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "apps/apps.hpp"
+#include "base/logging.hpp"
+#include "compiler/vleaf.hpp"
+#include "pir/ir.hpp"
+
+namespace plast::model
+{
+
+using compiler::VirtualLeaf;
+
+std::vector<BenchLeaves>
+benchmarkLeaves()
+{
+    std::vector<BenchLeaves> out;
+    for (const auto &spec : apps::allApps()) {
+        if (spec.name == "CNN")
+            continue; // Figure 7 sweeps the other twelve
+        apps::AppInstance app = spec.make(apps::Scale::kTiny);
+        BenchLeaves bl;
+        bl.name = spec.name;
+        for (size_t i = 0; i < app.prog.nodes.size(); ++i) {
+            if (app.prog.nodes[i].kind == pir::NodeKind::kCompute)
+                bl.leaves.push_back(compiler::lowerLeaf(
+                    app.prog, static_cast<pir::NodeId>(i), 16));
+        }
+        out.push_back(std::move(bl));
+    }
+    return out;
+}
+
+Tuner::Tuner(std::vector<BenchLeaves> benches, AreaModel model,
+             PcuParams base)
+    : benches_(std::move(benches)), model_(model), base_(base)
+{
+}
+
+Tuner::Score
+Tuner::evaluate(size_t bench, const PcuParams &p) const
+{
+    Score s;
+    uint32_t pcus = 0;
+    for (const VirtualLeaf &leaf : benches_[bench].leaves) {
+        compiler::PartitionResult pr = compiler::partitionLeaf(leaf, p);
+        if (!pr.ok)
+            return s; // infeasible
+        pcus += pr.numChunks();
+    }
+    s.feasible = true;
+    s.pcus = pcus;
+    s.area = pcus * model_.pcuArea(p);
+    return s;
+}
+
+std::string
+Tuner::axisName(Axis axis)
+{
+    switch (axis) {
+      case Axis::kStages: return "Stages";
+      case Axis::kRegs: return "Registers";
+      case Axis::kScalarIns: return "ScalarIns";
+      case Axis::kScalarOuts: return "ScalarOuts";
+      case Axis::kVectorIns: return "VectorIns";
+      case Axis::kVectorOuts: return "VectorOuts";
+    }
+    return "?";
+}
+
+const std::vector<uint32_t> &
+Tuner::gridValues(Axis axis)
+{
+    static const std::vector<uint32_t> stages = {4, 5, 6, 8, 10, 12, 16};
+    static const std::vector<uint32_t> regs = {2, 4, 6, 8, 16};
+    static const std::vector<uint32_t> sins = {1, 2, 4, 6, 8, 16};
+    static const std::vector<uint32_t> souts = {1, 2, 3, 4, 5, 6};
+    static const std::vector<uint32_t> vins = {1, 2, 3, 4, 6, 10};
+    static const std::vector<uint32_t> vouts = {1, 2, 3, 4, 6};
+    switch (axis) {
+      case Axis::kStages: return stages;
+      case Axis::kRegs: return regs;
+      case Axis::kScalarIns: return sins;
+      case Axis::kScalarOuts: return souts;
+      case Axis::kVectorIns: return vins;
+      case Axis::kVectorOuts: return vouts;
+    }
+    return stages;
+}
+
+namespace
+{
+
+void
+setAxis(PcuParams &p, Tuner::Axis axis, uint32_t v)
+{
+    switch (axis) {
+      case Tuner::Axis::kStages: p.stages = v; break;
+      case Tuner::Axis::kRegs: p.regsPerStage = v; break;
+      case Tuner::Axis::kScalarIns: p.scalarIns = v; break;
+      case Tuner::Axis::kScalarOuts: p.scalarOuts = v; break;
+      case Tuner::Axis::kVectorIns: p.vectorIns = v; break;
+      case Tuner::Axis::kVectorOuts: p.vectorOuts = v; break;
+    }
+}
+
+} // namespace
+
+std::vector<double>
+Tuner::sweep(size_t bench, Axis axis, const std::vector<uint32_t> &values,
+             const PcuParams &fixedBase,
+             const std::vector<Axis> &fixedAxes) const
+{
+    // Free axes: everything not fixed and not the swept one.
+    std::vector<Axis> all = {Axis::kStages,     Axis::kRegs,
+                             Axis::kScalarIns,  Axis::kScalarOuts,
+                             Axis::kVectorIns,  Axis::kVectorOuts};
+    std::vector<Axis> free_axes;
+    for (Axis a : all) {
+        bool fixed = a == axis ||
+                     std::find(fixedAxes.begin(), fixedAxes.end(), a) !=
+                         fixedAxes.end();
+        if (!fixed)
+            free_axes.push_back(a);
+    }
+
+    // Minimum area for a given swept value: enumerate the free grid.
+    auto min_area = [&](uint32_t v) {
+        double best = -1;
+        PcuParams p = fixedBase;
+        setAxis(p, axis, v);
+        // Recursive enumeration over free axes.
+        std::function<void(size_t)> rec = [&](size_t i) {
+            if (i == free_axes.size()) {
+                Score s = evaluate(bench, p);
+                if (s.feasible && (best < 0 || s.area < best))
+                    best = s.area;
+                return;
+            }
+            for (uint32_t gv : gridValues(free_axes[i])) {
+                setAxis(p, free_axes[i], gv);
+                rec(i + 1);
+            }
+        };
+        rec(0);
+        return best;
+    };
+
+    std::vector<double> areas(values.size(), -1);
+    double global_min = -1;
+    for (size_t i = 0; i < values.size(); ++i) {
+        areas[i] = min_area(values[i]);
+        if (areas[i] > 0 && (global_min < 0 || areas[i] < global_min))
+            global_min = areas[i];
+    }
+    std::vector<double> overhead(values.size(), -1);
+    for (size_t i = 0; i < values.size(); ++i) {
+        if (areas[i] > 0 && global_min > 0)
+            overhead[i] = areas[i] / global_min - 1.0;
+    }
+    return overhead;
+}
+
+} // namespace plast::model

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Design-space tuning harness (§3.7, Figure 7): a model-driven brute
+ * force over the PCU parameter grid. For every benchmark, every grid
+ * point is scored by partitioning the benchmark's virtual units under
+ * those parameters: AreaPCU = (#physical PCUs) x (per-PCU area).
+ * Sweeping one axis reports AreaPCU / MinPCU - 1 with the minimum
+ * taken over the rest of the space, and infeasible values (the x marks
+ * in Figure 7) are grid points where no completion exists.
+ */
+
+#ifndef PLAST_MODEL_TUNING_HPP
+#define PLAST_MODEL_TUNING_HPP
+
+#include <string>
+#include <vector>
+
+#include "compiler/partition.hpp"
+#include "model/area.hpp"
+
+namespace plast::model
+{
+
+struct BenchLeaves
+{
+    std::string name;
+    std::vector<compiler::VirtualLeaf> leaves;
+};
+
+/** Lower the Table 4 benchmarks to virtual units (Figure 7's twelve:
+ *  every app except CNN, matching the paper's sweep set). */
+std::vector<BenchLeaves> benchmarkLeaves();
+
+class Tuner
+{
+  public:
+    Tuner(std::vector<BenchLeaves> benches, AreaModel model,
+          PcuParams base = PcuParams{});
+
+    /** One feasible grid point's score for one benchmark. */
+    struct Score
+    {
+        bool feasible = false;
+        uint32_t pcus = 0;
+        double area = 0;
+    };
+
+    /** Evaluate one parameter combination for one benchmark. */
+    Score evaluate(size_t bench, const PcuParams &p) const;
+
+    enum class Axis
+    {
+        kStages,
+        kRegs,
+        kScalarIns,
+        kScalarOuts,
+        kVectorIns,
+        kVectorOuts
+    };
+    static std::string axisName(Axis axis);
+
+    /**
+     * Figure 7 series: for each value of `axis`, the normalized area
+     * overhead (min over the rest of the coarse grid), or -1 when the
+     * value is infeasible for the benchmark. `fixed` pins axes already
+     * tuned (the paper sweeps in order, fixing earlier choices).
+     */
+    std::vector<double> sweep(size_t bench, Axis axis,
+                              const std::vector<uint32_t> &values,
+                              const PcuParams &fixedBase,
+                              const std::vector<Axis> &fixedAxes) const;
+
+    size_t numBenches() const { return benches_.size(); }
+    const std::string &benchName(size_t i) const
+    {
+        return benches_[i].name;
+    }
+
+    /** Coarse grid used for the "rest of the space" minimization. */
+    static const std::vector<uint32_t> &gridValues(Axis axis);
+
+  private:
+    std::vector<BenchLeaves> benches_;
+    AreaModel model_;
+    PcuParams base_;
+};
+
+} // namespace plast::model
+
+#endif // PLAST_MODEL_TUNING_HPP

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Fluent construction API for PIR programs. The 13 benchmark
+ * applications (src/apps) and the examples build their controller trees
+ * through this class; it owns the expression pool and performs basic
+ * well-formedness checks as nodes are created.
+ */
+
+#ifndef PLAST_PIR_BUILDER_HPP
+#define PLAST_PIR_BUILDER_HPP
+
+#include <string>
+#include <vector>
+
+#include "pir/ir.hpp"
+
+namespace plast::pir
+{
+
+class Builder
+{
+  public:
+    explicit Builder(std::string name);
+
+    Program &program() { return prog_; }
+
+    // ---- host interface ------------------------------------------------
+    ArgId arg(const std::string &name, Word value = 0);
+    void bindArg(ArgId id, Word value);
+    int32_t argOut();
+
+    // ---- memories -------------------------------------------------------
+    MemId dram(const std::string &name, uint64_t words);
+    MemId sram(const std::string &name, uint64_t words,
+               BankingMode mode = BankingMode::kStrided,
+               uint32_t nbufMin = 1);
+    /** Declare the generation boundary of an accumulated memory. */
+    void
+    clearAccumAt(MemId mem, NodeId ctrl)
+    {
+        prog_.mems.at(mem).clearAt = ctrl;
+    }
+
+    // ---- counters -------------------------------------------------------
+    CtrId ctr(const std::string &name, int64_t min, int64_t max,
+              int64_t step = 1, bool vectorized = false);
+    CtrId ctrArg(const std::string &name, ArgId bound, int64_t min = 0,
+                 int64_t step = 1, bool vectorized = false);
+    /** Bound streams from a producer leaf's sink (dynamic size). */
+    CtrId ctrDyn(const std::string &name, NodeId producer, int32_t sink,
+                 int64_t min = 0, int64_t step = 1,
+                 bool vectorized = false, int32_t boundScale = 1);
+
+    // ---- expressions ----------------------------------------------------
+    ExprId imm(Word w);
+    ExprId immI(int32_t v) { return imm(intToWord(v)); }
+    ExprId immF(float f) { return imm(floatToWord(f)); }
+    ExprId argE(ArgId a);
+    ExprId ctrE(CtrId c);
+    ExprId laneId();
+    ExprId alu(FuOp op, ExprId a, ExprId b = kNone, ExprId c = kNone);
+    ExprId load(MemId mem, ExprId addr);
+    /** Reference to this leaf's streamIns[idx] / scalarIns[idx]. */
+    ExprId streamRef(int32_t idx);
+    ExprId scalarRef(int32_t idx);
+
+    // Arithmetic conveniences.
+    ExprId iadd(ExprId a, ExprId b) { return alu(FuOp::kIAdd, a, b); }
+    ExprId imul(ExprId a, ExprId b) { return alu(FuOp::kIMul, a, b); }
+    ExprId isub(ExprId a, ExprId b) { return alu(FuOp::kISub, a, b); }
+    ExprId fadd(ExprId a, ExprId b) { return alu(FuOp::kFAdd, a, b); }
+    ExprId fsub(ExprId a, ExprId b) { return alu(FuOp::kFSub, a, b); }
+    ExprId fmul(ExprId a, ExprId b) { return alu(FuOp::kFMul, a, b); }
+    ExprId fdiv(ExprId a, ExprId b) { return alu(FuOp::kFDiv, a, b); }
+    /** a * b + c (integer; the affine-addressing workhorse). */
+    ExprId
+    ima(ExprId a, ExprId b, ExprId c)
+    {
+        return alu(FuOp::kIMA, a, b, c);
+    }
+
+    // ---- controller tree --------------------------------------------
+    NodeId outer(const std::string &name, CtrlScheme scheme,
+                 std::vector<CtrId> ctrs, NodeId parent,
+                 uint32_t depthHint = 0);
+    NodeId compute(const std::string &name, NodeId parent,
+                   std::vector<CtrId> leafCtrs,
+                   std::vector<StreamIn> streamIns,
+                   std::vector<ScalarIn> scalarIns, std::vector<Sink> sinks);
+    /** Dense DRAM->SRAM tile load. */
+    NodeId loadTile(const std::string &name, NodeId parent, MemId dram,
+                    MemId sram, ExprId base, int64_t rows,
+                    int64_t rowWords, int64_t dramRowStride,
+                    int64_t sramRowStride = -1);
+    /** Dense SRAM->DRAM tile store. */
+    NodeId storeTile(const std::string &name, NodeId parent, MemId dram,
+                     MemId sram, ExprId base, int64_t rows,
+                     int64_t rowWords, int64_t dramRowStride,
+                     int64_t sramRowStride = -1);
+    /** Sparse gather: dram[addrMem[0..count)] -> sram. */
+    NodeId gather(const std::string &name, NodeId parent, MemId dram,
+                  MemId addrMem, MemId sram, int64_t count,
+                  NodeId countSinkNode = kNone,
+                  int32_t countSinkIdx = kNone, int32_t countScale = 1);
+
+    /** Finish: set the root node and validate the whole program. */
+    Program finish(NodeId root);
+
+    // ---- sink helpers -----------------------------------------------
+    static Sink storeSram(MemId mem, ExprId addr, ExprId value,
+                          bool accumulate = false,
+                          FuOp accumOp = FuOp::kFAdd);
+    static Sink fold(FuOp op, ExprId value, CtrId level, int32_t argOut);
+    static Sink foldToSram(FuOp op, ExprId value, CtrId level, MemId mem,
+                           ExprId addr, bool accumulate = false,
+                           bool crossLane = true);
+    static Sink foldToScalar(FuOp op, ExprId value, CtrId level);
+    static Sink flatMap(MemId mem, ExprId value, ExprId pred,
+                        int32_t countArgOut = kNone);
+    static Sink streamOut(MemId dram, ExprId dramAddr, ExprId value);
+    static Sink scatterOut(MemId dram, ExprId dramAddr, ExprId value,
+                           ExprId pred = kNone);
+
+  private:
+    void validate() const;
+
+    Program prog_;
+};
+
+} // namespace plast::pir
+
+#endif // PLAST_PIR_BUILDER_HPP

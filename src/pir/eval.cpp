@@ -1,0 +1,470 @@
+#include "pir/eval.hpp"
+
+#include "base/logging.hpp"
+#include "sim/fuexec.hpp"
+
+namespace plast::pir
+{
+
+Evaluator::Evaluator(const Program &prog, uint32_t lanes)
+    : prog_(prog), lanes_(lanes)
+{
+    memData_.resize(prog.mems.size());
+    fifoFill_.assign(prog.mems.size(), 0);
+    for (size_t i = 0; i < prog.mems.size(); ++i)
+        memData_[i].assign(prog.mems[i].sizeWords, 0);
+    ctrVal_.assign(prog.ctrs.size(), 0);
+    argOuts_.resize(prog.numArgOuts);
+}
+
+std::vector<Word> &
+Evaluator::dramBuf(MemId id)
+{
+    panic_if(prog_.mems.at(id).kind != MemKind::kDram,
+             "dramBuf on non-DRAM memory");
+    return memData_[id];
+}
+
+const std::vector<Word> &
+Evaluator::dramBuf(MemId id) const
+{
+    panic_if(prog_.mems.at(id).kind != MemKind::kDram,
+             "dramBuf on non-DRAM memory");
+    return memData_[id];
+}
+
+const std::vector<Word> &
+Evaluator::sramBuf(MemId id) const
+{
+    return memData_.at(id);
+}
+
+const std::vector<Word> &
+Evaluator::argOuts(int32_t slot) const
+{
+    return argOuts_.at(slot);
+}
+
+int64_t
+Evaluator::boundOf(const CtrDecl &c) const
+{
+    if (c.boundArg != kNone)
+        return wordToInt(prog_.args.at(c.boundArg).value);
+    if (c.boundSinkNode != kNone) {
+        auto it = lastScalar_.find({c.boundSinkNode, c.boundSinkIdx});
+        int64_t v =
+            it == lastScalar_.end() ? 0 : wordToInt(it->second);
+        return v * c.boundScale;
+    }
+    return c.max;
+}
+
+void
+Evaluator::run()
+{
+    execNode(prog_.root);
+}
+
+void
+Evaluator::execNode(NodeId id)
+{
+    const Node &n = prog_.nodes[id];
+    switch (n.kind) {
+      case NodeKind::kOuter: {
+        // Recurse over the outer counters; schemes (sequential /
+        // metapipe / stream) are performance-only and share functional
+        // semantics.
+        struct Frame
+        {
+            const Node *node;
+        };
+        std::vector<int64_t> saved;
+        saved.reserve(n.ctrs.size());
+        // Iterative nested loop over n.ctrs.
+        NodeId my_id = static_cast<NodeId>(&n - prog_.nodes.data());
+        auto clear_gen_mems = [&]() {
+            for (size_t m = 0; m < prog_.mems.size(); ++m) {
+                if (prog_.mems[m].clearAt == my_id)
+                    std::fill(memData_[m].begin(), memData_[m].end(), 0);
+            }
+        };
+        std::vector<int64_t> idx(n.ctrs.size());
+        size_t depth = 0;
+        if (n.ctrs.empty()) {
+            clear_gen_mems();
+            for (NodeId c : n.children)
+                execNode(c);
+            return;
+        }
+        // Initialize.
+        idx[0] = prog_.ctrs[n.ctrs[0]].min;
+        while (true) {
+            const CtrDecl &cd = prog_.ctrs[n.ctrs[depth]];
+            if (idx[depth] >= boundOf(cd)) {
+                if (depth == 0)
+                    break;
+                --depth;
+                idx[depth] += prog_.ctrs[n.ctrs[depth]].step;
+                continue;
+            }
+            ctrVal_[n.ctrs[depth]] = idx[depth];
+            if (depth + 1 < n.ctrs.size()) {
+                ++depth;
+                idx[depth] = prog_.ctrs[n.ctrs[depth]].min;
+                continue;
+            }
+            clear_gen_mems();
+            for (NodeId c : n.children)
+                execNode(c);
+            idx[depth] += cd.step;
+        }
+        return;
+      }
+      case NodeKind::kTransfer:
+        execTransfer(n);
+        return;
+      case NodeKind::kCompute:
+        execCompute(n);
+        return;
+    }
+}
+
+void
+Evaluator::execTransfer(const Node &n)
+{
+    const TransferDesc &x = n.xfer;
+    ExprCache cache;
+    cache.epoch.assign(prog_.exprs.size() * kMaxLanes, 0);
+    cache.val.resize(prog_.exprs.size());
+    cache.cur = 1;
+    Wavefront wf;
+    wf.mask = 1;
+
+    std::vector<Word> &dram = memData_[x.dram];
+    if (x.sparse) {
+        int64_t count = x.rowWords;
+        if (x.countSinkNode != kNone) {
+            auto it = lastScalar_.find({x.countSinkNode, x.countSinkIdx});
+            count = it == lastScalar_.end() ? 0 : wordToInt(it->second);
+            count *= x.countScale;
+        }
+        std::vector<Word> &addrs = memData_[x.addrMem];
+        std::vector<Word> &sramv = memData_[x.sram];
+        for (int64_t i = 0; i < count; ++i) {
+            Word a = addrs.at(static_cast<size_t>(i));
+            sramv.at(static_cast<size_t>(i)) = dram.at(a);
+            ++counts_.dramWordsRead;
+            ++counts_.sramWordsWritten;
+        }
+        return;
+    }
+
+    int64_t base = wordToInt(evalExpr(x.base, 0, n, wf, cache));
+    int64_t row_words = x.rowWordsArg != kNone
+                            ? wordToInt(prog_.args[x.rowWordsArg].value)
+                            : x.rowWords;
+    std::vector<Word> &sramv = memData_[x.sram];
+    for (int64_t r = 0; r < x.rows; ++r) {
+        for (int64_t w = 0; w < row_words; ++w) {
+            size_t di = static_cast<size_t>(base + r * x.dramRowStride + w);
+            size_t si = static_cast<size_t>(r * x.sramRowStride + w);
+            if (x.load) {
+                sramv.at(si) = dram.at(di);
+                ++counts_.dramWordsRead;
+                ++counts_.sramWordsWritten;
+            } else {
+                dram.at(di) = sramv.at(si);
+                ++counts_.dramWordsWritten;
+                ++counts_.sramWordsRead;
+            }
+        }
+    }
+}
+
+Word
+Evaluator::evalExpr(ExprId id, uint32_t lane, const Node &leaf,
+                    const Wavefront &wf, ExprCache &cache)
+{
+    size_t key = static_cast<size_t>(id) * kMaxLanes + lane;
+    if (cache.epoch[key] == cache.cur)
+        return cache.val[id][lane];
+    const Expr &e = prog_.exprs[id];
+    Word v = 0;
+    switch (e.kind) {
+      case ExprKind::kConst:
+        v = e.cval;
+        break;
+      case ExprKind::kArg:
+        v = prog_.args[e.arg].value;
+        break;
+      case ExprKind::kCtr: {
+        // Leaf counter? Use the wavefront (vectorized lanes); else the
+        // enclosing outer-controller environment.
+        int level = -1;
+        for (size_t i = 0; i < leaf.leafCtrs.size(); ++i) {
+            if (leaf.leafCtrs[i] == e.ctr) {
+                level = static_cast<int>(i);
+                break;
+            }
+        }
+        v = level >= 0 ? static_cast<Word>(
+                             wf.ctrLane(static_cast<uint8_t>(level), lane))
+                       : static_cast<Word>(ctrVal_[e.ctr]);
+        break;
+      }
+      case ExprKind::kAlu: {
+        Word a = e.a != kNone ? evalExpr(e.a, lane, leaf, wf, cache) : 0;
+        Word b = e.b != kNone ? evalExpr(e.b, lane, leaf, wf, cache) : 0;
+        Word c = e.c != kNone ? evalExpr(e.c, lane, leaf, wf, cache) : 0;
+        v = fuExec(e.alu, a, b, c);
+        ++counts_.aluOps;
+        break;
+      }
+      case ExprKind::kLoadSram: {
+        Word a = evalExpr(e.addr, lane, leaf, wf, cache);
+        v = memData_[e.mem].at(a);
+        ++counts_.sramWordsRead;
+        break;
+      }
+      case ExprKind::kStreamIn: {
+        const StreamIn &si = leaf.streamIns.at(e.stream);
+        Word a = evalExpr(si.addr, lane, leaf, wf, cache);
+        v = memData_[si.dram].at(a);
+        ++counts_.dramWordsRead;
+        break;
+      }
+      case ExprKind::kScalarIn: {
+        const ScalarIn &si = leaf.scalarIns.at(e.scalar);
+        auto it = lastScalar_.find({si.fromNode, si.fromSink});
+        v = it == lastScalar_.end() ? 0 : it->second;
+        break;
+      }
+      case ExprKind::kLaneId:
+        v = lane;
+        break;
+    }
+    cache.epoch[key] = cache.cur;
+    cache.val[id][lane] = v;
+    return v;
+}
+
+void
+Evaluator::execCompute(const Node &n)
+{
+    // Build the leaf counter chain.
+    ChainCfg ccfg;
+    std::vector<int64_t> bounds;
+    for (CtrId cid : n.leafCtrs) {
+        const CtrDecl &cd = prog_.ctrs[cid];
+        CounterCfg cc;
+        cc.min = cd.min;
+        cc.step = cd.step;
+        cc.max = 0;
+        cc.vectorized = cd.vectorized;
+        ccfg.ctrs.push_back(cc);
+        bounds.push_back(boundOf(cd));
+    }
+    ChainState chain;
+    chain.configure(ccfg, lanes_);
+    chain.reset(bounds);
+
+    // Per-fold accumulators.
+    struct FoldState
+    {
+        std::array<Word, kMaxLanes> acc{};
+        int levelIdx = 0;
+    };
+    std::vector<FoldState> folds(n.sinks.size());
+    std::vector<uint64_t> flatCounts(n.sinks.size(), 0);
+    for (size_t s = 0; s < n.sinks.size(); ++s) {
+        const Sink &sk = n.sinks[s];
+        if (sk.kind == SinkKind::kFold) {
+            int idx = -1;
+            for (size_t i = 0; i < n.leafCtrs.size(); ++i) {
+                if (n.leafCtrs[i] == sk.foldLevel)
+                    idx = static_cast<int>(i);
+            }
+            fatal_if(idx < 0, "fold level not among leaf counters in %s",
+                     n.name.c_str());
+            folds[s].levelIdx = idx;
+        }
+        if (sk.kind == SinkKind::kFlatMapSram)
+            fifoFill_[sk.mem] = 0; // fresh append region per run
+        // Default accumulation generation: fresh per writer run.
+        bool accum = (sk.kind == SinkKind::kStoreSram && sk.accumulate) ||
+                     (sk.kind == SinkKind::kFold &&
+                      sk.dest == FoldDest::kSramAddr && sk.accumulate);
+        if (accum && prog_.mems[sk.mem].clearAt == kNone &&
+            prog_.mems[sk.mem].clearAt != kNeverClear)
+            std::fill(memData_[sk.mem].begin(), memData_[sk.mem].end(),
+                      0);
+    }
+
+    ExprCache cache;
+    cache.epoch.assign(prog_.exprs.size() * kMaxLanes, 0);
+    cache.val.resize(prog_.exprs.size());
+    cache.cur = 0;
+
+    while (!chain.done()) {
+        Wavefront wf;
+        chain.issueInto(wf);
+        ++counts_.wavefronts;
+        ++cache.cur;
+
+        for (size_t s = 0; s < n.sinks.size(); ++s) {
+            const Sink &sk = n.sinks[s];
+            switch (sk.kind) {
+              case SinkKind::kStoreSram: {
+                // FIFO-mode memories are queues: the sequential
+                // evaluator keeps every element that streams through
+                // (index = enqueue position), so the later consumer
+                // observes the same order as the hardware pops.
+                bool fifo =
+                    prog_.mems[sk.mem].mode == BankingMode::kFifo;
+                for (uint32_t l = 0; l < lanes_; ++l) {
+                    if (!wf.valid(l))
+                        continue;
+                    Word a = evalExpr(sk.addr, l, n, wf, cache);
+                    Word v = evalExpr(sk.value, l, n, wf, cache);
+                    std::vector<Word> &m = memData_[sk.mem];
+                    if (fifo && a >= m.size())
+                        m.resize(a + 1, 0);
+                    if (sk.accumulate)
+                        v = fuExec(sk.accumOp, m.at(a), v);
+                    m.at(a) = v;
+                    ++counts_.sramWordsWritten;
+                }
+                break;
+              }
+              case SinkKind::kFold: {
+                FoldState &fs = folds[s];
+                uint8_t lvl = static_cast<uint8_t>(fs.levelIdx);
+                if (wf.firstAtLevel(lvl))
+                    fs.acc.fill(fuOpIdentity(sk.foldOp));
+                if (sk.crossLane) {
+                    // Pairwise tree with identity fill — same order as
+                    // the PCU reduction network.
+                    std::array<Word, kMaxLanes> v{};
+                    for (uint32_t l = 0; l < lanes_; ++l) {
+                        v[l] = wf.valid(l)
+                                   ? evalExpr(sk.value, l, n, wf, cache)
+                                   : fuOpIdentity(sk.foldOp);
+                    }
+                    for (uint32_t dist = 1; dist < lanes_; dist *= 2) {
+                        for (uint32_t i = 0; i + dist < lanes_;
+                             i += 2 * dist)
+                            v[i] = fuExec(sk.foldOp, v[i], v[i + dist]);
+                    }
+                    fs.acc[0] = fuExec(sk.foldOp, fs.acc[0], v[0]);
+                } else {
+                    for (uint32_t l = 0; l < lanes_; ++l) {
+                        if (wf.valid(l)) {
+                            fs.acc[l] = fuExec(
+                                sk.foldOp, fs.acc[l],
+                                evalExpr(sk.value, l, n, wf, cache));
+                        }
+                    }
+                }
+                auto post = [&](Word v, uint32_t lane) -> Word {
+                    if (sk.postScale == kNone && sk.postOffset == kNone)
+                        return v;
+                    Word sc = sk.postScale != kNone
+                                  ? evalExpr(sk.postScale, lane, n, wf,
+                                             cache)
+                                  : floatToWord(1.0f);
+                    Word of = sk.postOffset != kNone
+                                  ? evalExpr(sk.postOffset, lane, n, wf,
+                                             cache)
+                                  : floatToWord(0.0f);
+                    return fuExec(FuOp::kFMA, v, sc, of);
+                };
+                if (wf.lastAtLevel(lvl)) {
+                    if (sk.dest == FoldDest::kArgOut) {
+                        argOuts_.at(sk.argOut).push_back(
+                            post(fs.acc[0], 0));
+                    } else if (sk.dest == FoldDest::kScalarStream) {
+                        lastScalar_[{static_cast<NodeId>(&n -
+                                                         prog_.nodes
+                                                             .data()),
+                                     static_cast<int32_t>(s)}] =
+                            post(fs.acc[0], 0);
+                    } else if (sk.crossLane) {
+                        Word a = evalExpr(sk.addr, 0, n, wf, cache);
+                        std::vector<Word> &m = memData_[sk.mem];
+                        Word v = post(fs.acc[0], 0);
+                        if (sk.accumulate)
+                            v = fuExec(sk.accumOp, m.at(a), v);
+                        m.at(a) = v;
+                        ++counts_.sramWordsWritten;
+                    } else {
+                        for (uint32_t l = 0; l < lanes_; ++l) {
+                            if (!wf.valid(l))
+                                continue;
+                            Word a = evalExpr(sk.addr, l, n, wf, cache);
+                            std::vector<Word> &m = memData_[sk.mem];
+                            Word v = post(fs.acc[l], l);
+                            if (sk.accumulate)
+                                v = fuExec(sk.accumOp, m.at(a), v);
+                            m.at(a) = v;
+                            ++counts_.sramWordsWritten;
+                        }
+                    }
+                }
+                break;
+              }
+              case SinkKind::kFlatMapSram: {
+                for (uint32_t l = 0; l < lanes_; ++l) {
+                    if (!wf.valid(l))
+                        continue;
+                    if (evalExpr(sk.pred, l, n, wf, cache) == 0)
+                        continue;
+                    Word v = evalExpr(sk.value, l, n, wf, cache);
+                    memData_[sk.mem].at(fifoFill_[sk.mem]++) = v;
+                    ++flatCounts[s];
+                    ++counts_.sramWordsWritten;
+                }
+                break;
+              }
+              case SinkKind::kStreamOut: {
+                for (uint32_t l = 0; l < lanes_; ++l) {
+                    if (!wf.valid(l))
+                        continue;
+                    Word a = evalExpr(sk.dramAddr, l, n, wf, cache);
+                    memData_[sk.dram].at(a) =
+                        evalExpr(sk.value, l, n, wf, cache);
+                    ++counts_.dramWordsWritten;
+                }
+                break;
+              }
+              case SinkKind::kScatterOut: {
+                for (uint32_t l = 0; l < lanes_; ++l) {
+                    if (!wf.valid(l))
+                        continue;
+                    if (sk.scatterPred != kNone &&
+                        evalExpr(sk.scatterPred, l, n, wf, cache) == 0)
+                        continue;
+                    Word a = evalExpr(sk.dramAddr, l, n, wf, cache);
+                    memData_[sk.dram].at(a) =
+                        evalExpr(sk.value, l, n, wf, cache);
+                    ++counts_.dramWordsWritten;
+                }
+                break;
+              }
+            }
+        }
+    }
+
+    // End-of-run FlatMap bookkeeping.
+    NodeId my_id = static_cast<NodeId>(&n - prog_.nodes.data());
+    for (size_t s = 0; s < n.sinks.size(); ++s) {
+        const Sink &sk = n.sinks[s];
+        if (sk.kind != SinkKind::kFlatMapSram)
+            continue;
+        Word count = static_cast<Word>(flatCounts[s]);
+        lastScalar_[{my_id, static_cast<int32_t>(s)}] = count;
+        if (sk.countArgOut != kNone)
+            argOuts_.at(sk.countArgOut).push_back(count);
+    }
+}
+
+} // namespace plast::pir

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Reference evaluator for PIR programs: the golden functional model.
+ *
+ * The evaluator executes the controller tree sequentially but is
+ * *wavefront-faithful*: vectorized counters iterate in blocks of
+ * `lanes`, cross-lane folds use the same pairwise reduction-tree order
+ * (with identity fill for masked lanes) as the PCU hardware, and
+ * accumulators advance in wavefront order. Floating-point results
+ * therefore match the cycle simulator bit for bit, which lets the
+ * end-to-end tests require exact equality.
+ *
+ * The evaluator also counts ALU operations and DRAM word traffic;
+ * these instrumented totals feed the FPGA baseline model (src/fpga).
+ */
+
+#ifndef PLAST_PIR_EVAL_HPP
+#define PLAST_PIR_EVAL_HPP
+
+#include <map>
+#include <vector>
+
+#include "pir/ir.hpp"
+#include "sim/wavefront.hpp"
+
+namespace plast::pir
+{
+
+class Evaluator
+{
+  public:
+    explicit Evaluator(const Program &prog, uint32_t lanes = 16);
+
+    /** Host access to DRAM buffer contents (sized at construction). */
+    std::vector<Word> &dramBuf(MemId id);
+    const std::vector<Word> &dramBuf(MemId id) const;
+
+    /** SRAM contents after the run (inspection in tests). */
+    const std::vector<Word> &sramBuf(MemId id) const;
+
+    void run();
+
+    /** Ordered values emitted to host argOut slot. */
+    const std::vector<Word> &argOuts(int32_t slot) const;
+
+    struct Counts
+    {
+        uint64_t aluOps = 0;       ///< FU-lane operations
+        uint64_t dramWordsRead = 0;
+        uint64_t dramWordsWritten = 0;
+        uint64_t sramWordsRead = 0;
+        uint64_t sramWordsWritten = 0;
+        uint64_t wavefronts = 0;
+    };
+    const Counts &counts() const { return counts_; }
+
+  private:
+    struct ExprCache
+    {
+        std::vector<uint64_t> epoch;
+        std::vector<std::array<Word, kMaxLanes>> val;
+        uint64_t cur = 0;
+    };
+
+    int64_t boundOf(const CtrDecl &c) const;
+    void execNode(NodeId id);
+    void execTransfer(const Node &n);
+    void execCompute(const Node &n);
+    Word evalExpr(ExprId id, uint32_t lane, const Node &leaf,
+                  const Wavefront &wf, ExprCache &cache);
+
+    const Program &prog_;
+    uint32_t lanes_;
+    std::vector<std::vector<Word>> memData_; ///< per MemId storage
+    std::vector<uint64_t> fifoFill_;         ///< FIFO-mode append cursor
+    std::vector<int64_t> ctrVal_;            ///< outer counter values
+    std::vector<std::vector<Word>> argOuts_;
+    /** Latest scalar per (node,sink): fold-to-scalar / flatmap counts. */
+    std::map<std::pair<NodeId, int32_t>, Word> lastScalar_;
+    Counts counts_;
+};
+
+} // namespace plast::pir
+
+#endif // PLAST_PIR_EVAL_HPP

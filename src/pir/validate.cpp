@@ -1,0 +1,239 @@
+#include "pir/validate.hpp"
+
+#include <functional>
+#include <map>
+#include <set>
+
+#include "base/logging.hpp"
+
+namespace plast::pir
+{
+
+namespace
+{
+
+class Validator
+{
+  public:
+    Validator(const Program &prog, uint32_t lanes)
+        : prog_(prog), lanes_(lanes)
+    {
+    }
+
+    std::vector<std::string>
+    run()
+    {
+        if (prog_.root == kNone) {
+            err("program has no root controller");
+            return errors_;
+        }
+        checkTree();
+        for (size_t n = 0; n < prog_.nodes.size(); ++n) {
+            const Node &node = prog_.nodes[n];
+            if (node.kind == NodeKind::kCompute)
+                checkLeaf(static_cast<NodeId>(n));
+            if (node.kind == NodeKind::kTransfer)
+                checkTransfer(static_cast<NodeId>(n));
+        }
+        checkWriters();
+        return errors_;
+    }
+
+  private:
+    void
+    err(std::string msg)
+    {
+        errors_.push_back(std::move(msg));
+    }
+
+    void
+    checkTree()
+    {
+        // Every non-root node must be reachable from the root exactly
+        // once, and parents must match child links.
+        std::set<NodeId> seen;
+        std::function<void(NodeId)> walk = [&](NodeId id) {
+            if (seen.count(id)) {
+                err(strfmt("node '%s' reachable twice",
+                           prog_.nodes[id].name.c_str()));
+                return;
+            }
+            seen.insert(id);
+            const Node &n = prog_.nodes[id];
+            for (NodeId c : n.children) {
+                if (prog_.nodes[c].parent != id)
+                    err(strfmt("child '%s' has mismatched parent",
+                               prog_.nodes[c].name.c_str()));
+                walk(c);
+            }
+        };
+        walk(prog_.root);
+        for (size_t n = 0; n < prog_.nodes.size(); ++n) {
+            if (!seen.count(static_cast<NodeId>(n)))
+                err(strfmt("node '%s' is not reachable from the root",
+                           prog_.nodes[n].name.c_str()));
+        }
+    }
+
+    void
+    scanExpr(ExprId id, const Node &leaf, std::set<MemId> &readMems)
+    {
+        if (id == kNone)
+            return;
+        const Expr &e = prog_.exprs[id];
+        switch (e.kind) {
+          case ExprKind::kLoadSram:
+            if (prog_.mems[e.mem].kind != MemKind::kSram)
+                err(strfmt("leaf '%s' load()s DRAM memory '%s'",
+                           leaf.name.c_str(),
+                           prog_.mems[e.mem].name.c_str()));
+            readMems.insert(e.mem);
+            scanExpr(e.addr, leaf, readMems);
+            break;
+          case ExprKind::kStreamIn:
+            if (e.stream < 0 ||
+                e.stream >= static_cast<int32_t>(leaf.streamIns.size()))
+                err(strfmt("leaf '%s' references stream %d of %zu",
+                           leaf.name.c_str(), e.stream,
+                           leaf.streamIns.size()));
+            break;
+          case ExprKind::kScalarIn:
+            if (e.scalar < 0 ||
+                e.scalar >= static_cast<int32_t>(leaf.scalarIns.size()))
+                err(strfmt("leaf '%s' references scalar %d of %zu",
+                           leaf.name.c_str(), e.scalar,
+                           leaf.scalarIns.size()));
+            break;
+          case ExprKind::kAlu:
+            scanExpr(e.a, leaf, readMems);
+            scanExpr(e.b, leaf, readMems);
+            scanExpr(e.c, leaf, readMems);
+            break;
+          default:
+            break;
+        }
+    }
+
+    void
+    checkLeaf(NodeId id)
+    {
+        const Node &leaf = prog_.nodes[id];
+        // Vectorization: at most one vectorized counter, and only the
+        // innermost position.
+        for (size_t i = 0; i < leaf.leafCtrs.size(); ++i) {
+            const CtrDecl &c = prog_.ctrs[leaf.leafCtrs[i]];
+            if (c.vectorized && i + 1 != leaf.leafCtrs.size())
+                err(strfmt("leaf '%s': vectorized counter '%s' is not "
+                           "innermost",
+                           leaf.name.c_str(), c.name.c_str()));
+        }
+
+        std::set<MemId> reads;
+        for (size_t s = 0; s < leaf.sinks.size(); ++s) {
+            const Sink &sk = leaf.sinks[s];
+            scanExpr(sk.value, leaf, reads);
+            scanExpr(sk.pred, leaf, reads);
+            scanExpr(sk.scatterPred, leaf, reads);
+            scanExpr(sk.addr, leaf, reads);
+            scanExpr(sk.dramAddr, leaf, reads);
+            if (sk.kind == SinkKind::kFold) {
+                bool found = false;
+                size_t lvl = 0;
+                for (size_t i = 0; i < leaf.leafCtrs.size(); ++i) {
+                    if (leaf.leafCtrs[i] == sk.foldLevel) {
+                        found = true;
+                        lvl = i;
+                    }
+                }
+                if (!found) {
+                    err(strfmt("leaf '%s' sink %zu: fold level is not "
+                               "one of the leaf's counters",
+                               leaf.name.c_str(), s));
+                    continue;
+                }
+                (void)lvl;
+                if (!sk.crossLane && !leaf.leafCtrs.empty()) {
+                    const CtrDecl &inner =
+                        prog_.ctrs[leaf.leafCtrs.back()];
+                    int64_t span =
+                        inner.boundArg != kNone
+                            ? wordToInt(
+                                  prog_.args[inner.boundArg].value)
+                            : inner.max;
+                    if (inner.vectorized &&
+                        span - inner.min >
+                            static_cast<int64_t>(lanes_) * inner.step)
+                        err(strfmt(
+                            "leaf '%s' sink %zu: per-lane fold needs "
+                            "the vectorized counter to span one "
+                            "wavefront (<= %u lanes), got %lld",
+                            leaf.name.c_str(), s, lanes_,
+                            static_cast<long long>(span - inner.min)));
+                }
+            }
+            if (sk.kind == SinkKind::kFlatMapSram &&
+                sk.pred == kNone)
+                err(strfmt("leaf '%s' sink %zu: FlatMap needs a "
+                           "predicate",
+                           leaf.name.c_str(), s));
+        }
+    }
+
+    void
+    checkTransfer(NodeId id)
+    {
+        const Node &n = prog_.nodes[id];
+        const TransferDesc &x = n.xfer;
+        if (prog_.mems[x.dram].kind != MemKind::kDram)
+            err(strfmt("transfer '%s': dram operand is on-chip",
+                       n.name.c_str()));
+        if (x.sram != kNone &&
+            prog_.mems[x.sram].kind != MemKind::kSram)
+            err(strfmt("transfer '%s': sram operand is off-chip",
+                       n.name.c_str()));
+        if (!x.sparse && x.rowWords <= 0 && x.rowWordsArg == kNone)
+            err(strfmt("transfer '%s': empty rows", n.name.c_str()));
+    }
+
+    void
+    checkWriters()
+    {
+        std::map<MemId, int> writers;
+        for (const Node &n : prog_.nodes) {
+            if (n.kind == NodeKind::kCompute) {
+                for (const Sink &sk : n.sinks) {
+                    if (sk.kind == SinkKind::kStoreSram ||
+                        sk.kind == SinkKind::kFlatMapSram ||
+                        (sk.kind == SinkKind::kFold &&
+                         sk.dest == FoldDest::kSramAddr))
+                        writers[sk.mem]++;
+                }
+            } else if (n.kind == NodeKind::kTransfer &&
+                       n.xfer.sram != kNone &&
+                       (n.xfer.load || n.xfer.sparse)) {
+                if (n.xfer.load)
+                    writers[n.xfer.sram]++;
+            }
+        }
+        for (auto [mem, count] : writers) {
+            if (count > 2)
+                err(strfmt("memory '%s' has %d writers; PMUs support "
+                           "at most two write ports",
+                           prog_.mems[mem].name.c_str(), count));
+        }
+    }
+
+    const Program &prog_;
+    uint32_t lanes_;
+    std::vector<std::string> errors_;
+};
+
+} // namespace
+
+std::vector<std::string>
+validateProgram(const Program &prog, uint32_t lanes)
+{
+    return Validator(prog, lanes).run();
+}
+
+} // namespace plast::pir

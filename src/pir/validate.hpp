@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Structural validation of PIR programs. Catches the program shapes
+ * the compiler cannot map — before lowering — with actionable
+ * diagnostics: counter misuse (multiple or non-innermost vectorized
+ * counters, fold levels outside the leaf), memory misuse (too many
+ * writers, DRAM loads via load()), per-lane folds whose vector
+ * dimension spans more than one wavefront, and malformed trees.
+ */
+
+#ifndef PLAST_PIR_VALIDATE_HPP
+#define PLAST_PIR_VALIDATE_HPP
+
+#include <string>
+#include <vector>
+
+#include "pir/ir.hpp"
+
+namespace plast::pir
+{
+
+/** All problems found (empty = valid). */
+std::vector<std::string> validateProgram(const Program &prog,
+                                         uint32_t lanes = 16);
+
+} // namespace plast::pir
+
+#endif // PLAST_PIR_VALIDATE_HPP

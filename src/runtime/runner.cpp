@@ -1,0 +1,150 @@
+#include "runtime/runner.hpp"
+
+#include "base/logging.hpp"
+
+namespace plast
+{
+
+using namespace pir;
+
+Runner::Runner(Program prog, ArchParams params)
+    : prog_(std::move(prog)), params_(params)
+{
+}
+
+std::vector<Word> &
+Runner::dram(MemId id)
+{
+    fatal_if(prog_.mems.at(id).kind != MemKind::kDram,
+             "Runner::dram on non-DRAM memory '%s'",
+             prog_.mems[id].name.c_str());
+    auto &buf = host_[id];
+    buf.resize(prog_.mems[id].sizeWords, 0);
+    return buf;
+}
+
+void
+Runner::ensureCompiled()
+{
+    if (compiled_)
+        return;
+    map_ = compiler::compileProgram(prog_, params_);
+    fatal_if(!map_.report.ok, "compilation of '%s' failed: %s",
+             prog_.name.c_str(), map_.report.error.c_str());
+    compiled_ = true;
+    if (verbose())
+        inform("%s: %s", prog_.name.c_str(),
+               map_.report.summary(params_).c_str());
+}
+
+Runner::Result
+Runner::run(Cycles maxCycles)
+{
+    ensureCompiled();
+    fabric_ = std::make_unique<Fabric>(map_.fabric);
+
+    // Load the DRAM image.
+    Addr max_extent = 0;
+    for (size_t m = 0; m < prog_.mems.size(); ++m) {
+        if (prog_.mems[m].kind != MemKind::kDram)
+            continue;
+        max_extent =
+            std::max(max_extent, map_.dramBase[m] +
+                                     prog_.mems[m].sizeWords * 4 + 64);
+    }
+    fabric_->dram().reserve(max_extent);
+    for (auto &[mid, data] : host_) {
+        Addr base = map_.dramBase[mid];
+        for (size_t w = 0; w < data.size(); ++w)
+            fabric_->dram().writeWord(base + w * 4, data[w]);
+    }
+
+    Result res;
+    res.cycles = fabric_->run(maxCycles);
+    fabric_->dumpStats(res.stats);
+    res.argOuts.resize(prog_.numArgOuts);
+    for (uint32_t s = 0; s < prog_.numArgOuts; ++s)
+        res.argOuts[s] = fabric_->argOut(s);
+    return res;
+}
+
+std::vector<Word>
+Runner::readDram(MemId id) const
+{
+    panic_if(!fabric_, "readDram before run()");
+    std::vector<Word> out(prog_.mems.at(id).sizeWords);
+    Addr base = map_.dramBase[id];
+    for (size_t w = 0; w < out.size(); ++w)
+        out[w] = fabric_->dram().readWord(base + w * 4);
+    return out;
+}
+
+Evaluator
+Runner::runReference() const
+{
+    Evaluator ev(prog_, params_.pcu.lanes);
+    for (const auto &[mid, data] : host_) {
+        auto &buf = ev.dramBuf(mid);
+        std::copy(data.begin(), data.end(), buf.begin());
+    }
+    ev.run();
+    return ev;
+}
+
+const Evaluator::Counts &
+Runner::referenceCounts()
+{
+    if (!haveCounts_) {
+        Evaluator ev = runReference();
+        counts_ = ev.counts();
+        haveCounts_ = true;
+    }
+    return counts_;
+}
+
+Runner::Result
+Runner::runValidated(Cycles maxCycles)
+{
+    Evaluator ev = runReference();
+    counts_ = ev.counts();
+    haveCounts_ = true;
+    Result res = run(maxCycles);
+
+    // argOut streams must match exactly (the evaluator is
+    // wavefront-faithful, so float folds are bit-identical).
+    for (uint32_t s = 0; s < prog_.numArgOuts; ++s) {
+        const auto &want = ev.argOuts(static_cast<int32_t>(s));
+        const auto &got = res.argOuts[s];
+        fatal_if(want.size() != got.size(),
+                 "%s argOut[%u]: expected %zu values, fabric produced "
+                 "%zu",
+                 prog_.name.c_str(), s, want.size(), got.size());
+        for (size_t i = 0; i < want.size(); ++i) {
+            fatal_if(want[i] != got[i],
+                     "%s argOut[%u][%zu]: expected 0x%08x (%f) got "
+                     "0x%08x (%f)",
+                     prog_.name.c_str(), s, i, want[i],
+                     wordToFloat(want[i]), got[i], wordToFloat(got[i]));
+        }
+    }
+
+    // Output DRAM buffers must match where the reference wrote them.
+    for (size_t m = 0; m < prog_.mems.size(); ++m) {
+        if (prog_.mems[m].kind != MemKind::kDram)
+            continue;
+        MemId mid = static_cast<MemId>(m);
+        const auto &want = ev.dramBuf(mid);
+        std::vector<Word> got = readDram(mid);
+        for (size_t w = 0; w < want.size(); ++w) {
+            fatal_if(want[w] != got[w],
+                     "%s dram '%s'[%zu]: expected 0x%08x (%f) got "
+                     "0x%08x (%f)",
+                     prog_.name.c_str(), prog_.mems[m].name.c_str(), w,
+                     want[w], wordToFloat(want[w]), got[w],
+                     wordToFloat(got[w]));
+        }
+    }
+    return res;
+}
+
+} // namespace plast

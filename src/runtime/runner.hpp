@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Host-side runtime: compiles a PIR program, loads input arrays into
+ * the accelerator's DRAM image, runs the cycle simulator to completion
+ * and returns results plus performance statistics. The runner can also
+ * execute the reference evaluator on the same inputs and check that
+ * the fabric produced bit-identical results.
+ */
+
+#ifndef PLAST_RUNTIME_RUNNER_HPP
+#define PLAST_RUNTIME_RUNNER_HPP
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "base/stats.hpp"
+#include "compiler/mapper.hpp"
+#include "pir/eval.hpp"
+#include "pir/ir.hpp"
+#include "sim/fabric.hpp"
+
+namespace plast
+{
+
+class Runner
+{
+  public:
+    explicit Runner(pir::Program prog,
+                    ArchParams params = ArchParams::plasticineFinal());
+
+    /** Host-visible input/output staging for a DRAM buffer. */
+    std::vector<Word> &dram(pir::MemId id);
+
+    const compiler::MappingReport &report() const { return map_.report; }
+    const pir::Program &program() const { return prog_; }
+
+    struct Result
+    {
+        Cycles cycles = 0;
+        StatSet stats;
+        std::vector<std::deque<Word>> argOuts;
+    };
+
+    /** Compile (once) and run the cycle simulator. */
+    Result run(Cycles maxCycles = 500'000'000);
+
+    /** Run the reference evaluator on the same inputs. */
+    pir::Evaluator runReference() const;
+
+    /**
+     * Run both fabric and reference; fatal unless every argOut stream
+     * and every output DRAM buffer matches bit for bit. Returns the
+     * fabric result.
+     */
+    Result runValidated(Cycles maxCycles = 500'000'000);
+
+    /** DRAM contents after run() (by buffer). */
+    std::vector<Word> readDram(pir::MemId id) const;
+
+    /** Reference-side instrumentation (for the analytical models). */
+    const pir::Evaluator::Counts &referenceCounts();
+
+  private:
+    void ensureCompiled();
+
+    pir::Program prog_;
+    ArchParams params_;
+    bool compiled_ = false;
+    compiler::MapResult map_;
+    std::map<pir::MemId, std::vector<Word>> host_;
+    std::unique_ptr<Fabric> fabric_;
+    bool haveCounts_ = false;
+    pir::Evaluator::Counts counts_;
+};
+
+} // namespace plast
+
+#endif // PLAST_RUNTIME_RUNNER_HPP

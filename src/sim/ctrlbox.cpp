@@ -1,0 +1,122 @@
+#include "sim/ctrlbox.hpp"
+
+#include <algorithm>
+
+#include "base/logging.hpp"
+
+namespace plast
+{
+
+CtrlBoxSim::CtrlBoxSim(const ArchParams &params, uint32_t index,
+                       const ControlBoxCfg &cfg)
+    : params_(params), index_(index), cfg_(cfg)
+{
+    // Scalar and control switches share a control block and counters;
+    // port counts are generous because boxes are routing hotspots.
+    ports.size(8, 0, 128, 16, 0, 128);
+    chain_.configure(cfg_.chain, /*lanes=*/1);
+    scalarRefs_ = chainScalarRefs(cfg_.chain);
+}
+
+void
+CtrlBoxSim::step(Cycles now)
+{
+    (void)now;
+    progress_ = false;
+
+    if (state_ == State::kIdle) {
+        if (!tryStart()) {
+            ++stats_.idleCycles;
+            return;
+        }
+        progress_ = true;
+    }
+
+    collectDones();
+
+    if (state_ == State::kActive) {
+        if (!chain_.done()) {
+            if (tryIssueIteration())
+                progress_ = true;
+        } else {
+            state_ = State::kFinishing;
+        }
+    }
+
+    if (state_ == State::kFinishing && completedIters_ == issued_) {
+        if (canPushDone(cfg_.ctrl, ports)) {
+            popScalars(scalarRefs_, ports);
+            pushDone(cfg_.ctrl, ports);
+            state_ = State::kIdle;
+            ++stats_.runs;
+            progress_ = true;
+        }
+    }
+}
+
+bool
+CtrlBoxSim::tryStart()
+{
+    if (!tokensReady(cfg_.ctrl, ports, selfStarted_))
+        return false;
+    if (!scalarsReady(scalarRefs_, ports))
+        return false;
+    consumeTokens(cfg_.ctrl, ports);
+    selfStarted_ = true;
+    chain_.reset(resolveBounds(cfg_.chain, ports));
+    issued_ = 0;
+    completedIters_ = 0;
+    state_ = State::kActive;
+    return true;
+}
+
+bool
+CtrlBoxSim::tryIssueIteration()
+{
+    if (issued_ - completedIters_ >= cfg_.depth)
+        return false;
+    for (uint8_t port : cfg_.childStartOuts) {
+        if (!ports.ctlOut[port].canPush())
+            return false;
+    }
+    for (const auto &ex : cfg_.exports) {
+        if (!ports.scalOut[ex.scalarOutPort].canPush())
+            return false;
+    }
+
+    Wavefront wf;
+    chain_.issueInto(wf);
+    for (const auto &ex : cfg_.exports) {
+        ports.scalOut[ex.scalarOutPort].push(
+            static_cast<Word>(wf.ctr[ex.ctrIdx]));
+    }
+    for (uint8_t port : cfg_.childStartOuts)
+        ports.ctlOut[port].push(Token{});
+    ++issued_;
+    ++stats_.iterations;
+    return true;
+}
+
+void
+CtrlBoxSim::collectDones()
+{
+    if (cfg_.childDoneIns.empty())
+        return;
+    while (completedIters_ < issued_) {
+        bool all = true;
+        for (uint8_t port : cfg_.childDoneIns) {
+            if (!ports.ctlIn[port].hasToken()) {
+                all = false;
+                break;
+            }
+        }
+        if (!all)
+            break;
+        for (uint8_t port : cfg_.childDoneIns)
+            ports.ctlIn[port].consume();
+        ++completedIters_;
+        progress_ = true;
+    }
+}
+
+} // namespace plast

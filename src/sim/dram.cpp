@@ -1,0 +1,161 @@
+#include "sim/dram.hpp"
+
+#include "base/logging.hpp"
+
+namespace plast
+{
+
+DramChannel::DramChannel(const DramParams &params, uint32_t index)
+    : params_(params), index_(index), banks_(params.banksPerChannel)
+{
+}
+
+void
+DramChannel::submit(const DramReq &req, Cycles now)
+{
+    panic_if(!canSubmit(), "DRAM channel %u queue overflow", index_);
+    queue_.push_back({now, req});
+}
+
+void
+DramChannel::rowOf(Addr lineAddr, uint32_t &bank, int64_t &row) const
+{
+    // Strip the channel-interleave bits: line index local to this
+    // channel, then split into rows of rowBytes striped across banks.
+    Addr local = lineAddr / (params_.burstBytes * params_.channels);
+    Addr lines_per_row = params_.rowBytes / params_.burstBytes;
+    bank = static_cast<uint32_t>((local / lines_per_row) %
+                                 params_.banksPerChannel);
+    row = static_cast<int64_t>(local /
+                               (lines_per_row * params_.banksPerChannel));
+}
+
+void
+DramChannel::step(Cycles now, std::vector<DramReq> &completed)
+{
+    // Deliver due responses.
+    while (!responses_.empty() && responses_.front().readyAt <= now) {
+        completed.push_back(responses_.front().req);
+        responses_.pop_front();
+    }
+
+    if (queue_.empty())
+        return;
+
+    // FR-FCFS: oldest row-hit whose bank is ready; else oldest ready.
+    size_t pick = queue_.size();
+    for (size_t i = 0; i < queue_.size(); ++i) {
+        uint32_t bank;
+        int64_t row;
+        rowOf(queue_[i].req.lineAddr, bank, row);
+        if (banks_[bank].readyAt > now)
+            continue;
+        if (banks_[bank].openRow == row) {
+            pick = i;
+            break;
+        }
+        if (pick == queue_.size())
+            pick = i;
+    }
+    if (pick == queue_.size())
+        return; // all target banks busy
+
+    Pending p = queue_[pick];
+    queue_.erase(queue_.begin() + static_cast<long>(pick));
+
+    uint32_t bank;
+    int64_t row;
+    rowOf(p.req.lineAddr, bank, row);
+    Bank &bk = banks_[bank];
+
+    Cycles t0 = std::max(now, bk.readyAt);
+    Cycles data_start;
+    if (bk.openRow == row) {
+        data_start = std::max(t0 + params_.tCas, busFreeAt_);
+        ++stats_.rowHits;
+    } else if (bk.openRow >= 0) {
+        // Precharge the open row, activate the new one.
+        data_start =
+            std::max(t0 + params_.tRp + params_.tRcd + params_.tCas,
+                     busFreeAt_);
+        ++stats_.rowConflicts;
+    } else {
+        data_start = std::max(t0 + params_.tRcd + params_.tCas,
+                              busFreeAt_);
+        ++stats_.rowMisses;
+    }
+    bool was_hit = (bk.openRow == row);
+    bk.openRow = row;
+    // Row hits pipeline column commands at the burst rate (tCCD); a
+    // fresh activate keeps the bank busy until tRAS allows the next
+    // precharge.
+    bk.readyAt = was_hit ? t0 + params_.tBurst
+                         : std::max(data_start, t0 + params_.tRas);
+
+    stats_.busBusyCycles += params_.tBurst;
+    busFreeAt_ = data_start + params_.tBurst;
+    responses_.push_back({data_start + params_.tBurst, p.req});
+    if (p.req.write)
+        ++stats_.writes;
+    else
+        ++stats_.reads;
+}
+
+DramModel::DramModel(const DramParams &params) : params_(params)
+{
+    channels_.reserve(params.channels);
+    for (uint32_t i = 0; i < params.channels; ++i)
+        channels_.emplace_back(params, i);
+}
+
+uint32_t
+DramModel::channelOf(Addr lineAddr) const
+{
+    return static_cast<uint32_t>((lineAddr / params_.burstBytes) %
+                                 params_.channels);
+}
+
+void
+DramModel::step(Cycles now, std::vector<DramReq> &completed)
+{
+    for (auto &ch : channels_)
+        ch.step(now, completed);
+}
+
+bool
+DramModel::quiescent() const
+{
+    for (const auto &ch : channels_) {
+        if (!ch.quiescent())
+            return false;
+    }
+    return true;
+}
+
+void
+DramModel::reserve(Addr bytes)
+{
+    Addr words = (bytes + 3) / 4;
+    if (words > image_.size())
+        image_.resize(words, 0);
+}
+
+Word
+DramModel::readWord(Addr byteAddr) const
+{
+    Addr w = byteAddr / 4;
+    panic_if(w >= image_.size(), "DRAM read beyond image: %llu",
+             static_cast<unsigned long long>(byteAddr));
+    return image_[w];
+}
+
+void
+DramModel::writeWord(Addr byteAddr, Word w)
+{
+    Addr idx = byteAddr / 4;
+    panic_if(idx >= image_.size(), "DRAM write beyond image: %llu",
+             static_cast<unsigned long long>(byteAddr));
+    image_[idx] = w;
+}
+
+} // namespace plast

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * DDR3-style main-memory timing model (the repo's stand-in for
+ * DRAMSim2, see DESIGN.md). Four independent channels; each channel has
+ * a bounded command queue, 8 banks with open-row state, FR-FCFS
+ * scheduling, and a shared data bus occupied tBurst cycles per 64 B
+ * burst. Peak bandwidth matches the paper's 51.2 GB/s configuration.
+ *
+ * Addresses interleave across channels at burst (64 B) granularity.
+ */
+
+#ifndef PLAST_SIM_DRAM_HPP
+#define PLAST_SIM_DRAM_HPP
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "arch/params.hpp"
+#include "base/types.hpp"
+
+namespace plast
+{
+
+struct DramReq
+{
+    Addr lineAddr = 0; ///< burst-aligned byte address
+    bool write = false;
+    uint64_t tag = 0;
+};
+
+/** One DDR channel. */
+class DramChannel
+{
+  public:
+    DramChannel(const DramParams &params, uint32_t index);
+
+    bool canSubmit() const { return queue_.size() < params_.queueDepth; }
+    void submit(const DramReq &req, Cycles now);
+
+    /** Schedule at most one command this cycle; deliver due responses
+     *  into `completed`. */
+    void step(Cycles now, std::vector<DramReq> &completed);
+
+    bool
+    quiescent() const
+    {
+        return queue_.empty() && responses_.empty();
+    }
+
+    struct Stats
+    {
+        uint64_t reads = 0, writes = 0;
+        uint64_t rowHits = 0, rowMisses = 0, rowConflicts = 0;
+        uint64_t busBusyCycles = 0;
+    };
+    const Stats &stats() const { return stats_; }
+
+  private:
+    struct Bank
+    {
+        int64_t openRow = -1;
+        Cycles readyAt = 0;
+    };
+
+    struct Pending
+    {
+        Cycles readyAt;
+        DramReq req;
+    };
+
+    void rowOf(Addr lineAddr, uint32_t &bank, int64_t &row) const;
+
+    DramParams params_;
+    uint32_t index_;
+    std::deque<Pending> queue_; ///< Pending::readyAt = submit time here
+    std::vector<Bank> banks_;
+    Cycles busFreeAt_ = 0;
+    std::deque<Pending> responses_;
+    Stats stats_;
+};
+
+/**
+ * The whole DRAM system: a word-addressable image (the accelerator's
+ * main memory contents) plus the timing channels. The runtime writes
+ * inputs into / reads results out of the image directly.
+ */
+class DramModel
+{
+  public:
+    explicit DramModel(const DramParams &params);
+
+    uint32_t channelOf(Addr lineAddr) const;
+    DramChannel &channel(uint32_t i) { return channels_[i]; }
+    const DramChannel &channel(uint32_t i) const { return channels_[i]; }
+    uint32_t numChannels() const { return params_.channels; }
+
+    void step(Cycles now, std::vector<DramReq> &completed);
+    bool quiescent() const;
+
+    // --- Memory image -------------------------------------------------
+    /** Ensure the image covers [0, bytes). */
+    void reserve(Addr bytes);
+    Word readWord(Addr byteAddr) const;
+    void writeWord(Addr byteAddr, Word w);
+    Addr sizeBytes() const { return image_.size() * sizeof(Word); }
+
+  private:
+    DramParams params_;
+    std::vector<DramChannel> channels_;
+    std::vector<Word> image_;
+};
+
+} // namespace plast
+
+#endif // PLAST_SIM_DRAM_HPP

@@ -1,0 +1,365 @@
+#include "sim/fabric.hpp"
+
+#include <cstdio>
+
+#include "base/logging.hpp"
+
+namespace plast
+{
+
+Fabric::Fabric(const FabricConfig &cfg) : cfg_(cfg), mem_(cfg.params)
+{
+    fatal_if(cfg_.rootBox < 0 ||
+                 cfg_.rootBox >= static_cast<int>(cfg_.boxes.size()),
+             "fabric config has no root controller");
+
+    for (size_t i = 0; i < cfg_.pcus.size(); ++i) {
+        pcus_.push_back(cfg_.pcus[i].used
+                            ? std::make_unique<PcuSim>(
+                                  cfg_.params, static_cast<uint32_t>(i),
+                                  cfg_.pcus[i])
+                            : nullptr);
+    }
+    for (size_t i = 0; i < cfg_.pmus.size(); ++i) {
+        pmus_.push_back(cfg_.pmus[i].used
+                            ? std::make_unique<PmuSim>(
+                                  cfg_.params, static_cast<uint32_t>(i),
+                                  cfg_.pmus[i])
+                            : nullptr);
+    }
+    for (size_t i = 0; i < cfg_.ags.size(); ++i) {
+        ags_.push_back(cfg_.ags[i].used
+                           ? std::make_unique<AgSim>(
+                                 cfg_.params, static_cast<uint32_t>(i),
+                                 cfg_.ags[i], mem_)
+                           : nullptr);
+    }
+    for (size_t i = 0; i < cfg_.boxes.size(); ++i) {
+        boxes_.push_back(cfg_.boxes[i].used
+                             ? std::make_unique<CtrlBoxSim>(
+                                   cfg_.params, static_cast<uint32_t>(i),
+                                   cfg_.boxes[i])
+                             : nullptr);
+    }
+    argOuts_.resize(cfg_.hostArgOuts);
+
+    buildChannels();
+
+    // Pin host constants (argIn registers) to scalar input ports.
+    for (const ConstScalar &cs : cfg_.constants) {
+        UnitPorts *ports = portsOf(cs.dst.unit);
+        fatal_if(!ports, "constant bound to missing unit %s",
+                 cs.dst.unit.describe().c_str());
+        fatal_if(cs.dst.port >= ports->scalIn.size(),
+                 "constant bound to out-of-range scalar port %u on %s",
+                 cs.dst.port, cs.dst.unit.describe().c_str());
+        ScalarInPort &p = ports->scalIn[cs.dst.port];
+        fatal_if(p.isConst || p.stream,
+                 "scalar input %s.%u doubly driven",
+                 cs.dst.unit.describe().c_str(), cs.dst.port);
+        p.isConst = true;
+        p.constVal = cs.value;
+    }
+}
+
+UnitPorts *
+Fabric::portsOf(const UnitRef &ref)
+{
+    switch (ref.cls) {
+      case UnitClass::kPcu:
+        return pcus_.at(ref.index) ? &pcus_[ref.index]->ports : nullptr;
+      case UnitClass::kPmu:
+        return pmus_.at(ref.index) ? &pmus_[ref.index]->ports : nullptr;
+      case UnitClass::kAg:
+        return ags_.at(ref.index) ? &ags_[ref.index]->ports : nullptr;
+      case UnitClass::kBox:
+        return boxes_.at(ref.index) ? &boxes_[ref.index]->ports : nullptr;
+      case UnitClass::kHost:
+        return nullptr;
+    }
+    return nullptr;
+}
+
+void
+Fabric::buildChannels()
+{
+    uint32_t idx = 0;
+    for (const ChannelCfg &ch : cfg_.channels) {
+        std::string name =
+            strfmt("%s#%u:%s.%u->%s.%u", netKindName(ch.kind).c_str(),
+                   idx++, ch.src.unit.describe().c_str(), ch.src.port,
+                   ch.dst.unit.describe().c_str(), ch.dst.port);
+
+        if (ch.dst.unit.cls == UnitClass::kHost) {
+            fatal_if(ch.kind != NetKind::kScalar,
+                     "host sinks must be scalar channels (%s)",
+                     name.c_str());
+            auto s = std::make_unique<ScalarStream>(name, ch.latency,
+                                                    ch.capacity);
+            UnitPorts *src = portsOf(ch.src.unit);
+            fatal_if(!src, "channel %s: missing source", name.c_str());
+            fatal_if(ch.src.port >= src->scalOut.size(),
+                     "channel %s: bad source port", name.c_str());
+            src->scalOut[ch.src.port].sinks.push_back(s.get());
+            hostSinks_.push_back(
+                {static_cast<uint32_t>(ch.dst.port), s.get()});
+            fatal_if(ch.dst.port >= argOuts_.size(),
+                     "channel %s: argOut slot out of range", name.c_str());
+            scalarStreams_.push_back(std::move(s));
+            continue;
+        }
+
+        UnitPorts *src = portsOf(ch.src.unit);
+        UnitPorts *dst = portsOf(ch.dst.unit);
+        fatal_if(!src || !dst, "channel %s: missing endpoint",
+                 name.c_str());
+
+        switch (ch.kind) {
+          case NetKind::kScalar: {
+            auto s = std::make_unique<ScalarStream>(name, ch.latency,
+                                                    ch.capacity);
+            fatal_if(ch.src.port >= src->scalOut.size() ||
+                         ch.dst.port >= dst->scalIn.size(),
+                     "channel %s: bad port", name.c_str());
+            fatal_if(dst->scalIn[ch.dst.port].stream ||
+                         dst->scalIn[ch.dst.port].isConst,
+                     "channel %s: input doubly driven", name.c_str());
+            src->scalOut[ch.src.port].sinks.push_back(s.get());
+            dst->scalIn[ch.dst.port].stream = s.get();
+            dst->scalIn[ch.dst.port].popEvery =
+                ch.dstPopEvery == 0 ? 1 : ch.dstPopEvery;
+            scalarStreams_.push_back(std::move(s));
+            break;
+          }
+          case NetKind::kVector: {
+            auto s = std::make_unique<VectorStream>(name, ch.latency,
+                                                    ch.capacity);
+            fatal_if(ch.src.port >= src->vecOut.size() ||
+                         ch.dst.port >= dst->vecIn.size(),
+                     "channel %s: bad port", name.c_str());
+            fatal_if(dst->vecIn[ch.dst.port].stream,
+                     "channel %s: input doubly driven", name.c_str());
+            src->vecOut[ch.src.port].sinks.push_back(s.get());
+            dst->vecIn[ch.dst.port].stream = s.get();
+            vectorStreams_.push_back(std::move(s));
+            break;
+          }
+          case NetKind::kControl: {
+            auto s = std::make_unique<ControlStream>(name, ch.latency,
+                                                     ch.capacity);
+            for (uint32_t t = 0; t < ch.initialTokens; ++t)
+                s->preload(Token{});
+            fatal_if(ch.src.port >= src->ctlOut.size() ||
+                         ch.dst.port >= dst->ctlIn.size(),
+                     "channel %s: bad port", name.c_str());
+            fatal_if(dst->ctlIn[ch.dst.port].stream,
+                     "channel %s: input doubly driven", name.c_str());
+            src->ctlOut[ch.src.port].sinks.push_back(s.get());
+            dst->ctlIn[ch.dst.port].stream = s.get();
+            controlStreams_.push_back(std::move(s));
+            break;
+          }
+        }
+    }
+}
+
+void
+Fabric::step()
+{
+    for (auto &u : pcus_) {
+        if (u)
+            u->step(now_);
+    }
+    for (auto &u : pmus_) {
+        if (u)
+            u->step(now_);
+    }
+    for (auto &u : ags_) {
+        if (u)
+            u->step(now_);
+    }
+    for (auto &u : boxes_) {
+        if (u)
+            u->step(now_);
+    }
+    mem_.step(now_);
+
+    for (auto &s : scalarStreams_)
+        s->tick(now_);
+    for (auto &s : vectorStreams_)
+        s->tick(now_);
+    for (auto &s : controlStreams_)
+        s->tick(now_);
+
+    // Capture host-bound scalars.
+    for (auto &sink : hostSinks_) {
+        while (sink.stream->canPop()) {
+            argOuts_[sink.slot].push_back(sink.stream->front());
+            sink.stream->pop();
+        }
+    }
+    ++now_;
+}
+
+bool
+Fabric::anyProgress() const
+{
+    for (const auto &u : pcus_) {
+        if (u && u->madeProgress())
+            return true;
+    }
+    for (const auto &u : pmus_) {
+        if (u && u->madeProgress())
+            return true;
+    }
+    for (const auto &u : ags_) {
+        if (u && u->madeProgress())
+            return true;
+    }
+    for (const auto &u : boxes_) {
+        if (u && u->madeProgress())
+            return true;
+    }
+    return !mem_.quiescent();
+}
+
+Cycles
+Fabric::run(Cycles maxCycles)
+{
+    CtrlBoxSim *root = boxes_.at(cfg_.rootBox).get();
+    fatal_if(!root, "root controller not instantiated");
+
+    Cycles last_progress = now_;
+    while (root->runsCompleted() == 0) {
+        step();
+        if (anyProgress())
+            last_progress = now_;
+        if (now_ - last_progress > deadlockWindow_) {
+            dumpDeadlock();
+            fatal("fabric deadlock: no progress for %u cycles at cycle "
+                  "%llu",
+                  deadlockWindow_,
+                  static_cast<unsigned long long>(now_));
+        }
+        if (now_ >= maxCycles)
+            fatal("fabric exceeded max cycles (%llu)",
+                  static_cast<unsigned long long>(maxCycles));
+    }
+    Cycles done_at = now_;
+    // Drain in-flight writes and host-bound scalars: run until nothing
+    // has moved for a full window (covers the longest routed channel).
+    Cycles quiet_since = now_;
+    while (now_ - quiet_since < 128 && now_ - done_at < 100'000) {
+        step();
+        if (anyProgress() || !mem_.quiescent())
+            quiet_since = now_;
+    }
+    return done_at;
+}
+
+void
+Fabric::dumpDeadlock() const
+{
+    std::fprintf(stderr, "--- deadlock diagnostic (cycle %llu) ---\n",
+                 static_cast<unsigned long long>(now_));
+    for (size_t i = 0; i < pcus_.size(); ++i) {
+        if (pcus_[i] && pcus_[i]->busy())
+            std::fprintf(stderr, "  pcu%zu (%s) busy, runs=%llu wf=%llu\n",
+                         i, pcus_[i]->name().c_str(),
+                         (unsigned long long)pcus_[i]->stats().runs,
+                         (unsigned long long)pcus_[i]->stats().wavefronts);
+    }
+    for (size_t i = 0; i < pmus_.size(); ++i) {
+        if (pmus_[i] && pmus_[i]->busy())
+            std::fprintf(stderr, "  pmu%zu (%s) busy, r=%llu w=%llu\n", i,
+                         pmus_[i]->name().c_str(),
+                         (unsigned long long)pmus_[i]->stats().readRuns,
+                         (unsigned long long)pmus_[i]->stats().writeRuns);
+    }
+    for (size_t i = 0; i < ags_.size(); ++i) {
+        if (ags_[i] && ags_[i]->busy())
+            std::fprintf(stderr, "  ag%zu (%s) busy, runs=%llu\n", i,
+                         ags_[i]->name().c_str(),
+                         (unsigned long long)ags_[i]->stats().runs);
+    }
+    for (size_t i = 0; i < boxes_.size(); ++i) {
+        if (boxes_[i] && boxes_[i]->busy())
+            std::fprintf(stderr, "  box%zu (%s) busy, iters=%llu\n", i,
+                         boxes_[i]->name().c_str(),
+                         (unsigned long long)boxes_[i]->stats().iterations);
+    }
+}
+
+const std::deque<Word> &
+Fabric::argOut(uint32_t slot) const
+{
+    return argOuts_.at(slot);
+}
+
+uint64_t
+Fabric::totalLaneOps() const
+{
+    uint64_t ops = 0;
+    for (const auto &u : pcus_) {
+        if (u)
+            ops += u->stats().laneOps;
+    }
+    return ops;
+}
+
+void
+Fabric::dumpStats(StatSet &out) const
+{
+    for (size_t i = 0; i < pcus_.size(); ++i) {
+        if (!pcus_[i])
+            continue;
+        const auto &s = pcus_[i]->stats();
+        std::string p = strfmt("pcu%02zu.", i);
+        out.set(p + "runs", s.runs);
+        out.set(p + "wavefronts", s.wavefronts);
+        out.set(p + "stallCycles", s.stallCycles);
+        out.set(p + "starveCycles", s.starveCycles);
+        out.set(p + "laneOps", s.laneOps);
+        out.set(p + "activeCycles", s.activeCycles);
+    }
+    for (size_t i = 0; i < pmus_.size(); ++i) {
+        if (!pmus_[i])
+            continue;
+        const auto &s = pmus_[i]->stats();
+        std::string p = strfmt("pmu%02zu.", i);
+        out.set(p + "reads", s.reads);
+        out.set(p + "writes", s.writes);
+        out.set(p + "wordsRead", s.wordsRead);
+        out.set(p + "wordsWritten", s.wordsWritten);
+        out.set(p + "conflictCycles", s.conflictCycles);
+        out.set(p + "activeCycles", s.activeCycles);
+    }
+    for (size_t i = 0; i < ags_.size(); ++i) {
+        if (!ags_[i])
+            continue;
+        const auto &s = ags_[i]->stats();
+        std::string p = strfmt("ag%02zu.", i);
+        out.set(p + "denseCmds", s.denseCmds);
+        out.set(p + "sparseVecs", s.sparseVecs);
+        out.set(p + "wordsLoaded", s.wordsLoaded);
+        out.set(p + "wordsStored", s.wordsStored);
+        out.set(p + "activeCycles", s.activeCycles);
+    }
+    const auto &m = mem_.stats();
+    out.set("mem.bursts", m.bursts);
+    out.set("mem.coalescedLanes", m.coalescedLanes);
+    out.set("mem.bytesRead", m.bytesRead);
+    out.set("mem.bytesWritten", m.bytesWritten);
+    for (uint32_t c = 0; c < mem_.dram().numChannels(); ++c) {
+        const auto &cs = mem_.dram().channel(c).stats();
+        std::string p = strfmt("dram%u.", c);
+        out.set(p + "reads", cs.reads);
+        out.set(p + "writes", cs.writes);
+        out.set(p + "rowHits", cs.rowHits);
+        out.set(p + "rowMisses", cs.rowMisses + cs.rowConflicts);
+        out.set(p + "busBusyCycles", cs.busBusyCycles);
+    }
+    out.set("cycles", now_);
+}
+
+} // namespace plast

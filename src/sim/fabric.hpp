@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The whole-chip simulator: instantiates PCUs, PMUs, AGs, control boxes
+ * and the memory system from a FabricConfig, wires the statically
+ * routed streams to unit ports, and steps everything cycle by cycle
+ * until the application's root controller completes.
+ */
+
+#ifndef PLAST_SIM_FABRIC_HPP
+#define PLAST_SIM_FABRIC_HPP
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "arch/config.hpp"
+#include "base/stats.hpp"
+#include "sim/ctrlbox.hpp"
+#include "sim/memsys.hpp"
+#include "sim/pcu.hpp"
+#include "sim/pmu.hpp"
+
+namespace plast
+{
+
+class Fabric
+{
+  public:
+    explicit Fabric(const FabricConfig &cfg);
+
+    /** DRAM image access for the host runtime (load inputs / results). */
+    DramModel &dram() { return mem_.dram(); }
+
+    /**
+     * Run until the root controller completes (plus drain) or maxCycles
+     * elapse. Returns the cycle count at completion.
+     * Fatals on deadlock (no progress for `deadlockWindow` cycles).
+     */
+    Cycles run(Cycles maxCycles = 500'000'000);
+
+    /** Step a single cycle (tests drive this directly). */
+    void step();
+
+    Cycles now() const { return now_; }
+
+    /** Host-visible scalar results (argOut registers). */
+    const std::deque<Word> &argOut(uint32_t slot) const;
+
+    /** Aggregate post-run statistics. */
+    void dumpStats(StatSet &out) const;
+
+    const PcuSim &pcu(uint32_t i) const { return *pcus_[i]; }
+    const PmuSim &pmu(uint32_t i) const { return *pmus_[i]; }
+    const AgSim &ag(uint32_t i) const { return *ags_[i]; }
+    const MemSystem &mem() const { return mem_; }
+
+    /** Total FU-lane operations executed by all PCUs (utilization). */
+    uint64_t totalLaneOps() const;
+
+  private:
+    void buildChannels();
+    UnitPorts *portsOf(const UnitRef &ref);
+    bool anyProgress() const;
+    void dumpDeadlock() const;
+
+    FabricConfig cfg_;
+    MemSystem mem_;
+    std::vector<std::unique_ptr<PcuSim>> pcus_;
+    std::vector<std::unique_ptr<PmuSim>> pmus_;
+    std::vector<std::unique_ptr<AgSim>> ags_;
+    std::vector<std::unique_ptr<CtrlBoxSim>> boxes_;
+
+    std::vector<std::unique_ptr<ScalarStream>> scalarStreams_;
+    std::vector<std::unique_ptr<VectorStream>> vectorStreams_;
+    std::vector<std::unique_ptr<ControlStream>> controlStreams_;
+
+    /** Host argOut capture: streams whose dst is the host unit. */
+    struct HostSink
+    {
+        uint32_t slot;
+        ScalarStream *stream;
+    };
+    std::vector<HostSink> hostSinks_;
+    std::vector<std::deque<Word>> argOuts_;
+
+    Cycles now_ = 0;
+    uint32_t deadlockWindow_ = 50'000;
+};
+
+} // namespace plast
+
+#endif // PLAST_SIM_FABRIC_HPP

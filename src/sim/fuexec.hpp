@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Functional-unit datapath semantics: one 32-bit operation per FU per
+ * cycle. Shared by the PCU SIMD pipeline, the PMU/AG scalar datapaths,
+ * and the pattern-IR reference evaluator, so functional behaviour is
+ * defined exactly once.
+ */
+
+#ifndef PLAST_SIM_FUEXEC_HPP
+#define PLAST_SIM_FUEXEC_HPP
+
+#include "arch/opcodes.hpp"
+#include "base/types.hpp"
+
+namespace plast
+{
+
+/** Execute one FU operation on word operands. */
+Word fuExec(FuOp op, Word a, Word b = 0, Word c = 0);
+
+} // namespace plast
+
+#endif // PLAST_SIM_FUEXEC_HPP

@@ -1,0 +1,516 @@
+#include "sim/memsys.hpp"
+
+#include <algorithm>
+
+#include "base/logging.hpp"
+
+namespace plast
+{
+
+// ====================================================================
+// AgSim
+// ====================================================================
+
+AgSim::AgSim(const ArchParams &params, uint32_t index, const AgCfg &cfg,
+             MemSystem &mem)
+    : params_(params), index_(index), cfg_(cfg), lanes_(params.pcu.lanes),
+      mem_(mem)
+{
+    // AG datapaths mirror the PMU scalar datapath (§3.4).
+    ports.size(params.pmu.scalarIns, 2, 32, 1, 1, 32);
+    chain_.configure(cfg_.chain, lanes_);
+    std::vector<uint8_t> vecs;
+    stageRefs(cfg_.addrStages, scalarRefs_, vecs);
+    for (uint8_t ref : chainScalarRefs(cfg_.chain))
+        scalarRefs_.push_back(ref);
+    std::sort(scalarRefs_.begin(), scalarRefs_.end());
+    scalarRefs_.erase(std::unique(scalarRefs_.begin(), scalarRefs_.end()),
+                      scalarRefs_.end());
+}
+
+bool
+AgSim::busy() const
+{
+    return state_ != State::kIdle;
+}
+
+void
+AgSim::step(Cycles now)
+{
+    (void)now;
+    progress_ = false;
+    drainResponses();
+
+    switch (state_) {
+      case State::kIdle:
+        if (tryStart())
+            progress_ = true;
+        else
+            ++stats_.idleCycles;
+        return;
+      case State::kRunning: {
+        if (fill_ > 0) {
+            --fill_;
+            progress_ = true;
+            return;
+        }
+        if (chain_.done()) {
+            state_ = State::kDrainOut;
+            progress_ = true;
+            return;
+        }
+        bool issued = (cfg_.mode == AgMode::kDenseLoad ||
+                       cfg_.mode == AgMode::kDenseStore)
+                          ? issueDense()
+                          : issueSparse();
+        if (issued) {
+            ++stats_.activeCycles;
+            progress_ = true;
+        }
+        return;
+      }
+      case State::kDrainOut: {
+        if (sparsePendingMask_ != 0) {
+            if (retrySparse())
+                progress_ = true;
+            return;
+        }
+        if (dense_.empty() && sparse_.empty() && outstandingWrites_ == 0) {
+            if (finishRun())
+                progress_ = true;
+        }
+        return;
+      }
+    }
+}
+
+bool
+AgSim::tryStart()
+{
+    if (!tokensReady(cfg_.ctrl, ports, selfStarted_))
+        return false;
+    if (!scalarsReady(scalarRefs_, ports))
+        return false;
+    consumeTokens(cfg_.ctrl, ports);
+    selfStarted_ = true;
+    chain_.reset(resolveBounds(cfg_.chain, ports));
+    fill_ = static_cast<uint32_t>(cfg_.addrStages.size());
+    state_ = State::kRunning;
+    ++stats_.runs;
+    return true;
+}
+
+bool
+AgSim::issueDense()
+{
+    const bool write = (cfg_.mode == AgMode::kDenseStore);
+    if (write &&
+        (cfg_.dataVecIn < 0 || !ports.vecIn[cfg_.dataVecIn].canPop()))
+        return false;
+
+    // Compute the command address from a copy of the chain; commit the
+    // advance only if the coalescing unit accepts the command.
+    ChainState trial = chain_;
+    Wavefront wf;
+    trial.issueInto(wf);
+    ScalarRegs regs;
+    Word word_idx =
+        evalScalarStages(cfg_.addrStages, cfg_.addrReg, wf, ports, regs);
+    Addr byte_addr = cfg_.base + static_cast<Addr>(word_idx) * 4;
+
+    uint64_t id = nextCmdId_;
+    if (write) {
+        const Vec &dv = ports.vecIn[cfg_.dataVecIn].front();
+        uint32_t count = 0;
+        std::array<Word, kMaxLanes> buf{};
+        for (uint32_t l = 0; l < lanes_; ++l) {
+            if (dv.valid(l))
+                buf[count++] = dv.lane[l];
+        }
+        if (count == 0)
+            count = 1; // degenerate all-masked store keeps the flow going
+        if (!mem_.submitDense(cfg_.channel, this, id, byte_addr, count,
+                              true, buf.data()))
+            return false;
+        ports.vecIn[cfg_.dataVecIn].pop();
+        outstandingWrites_ += count;
+        stats_.wordsStored += count;
+    } else {
+        if (!mem_.submitDense(cfg_.channel, this, id, byte_addr,
+                              cfg_.wordsPerCmd, false, nullptr))
+            return false;
+        DenseCmd cmd;
+        cmd.id = id;
+        cmd.words = cfg_.wordsPerCmd;
+        cmd.data.assign(cfg_.wordsPerCmd, 0);
+        dense_.push_back(std::move(cmd));
+        stats_.wordsLoaded += cfg_.wordsPerCmd;
+    }
+    ++nextCmdId_;
+    ++stats_.denseCmds;
+    chain_ = trial;
+    return true;
+}
+
+bool
+AgSim::issueSparse()
+{
+    if (sparsePendingMask_ != 0)
+        return retrySparse();
+
+    const bool write = (cfg_.mode == AgMode::kSparseStore);
+    if (cfg_.addrVecIn < 0 || !ports.vecIn[cfg_.addrVecIn].canPop())
+        return false;
+    if (write &&
+        (cfg_.dataVecIn < 0 || !ports.vecIn[cfg_.dataVecIn].canPop()))
+        return false;
+
+    ChainState trial = chain_;
+    Wavefront wf;
+    trial.issueInto(wf);
+
+    const Vec &av = ports.vecIn[cfg_.addrVecIn].front();
+    uint32_t mask = wf.mask & av.mask;
+    Vec byte_addrs;
+    byte_addrs.mask = mask;
+    for (uint32_t l = 0; l < lanes_; ++l) {
+        byte_addrs.lane[l] = static_cast<Word>(
+            cfg_.base + static_cast<Addr>(av.lane[l]) * 4);
+    }
+
+    uint64_t id = nextCmdId_++;
+    ++stats_.sparseVecs;
+    chain_ = trial;
+
+    if (write) {
+        const Vec &dv = ports.vecIn[cfg_.dataVecIn].front();
+        Vec payload = dv;
+        payload.mask = mask & dv.mask;
+        byte_addrs.mask = payload.mask;
+        ports.vecIn[cfg_.addrVecIn].pop();
+        ports.vecIn[cfg_.dataVecIn].pop();
+        outstandingWrites_ += __builtin_popcount(payload.mask);
+        stats_.wordsStored += __builtin_popcount(payload.mask);
+        sparsePendingWrite_ = true;
+        sparsePendingAddrs_ = byte_addrs;
+        sparsePendingData_ = payload;
+        sparsePendingMask_ = payload.mask;
+        sparsePendingId_ = id;
+    } else {
+        ports.vecIn[cfg_.addrVecIn].pop();
+        SparseCmd cmd;
+        cmd.id = id;
+        cmd.mask = mask;
+        cmd.remaining = __builtin_popcount(mask);
+        cmd.data.mask = mask;
+        sparse_.push_back(cmd);
+        stats_.wordsLoaded += cmd.remaining;
+        sparsePendingWrite_ = false;
+        sparsePendingAddrs_ = byte_addrs;
+        sparsePendingMask_ = mask;
+        sparsePendingId_ = id;
+    }
+    return retrySparse() || true;
+}
+
+bool
+AgSim::retrySparse()
+{
+    Vec attempt = sparsePendingAddrs_;
+    attempt.mask = sparsePendingMask_;
+    Vec payload = sparsePendingData_;
+    payload.mask = sparsePendingMask_;
+    uint32_t accepted = mem_.submitSparse(
+        cfg_.channel, this, sparsePendingId_, attempt, lanes_,
+        sparsePendingWrite_, sparsePendingWrite_ ? &payload : nullptr);
+    sparsePendingMask_ &= ~accepted;
+    return accepted != 0;
+}
+
+void
+AgSim::drainResponses()
+{
+    if (cfg_.mode == AgMode::kDenseLoad && !dense_.empty()) {
+        DenseCmd &front = dense_.front();
+        if (front.received == front.words && cfg_.dataVecOut >= 0 &&
+            ports.vecOut[cfg_.dataVecOut].canPush()) {
+            // Emit the next vector of this command (one per cycle).
+            static_assert(kMaxLanes <= 32, "mask width");
+            uint32_t pushed = front.pushed;
+            uint32_t n = std::min(lanes_, front.words - pushed);
+            Vec v;
+            for (uint32_t l = 0; l < n; ++l) {
+                v.lane[l] = front.data[pushed + l];
+                v.setValid(l);
+            }
+            ports.vecOut[cfg_.dataVecOut].push(v);
+            front.pushed += n;
+            progress_ = true;
+            if (front.pushed >= front.words)
+                dense_.pop_front();
+        }
+    } else if (cfg_.mode == AgMode::kSparseLoad && !sparse_.empty()) {
+        SparseCmd &front = sparse_.front();
+        if (front.remaining == 0 && cfg_.dataVecOut >= 0 &&
+            ports.vecOut[cfg_.dataVecOut].canPush()) {
+            ports.vecOut[cfg_.dataVecOut].push(front.data);
+            sparse_.pop_front();
+            progress_ = true;
+        }
+    }
+}
+
+bool
+AgSim::finishRun()
+{
+    if (!canPushDone(cfg_.ctrl, ports))
+        return false;
+    popScalars(scalarRefs_, ports);
+    pushDone(cfg_.ctrl, ports);
+    state_ = State::kIdle;
+    return true;
+}
+
+void
+AgSim::deliverWords(uint64_t cmdId, uint32_t wordOffset, const Word *data,
+                    uint32_t count)
+{
+    for (auto &cmd : dense_) {
+        if (cmd.id != cmdId)
+            continue;
+        panic_if(wordOffset + count > cmd.words,
+                 "AG %u: burst overflows command", index_);
+        std::copy(data, data + count, cmd.data.begin() + wordOffset);
+        cmd.received += count;
+        return;
+    }
+    panic("AG %u: deliverWords for unknown command %llu", index_,
+          static_cast<unsigned long long>(cmdId));
+}
+
+void
+AgSim::deliverLane(uint64_t cmdId, uint32_t lane, Word data)
+{
+    for (auto &cmd : sparse_) {
+        if (cmd.id != cmdId)
+            continue;
+        cmd.data.lane[lane] = data;
+        panic_if(cmd.remaining == 0, "AG %u: extra lane delivery", index_);
+        --cmd.remaining;
+        return;
+    }
+    panic("AG %u: deliverLane for unknown command %llu", index_,
+          static_cast<unsigned long long>(cmdId));
+}
+
+void
+AgSim::ackWrite(uint64_t cmdId, uint32_t count)
+{
+    (void)cmdId;
+    panic_if(outstandingWrites_ < count, "AG %u: spurious write ack",
+             index_);
+    outstandingWrites_ -= count;
+}
+
+// ====================================================================
+// MemSystem
+// ====================================================================
+
+MemSystem::MemSystem(const ArchParams &params)
+    : params_(params), dram_(params.dram), cus_(params.dram.channels)
+{
+}
+
+uint64_t
+MemSystem::allocBurst(Addr lineAddr, bool write)
+{
+    uint64_t id = nextBurst_++;
+    bursts_[id] = Burst{lineAddr, write, false, {}};
+    return id;
+}
+
+bool
+MemSystem::submitDense(uint32_t cu, AgSim *ag, uint64_t cmdId,
+                       Addr byteAddr, uint32_t words, bool write,
+                       const Word *data)
+{
+    CuState &c = cus_.at(cu);
+    if (c.acceptedThisCycle)
+        return false;
+    const Addr first_line = byteAddr / kBurstBytes;
+    const Addr last_line = (byteAddr + words * 4 - 1) / kBurstBytes;
+    const uint32_t n_bursts = static_cast<uint32_t>(last_line - first_line
+                                                    + 1);
+    panic_if(n_bursts > params_.coalescerMaxOutstanding,
+             "dense command of %u bursts can never satisfy the "
+             "outstanding budget (%u)",
+             n_bursts, params_.coalescerMaxOutstanding);
+    if (c.outstanding + n_bursts > params_.coalescerMaxOutstanding)
+        return false;
+    c.acceptedThisCycle = true;
+    c.outstanding += n_bursts;
+    ++stats_.denseCmds;
+
+    dram_.reserve(byteAddr + static_cast<Addr>(words) * 4);
+    if (write) {
+        for (uint32_t w = 0; w < words; ++w)
+            dram_.writeWord(byteAddr + static_cast<Addr>(w) * 4, data[w]);
+        stats_.bytesWritten += static_cast<uint64_t>(words) * 4;
+    } else {
+        stats_.bytesRead += static_cast<uint64_t>(words) * 4;
+    }
+
+    for (Addr line = first_line; line <= last_line; ++line) {
+        Addr line_byte = line * kBurstBytes;
+        Addr startB = std::max<Addr>(line_byte, byteAddr);
+        Addr endB = std::min<Addr>(line_byte + kBurstBytes,
+                                   byteAddr + static_cast<Addr>(words) * 4);
+        uint64_t id = allocBurst(line_byte, write);
+        Waiter w{};
+        w.ag = ag;
+        w.cmdId = cmdId;
+        w.sparse = false;
+        w.wordOffset = static_cast<uint32_t>((startB - byteAddr) / 4);
+        w.wordCount = static_cast<uint32_t>((endB - startB) / 4);
+        w.lineOffset = startB;
+        bursts_[id].waiters.push_back(w);
+        bursts_[id].cu = cu;
+        c.issueQueue.push_back(id);
+    }
+    return true;
+}
+
+uint32_t
+MemSystem::submitSparse(uint32_t cu, AgSim *ag, uint64_t cmdId,
+                        const Vec &addrs, uint32_t lanes, bool write,
+                        const Vec *data)
+{
+    CuState &c = cus_.at(cu);
+    if (c.acceptedThisCycle)
+        return 0;
+
+    uint32_t accepted = 0;
+    for (uint32_t l = 0; l < lanes; ++l) {
+        if (!addrs.valid(l))
+            continue;
+        Addr byte_addr = addrs.lane[l];
+        Addr line = (byte_addr / kBurstBytes) * kBurstBytes;
+
+        // Merge with a pending burst when possible.
+        auto it = c.mergeTable.find(line);
+        bool mergeable = false;
+        if (it != c.mergeTable.end()) {
+            auto bit = bursts_.find(it->second);
+            if (bit != bursts_.end() && bit->second.write == write &&
+                !(write && bit->second.issued))
+                mergeable = true;
+        }
+        if (!mergeable &&
+            (c.mergeTable.size() >= params_.coalescerCacheLines ||
+             c.outstanding >= params_.coalescerMaxOutstanding)) {
+            continue; // this lane waits for a free cache entry
+        }
+
+        dram_.reserve(line + kBurstBytes);
+        if (write) {
+            dram_.writeWord(byte_addr, data->lane[l]);
+            stats_.bytesWritten += 4;
+        } else {
+            stats_.bytesRead += 4;
+        }
+
+        uint64_t id;
+        if (mergeable) {
+            id = it->second;
+            ++stats_.coalescedLanes;
+        } else {
+            id = allocBurst(line, write);
+            bursts_[id].cu = cu;
+            c.mergeTable[line] = id;
+            c.issueQueue.push_back(id);
+            ++c.outstanding;
+        }
+        Waiter w{};
+        w.ag = ag;
+        w.cmdId = cmdId;
+        w.sparse = true;
+        w.lane = l;
+        w.byteAddr = byte_addr;
+        w.wordCount = 1;
+        bursts_[id].waiters.push_back(w);
+        accepted |= (1u << l);
+    }
+    if (accepted) {
+        c.acceptedThisCycle = true;
+        ++stats_.sparseCmds;
+    }
+    return accepted;
+}
+
+void
+MemSystem::step(Cycles now)
+{
+    for (auto &c : cus_)
+        c.acceptedThisCycle = false;
+
+    // Each coalescing unit issues at most one burst per cycle.
+    for (auto &c : cus_) {
+        if (c.issueQueue.empty())
+            continue;
+        uint64_t id = c.issueQueue.front();
+        Burst &b = bursts_.at(id);
+        DramChannel &ch = dram_.channel(dram_.channelOf(b.lineAddr));
+        if (!ch.canSubmit())
+            continue;
+        ch.submit(DramReq{b.lineAddr, b.write, id}, now);
+        b.issued = true;
+        c.issueQueue.pop_front();
+        ++stats_.bursts;
+    }
+
+    completed_.clear();
+    dram_.step(now, completed_);
+
+    for (const DramReq &req : completed_) {
+        auto it = bursts_.find(req.tag);
+        panic_if(it == bursts_.end(), "DRAM completed unknown burst");
+        Burst &b = it->second;
+        for (const Waiter &w : b.waiters) {
+            if (b.write) {
+                w.ag->ackWrite(w.cmdId, w.wordCount);
+            } else if (w.sparse) {
+                w.ag->deliverLane(w.cmdId, w.lane,
+                                  dram_.readWord(w.byteAddr));
+            } else {
+                std::vector<Word> buf(w.wordCount);
+                for (uint32_t i = 0; i < w.wordCount; ++i)
+                    buf[i] =
+                        dram_.readWord(w.lineOffset +
+                                       static_cast<Addr>(i) * 4);
+                w.ag->deliverWords(w.cmdId, w.wordOffset, buf.data(),
+                                   w.wordCount);
+            }
+        }
+        CuState &c = cus_.at(b.cu);
+        panic_if(c.outstanding == 0, "coalescer outstanding underflow");
+        --c.outstanding;
+        auto mit = c.mergeTable.find(b.lineAddr);
+        if (mit != c.mergeTable.end() && mit->second == req.tag)
+            c.mergeTable.erase(mit);
+        bursts_.erase(it);
+    }
+}
+
+bool
+MemSystem::quiescent() const
+{
+    if (!bursts_.empty())
+        return false;
+    for (const auto &c : cus_) {
+        if (!c.issueQueue.empty() || c.outstanding != 0)
+            return false;
+    }
+    return dram_.quiescent();
+}
+
+} // namespace plast

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Off-chip memory access path (§3.4): Address Generators (AGs) produce
+ * dense (burst) or sparse (gather/scatter) commands; per-channel
+ * coalescing units split dense commands into DRAM bursts, merge sparse
+ * word accesses that fall in the same burst line through a coalescing
+ * cache, and bound the number of outstanding requests.
+ */
+
+#ifndef PLAST_SIM_MEMSYS_HPP
+#define PLAST_SIM_MEMSYS_HPP
+
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "arch/config.hpp"
+#include "arch/params.hpp"
+#include "sim/dram.hpp"
+#include "sim/unitcommon.hpp"
+
+namespace plast
+{
+
+class MemSystem;
+
+/** One Address Generator. */
+class AgSim
+{
+  public:
+    AgSim(const ArchParams &params, uint32_t index, const AgCfg &cfg,
+          MemSystem &mem);
+
+    void step(Cycles now);
+    bool busy() const;
+    bool madeProgress() const { return progress_; }
+
+    UnitPorts ports;
+
+    // Callbacks from the memory system.
+    void deliverWords(uint64_t cmdId, uint32_t wordOffset, const Word *data,
+                      uint32_t count);
+    void deliverLane(uint64_t cmdId, uint32_t lane, Word data);
+    void ackWrite(uint64_t cmdId, uint32_t count);
+
+    struct Stats
+    {
+        uint64_t runs = 0;
+        uint64_t denseCmds = 0;
+        uint64_t sparseVecs = 0;
+        uint64_t wordsLoaded = 0, wordsStored = 0;
+        uint64_t idleCycles = 0, activeCycles = 0;
+    };
+    const Stats &stats() const { return stats_; }
+    const std::string &name() const { return cfg_.name; }
+    const AgCfg &cfg() const { return cfg_; }
+
+  private:
+    enum class State { kIdle, kRunning, kDrainOut };
+
+    /** A dense command awaiting response data / write acks. */
+    struct DenseCmd
+    {
+        uint64_t id;
+        uint32_t words;
+        uint32_t received = 0;
+        uint32_t pushed = 0;
+        std::vector<Word> data;
+    };
+
+    /** A gather/scatter vector in flight. */
+    struct SparseCmd
+    {
+        uint64_t id;
+        Vec data;          ///< gathered words / scatter payload
+        uint32_t mask = 0; ///< lanes requested
+        uint32_t remaining = 0;
+    };
+
+    bool tryStart();
+    bool issueDense();
+    bool issueSparse();
+    bool retrySparse();
+    void drainResponses();
+    bool finishRun();
+
+    ArchParams params_;
+    uint32_t index_;
+    AgCfg cfg_;
+    uint32_t lanes_;
+    MemSystem &mem_;
+
+    State state_ = State::kIdle;
+    bool selfStarted_ = false;
+    ChainState chain_;
+    uint32_t fill_ = 0;
+    uint64_t nextCmdId_ = 1;
+    std::deque<DenseCmd> dense_;
+    std::deque<SparseCmd> sparse_;
+    /** Lanes of the current sparse vector still awaiting acceptance. */
+    uint32_t sparsePendingMask_ = 0;
+    uint64_t sparsePendingId_ = 0;
+    Vec sparsePendingAddrs_, sparsePendingData_;
+    bool sparsePendingWrite_ = false;
+    uint64_t outstandingWrites_ = 0;
+    std::vector<uint8_t> scalarRefs_;
+
+    Stats stats_;
+    bool progress_ = false;
+};
+
+/**
+ * The coalescing units (one per DRAM channel) plus the DRAM model. AGs
+ * call in with commands; each coalescing unit accepts at most one AG
+ * command per cycle and tracks outstanding bursts.
+ */
+class MemSystem
+{
+  public:
+    explicit MemSystem(const ArchParams &params);
+
+    DramModel &dram() { return dram_; }
+    const DramModel &dram() const { return dram_; }
+
+    /** Dense command: `words` contiguous words at byteAddr. Returns
+     *  false when the channel's coalescing unit cannot accept. */
+    bool submitDense(uint32_t cu, AgSim *ag, uint64_t cmdId, Addr byteAddr,
+                     uint32_t words, bool write, const Word *data);
+
+    /**
+     * Sparse command: per-lane word addresses (gather or scatter).
+     * May accept only a subset of the requested lanes when the
+     * coalescing cache is full; returns the accepted-lane mask (the AG
+     * retries the remainder next cycle).
+     */
+    uint32_t submitSparse(uint32_t cu, AgSim *ag, uint64_t cmdId,
+                          const Vec &addrs, uint32_t lanes, bool write,
+                          const Vec *data);
+
+    void step(Cycles now);
+    bool quiescent() const;
+
+    struct Stats
+    {
+        uint64_t bursts = 0;
+        uint64_t coalescedLanes = 0; ///< sparse lanes merged into a burst
+        uint64_t denseCmds = 0, sparseCmds = 0;
+        uint64_t bytesRead = 0, bytesWritten = 0;
+    };
+    const Stats &stats() const { return stats_; }
+
+  private:
+    struct Waiter
+    {
+        AgSim *ag;
+        uint64_t cmdId;
+        bool sparse;
+        uint32_t lane;       ///< sparse: lane index
+        Addr byteAddr;       ///< sparse: word address
+        uint32_t wordOffset; ///< dense: offset into the command
+        uint32_t wordCount;  ///< dense: words served by this burst
+        Addr lineOffset;     ///< dense: first byte within the line
+    };
+
+    struct Burst
+    {
+        Addr lineAddr;
+        bool write;
+        bool issued = false;
+        std::vector<Waiter> waiters;
+        uint32_t cu = 0;
+    };
+
+    struct CuState
+    {
+        bool acceptedThisCycle = false;
+        uint32_t outstanding = 0;
+        /** coalescing cache: pending line -> burst slot */
+        std::map<Addr, uint64_t> mergeTable;
+        std::deque<uint64_t> issueQueue;
+    };
+
+    uint64_t allocBurst(Addr lineAddr, bool write);
+
+    ArchParams params_;
+    DramModel dram_;
+    std::vector<CuState> cus_;
+    std::map<uint64_t, Burst> bursts_;
+    uint64_t nextBurst_ = 1;
+    std::vector<DramReq> completed_;
+    Stats stats_;
+};
+
+} // namespace plast
+
+#endif // PLAST_SIM_MEMSYS_HPP

@@ -1,0 +1,371 @@
+#include "sim/pcu.hpp"
+
+#include <algorithm>
+
+#include "base/logging.hpp"
+#include "sim/fuexec.hpp"
+
+namespace plast
+{
+
+PcuSim::PcuSim(const ArchParams &params, uint32_t index, const PcuCfg &cfg)
+    : params_(params), index_(index), cfg_(cfg), lanes_(params.pcu.lanes)
+{
+    fatal_if(cfg_.stages.empty(), "PCU %u configured with no stages",
+             index);
+    fatal_if(cfg_.stages.size() > params.pcu.stages,
+             "PCU %u: %zu stages exceed the %u physical stages", index,
+             cfg_.stages.size(), params.pcu.stages);
+    fatal_if(cfg_.chain.ctrs.size() > params.pcu.counters,
+             "PCU %u: counter chain deeper than %u", index,
+             params.pcu.counters);
+
+    ports.size(params.pcu.scalarIns, params.pcu.vectorIns, 64,
+               params.pcu.scalarOuts, params.pcu.vectorOuts, 64);
+
+    chain_.configure(cfg_.chain, lanes_);
+    pipe_.resize(cfg_.stages.size());
+    acc_.resize(cfg_.stages.size());
+    coalesceBuf_.resize(params.pcu.vectorOuts);
+    coalesceCount_.resize(params.pcu.vectorOuts, 0);
+
+    stageRefs(cfg_.stages, scalarRefs_, vectorRefs_);
+    for (uint8_t ref : chainScalarRefs(cfg_.chain))
+        scalarRefs_.push_back(ref);
+    std::sort(scalarRefs_.begin(), scalarRefs_.end());
+    scalarRefs_.erase(std::unique(scalarRefs_.begin(), scalarRefs_.end()),
+                      scalarRefs_.end());
+}
+
+void
+PcuSim::step(Cycles now)
+{
+    progress_ = false;
+    if (state_ == State::kIdle) {
+        if (!tryStart()) {
+            ++stats_.idleCycles;
+            return;
+        }
+    }
+    advancePipeline(now);
+}
+
+bool
+PcuSim::tryStart()
+{
+    if (!tokensReady(cfg_.ctrl, ports, selfStarted_))
+        return false;
+    if (!scalarsReady(scalarRefs_, ports))
+        return false;
+    consumeTokens(cfg_.ctrl, ports);
+    selfStarted_ = true;
+    chain_.reset(resolveBounds(cfg_.chain, ports));
+    for (auto &buf : coalesceBuf_)
+        buf.clear();
+    std::fill(coalesceCount_.begin(), coalesceCount_.end(), 0);
+    flushedCoalesce_ = false;
+    state_ = chain_.done() && cfg_.chain.empty() == false
+                 ? State::kDraining // zero-trip chain: nothing to issue
+                 : State::kRunning;
+    ++stats_.runs;
+    progress_ = true;
+    return true;
+}
+
+void
+PcuSim::advancePipeline(Cycles now)
+{
+    (void)now;
+    const size_t S = pipe_.size();
+    bool moved = false;
+
+    // Retire from the final stage.
+    if (pipe_[S - 1]) {
+        if (tryRetire(*pipe_[S - 1])) {
+            pipe_[S - 1].reset();
+            moved = true;
+        } else {
+            ++stats_.stallCycles;
+            return; // head-of-line blocked: hold everything
+        }
+    }
+
+    // Bubble-compressing shift; stage s executes as a wavefront enters.
+    for (size_t s = S - 1; s >= 1; --s) {
+        if (!pipe_[s] && pipe_[s - 1]) {
+            pipe_[s] = std::move(pipe_[s - 1]);
+            pipe_[s - 1].reset();
+            applyStage(s, *pipe_[s]);
+            moved = true;
+        }
+    }
+
+    // Issue a new wavefront into stage 0.
+    if (state_ == State::kRunning && !pipe_[0]) {
+        if (chain_.done()) {
+            state_ = State::kDraining;
+        } else if (tryIssue()) {
+            moved = true;
+        } else {
+            ++stats_.starveCycles;
+        }
+    }
+    if (state_ == State::kRunning && chain_.done() && !pipe_[0])
+        state_ = State::kDraining;
+
+    // Run completes when the pipeline drains and coalesce buffers flush.
+    if (state_ == State::kDraining) {
+        bool empty = true;
+        for (const auto &slot : pipe_) {
+            if (slot)
+                empty = false;
+        }
+        if (empty && finishRun())
+            moved = true;
+    }
+
+    if (moved) {
+        ++stats_.activeCycles;
+        progress_ = true;
+    }
+}
+
+bool
+PcuSim::tryIssue()
+{
+    for (uint8_t ref : vectorRefs_) {
+        panic_if(ref >= ports.vecIn.size(), "vector input %u out of range",
+                 ref);
+        if (!ports.vecIn[ref].canPop())
+            return false;
+    }
+    Wavefront wf;
+    chain_.issueInto(wf);
+    for (uint8_t ref : vectorRefs_) {
+        const Vec &v = ports.vecIn[ref].front();
+        wf.vecIn[ref] = v;
+        wf.mask &= v.mask;
+        ports.vecIn[ref].pop();
+    }
+    applyStage(0, wf);
+    pipe_[0] = wf;
+    ++stats_.wavefronts;
+    if (state_ == State::kRunning && chain_.done())
+        state_ = State::kDraining;
+    return true;
+}
+
+Word
+PcuSim::operandValue(const Operand &op, const Wavefront &wf,
+                     uint32_t lane) const
+{
+    switch (op.kind) {
+      case OperandKind::kNone:
+        return 0;
+      case OperandKind::kReg:
+        return wf.regs[op.index][lane];
+      case OperandKind::kCounter:
+        return static_cast<Word>(wf.ctrLane(op.index, lane));
+      case OperandKind::kScalarIn:
+        return ports.scalIn[op.index].front();
+      case OperandKind::kVectorIn:
+        return wf.vecIn[op.index].lane[lane];
+      case OperandKind::kImm:
+        return op.imm;
+      case OperandKind::kLaneId:
+        return lane;
+    }
+    return 0;
+}
+
+void
+PcuSim::applyStage(size_t idx, Wavefront &wf)
+{
+    const StageCfg &st = cfg_.stages[idx];
+    switch (st.kind) {
+      case StageKind::kMap: {
+        for (uint32_t l = 0; l < lanes_; ++l) {
+            Word a = operandValue(st.a, wf, l);
+            Word b = operandValue(st.b, wf, l);
+            Word c = operandValue(st.c, wf, l);
+            Word r = fuExec(st.op, a, b, c);
+            wf.regs[st.dstReg][l] = r;
+            if (st.setsMask && wf.valid(l) && r == 0)
+                wf.clearValid(l);
+        }
+        stats_.laneOps += wf.popcountValid();
+        break;
+      }
+      case StageKind::kReduceStep: {
+        const uint32_t dist = st.reduceDist;
+        const Word ident = fuOpIdentity(st.op);
+        uint32_t newValid = wf.mask;
+        for (uint32_t i = 0; i + dist < lanes_; i += 2 * dist) {
+            Word a = wf.valid(i) ? operandValue(st.a, wf, i) : ident;
+            Word b = wf.valid(i + dist) ? operandValue(st.a, wf, i + dist)
+                                        : ident;
+            wf.regs[st.dstReg][i] = fuExec(st.op, a, b);
+            if (wf.valid(i) || wf.valid(i + dist))
+                newValid |= (1u << i);
+            ++stats_.laneOps;
+        }
+        wf.mask = newValid;
+        break;
+      }
+      case StageKind::kAccum: {
+        if (wf.firstAtLevel(st.accLevel)) {
+            acc_[idx].fill(fuOpIdentity(st.op));
+        }
+        for (uint32_t l = 0; l < lanes_; ++l) {
+            if (wf.valid(l)) {
+                acc_[idx][l] = fuExec(st.op, acc_[idx][l],
+                                      operandValue(st.a, wf, l));
+                ++stats_.laneOps;
+            }
+            wf.regs[st.dstReg][l] = acc_[idx][l];
+        }
+        // The accumulated value is meaningful on every lane; make lane 0
+        // observable even if this tail wavefront masked it off.
+        wf.setValid(0);
+        break;
+      }
+      case StageKind::kShift: {
+        for (uint32_t l = 0; l < lanes_; ++l) {
+            int src = static_cast<int>(l) - st.shiftAmt;
+            wf.regs[st.dstReg][l] =
+                (src >= 0 && src < static_cast<int>(lanes_))
+                    ? operandValue(st.a, wf, static_cast<uint32_t>(src))
+                    : 0;
+        }
+        stats_.laneOps += lanes_;
+        break;
+      }
+    }
+}
+
+bool
+PcuSim::tryRetire(const Wavefront &wf)
+{
+    // Phase 1: every triggered emission must be able to push.
+    for (size_t p = 0; p < cfg_.vecOuts.size(); ++p) {
+        const VecOutCfg &vo = cfg_.vecOuts[p];
+        if (!vo.enabled)
+            continue;
+        bool trig = vo.cond.always || wf.lastAtLevel(vo.cond.level);
+        if (!trig)
+            continue;
+        if (vo.coalesce) {
+            size_t incoming = 0;
+            for (uint32_t l = 0; l < lanes_; ++l)
+                incoming += wf.valid(l) ? 1 : 0;
+            if (coalesceBuf_[p].size() + incoming >= lanes_ &&
+                !ports.vecOut[p].canPush())
+                return false;
+        } else if (!ports.vecOut[p].canPush()) {
+            return false;
+        }
+    }
+    for (size_t p = 0; p < cfg_.scalOuts.size(); ++p) {
+        const ScalOutCfg &so = cfg_.scalOuts[p];
+        if (!so.enabled || so.countOfVecOut >= 0)
+            continue;
+        bool trig = so.cond.always || wf.lastAtLevel(so.cond.level);
+        if (trig && !ports.scalOut[p].canPush())
+            return false;
+    }
+
+    // Phase 2: perform the emissions.
+    for (size_t p = 0; p < cfg_.vecOuts.size(); ++p) {
+        const VecOutCfg &vo = cfg_.vecOuts[p];
+        if (!vo.enabled)
+            continue;
+        bool trig = vo.cond.always || wf.lastAtLevel(vo.cond.level);
+        if (!trig)
+            continue;
+        if (vo.coalesce) {
+            for (uint32_t l = 0; l < lanes_; ++l) {
+                if (wf.valid(l)) {
+                    coalesceBuf_[p].push_back(wf.regs[vo.srcReg][l]);
+                    ++coalesceCount_[p];
+                }
+            }
+            if (coalesceBuf_[p].size() >= lanes_) {
+                Vec v;
+                for (uint32_t l = 0; l < lanes_; ++l) {
+                    v.lane[l] = coalesceBuf_[p][l];
+                    v.setValid(l);
+                }
+                coalesceBuf_[p].erase(coalesceBuf_[p].begin(),
+                                      coalesceBuf_[p].begin() + lanes_);
+                ports.vecOut[p].push(v);
+            }
+        } else {
+            Vec v;
+            v.mask = wf.mask & ((lanes_ >= 32) ? 0xffffffffu
+                                               : ((1u << lanes_) - 1));
+            for (uint32_t l = 0; l < lanes_; ++l)
+                v.lane[l] = wf.regs[vo.srcReg][l];
+            ports.vecOut[p].push(v);
+        }
+    }
+    for (size_t p = 0; p < cfg_.scalOuts.size(); ++p) {
+        const ScalOutCfg &so = cfg_.scalOuts[p];
+        if (!so.enabled || so.countOfVecOut >= 0)
+            continue;
+        bool trig = so.cond.always || wf.lastAtLevel(so.cond.level);
+        if (trig)
+            ports.scalOut[p].push(wf.regs[so.srcReg][0]);
+    }
+    return true;
+}
+
+bool
+PcuSim::finishRun()
+{
+    // Flush partial coalesce buffers, then counts, then done tokens.
+    if (!flushedCoalesce_) {
+        for (size_t p = 0; p < coalesceBuf_.size(); ++p) {
+            if (coalesceBuf_[p].empty())
+                continue;
+            if (!ports.vecOut[p].canPush())
+                return false;
+        }
+        for (size_t p = 0; p < coalesceBuf_.size(); ++p) {
+            if (coalesceBuf_[p].empty())
+                continue;
+            Vec v;
+            for (uint32_t l = 0; l < coalesceBuf_[p].size(); ++l) {
+                v.lane[l] = coalesceBuf_[p][l];
+                v.setValid(l);
+            }
+            coalesceBuf_[p].clear();
+            ports.vecOut[p].push(v);
+        }
+        flushedCoalesce_ = true;
+    }
+
+    // FlatMap size outputs.
+    for (size_t p = 0; p < cfg_.scalOuts.size(); ++p) {
+        const ScalOutCfg &so = cfg_.scalOuts[p];
+        if (!so.enabled || so.countOfVecOut < 0)
+            continue;
+        if (!ports.scalOut[p].canPush())
+            return false;
+    }
+    if (!canPushDone(cfg_.ctrl, ports))
+        return false;
+
+    for (size_t p = 0; p < cfg_.scalOuts.size(); ++p) {
+        const ScalOutCfg &so = cfg_.scalOuts[p];
+        if (!so.enabled || so.countOfVecOut < 0)
+            continue;
+        ports.scalOut[p].push(static_cast<Word>(
+            coalesceCount_[static_cast<size_t>(so.countOfVecOut)]));
+    }
+    popScalars(scalarRefs_, ports);
+    pushDone(cfg_.ctrl, ports);
+    state_ = State::kIdle;
+    return true;
+}
+
+} // namespace plast

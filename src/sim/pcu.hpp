@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Cycle-level model of a Pattern Compute Unit (Figure 3): a counter
+ * chain issues one wavefront of pattern indices per cycle into a
+ * multi-stage SIMD pipeline of functional units. Cross-lane reduction
+ * tree steps, the shift network, accumulators, FlatMap valid-word
+ * coalescing on vector outputs, and token-gated execution runs are all
+ * modelled per cycle.
+ */
+
+#ifndef PLAST_SIM_PCU_HPP
+#define PLAST_SIM_PCU_HPP
+
+#include <optional>
+#include <vector>
+
+#include "arch/config.hpp"
+#include "arch/params.hpp"
+#include "sim/unitcommon.hpp"
+
+namespace plast
+{
+
+class PcuSim
+{
+  public:
+    PcuSim(const ArchParams &params, uint32_t index, const PcuCfg &cfg);
+
+    void step(Cycles now);
+    bool busy() const { return state_ != State::kIdle; }
+    bool madeProgress() const { return progress_; }
+
+    UnitPorts ports;
+
+    struct Stats
+    {
+        uint64_t runs = 0;
+        uint64_t wavefronts = 0;
+        uint64_t stallCycles = 0;   ///< pipeline blocked on outputs
+        uint64_t starveCycles = 0;  ///< issue blocked on inputs
+        uint64_t idleCycles = 0;
+        uint64_t activeCycles = 0;  ///< cycles with any pipeline movement
+        uint64_t laneOps = 0;       ///< FU-lane operations executed
+    };
+    const Stats &stats() const { return stats_; }
+    const std::string &name() const { return cfg_.name; }
+
+  private:
+    enum class State { kIdle, kRunning, kDraining };
+
+    bool tryStart();
+    void advancePipeline(Cycles now);
+    bool tryIssue();
+    bool tryRetire(const Wavefront &wf);
+    void applyStage(size_t idx, Wavefront &wf);
+    Word operandValue(const Operand &op, const Wavefront &wf,
+                      uint32_t lane) const;
+    bool finishRun();
+
+    ArchParams params_;
+    uint32_t index_;
+    PcuCfg cfg_;
+    uint32_t lanes_;
+
+    State state_ = State::kIdle;
+    bool selfStarted_ = false;
+    ChainState chain_;
+    std::vector<std::optional<Wavefront>> pipe_;
+    /** Persistent accumulator registers, one set per accum stage. */
+    std::vector<std::array<Word, kMaxLanes>> acc_;
+    /** FlatMap coalescing buffers, one per vector output port. */
+    std::vector<std::vector<Word>> coalesceBuf_;
+    std::vector<uint64_t> coalesceCount_;
+    bool flushedCoalesce_ = false;
+
+    std::vector<uint8_t> scalarRefs_;
+    std::vector<uint8_t> vectorRefs_;
+
+    Stats stats_;
+    bool progress_ = false;
+};
+
+} // namespace plast
+
+#endif // PLAST_SIM_PCU_HPP

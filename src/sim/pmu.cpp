@@ -1,0 +1,262 @@
+#include "sim/pmu.hpp"
+
+#include <algorithm>
+
+#include "base/logging.hpp"
+#include "sim/fuexec.hpp"
+
+namespace plast
+{
+
+PmuSim::PmuSim(const ArchParams &params, uint32_t index, const PmuCfg &cfg)
+    : params_(params), index_(index), cfg_(cfg), lanes_(params.pcu.lanes)
+{
+    ports.size(params.pmu.scalarIns, params.pmu.vectorIns, 64,
+               params.pmu.scalarOuts, params.pmu.vectorOuts, 64);
+
+    scratch_.configure(cfg_.scratch, params.pmu.banks,
+                       params.pmu.totalWords());
+
+    auto init_port = [&](Port &port, const PmuPortCfg &pcfg, bool write) {
+        port.cfg = &pcfg;
+        port.isWrite = write;
+        port.chain.configure(pcfg.chain, lanes_);
+        std::vector<uint8_t> vecs;
+        stageRefs(pcfg.addrStages, port.scalarRefs, vecs);
+        for (uint8_t ref : chainScalarRefs(pcfg.chain))
+            port.scalarRefs.push_back(ref);
+        std::sort(port.scalarRefs.begin(), port.scalarRefs.end());
+        port.scalarRefs.erase(
+            std::unique(port.scalarRefs.begin(), port.scalarRefs.end()),
+            port.scalarRefs.end());
+        fatal_if(pcfg.enabled &&
+                     pcfg.addrStages.size() > params.pmu.stages,
+                 "PMU %u: %zu address stages exceed the %u physical stages",
+                 index, pcfg.addrStages.size(), params.pmu.stages);
+    };
+    init_port(write_, cfg_.write, true);
+    init_port(write2_, cfg_.write2, true);
+    init_port(read_, cfg_.read, false);
+}
+
+bool
+PmuSim::busy() const
+{
+    return (cfg_.write.enabled && write_.state != Port::State::kIdle) ||
+           (cfg_.write2.enabled && write2_.state != Port::State::kIdle) ||
+           (cfg_.read.enabled && read_.state != Port::State::kIdle);
+}
+
+void
+PmuSim::step(Cycles now)
+{
+    progress_ = false;
+    bool any = false;
+    if (cfg_.write.enabled)
+        any |= stepPort(write_, now);
+    if (cfg_.write2.enabled)
+        any |= stepPort(write2_, now);
+    if (cfg_.read.enabled)
+        any |= stepPort(read_, now);
+    if (any) {
+        ++stats_.activeCycles;
+        progress_ = true;
+    } else {
+        ++stats_.idleCycles;
+    }
+}
+
+bool
+PmuSim::stepPort(Port &port, Cycles now)
+{
+    (void)now;
+    const PmuPortCfg &pcfg = *port.cfg;
+    switch (port.state) {
+      case Port::State::kIdle: {
+        if (!tokensReady(pcfg.ctrl, ports, port.selfStarted))
+            return false;
+        if (!scalarsReady(port.scalarRefs, ports))
+            return false;
+        consumeTokens(pcfg.ctrl, ports);
+        port.selfStarted = true;
+        port.chain.reset(resolveBounds(pcfg.chain, ports));
+        port.fill = static_cast<uint32_t>(pcfg.addrStages.size());
+        port.appendCursor = 0;
+        if (pcfg.clearEvery > 0 && port.runCount % pcfg.clearEvery == 0) {
+            for (uint32_t a = 0; a < scratch_.sizeWords(); ++a)
+                scratch_.write(port.bufIdx, a, 0);
+            // Zeroing streams one vector of lanes words per cycle.
+            port.fill += (scratch_.sizeWords() + lanes_ - 1) / lanes_;
+        }
+        port.state =
+            port.fill > 0 ? Port::State::kFilling : Port::State::kRunning;
+        if (port.isWrite)
+            ++stats_.writeRuns;
+        else
+            ++stats_.readRuns;
+        return true;
+      }
+      case Port::State::kFilling: {
+        if (--port.fill == 0)
+            port.state = Port::State::kRunning;
+        return true;
+      }
+      case Port::State::kRunning: {
+        if (port.busy > 0) {
+            --port.busy;
+            ++stats_.conflictCycles;
+            return true;
+        }
+        if (port.chain.done()) {
+            // Run complete: swap buffers, pop scalars, signal done.
+            if (!canPushDone(pcfg.ctrl, ports))
+                return false;
+            popScalars(port.scalarRefs, ports);
+            pushDone(pcfg.ctrl, ports);
+            ++port.runCount;
+            if (pcfg.swapEvery > 0 &&
+                port.runCount % pcfg.swapEvery == 0)
+                port.bufIdx = (port.bufIdx + 1) % scratch_.numBufs();
+            port.state = Port::State::kIdle;
+            return true;
+        }
+        return portAccess(port);
+      }
+    }
+    return false;
+}
+
+bool
+PmuSim::portAccess(Port &port)
+{
+    const PmuPortCfg &pcfg = *port.cfg;
+
+    // FIFO banking mode: queue semantics, no address computation.
+    if (scratch_.mode() == BankingMode::kFifo) {
+        if (port.isWrite) {
+            if (pcfg.dataVecIn < 0 ||
+                !ports.vecIn[pcfg.dataVecIn].canPop())
+                return false;
+            Wavefront wf;
+            port.chain.issueInto(wf);
+            scratch_.fifoPush(ports.vecIn[pcfg.dataVecIn].front());
+            ports.vecIn[pcfg.dataVecIn].pop();
+            ++stats_.writes;
+            return true;
+        }
+        if (!scratch_.fifoCanPop() || pcfg.dataVecOut < 0 ||
+            !ports.vecOut[pcfg.dataVecOut].canPush())
+            return false;
+        Wavefront wf;
+        port.chain.issueInto(wf);
+        ports.vecOut[pcfg.dataVecOut].push(scratch_.fifoPop());
+        ++stats_.reads;
+        return true;
+    }
+
+    // FlatMap append mode: pack incoming valid words at the cursor.
+    if (pcfg.appendMode) {
+        if (pcfg.dataVecIn < 0 || !ports.vecIn[pcfg.dataVecIn].canPop())
+            return false;
+        Wavefront wf;
+        port.chain.issueInto(wf);
+        const Vec &dv = ports.vecIn[pcfg.dataVecIn].front();
+        for (uint32_t l = 0; l < lanes_; ++l) {
+            if (dv.valid(l)) {
+                scratch_.write(port.bufIdx, port.appendCursor++,
+                               dv.lane[l]);
+                ++stats_.wordsWritten;
+            }
+        }
+        ports.vecIn[pcfg.dataVecIn].pop();
+        ++stats_.writes;
+        return true;
+    }
+
+    // Check that every input/output this access needs is ready.
+    if (pcfg.addrVecIn >= 0 && !ports.vecIn[pcfg.addrVecIn].canPop())
+        return false;
+    if (port.isWrite) {
+        if (pcfg.dataVecIn < 0 || !ports.vecIn[pcfg.dataVecIn].canPop())
+            return false;
+    } else {
+        if (pcfg.dataVecOut < 0 ||
+            !ports.vecOut[pcfg.dataVecOut].canPush())
+            return false;
+    }
+
+    Wavefront wf;
+    port.chain.issueInto(wf);
+
+    // Resolve per-lane word addresses.
+    std::vector<uint32_t> addrs;
+    uint32_t access_mask = wf.mask;
+    if (pcfg.addrVecIn >= 0) {
+        const Vec &av = ports.vecIn[pcfg.addrVecIn].front();
+        wf.vecIn[pcfg.addrVecIn] = av;
+        access_mask &= av.mask;
+        for (uint32_t l = 0; l < lanes_; ++l)
+            addrs.push_back(av.lane[l]);
+        ports.vecIn[pcfg.addrVecIn].pop();
+    } else {
+        ScalarRegs regs;
+        Word base = evalScalarStages(pcfg.addrStages, pcfg.addrReg, wf,
+                                     ports, regs);
+        if (pcfg.vecLinear) {
+            for (uint32_t l = 0; l < lanes_; ++l)
+                addrs.push_back(base + l);
+        } else if (pcfg.broadcast) {
+            // Duplication-mode broadcast: one word to every lane.
+            addrs.assign(lanes_, base);
+        } else {
+            addrs.assign(lanes_, base);
+            access_mask &= 1u; // scalar access: lane 0 only
+        }
+    }
+
+    if (port.isWrite) {
+        const Vec &dv = ports.vecIn[pcfg.dataVecIn].front();
+        access_mask &= dv.mask;
+        uint32_t buf = port.bufIdx;
+        for (uint32_t l = 0; l < lanes_; ++l) {
+            if (!((access_mask >> l) & 1u))
+                continue;
+            Word w = dv.lane[l];
+            if (pcfg.accumulate) {
+                Word old = scratch_.read(buf, addrs[l]);
+                w = fuExec(pcfg.accumOp, old, w);
+            }
+            scratch_.write(buf, addrs[l], w);
+            ++stats_.wordsWritten;
+        }
+        ports.vecIn[pcfg.dataVecIn].pop();
+        ++stats_.writes;
+    } else {
+        Vec out;
+        out.mask = access_mask;
+        uint32_t buf = port.bufIdx;
+        for (uint32_t l = 0; l < lanes_; ++l) {
+            if ((access_mask >> l) & 1u) {
+                out.lane[l] = scratch_.read(buf, addrs[l]);
+                ++stats_.wordsRead;
+            }
+        }
+        ports.vecOut[pcfg.dataVecOut].push(out);
+        ++stats_.reads;
+    }
+
+    // Bank conflicts occupy the port for extra cycles.
+    if (pcfg.broadcast && pcfg.addrVecIn < 0) {
+        port.busy = 0; // one word fanned out, conflict-free
+        return true;
+    }
+    std::vector<uint32_t> active;
+    for (uint32_t l = 0; l < lanes_; ++l) {
+        if ((access_mask >> l) & 1u)
+            active.push_back(addrs[l]);
+    }
+    port.busy = scratch_.conflictCycles(active) - 1;
+    return true;
+}
+
+} // namespace plast

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Cycle-level model of a Pattern Memory Unit (Figure 4): a banked
+ * scratchpad plus two access ports — a write port programmed with the
+ * producer pattern's address calculation and a read port programmed
+ * with the consumer's (§3.2). Each port owns a counter chain and a
+ * scalar address datapath; gather/scatter ports take per-lane addresses
+ * from a vector input and pay bank-conflict cycles per the banking mode.
+ */
+
+#ifndef PLAST_SIM_PMU_HPP
+#define PLAST_SIM_PMU_HPP
+
+#include <vector>
+
+#include "arch/config.hpp"
+#include "arch/params.hpp"
+#include "sim/scratchpad.hpp"
+#include "sim/unitcommon.hpp"
+
+namespace plast
+{
+
+class PmuSim
+{
+  public:
+    PmuSim(const ArchParams &params, uint32_t index, const PmuCfg &cfg);
+
+    void step(Cycles now);
+    bool busy() const;
+    bool madeProgress() const { return progress_; }
+
+    UnitPorts ports;
+
+    struct Stats
+    {
+        uint64_t writeRuns = 0, readRuns = 0;
+        uint64_t reads = 0, writes = 0; ///< vector accesses
+        uint64_t wordsRead = 0, wordsWritten = 0;
+        uint64_t conflictCycles = 0;
+        uint64_t activeCycles = 0;
+        uint64_t idleCycles = 0;
+    };
+    const Stats &stats() const { return stats_; }
+    const std::string &name() const { return cfg_.name; }
+
+    /** Test access to storage (checked against references in tests). */
+    const Scratchpad &scratch() const { return scratch_; }
+
+  private:
+    /** Runtime state of one access port. */
+    struct Port
+    {
+        const PmuPortCfg *cfg = nullptr;
+        bool isWrite = false;
+        enum class State { kIdle, kFilling, kRunning } state = State::kIdle;
+        bool selfStarted = false;
+        ChainState chain;
+        uint32_t fill = 0;       ///< pipeline-fill countdown at run start
+        uint32_t busy = 0;       ///< bank-conflict busy cycles remaining
+        uint32_t bufIdx = 0;     ///< N-buffer pointer
+        uint64_t runCount = 0;   ///< completed runs (swap/clear cadence)
+        uint32_t appendCursor = 0; ///< FlatMap append position
+        std::vector<uint8_t> scalarRefs;
+    };
+
+    bool stepPort(Port &port, Cycles now);
+    bool portAccess(Port &port);
+
+    ArchParams params_;
+    uint32_t index_;
+    PmuCfg cfg_;
+    uint32_t lanes_;
+
+    Scratchpad scratch_;
+    Port write_, write2_, read_;
+    Stats stats_;
+    bool progress_ = false;
+};
+
+} // namespace plast
+
+#endif // PLAST_SIM_PMU_HPP

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unit-side port wrappers around routed streams. Input ports bind to at
+ * most one stream (or a pinned host constant for scalar arguments);
+ * output ports may fan out to several streams (multicast through the
+ * switch fabric) and can push only when every sink can accept.
+ */
+
+#ifndef PLAST_SIM_PORTS_HPP
+#define PLAST_SIM_PORTS_HPP
+
+#include <vector>
+
+#include "sim/stream.hpp"
+
+namespace plast
+{
+
+struct ScalarInPort
+{
+    ScalarStream *stream = nullptr;
+    bool isConst = false;
+    Word constVal = 0;
+    /**
+     * Pop cadence: an outer-loop counter export is produced once per
+     * exporting-controller iteration but read by units that may run
+     * several times per iteration; such ports pop only every
+     * `popEvery`-th run (configured by the compiler).
+     */
+    uint32_t popEvery = 1;
+    uint32_t popCount = 0;
+
+    bool connected() const { return stream != nullptr || isConst; }
+    bool
+    canPop() const
+    {
+        return isConst || (stream && stream->canPop());
+    }
+    Word
+    front() const
+    {
+        return isConst ? constVal : stream->front();
+    }
+    void
+    pop()
+    {
+        if (isConst || !stream)
+            return;
+        if (++popCount >= popEvery) {
+            popCount = 0;
+            stream->pop();
+        }
+    }
+};
+
+struct VectorInPort
+{
+    VectorStream *stream = nullptr;
+
+    bool connected() const { return stream != nullptr; }
+    bool canPop() const { return stream && stream->canPop(); }
+    const Vec &front() const { return stream->front(); }
+    void pop() { stream->pop(); }
+};
+
+struct ControlInPort
+{
+    ControlStream *stream = nullptr;
+
+    bool connected() const { return stream != nullptr; }
+    bool hasToken() const { return stream && stream->canPop(); }
+    void consume() { stream->pop(); }
+};
+
+template <typename StreamT, typename ValueT>
+struct OutPort
+{
+    std::vector<StreamT *> sinks;
+
+    bool connected() const { return !sinks.empty(); }
+
+    bool
+    canPush() const
+    {
+        for (auto *s : sinks) {
+            if (!s->canPush())
+                return false;
+        }
+        return true;
+    }
+
+    void
+    push(const ValueT &v)
+    {
+        for (auto *s : sinks)
+            s->push(v);
+    }
+};
+
+using ScalarOutPort = OutPort<ScalarStream, Word>;
+using VectorOutPort = OutPort<VectorStream, Vec>;
+using ControlOutPort = OutPort<ControlStream, Token>;
+
+} // namespace plast
+
+#endif // PLAST_SIM_PORTS_HPP

@@ -1,0 +1,83 @@
+#include "sim/scratchpad.hpp"
+
+#include <algorithm>
+
+#include "base/logging.hpp"
+
+namespace plast
+{
+
+void
+Scratchpad::configure(const ScratchCfg &cfg, uint32_t banks,
+                      uint32_t capacityWords)
+{
+    cfg_ = cfg;
+    banks_ = banks;
+    fatal_if(cfg.numBufs == 0, "scratchpad needs at least one buffer");
+    // Duplication mode replicates the contents in every bank, so the
+    // usable logical capacity shrinks by the bank count.
+    uint64_t effective = cfg.mode == BankingMode::kDup
+                             ? capacityWords / banks
+                             : capacityWords;
+    fatal_if(static_cast<uint64_t>(cfg.numBufs) * cfg.sizeWords >
+                 effective,
+             "scratchpad config %u x %u words exceeds PMU capacity "
+             "%llu (mode %s)",
+             cfg.numBufs, cfg.sizeWords,
+             static_cast<unsigned long long>(effective),
+             bankingModeName(cfg.mode).c_str());
+    data_.assign(static_cast<size_t>(cfg.numBufs) * cfg.sizeWords, 0);
+}
+
+Word
+Scratchpad::read(uint32_t buf, uint32_t addr) const
+{
+    addr = wrap(addr);
+    panic_if(buf >= cfg_.numBufs, "scratchpad buf %u out of range", buf);
+    panic_if(addr >= cfg_.sizeWords,
+             "scratchpad read addr %u out of range (%u words)", addr,
+             cfg_.sizeWords);
+    return data_[static_cast<size_t>(buf) * cfg_.sizeWords + addr];
+}
+
+void
+Scratchpad::write(uint32_t buf, uint32_t addr, Word w)
+{
+    addr = wrap(addr);
+    panic_if(buf >= cfg_.numBufs, "scratchpad buf %u out of range", buf);
+    panic_if(addr >= cfg_.sizeWords,
+             "scratchpad write addr %u out of range (%u words)", addr,
+             cfg_.sizeWords);
+    data_[static_cast<size_t>(buf) * cfg_.sizeWords + addr] = w;
+}
+
+uint32_t
+Scratchpad::conflictCycles(const std::vector<uint32_t> &addrs) const
+{
+    if (addrs.empty())
+        return 1;
+    if (cfg_.mode == BankingMode::kDup)
+        return 1;
+    std::vector<uint32_t> perBank(banks_, 0);
+    for (uint32_t a : addrs)
+        ++perBank[wrap(a) % banks_];
+    return std::max(1u, *std::max_element(perBank.begin(), perBank.end()));
+}
+
+void
+Scratchpad::fifoPush(const Vec &v)
+{
+    panic_if(cfg_.mode != BankingMode::kFifo, "fifoPush on non-FIFO mode");
+    fifo_.push_back(v);
+}
+
+Vec
+Scratchpad::fifoPop()
+{
+    panic_if(fifo_.empty(), "fifoPop on empty scratchpad FIFO");
+    Vec v = fifo_.front();
+    fifo_.pop_front();
+    return v;
+}
+
+} // namespace plast

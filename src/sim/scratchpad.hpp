@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The PMU scratchpad: multiple SRAM banks with configurable banking
+ * modes (§3.2) and N-buffering. Storage holds real words so the fabric
+ * computes real results; the banking mode determines both data layout
+ * semantics and the bank-conflict cost of a vector access.
+ */
+
+#ifndef PLAST_SIM_SCRATCHPAD_HPP
+#define PLAST_SIM_SCRATCHPAD_HPP
+
+#include <deque>
+#include <vector>
+
+#include "arch/config.hpp"
+#include "base/types.hpp"
+
+namespace plast
+{
+
+class Scratchpad
+{
+  public:
+    void configure(const ScratchCfg &cfg, uint32_t banks,
+                   uint32_t capacityWords);
+
+    uint32_t numBufs() const { return cfg_.numBufs; }
+    uint32_t sizeWords() const { return cfg_.sizeWords; }
+    BankingMode mode() const { return cfg_.mode; }
+
+    /** Word read/write within buffer `buf`. Line-buffer mode wraps. */
+    Word read(uint32_t buf, uint32_t addr) const;
+    void write(uint32_t buf, uint32_t addr, Word w);
+
+    /**
+     * Cycles a vector access with the given per-lane word addresses
+     * occupies the banks: the maximum number of lanes mapping to one
+     * bank (1 in duplication mode — every bank holds a copy).
+     */
+    uint32_t conflictCycles(const std::vector<uint32_t> &addrs) const;
+
+    // FIFO-mode operations (vector granularity).
+    void fifoPush(const Vec &v);
+    bool fifoCanPop() const { return !fifo_.empty(); }
+    Vec fifoPop();
+    size_t fifoSize() const { return fifo_.size(); }
+
+    /** Total data bytes this scratchpad is configured to hold. */
+    uint64_t
+    configuredBytes() const
+    {
+        return static_cast<uint64_t>(cfg_.numBufs) * cfg_.sizeWords * 4;
+    }
+
+  private:
+    uint32_t
+    wrap(uint32_t addr) const
+    {
+        return cfg_.mode == BankingMode::kLineBuffer && cfg_.sizeWords > 0
+                   ? addr % cfg_.sizeWords
+                   : addr;
+    }
+
+    ScratchCfg cfg_;
+    uint32_t banks_ = 16;
+    std::vector<Word> data_;
+    std::deque<Vec> fifo_;
+};
+
+} // namespace plast
+
+#endif // PLAST_SIM_SCRATCHPAD_HPP

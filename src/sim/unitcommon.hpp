@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Machinery shared by all configurable units (PCU, PMU ports, AGs,
+ * control boxes): port bundles, token gating, dynamic-bound resolution
+ * and scalar-datapath evaluation.
+ */
+
+#ifndef PLAST_SIM_UNITCOMMON_HPP
+#define PLAST_SIM_UNITCOMMON_HPP
+
+#include <vector>
+
+#include "arch/config.hpp"
+#include "sim/ports.hpp"
+#include "sim/wavefront.hpp"
+
+namespace plast
+{
+
+/** The full IO bundle of one unit. */
+struct UnitPorts
+{
+    std::vector<ScalarInPort> scalIn;
+    std::vector<VectorInPort> vecIn;
+    std::vector<ControlInPort> ctlIn;
+    std::vector<ScalarOutPort> scalOut;
+    std::vector<VectorOutPort> vecOut;
+    std::vector<ControlOutPort> ctlOut;
+
+    void
+    size(uint32_t si, uint32_t vi, uint32_t ci, uint32_t so, uint32_t vo,
+         uint32_t co)
+    {
+        scalIn.resize(si);
+        vecIn.resize(vi);
+        ctlIn.resize(ci);
+        scalOut.resize(so);
+        vecOut.resize(vo);
+        ctlOut.resize(co);
+    }
+};
+
+/** True when every token input listed in the control config has a token.
+ *  A unit with no token inputs self-starts; `selfStarted` gates that to
+ *  a single run. */
+bool tokensReady(const ControlCfg &ctrl, const UnitPorts &ports,
+                 bool selfStarted);
+
+/** Consume one token from each gated control input. */
+void consumeTokens(const ControlCfg &ctrl, UnitPorts &ports);
+
+/** True when all done outputs can accept a pulse. */
+bool canPushDone(const ControlCfg &ctrl, const UnitPorts &ports);
+
+/** Pulse every done output. */
+void pushDone(const ControlCfg &ctrl, UnitPorts &ports);
+
+/** Scalar inputs referenced by a chain's dynamic bounds. */
+std::vector<uint8_t> chainScalarRefs(const ChainCfg &chain);
+
+/** Scalar / vector inputs referenced by stage operands. */
+void stageRefs(const std::vector<StageCfg> &stages,
+               std::vector<uint8_t> &scalars, std::vector<uint8_t> &vectors);
+
+/** All referenced scalar inputs available? */
+bool scalarsReady(const std::vector<uint8_t> &refs, const UnitPorts &ports);
+
+/** Pop every referenced scalar input (end of run). */
+void popScalars(const std::vector<uint8_t> &refs, UnitPorts &ports);
+
+/** Resolve the per-counter iteration bounds of a chain, reading dynamic
+ *  bounds from scalar inputs. */
+std::vector<int64_t> resolveBounds(const ChainCfg &chain,
+                                   const UnitPorts &ports);
+
+/**
+ * Evaluate a scalar datapath (PMU / AG address pipeline): runs all
+ * stages on lane 0 against a counter snapshot and the scalar inputs.
+ * Latency is modelled by the caller (pipeline-fill delay); this helper
+ * provides the dataflow result.
+ */
+struct ScalarRegs
+{
+    std::array<Word, kMaxRegs> reg{};
+};
+
+Word evalScalarStages(const std::vector<StageCfg> &stages, uint8_t resultReg,
+                      const Wavefront &wf, const UnitPorts &ports,
+                      ScalarRegs &regs);
+
+} // namespace plast
+
+#endif // PLAST_SIM_UNITCOMMON_HPP

@@ -1,0 +1,88 @@
+#include "sim/wavefront.hpp"
+
+namespace plast
+{
+
+void
+ChainState::issueInto(Wavefront &wf)
+{
+    wf.mask = 0;
+    wf.firstLevels = 0;
+    wf.lastLevels = 0;
+    wf.vecCtr = -1;
+    wf.vecStep = 1;
+
+    const size_t n = cfg_.ctrs.size();
+    if (n == 0) {
+        // Empty chain: one wavefront per run, single "lane 0" index.
+        panic_if(oneshotFired_, "empty chain issued twice");
+        wf.mask = 1;
+        wf.firstLevels = 0xffff;
+        wf.lastLevels = 0xffff;
+        oneshotFired_ = true;
+        done_ = true;
+        return;
+    }
+
+    panic_if(done_, "issue on completed chain");
+
+    for (size_t i = 0; i < n; ++i)
+        wf.ctr[i] = cur_[i];
+
+    // Lane validity: non-vectorized chains issue a full wavefront whose
+    // every lane sees the same indices; vectorized chains mask lanes at
+    // or beyond the innermost bound.
+    const CounterCfg &inner = cfg_.ctrs[n - 1];
+    if (inner.vectorized) {
+        wf.vecCtr = static_cast<int8_t>(n - 1);
+        wf.vecStep = inner.step;
+        for (uint32_t l = 0; l < lanes_; ++l) {
+            int64_t v = cur_[n - 1] + static_cast<int64_t>(l) * inner.step;
+            if (v < bounds_[n - 1])
+                wf.setValid(l);
+        }
+    } else {
+        for (uint32_t l = 0; l < lanes_; ++l)
+            wf.setValid(l);
+    }
+
+    // First/last flags per level: level k is "first" when counters
+    // k..n-1 are all at their starting value, "last" when this is the
+    // final wavefront for counters k..n-1.
+    bool first_inner = true, last_inner = true;
+    std::vector<bool> first(n), last(n);
+    for (size_t i = n; i-- > 0;) {
+        const CounterCfg &cc = cfg_.ctrs[i];
+        int64_t per = (cc.vectorized ? cc.step * lanes_ : cc.step);
+        bool at_min = cur_[i] == cc.min;
+        bool at_last = cur_[i] + per >= bounds_[i];
+        first[i] = at_min && first_inner;
+        last[i] = at_last && last_inner;
+        first_inner = first[i];
+        last_inner = last[i];
+    }
+    for (size_t i = 0; i < n; ++i) {
+        if (first[i])
+            wf.firstLevels |= (1u << i);
+        if (last[i])
+            wf.lastLevels |= (1u << i);
+    }
+
+    // Advance the chain (innermost fastest).
+    for (size_t i = n; i-- > 0;) {
+        const CounterCfg &cc = cfg_.ctrs[i];
+        int64_t per = (cc.vectorized ? cc.step * lanes_ : cc.step);
+        cur_[i] += per;
+        if (cur_[i] < bounds_[i])
+            return;
+        cur_[i] = cc.min;
+    }
+    done_ = true;
+}
+
+namespace
+{
+// Ensure Wavefront helpers referenced above are instantiated.
+} // namespace
+
+} // namespace plast

@@ -1,0 +1,132 @@
+/** @file Unit tests for base utilities: formatting, stats, RNG, types. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "base/logging.hpp"
+#include "base/rng.hpp"
+#include "base/stats.hpp"
+#include "base/types.hpp"
+
+using namespace plast;
+
+TEST(Strfmt, FormatsLikePrintf)
+{
+    EXPECT_EQ(strfmt("x=%d", 42), "x=42");
+    EXPECT_EQ(strfmt("%s-%03u", "pcu", 7u), "pcu-007");
+    EXPECT_EQ(strfmt("%.2f", 3.14159), "3.14");
+    EXPECT_EQ(strfmt("plain"), "plain");
+}
+
+TEST(Strfmt, LongStringsDoNotTruncate)
+{
+    std::string big(5000, 'a');
+    EXPECT_EQ(strfmt("%s", big.c_str()).size(), 5000u);
+}
+
+TEST(StatSet, AddAndGet)
+{
+    StatSet s;
+    EXPECT_EQ(s.get("missing"), 0u);
+    s.add("a.x");
+    s.add("a.x", 4);
+    EXPECT_EQ(s.get("a.x"), 5u);
+    s.set("a.x", 2);
+    EXPECT_EQ(s.get("a.x"), 2u);
+    EXPECT_TRUE(s.has("a.x"));
+    EXPECT_FALSE(s.has("a.y"));
+}
+
+TEST(StatSet, SumPrefixOnlyMatchesPrefix)
+{
+    StatSet s;
+    s.set("pcu00.laneOps", 10);
+    s.set("pcu01.laneOps", 20);
+    s.set("pmu00.reads", 100);
+    EXPECT_EQ(s.sumPrefix("pcu"), 30u);
+    EXPECT_EQ(s.sumPrefix("pmu"), 100u);
+    EXPECT_EQ(s.sumPrefix("ag"), 0u);
+}
+
+TEST(StatSet, DumpContainsEveryCounter)
+{
+    StatSet s;
+    s.set("alpha", 1);
+    s.set("beta", 2);
+    std::ostringstream os;
+    s.dump(os);
+    EXPECT_NE(os.str().find("alpha = 1"), std::string::npos);
+    EXPECT_NE(os.str().find("beta = 2"), std::string::npos);
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BoundedStaysInRange)
+{
+    Rng r(7);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        uint64_t v = r.nextBounded(13);
+        EXPECT_LT(v, 13u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 13u); // all residues hit
+}
+
+TEST(Rng, FloatRange)
+{
+    Rng r(9);
+    for (int i = 0; i < 1000; ++i) {
+        float f = r.nextFloat(-2.0f, 3.0f);
+        EXPECT_GE(f, -2.0f);
+        EXPECT_LT(f, 3.0f);
+    }
+}
+
+TEST(Types, FloatWordRoundTrip)
+{
+    for (float f : {0.0f, 1.0f, -1.5f, 3.14159f, 1e30f, -1e-30f})
+        EXPECT_EQ(wordToFloat(floatToWord(f)), f);
+}
+
+TEST(Types, IntWordRoundTrip)
+{
+    for (int32_t v : {0, 1, -1, 42, -123456, INT32_MAX, INT32_MIN})
+        EXPECT_EQ(wordToInt(intToWord(v)), v);
+}
+
+TEST(Types, VecBroadcastSetsMask)
+{
+    Vec v = Vec::broadcast(7, 16);
+    EXPECT_EQ(v.mask, 0xffffu);
+    EXPECT_EQ(v.popcount(), 16u);
+    for (uint32_t l = 0; l < 16; ++l)
+        EXPECT_EQ(v.lane[l], 7u);
+    v.clearValid(3);
+    EXPECT_FALSE(v.valid(3));
+    EXPECT_EQ(v.popcount(), 15u);
+    v.setValid(3);
+    EXPECT_TRUE(v.valid(3));
+}
+
+TEST(Types, VecBroadcast32Lanes)
+{
+    Vec v = Vec::broadcast(1, 32);
+    EXPECT_EQ(v.mask, 0xffffffffu);
+}

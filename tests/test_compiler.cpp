@@ -1,0 +1,225 @@
+/** @file Compiler front half: access classification, leaf lowering,
+ *  and the virtual-PCU partitioner's resource guarantees. */
+
+#include <gtest/gtest.h>
+
+#include "base/rng.hpp"
+#include "compiler/partition.hpp"
+#include "compiler/vleaf.hpp"
+#include "base/logging.hpp"
+#include "pir/builder.hpp"
+
+using namespace plast;
+using namespace plast::pir;
+using namespace plast::compiler;
+
+namespace
+{
+
+/** Build a leaf with the given addr expr and classify its access. */
+AccessClass
+classifyIn(std::function<ExprId(Builder &, CtrId, CtrId, MemId)> mk)
+{
+    Builder b("cls");
+    MemId m = b.sram("m", 1024);
+    MemId out = b.sram("o", 1024);
+    NodeId root = b.outer("root", CtrlScheme::kSequential, {}, kNone);
+    CtrId i = b.ctr("i", 0, 8);
+    CtrId j = b.ctr("j", 0, 16, 1, true);
+    ExprId addr = mk(b, i, j, m);
+    ExprId v = b.load(m, addr);
+    b.compute("leaf", root, {i, j}, {}, {},
+              {Builder::storeSram(out, b.ctrE(j), v)});
+    Program p = b.finish(root);
+    // The load expression is `addr`'s parent; classify its address.
+    const Node &leaf = p.nodes[p.root == 0 ? 1 : p.root + 1];
+    (void)leaf;
+    for (const Node &n : p.nodes) {
+        if (n.kind != NodeKind::kCompute)
+            continue;
+        // Classify the outermost load of m (created last): indirect
+        // tests nest an inner (linear) load as the address.
+        for (auto it = p.exprs.rbegin(); it != p.exprs.rend(); ++it) {
+            if (it->kind == ExprKind::kLoadSram && it->mem == m)
+                return classifyAddr(p, n, it->addr);
+        }
+    }
+    return AccessClass::kGather;
+}
+
+} // namespace
+
+TEST(Classify, LaneLinearAddress)
+{
+    EXPECT_EQ(classifyIn([](Builder &b, CtrId i, CtrId j, MemId) {
+                  return b.ima(b.ctrE(i), b.immI(16), b.ctrE(j));
+              }),
+              AccessClass::kVecLinear);
+}
+
+TEST(Classify, BroadcastAddress)
+{
+    EXPECT_EQ(classifyIn([](Builder &b, CtrId i, CtrId, MemId) {
+                  return b.imul(b.ctrE(i), b.immI(4));
+              }),
+              AccessClass::kBroadcast);
+}
+
+TEST(Classify, StridedLaneAddressIsGather)
+{
+    EXPECT_EQ(classifyIn([](Builder &b, CtrId, CtrId j, MemId) {
+                  return b.imul(b.ctrE(j), b.immI(2));
+              }),
+              AccessClass::kGather);
+}
+
+TEST(Classify, DataDependentAddressIsGather)
+{
+    EXPECT_EQ(classifyIn([](Builder &b, CtrId, CtrId j, MemId m) {
+                  return b.load(m, b.ctrE(j));
+              }),
+              AccessClass::kGather);
+}
+
+namespace
+{
+
+/** A leaf with `nops` chained float adds folded cross-lane. */
+VirtualLeaf
+chainLeaf(int nops)
+{
+    Builder b("chain");
+    MemId in = b.dram("in", 1024);
+    int32_t out = b.argOut();
+    NodeId root = b.outer("root", CtrlScheme::kSequential, {}, kNone);
+    CtrId i = b.ctr("i", 0, 256, 1, true);
+    ExprId v = b.streamRef(0);
+    for (int k = 0; k < nops; ++k)
+        v = b.fadd(v, b.immF(static_cast<float>(k)));
+    b.compute("leaf", root, {i}, {StreamIn{in, b.ctrE(i)}}, {},
+              {Builder::fold(FuOp::kFAdd, v, i, out)});
+    Program p = b.finish(root);
+    for (size_t n = 0; n < p.nodes.size(); ++n) {
+        if (p.nodes[n].kind == NodeKind::kCompute)
+            return lowerLeaf(p, static_cast<NodeId>(n), 16);
+    }
+    return {};
+}
+
+} // namespace
+
+TEST(Lower, FoldExpandsToTreePlusAccumulator)
+{
+    VirtualLeaf vl = chainLeaf(1);
+    // 1 add + 4 reduce steps + 1 accumulator.
+    int reduce = 0, accum = 0, map = 0;
+    for (const VOp &op : vl.ops) {
+        reduce += op.kind == StageKind::kReduceStep;
+        accum += op.kind == StageKind::kAccum;
+        map += op.kind == StageKind::kMap;
+    }
+    EXPECT_EQ(reduce, 4); // log2(16)
+    EXPECT_EQ(accum, 1);
+    EXPECT_EQ(map, 1);
+    ASSERT_EQ(vl.emissions.size(), 1u);
+    EXPECT_EQ(vl.emissions[0].kind, VEmission::Kind::kScalOut);
+    EXPECT_FALSE(vl.emissions[0].cond.always);
+}
+
+TEST(Partition, SingleChunkWhenItFits)
+{
+    VirtualLeaf vl = chainLeaf(1); // 6 ops == 6 stages
+    PcuParams p;
+    PartitionResult pr = partitionLeaf(vl, p);
+    ASSERT_TRUE(pr.ok);
+    EXPECT_EQ(pr.numChunks(), 1u);
+    EXPECT_LE(pr.chunks[0].metrics.stages, p.stages);
+}
+
+TEST(Partition, DeepPipelinesSplitAcrossPcus)
+{
+    VirtualLeaf vl = chainLeaf(40); // ~45 stages
+    PcuParams p;
+    PartitionResult pr = partitionLeaf(vl, p);
+    ASSERT_TRUE(pr.ok);
+    EXPECT_GE(pr.numChunks(), 7u);
+    for (const Chunk &c : pr.chunks) {
+        EXPECT_LE(c.metrics.stages, p.stages);
+        EXPECT_LE(c.metrics.regs, p.regsPerStage);
+        EXPECT_LE(c.metrics.scalarIns, p.scalarIns);
+        EXPECT_LE(c.metrics.scalarOuts, p.scalarOuts);
+        EXPECT_LE(c.metrics.vectorIns, p.vectorIns);
+        EXPECT_LE(c.metrics.vectorOuts, p.vectorOuts);
+    }
+}
+
+TEST(Partition, InfeasibleWhenScalarOutsExhausted)
+{
+    VirtualLeaf vl = chainLeaf(4);
+    PcuParams p;
+    p.scalarOuts = 0; // the fold's scalar emission cannot map
+    PartitionResult pr = partitionLeaf(vl, p);
+    EXPECT_FALSE(pr.ok);
+    EXPECT_FALSE(pr.error.empty());
+}
+
+TEST(Partition, CounterDepthLimitEnforced)
+{
+    Builder b("deep");
+    MemId out = b.sram("o", 16);
+    NodeId root = b.outer("root", CtrlScheme::kSequential, {}, kNone);
+    std::vector<CtrId> ctrs;
+    for (int k = 0; k < 5; ++k)
+        ctrs.push_back(b.ctr(strfmt("c%d", k), 0, 2, 1, k == 4));
+    b.compute("leaf", root, ctrs, {}, {},
+              {Builder::storeSram(out, b.ctrE(ctrs[4]), b.immI(1))});
+    Program p = b.finish(root);
+    VirtualLeaf vl;
+    for (size_t n = 0; n < p.nodes.size(); ++n) {
+        if (p.nodes[n].kind == NodeKind::kCompute)
+            vl = lowerLeaf(p, static_cast<NodeId>(n), 16);
+    }
+    PartitionResult pr = partitionLeaf(vl, PcuParams{});
+    EXPECT_FALSE(pr.ok) << "5 counters exceed the 4-deep chain";
+}
+
+/** Property: for random chain lengths, every chunk respects every
+ *  resource bound and chunks tile the op list exactly. */
+class PartitionSweep
+    : public ::testing::TestWithParam<std::tuple<int, uint32_t, uint32_t>>
+{
+};
+
+TEST_P(PartitionSweep, ChunksRespectBoundsAndTile)
+{
+    auto [nops, stages, regs] = GetParam();
+    VirtualLeaf vl = chainLeaf(nops);
+    PcuParams p;
+    p.stages = stages;
+    p.regsPerStage = regs;
+    PartitionResult pr = partitionLeaf(vl, p);
+    if (!pr.ok)
+        return; // infeasibility is a valid outcome for tight params
+    int32_t expect = 0;
+    for (const Chunk &c : pr.chunks) {
+        EXPECT_EQ(c.firstOp, expect);
+        expect = c.lastOp + 1;
+        EXPECT_LE(c.metrics.stages, stages);
+        EXPECT_LE(c.metrics.regs, regs);
+        EXPECT_LE(c.metrics.vectorIns, p.vectorIns);
+        EXPECT_LE(c.metrics.vectorOuts, p.vectorOuts);
+    }
+    EXPECT_EQ(expect, static_cast<int32_t>(vl.ops.size()));
+    // chunkOfOp agrees with the tiling.
+    for (size_t i = 0; i < vl.ops.size(); ++i) {
+        int32_t c = chunkOfOp(pr, static_cast<int32_t>(i));
+        EXPECT_GE(static_cast<int32_t>(i), pr.chunks[c].firstOp);
+        EXPECT_LE(static_cast<int32_t>(i), pr.chunks[c].lastOp);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, PartitionSweep,
+    ::testing::Combine(::testing::Values(1, 3, 8, 20, 40, 80),
+                       ::testing::Values(4u, 6u, 8u, 16u),
+                       ::testing::Values(2u, 6u, 16u)));

@@ -1,0 +1,165 @@
+/** @file FU opcode semantics, arities, identities — incl. property
+ *  sweeps over every reducible operator. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arch/opcodes.hpp"
+#include "base/rng.hpp"
+#include "sim/fuexec.hpp"
+
+using namespace plast;
+
+TEST(FuExec, IntegerArithmetic)
+{
+    EXPECT_EQ(wordToInt(fuExec(FuOp::kIAdd, intToWord(3), intToWord(4))),
+              7);
+    EXPECT_EQ(wordToInt(fuExec(FuOp::kISub, intToWord(3), intToWord(4))),
+              -1);
+    EXPECT_EQ(wordToInt(fuExec(FuOp::kIMul, intToWord(-3), intToWord(4))),
+              -12);
+    EXPECT_EQ(wordToInt(fuExec(FuOp::kIDiv, intToWord(9), intToWord(2))),
+              4);
+    EXPECT_EQ(wordToInt(fuExec(FuOp::kIMod, intToWord(9), intToWord(4))),
+              1);
+    EXPECT_EQ(wordToInt(fuExec(FuOp::kIMin, intToWord(-2), intToWord(5))),
+              -2);
+    EXPECT_EQ(wordToInt(fuExec(FuOp::kIMax, intToWord(-2), intToWord(5))),
+              5);
+    EXPECT_EQ(wordToInt(fuExec(FuOp::kIAbs, intToWord(-7))), 7);
+}
+
+TEST(FuExec, DivisionByZeroIsDefined)
+{
+    EXPECT_EQ(fuExec(FuOp::kIDiv, intToWord(5), intToWord(0)), 0u);
+    EXPECT_EQ(fuExec(FuOp::kIMod, intToWord(5), intToWord(0)), 0u);
+}
+
+TEST(FuExec, Bitwise)
+{
+    EXPECT_EQ(fuExec(FuOp::kAnd, 0xff00ff00u, 0x0ff00ff0u), 0x0f000f00u);
+    EXPECT_EQ(fuExec(FuOp::kOr, 0xf0u, 0x0fu), 0xffu);
+    EXPECT_EQ(fuExec(FuOp::kXor, 0xffu, 0x0fu), 0xf0u);
+    EXPECT_EQ(fuExec(FuOp::kNot, 0u), 0xffffffffu);
+    EXPECT_EQ(fuExec(FuOp::kShl, 1u, 4u), 16u);
+    EXPECT_EQ(fuExec(FuOp::kShr, 16u, 4u), 1u);
+}
+
+TEST(FuExec, Comparisons)
+{
+    EXPECT_EQ(fuExec(FuOp::kILt, intToWord(-1), intToWord(0)), 1u);
+    EXPECT_EQ(fuExec(FuOp::kIGe, intToWord(-1), intToWord(0)), 0u);
+    EXPECT_EQ(fuExec(FuOp::kFLt, floatToWord(1.5f), floatToWord(2.0f)),
+              1u);
+    EXPECT_EQ(fuExec(FuOp::kFEq, floatToWord(2.0f), floatToWord(2.0f)),
+              1u);
+    EXPECT_EQ(fuExec(FuOp::kFNe, floatToWord(2.0f), floatToWord(2.0f)),
+              0u);
+}
+
+TEST(FuExec, FloatArithmetic)
+{
+    EXPECT_FLOAT_EQ(
+        wordToFloat(fuExec(FuOp::kFAdd, floatToWord(1.5f),
+                           floatToWord(2.25f))),
+        3.75f);
+    EXPECT_FLOAT_EQ(
+        wordToFloat(fuExec(FuOp::kFMul, floatToWord(-2.0f),
+                           floatToWord(3.0f))),
+        -6.0f);
+    EXPECT_FLOAT_EQ(
+        wordToFloat(fuExec(FuOp::kFSqrt, floatToWord(9.0f))), 3.0f);
+    EXPECT_FLOAT_EQ(
+        wordToFloat(fuExec(FuOp::kFRecip, floatToWord(4.0f))), 0.25f);
+    EXPECT_FLOAT_EQ(
+        wordToFloat(fuExec(FuOp::kFExp, floatToWord(0.0f))), 1.0f);
+    EXPECT_FLOAT_EQ(
+        wordToFloat(fuExec(FuOp::kFLog, floatToWord(1.0f))), 0.0f);
+}
+
+TEST(FuExec, TernaryOps)
+{
+    EXPECT_EQ(fuExec(FuOp::kMux, 1, 10, 20), 10u);
+    EXPECT_EQ(fuExec(FuOp::kMux, 0, 10, 20), 20u);
+    EXPECT_FLOAT_EQ(wordToFloat(fuExec(FuOp::kFMA, floatToWord(2.0f),
+                                       floatToWord(3.0f),
+                                       floatToWord(1.0f))),
+                    7.0f);
+    EXPECT_EQ(wordToInt(fuExec(FuOp::kIMA, intToWord(5), intToWord(7),
+                               intToWord(-3))),
+              32);
+}
+
+TEST(Opcodes, ArityMatchesSemantics)
+{
+    EXPECT_EQ(fuOpArity(FuOp::kNop), 1);
+    EXPECT_EQ(fuOpArity(FuOp::kFSqrt), 1);
+    EXPECT_EQ(fuOpArity(FuOp::kIAdd), 2);
+    EXPECT_EQ(fuOpArity(FuOp::kMux), 3);
+    EXPECT_EQ(fuOpArity(FuOp::kFMA), 3);
+    EXPECT_EQ(fuOpArity(FuOp::kIMA), 3);
+}
+
+TEST(Opcodes, NamesAreUnique)
+{
+    std::set<std::string> names;
+    for (int i = 0; i < static_cast<int>(FuOp::kNumOps); ++i)
+        names.insert(fuOpName(static_cast<FuOp>(i)));
+    EXPECT_EQ(names.size(), static_cast<size_t>(FuOp::kNumOps));
+}
+
+/** Property: for every reducible op, its identity is neutral. */
+class ReducibleOps : public ::testing::TestWithParam<FuOp>
+{
+};
+
+TEST_P(ReducibleOps, IdentityIsNeutral)
+{
+    FuOp op = GetParam();
+    ASSERT_TRUE(fuOpIsReducible(op));
+    Word ident = fuOpIdentity(op);
+    Rng rng(42);
+    for (int i = 0; i < 50; ++i) {
+        Word x = fuOpIsFloat(op)
+                     ? floatToWord(rng.nextFloat(-100.0f, 100.0f))
+                     : intToWord(static_cast<int32_t>(
+                           rng.nextBounded(1 << 20)) -
+                       (1 << 19));
+        EXPECT_EQ(fuExec(op, ident, x), x)
+            << fuOpName(op) << " identity not left-neutral";
+        EXPECT_EQ(fuExec(op, x, ident), x)
+            << fuOpName(op) << " identity not right-neutral";
+    }
+}
+
+TEST_P(ReducibleOps, Associative)
+{
+    FuOp op = GetParam();
+    if (fuOpIsFloat(op) &&
+        (op == FuOp::kFAdd || op == FuOp::kFMul))
+        GTEST_SKIP() << "float add/mul only associative up to rounding";
+    Rng rng(43);
+    for (int i = 0; i < 50; ++i) {
+        Word a = intToWord(static_cast<int32_t>(rng.nextBounded(1000)));
+        Word b = intToWord(static_cast<int32_t>(rng.nextBounded(1000)));
+        Word c = intToWord(static_cast<int32_t>(rng.nextBounded(1000)));
+        if (fuOpIsFloat(op)) {
+            a = floatToWord(rng.nextFloat(-10, 10));
+            b = floatToWord(rng.nextFloat(-10, 10));
+            c = floatToWord(rng.nextFloat(-10, 10));
+        }
+        EXPECT_EQ(fuExec(op, fuExec(op, a, b), c),
+                  fuExec(op, a, fuExec(op, b, c)))
+            << fuOpName(op);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllReducible, ReducibleOps,
+    ::testing::Values(FuOp::kIAdd, FuOp::kIMul, FuOp::kIMin, FuOp::kIMax,
+                      FuOp::kAnd, FuOp::kOr, FuOp::kXor, FuOp::kFAdd,
+                      FuOp::kFMul, FuOp::kFMin, FuOp::kFMax),
+    [](const ::testing::TestParamInfo<FuOp> &info) {
+        return fuOpName(info.param);
+    });

