@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bandwidth_ablation.dir/bandwidth_ablation.cpp.o"
+  "CMakeFiles/bandwidth_ablation.dir/bandwidth_ablation.cpp.o.d"
+  "bandwidth_ablation"
+  "bandwidth_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bandwidth_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_ranking.dir/graph_ranking.cpp.o"
+  "CMakeFiles/graph_ranking.dir/graph_ranking.cpp.o.d"
+  "graph_ranking"
+  "graph_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

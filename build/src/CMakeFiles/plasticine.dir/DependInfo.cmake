@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/bfs.cpp" "src/CMakeFiles/plasticine.dir/apps/bfs.cpp.o" "gcc" "src/CMakeFiles/plasticine.dir/apps/bfs.cpp.o.d"
+  "/root/repo/src/apps/blackscholes.cpp" "src/CMakeFiles/plasticine.dir/apps/blackscholes.cpp.o" "gcc" "src/CMakeFiles/plasticine.dir/apps/blackscholes.cpp.o.d"
+  "/root/repo/src/apps/cnn.cpp" "src/CMakeFiles/plasticine.dir/apps/cnn.cpp.o" "gcc" "src/CMakeFiles/plasticine.dir/apps/cnn.cpp.o.d"
+  "/root/repo/src/apps/gda.cpp" "src/CMakeFiles/plasticine.dir/apps/gda.cpp.o" "gcc" "src/CMakeFiles/plasticine.dir/apps/gda.cpp.o.d"
+  "/root/repo/src/apps/gemm.cpp" "src/CMakeFiles/plasticine.dir/apps/gemm.cpp.o" "gcc" "src/CMakeFiles/plasticine.dir/apps/gemm.cpp.o.d"
+  "/root/repo/src/apps/innerproduct.cpp" "src/CMakeFiles/plasticine.dir/apps/innerproduct.cpp.o" "gcc" "src/CMakeFiles/plasticine.dir/apps/innerproduct.cpp.o.d"
+  "/root/repo/src/apps/kmeans.cpp" "src/CMakeFiles/plasticine.dir/apps/kmeans.cpp.o" "gcc" "src/CMakeFiles/plasticine.dir/apps/kmeans.cpp.o.d"
+  "/root/repo/src/apps/logreg.cpp" "src/CMakeFiles/plasticine.dir/apps/logreg.cpp.o" "gcc" "src/CMakeFiles/plasticine.dir/apps/logreg.cpp.o.d"
+  "/root/repo/src/apps/outerproduct.cpp" "src/CMakeFiles/plasticine.dir/apps/outerproduct.cpp.o" "gcc" "src/CMakeFiles/plasticine.dir/apps/outerproduct.cpp.o.d"
+  "/root/repo/src/apps/pagerank.cpp" "src/CMakeFiles/plasticine.dir/apps/pagerank.cpp.o" "gcc" "src/CMakeFiles/plasticine.dir/apps/pagerank.cpp.o.d"
+  "/root/repo/src/apps/registry.cpp" "src/CMakeFiles/plasticine.dir/apps/registry.cpp.o" "gcc" "src/CMakeFiles/plasticine.dir/apps/registry.cpp.o.d"
+  "/root/repo/src/apps/sgd.cpp" "src/CMakeFiles/plasticine.dir/apps/sgd.cpp.o" "gcc" "src/CMakeFiles/plasticine.dir/apps/sgd.cpp.o.d"
+  "/root/repo/src/apps/smdv.cpp" "src/CMakeFiles/plasticine.dir/apps/smdv.cpp.o" "gcc" "src/CMakeFiles/plasticine.dir/apps/smdv.cpp.o.d"
+  "/root/repo/src/apps/tpchq6.cpp" "src/CMakeFiles/plasticine.dir/apps/tpchq6.cpp.o" "gcc" "src/CMakeFiles/plasticine.dir/apps/tpchq6.cpp.o.d"
+  "/root/repo/src/arch/config.cpp" "src/CMakeFiles/plasticine.dir/arch/config.cpp.o" "gcc" "src/CMakeFiles/plasticine.dir/arch/config.cpp.o.d"
+  "/root/repo/src/arch/disasm.cpp" "src/CMakeFiles/plasticine.dir/arch/disasm.cpp.o" "gcc" "src/CMakeFiles/plasticine.dir/arch/disasm.cpp.o.d"
+  "/root/repo/src/arch/geometry.cpp" "src/CMakeFiles/plasticine.dir/arch/geometry.cpp.o" "gcc" "src/CMakeFiles/plasticine.dir/arch/geometry.cpp.o.d"
+  "/root/repo/src/arch/opcodes.cpp" "src/CMakeFiles/plasticine.dir/arch/opcodes.cpp.o" "gcc" "src/CMakeFiles/plasticine.dir/arch/opcodes.cpp.o.d"
+  "/root/repo/src/arch/params.cpp" "src/CMakeFiles/plasticine.dir/arch/params.cpp.o" "gcc" "src/CMakeFiles/plasticine.dir/arch/params.cpp.o.d"
+  "/root/repo/src/base/logging.cpp" "src/CMakeFiles/plasticine.dir/base/logging.cpp.o" "gcc" "src/CMakeFiles/plasticine.dir/base/logging.cpp.o.d"
+  "/root/repo/src/base/stats.cpp" "src/CMakeFiles/plasticine.dir/base/stats.cpp.o" "gcc" "src/CMakeFiles/plasticine.dir/base/stats.cpp.o.d"
+  "/root/repo/src/compiler/mapper.cpp" "src/CMakeFiles/plasticine.dir/compiler/mapper.cpp.o" "gcc" "src/CMakeFiles/plasticine.dir/compiler/mapper.cpp.o.d"
+  "/root/repo/src/compiler/partition.cpp" "src/CMakeFiles/plasticine.dir/compiler/partition.cpp.o" "gcc" "src/CMakeFiles/plasticine.dir/compiler/partition.cpp.o.d"
+  "/root/repo/src/compiler/vleaf.cpp" "src/CMakeFiles/plasticine.dir/compiler/vleaf.cpp.o" "gcc" "src/CMakeFiles/plasticine.dir/compiler/vleaf.cpp.o.d"
+  "/root/repo/src/fpga/fpga_model.cpp" "src/CMakeFiles/plasticine.dir/fpga/fpga_model.cpp.o" "gcc" "src/CMakeFiles/plasticine.dir/fpga/fpga_model.cpp.o.d"
+  "/root/repo/src/model/area.cpp" "src/CMakeFiles/plasticine.dir/model/area.cpp.o" "gcc" "src/CMakeFiles/plasticine.dir/model/area.cpp.o.d"
+  "/root/repo/src/model/asic.cpp" "src/CMakeFiles/plasticine.dir/model/asic.cpp.o" "gcc" "src/CMakeFiles/plasticine.dir/model/asic.cpp.o.d"
+  "/root/repo/src/model/power.cpp" "src/CMakeFiles/plasticine.dir/model/power.cpp.o" "gcc" "src/CMakeFiles/plasticine.dir/model/power.cpp.o.d"
+  "/root/repo/src/model/tuning.cpp" "src/CMakeFiles/plasticine.dir/model/tuning.cpp.o" "gcc" "src/CMakeFiles/plasticine.dir/model/tuning.cpp.o.d"
+  "/root/repo/src/pir/builder.cpp" "src/CMakeFiles/plasticine.dir/pir/builder.cpp.o" "gcc" "src/CMakeFiles/plasticine.dir/pir/builder.cpp.o.d"
+  "/root/repo/src/pir/eval.cpp" "src/CMakeFiles/plasticine.dir/pir/eval.cpp.o" "gcc" "src/CMakeFiles/plasticine.dir/pir/eval.cpp.o.d"
+  "/root/repo/src/pir/validate.cpp" "src/CMakeFiles/plasticine.dir/pir/validate.cpp.o" "gcc" "src/CMakeFiles/plasticine.dir/pir/validate.cpp.o.d"
+  "/root/repo/src/runtime/runner.cpp" "src/CMakeFiles/plasticine.dir/runtime/runner.cpp.o" "gcc" "src/CMakeFiles/plasticine.dir/runtime/runner.cpp.o.d"
+  "/root/repo/src/sim/ctrlbox.cpp" "src/CMakeFiles/plasticine.dir/sim/ctrlbox.cpp.o" "gcc" "src/CMakeFiles/plasticine.dir/sim/ctrlbox.cpp.o.d"
+  "/root/repo/src/sim/dram.cpp" "src/CMakeFiles/plasticine.dir/sim/dram.cpp.o" "gcc" "src/CMakeFiles/plasticine.dir/sim/dram.cpp.o.d"
+  "/root/repo/src/sim/fabric.cpp" "src/CMakeFiles/plasticine.dir/sim/fabric.cpp.o" "gcc" "src/CMakeFiles/plasticine.dir/sim/fabric.cpp.o.d"
+  "/root/repo/src/sim/fuexec.cpp" "src/CMakeFiles/plasticine.dir/sim/fuexec.cpp.o" "gcc" "src/CMakeFiles/plasticine.dir/sim/fuexec.cpp.o.d"
+  "/root/repo/src/sim/memsys.cpp" "src/CMakeFiles/plasticine.dir/sim/memsys.cpp.o" "gcc" "src/CMakeFiles/plasticine.dir/sim/memsys.cpp.o.d"
+  "/root/repo/src/sim/pcu.cpp" "src/CMakeFiles/plasticine.dir/sim/pcu.cpp.o" "gcc" "src/CMakeFiles/plasticine.dir/sim/pcu.cpp.o.d"
+  "/root/repo/src/sim/pmu.cpp" "src/CMakeFiles/plasticine.dir/sim/pmu.cpp.o" "gcc" "src/CMakeFiles/plasticine.dir/sim/pmu.cpp.o.d"
+  "/root/repo/src/sim/scratchpad.cpp" "src/CMakeFiles/plasticine.dir/sim/scratchpad.cpp.o" "gcc" "src/CMakeFiles/plasticine.dir/sim/scratchpad.cpp.o.d"
+  "/root/repo/src/sim/unitcommon.cpp" "src/CMakeFiles/plasticine.dir/sim/unitcommon.cpp.o" "gcc" "src/CMakeFiles/plasticine.dir/sim/unitcommon.cpp.o.d"
+  "/root/repo/src/sim/wavefront.cpp" "src/CMakeFiles/plasticine.dir/sim/wavefront.cpp.o" "gcc" "src/CMakeFiles/plasticine.dir/sim/wavefront.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_apps.cpp" "tests/CMakeFiles/plasticine_tests.dir/test_apps.cpp.o" "gcc" "tests/CMakeFiles/plasticine_tests.dir/test_apps.cpp.o.d"
+  "/root/repo/tests/test_base.cpp" "tests/CMakeFiles/plasticine_tests.dir/test_base.cpp.o" "gcc" "tests/CMakeFiles/plasticine_tests.dir/test_base.cpp.o.d"
+  "/root/repo/tests/test_chain.cpp" "tests/CMakeFiles/plasticine_tests.dir/test_chain.cpp.o" "gcc" "tests/CMakeFiles/plasticine_tests.dir/test_chain.cpp.o.d"
+  "/root/repo/tests/test_compiler.cpp" "tests/CMakeFiles/plasticine_tests.dir/test_compiler.cpp.o" "gcc" "tests/CMakeFiles/plasticine_tests.dir/test_compiler.cpp.o.d"
+  "/root/repo/tests/test_ctrlbox.cpp" "tests/CMakeFiles/plasticine_tests.dir/test_ctrlbox.cpp.o" "gcc" "tests/CMakeFiles/plasticine_tests.dir/test_ctrlbox.cpp.o.d"
+  "/root/repo/tests/test_dram.cpp" "tests/CMakeFiles/plasticine_tests.dir/test_dram.cpp.o" "gcc" "tests/CMakeFiles/plasticine_tests.dir/test_dram.cpp.o.d"
+  "/root/repo/tests/test_e2e.cpp" "tests/CMakeFiles/plasticine_tests.dir/test_e2e.cpp.o" "gcc" "tests/CMakeFiles/plasticine_tests.dir/test_e2e.cpp.o.d"
+  "/root/repo/tests/test_eval.cpp" "tests/CMakeFiles/plasticine_tests.dir/test_eval.cpp.o" "gcc" "tests/CMakeFiles/plasticine_tests.dir/test_eval.cpp.o.d"
+  "/root/repo/tests/test_fabric.cpp" "tests/CMakeFiles/plasticine_tests.dir/test_fabric.cpp.o" "gcc" "tests/CMakeFiles/plasticine_tests.dir/test_fabric.cpp.o.d"
+  "/root/repo/tests/test_fuexec.cpp" "tests/CMakeFiles/plasticine_tests.dir/test_fuexec.cpp.o" "gcc" "tests/CMakeFiles/plasticine_tests.dir/test_fuexec.cpp.o.d"
+  "/root/repo/tests/test_geometry.cpp" "tests/CMakeFiles/plasticine_tests.dir/test_geometry.cpp.o" "gcc" "tests/CMakeFiles/plasticine_tests.dir/test_geometry.cpp.o.d"
+  "/root/repo/tests/test_mapper.cpp" "tests/CMakeFiles/plasticine_tests.dir/test_mapper.cpp.o" "gcc" "tests/CMakeFiles/plasticine_tests.dir/test_mapper.cpp.o.d"
+  "/root/repo/tests/test_memsys.cpp" "tests/CMakeFiles/plasticine_tests.dir/test_memsys.cpp.o" "gcc" "tests/CMakeFiles/plasticine_tests.dir/test_memsys.cpp.o.d"
+  "/root/repo/tests/test_models.cpp" "tests/CMakeFiles/plasticine_tests.dir/test_models.cpp.o" "gcc" "tests/CMakeFiles/plasticine_tests.dir/test_models.cpp.o.d"
+  "/root/repo/tests/test_pcu.cpp" "tests/CMakeFiles/plasticine_tests.dir/test_pcu.cpp.o" "gcc" "tests/CMakeFiles/plasticine_tests.dir/test_pcu.cpp.o.d"
+  "/root/repo/tests/test_pmu.cpp" "tests/CMakeFiles/plasticine_tests.dir/test_pmu.cpp.o" "gcc" "tests/CMakeFiles/plasticine_tests.dir/test_pmu.cpp.o.d"
+  "/root/repo/tests/test_printers.cpp" "tests/CMakeFiles/plasticine_tests.dir/test_printers.cpp.o" "gcc" "tests/CMakeFiles/plasticine_tests.dir/test_printers.cpp.o.d"
+  "/root/repo/tests/test_runner.cpp" "tests/CMakeFiles/plasticine_tests.dir/test_runner.cpp.o" "gcc" "tests/CMakeFiles/plasticine_tests.dir/test_runner.cpp.o.d"
+  "/root/repo/tests/test_scratchpad.cpp" "tests/CMakeFiles/plasticine_tests.dir/test_scratchpad.cpp.o" "gcc" "tests/CMakeFiles/plasticine_tests.dir/test_scratchpad.cpp.o.d"
+  "/root/repo/tests/test_stream.cpp" "tests/CMakeFiles/plasticine_tests.dir/test_stream.cpp.o" "gcc" "tests/CMakeFiles/plasticine_tests.dir/test_stream.cpp.o.d"
+  "/root/repo/tests/test_stream_scheme.cpp" "tests/CMakeFiles/plasticine_tests.dir/test_stream_scheme.cpp.o" "gcc" "tests/CMakeFiles/plasticine_tests.dir/test_stream_scheme.cpp.o.d"
+  "/root/repo/tests/test_unitcommon.cpp" "tests/CMakeFiles/plasticine_tests.dir/test_unitcommon.cpp.o" "gcc" "tests/CMakeFiles/plasticine_tests.dir/test_unitcommon.cpp.o.d"
+  "/root/repo/tests/test_validate.cpp" "tests/CMakeFiles/plasticine_tests.dir/test_validate.cpp.o" "gcc" "tests/CMakeFiles/plasticine_tests.dir/test_validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/plasticine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
