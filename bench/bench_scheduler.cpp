@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Host-side cost of the simulation core: runs every Table 4 benchmark
+ * end to end (compile, load, simulate) under the dense-tick loop and
+ * under the activity-driven scheduler, and reports the wall-clock
+ * speedup. Both modes produce bit-identical cycle results (enforced by
+ * the test suite); the win comes from not ticking blocked units,
+ * committing only dirty streams, and fast-forwarding idle regions.
+ */
+
+#include <chrono>
+#include <cstdio>
+
+#include "apps/apps.hpp"
+#include "base/logging.hpp"
+
+using namespace plast;
+
+namespace
+{
+
+struct ModeRun
+{
+    double wallSeconds = 0;
+    Cycles cycles = 0;
+};
+
+ModeRun
+timeApp(const apps::AppSpec &spec, apps::Scale scale, SimOptions opts)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    apps::AppInstance app = spec.make(scale);
+    Runner runner(std::move(app.prog), ArchParams::plasticineFinal(),
+                  opts);
+    app.load(runner);
+    Runner::Result res = runner.run();
+    auto t1 = std::chrono::steady_clock::now();
+
+    ModeRun out;
+    out.wallSeconds = std::chrono::duration<double>(t1 - t0).count();
+    out.cycles = res.cycles;
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    bool tiny = argc > 1 && std::string(argv[1]) == "--tiny";
+    apps::Scale scale = tiny ? apps::Scale::kTiny : apps::Scale::kDefault;
+
+    SimOptions dense;
+    dense.mode = SimOptions::Mode::kDense;
+    SimOptions activity; // default
+
+    std::printf("=== Simulation-core cost: dense tick vs activity "
+                "scheduling (end-to-end per app) ===\n");
+    std::printf("%-14s | %10s | %10s %10s | %8s\n", "benchmark",
+                "cycles", "dense_s", "activity_s", "speedup");
+
+    double dense_total = 0, act_total = 0;
+    for (const auto &spec : apps::allApps()) {
+        ModeRun d = timeApp(spec, scale, dense);
+        ModeRun a = timeApp(spec, scale, activity);
+        fatal_if(d.cycles != a.cycles,
+                 "%s: mode cycle mismatch (%llu vs %llu)",
+                 spec.name.c_str(), (unsigned long long)d.cycles,
+                 (unsigned long long)a.cycles);
+        dense_total += d.wallSeconds;
+        act_total += a.wallSeconds;
+        std::printf("%-14s | %10llu | %10.4f %10.4f | %7.2fx\n",
+                    spec.name.c_str(), (unsigned long long)d.cycles,
+                    d.wallSeconds, a.wallSeconds,
+                    d.wallSeconds / a.wallSeconds);
+    }
+    std::printf("%-14s | %10s | %10.4f %10.4f | %7.2fx\n", "total", "",
+                dense_total, act_total, dense_total / act_total);
+    return 0;
+}

@@ -7,8 +7,8 @@ namespace plast
 
 using namespace pir;
 
-Runner::Runner(Program prog, ArchParams params)
-    : prog_(std::move(prog)), params_(params)
+Runner::Runner(Program prog, ArchParams params, SimOptions simOpts)
+    : prog_(std::move(prog)), params_(params), simOpts_(simOpts)
 {
 }
 
@@ -41,7 +41,7 @@ Runner::Result
 Runner::run(Cycles maxCycles)
 {
     ensureCompiled();
-    fabric_ = std::make_unique<Fabric>(map_.fabric);
+    fabric_ = std::make_unique<Fabric>(map_.fabric, simOpts_);
 
     // Load the DRAM image.
     Addr max_extent = 0;

@@ -28,7 +28,8 @@ class Runner
 {
   public:
     explicit Runner(pir::Program prog,
-                    ArchParams params = ArchParams::plasticineFinal());
+                    ArchParams params = ArchParams::plasticineFinal(),
+                    SimOptions simOpts = {});
 
     /** Host-visible input/output staging for a DRAM buffer. */
     std::vector<Word> &dram(pir::MemId id);
@@ -67,6 +68,7 @@ class Runner
 
     pir::Program prog_;
     ArchParams params_;
+    SimOptions simOpts_;
     bool compiled_ = false;
     compiler::MapResult map_;
     std::map<pir::MemId, std::vector<Word>> host_;

@@ -7,7 +7,8 @@
 namespace plast
 {
 
-Fabric::Fabric(const FabricConfig &cfg) : cfg_(cfg), mem_(cfg.params)
+Fabric::Fabric(const FabricConfig &cfg, SimOptions opts)
+    : cfg_(cfg), opts_(opts), mem_(cfg.params)
 {
     fatal_if(cfg_.rootBox < 0 ||
                  cfg_.rootBox >= static_cast<int>(cfg_.boxes.size()),
@@ -60,6 +61,43 @@ Fabric::Fabric(const FabricConfig &cfg) : cfg_(cfg), mem_(cfg.params)
         p.isConst = true;
         p.constVal = cs.value;
     }
+
+    if (opts_.mode == SimOptions::Mode::kActivity)
+        registerSimObjects();
+}
+
+/**
+ * Attach everything to the scheduler. Unit registration order must
+ * match the dense iteration order (PCUs, PMUs, AGs, boxes) so that
+ * order-sensitive races (two AGs submitting to one coalescing unit in
+ * the same cycle) resolve identically in both modes.
+ */
+void
+Fabric::registerSimObjects()
+{
+    for (auto &u : pcus_) {
+        if (u)
+            sched_.addUnit(u.get());
+    }
+    for (auto &u : pmus_) {
+        if (u)
+            sched_.addUnit(u.get());
+    }
+    for (auto &u : ags_) {
+        if (u)
+            sched_.addUnit(u.get());
+    }
+    for (auto &u : boxes_) {
+        if (u)
+            sched_.addUnit(u.get());
+    }
+    sched_.addMem(&mem_);
+    for (auto &s : scalarStreams_)
+        sched_.addStream(s.get());
+    for (auto &s : vectorStreams_)
+        sched_.addStream(s.get());
+    for (auto &s : controlStreams_)
+        sched_.addStream(s.get());
 }
 
 UnitPorts *
@@ -74,6 +112,24 @@ Fabric::portsOf(const UnitRef &ref)
         return ags_.at(ref.index) ? &ags_[ref.index]->ports : nullptr;
       case UnitClass::kBox:
         return boxes_.at(ref.index) ? &boxes_[ref.index]->ports : nullptr;
+      case UnitClass::kHost:
+        return nullptr;
+    }
+    return nullptr;
+}
+
+SimUnit *
+Fabric::unitOf(const UnitRef &ref)
+{
+    switch (ref.cls) {
+      case UnitClass::kPcu:
+        return pcus_.at(ref.index).get();
+      case UnitClass::kPmu:
+        return pmus_.at(ref.index).get();
+      case UnitClass::kAg:
+        return ags_.at(ref.index).get();
+      case UnitClass::kBox:
+        return boxes_.at(ref.index).get();
       case UnitClass::kHost:
         return nullptr;
     }
@@ -101,6 +157,8 @@ Fabric::buildChannels()
             fatal_if(ch.src.port >= src->scalOut.size(),
                      "channel %s: bad source port", name.c_str());
             src->scalOut[ch.src.port].sinks.push_back(s.get());
+            s->bindProducer(unitOf(ch.src.unit));
+            s->bindHostSlot(static_cast<int32_t>(ch.dst.port));
             hostSinks_.push_back(
                 {static_cast<uint32_t>(ch.dst.port), s.get()});
             fatal_if(ch.dst.port >= argOuts_.size(),
@@ -128,6 +186,8 @@ Fabric::buildChannels()
             dst->scalIn[ch.dst.port].stream = s.get();
             dst->scalIn[ch.dst.port].popEvery =
                 ch.dstPopEvery == 0 ? 1 : ch.dstPopEvery;
+            s->bindProducer(unitOf(ch.src.unit));
+            s->bindConsumer(unitOf(ch.dst.unit));
             scalarStreams_.push_back(std::move(s));
             break;
           }
@@ -141,6 +201,8 @@ Fabric::buildChannels()
                      "channel %s: input doubly driven", name.c_str());
             src->vecOut[ch.src.port].sinks.push_back(s.get());
             dst->vecIn[ch.dst.port].stream = s.get();
+            s->bindProducer(unitOf(ch.src.unit));
+            s->bindConsumer(unitOf(ch.dst.unit));
             vectorStreams_.push_back(std::move(s));
             break;
           }
@@ -156,6 +218,8 @@ Fabric::buildChannels()
                      "channel %s: input doubly driven", name.c_str());
             src->ctlOut[ch.src.port].sinks.push_back(s.get());
             dst->ctlIn[ch.dst.port].stream = s.get();
+            s->bindProducer(unitOf(ch.src.unit));
+            s->bindConsumer(unitOf(ch.dst.unit));
             controlStreams_.push_back(std::move(s));
             break;
           }
@@ -165,6 +229,15 @@ Fabric::buildChannels()
 
 void
 Fabric::step()
+{
+    if (opts_.mode == SimOptions::Mode::kDense)
+        stepDense();
+    else
+        stepActivity();
+}
+
+void
+Fabric::stepDense()
 {
     for (auto &u : pcus_) {
         if (u)
@@ -191,14 +264,31 @@ Fabric::step()
     for (auto &s : controlStreams_)
         s->tick(now_);
 
-    // Capture host-bound scalars.
+    drainHostSinks();
+    ++now_;
+}
+
+void
+Fabric::stepActivity()
+{
+    sched_.runCycle(now_);
+    // A host sink delivered: capture argOuts this cycle, exactly when
+    // the dense tick would (canPop() turns true only on delivery).
+    if (!sched_.deliveredHost().empty())
+        drainHostSinks();
+    ++now_;
+}
+
+/** Capture host-bound scalars (argOut registers). */
+void
+Fabric::drainHostSinks()
+{
     for (auto &sink : hostSinks_) {
         while (sink.stream->canPop()) {
             argOuts_[sink.slot].push_back(sink.stream->front());
             sink.stream->pop();
         }
     }
-    ++now_;
 }
 
 bool
@@ -226,6 +316,14 @@ Fabric::anyProgress() const
 Cycles
 Fabric::run(Cycles maxCycles)
 {
+    return opts_.mode == SimOptions::Mode::kDense
+               ? runDense(maxCycles)
+               : runActivity(maxCycles);
+}
+
+Cycles
+Fabric::runDense(Cycles maxCycles)
+{
     CtrlBoxSim *root = boxes_.at(cfg_.rootBox).get();
     fatal_if(!root, "root controller not instantiated");
 
@@ -234,11 +332,11 @@ Fabric::run(Cycles maxCycles)
         step();
         if (anyProgress())
             last_progress = now_;
-        if (now_ - last_progress > deadlockWindow_) {
+        if (now_ - last_progress > opts_.deadlockWindow) {
             dumpDeadlock();
             fatal("fabric deadlock: no progress for %u cycles at cycle "
                   "%llu",
-                  deadlockWindow_,
+                  opts_.deadlockWindow,
                   static_cast<unsigned long long>(now_));
         }
         if (now_ >= maxCycles)
@@ -248,10 +346,54 @@ Fabric::run(Cycles maxCycles)
     Cycles done_at = now_;
     // Drain in-flight writes and host-bound scalars: run until nothing
     // has moved for a full window (covers the longest routed channel).
+    // anyProgress() already covers memory-system activity.
     Cycles quiet_since = now_;
-    while (now_ - quiet_since < 128 && now_ - done_at < 100'000) {
+    while (now_ - quiet_since < opts_.drainQuietWindow &&
+           now_ - done_at < opts_.drainMaxCycles) {
         step();
-        if (anyProgress() || !mem_.quiescent())
+        if (anyProgress())
+            quiet_since = now_;
+    }
+    return done_at;
+}
+
+Cycles
+Fabric::runActivity(Cycles maxCycles)
+{
+    CtrlBoxSim *root = boxes_.at(cfg_.rootBox).get();
+    fatal_if(!root, "root controller not instantiated");
+
+    while (root->runsCompleted() == 0) {
+        if (sched_.idle()) {
+            // Nothing can ever happen again: no runnable unit, quiet
+            // memory, no stream traffic, no pending arrival. This is
+            // the deadlock condition, detected the cycle it forms.
+            dumpDeadlock();
+            fatal("fabric deadlock: empty active set at cycle %llu",
+                  static_cast<unsigned long long>(now_));
+        }
+        if (sched_.canFastForward()) {
+            // The only pending work is a future stream arrival; every
+            // skipped cycle would have been a no-op under dense ticking.
+            Cycles target = sched_.nextEventCycle();
+            if (target > now_)
+                now_ = target < maxCycles ? target : maxCycles;
+        }
+        step();
+        if (now_ >= maxCycles)
+            fatal("fabric exceeded max cycles (%llu)",
+                  static_cast<unsigned long long>(maxCycles));
+    }
+    Cycles done_at = now_;
+    // Same drain policy as dense mode, cycle for cycle — no idle break
+    // and no fast-forward, so the quiet window expires exactly as
+    // under dense ticking and the final cycle count (the "cycles"
+    // stat) is identical. Idle drain cycles are O(1).
+    Cycles quiet_since = now_;
+    while (now_ - quiet_since < opts_.drainQuietWindow &&
+           now_ - done_at < opts_.drainMaxCycles) {
+        step();
+        if (sched_.progressLastCycle())
             quiet_since = now_;
     }
     return done_at;
@@ -288,6 +430,21 @@ Fabric::dumpDeadlock() const
                          boxes_[i]->name().c_str(),
                          (unsigned long long)boxes_[i]->stats().iterations);
     }
+    // Streams still holding data pinpoint the wait cycle.
+    auto stream_lines = [](const auto &streams) {
+        for (const auto &s : streams) {
+            if (!s->quiescent())
+                std::fprintf(stderr,
+                             "  stream %s holds %zu poppable element(s)\n",
+                             s->name().c_str(), s->available());
+        }
+    };
+    stream_lines(scalarStreams_);
+    stream_lines(vectorStreams_);
+    stream_lines(controlStreams_);
+    if (opts_.mode == SimOptions::Mode::kActivity)
+        std::fprintf(stderr, "  scheduler: %zu awake unit(s)\n",
+                     sched_.awakeUnits());
 }
 
 const std::deque<Word> &
@@ -345,6 +502,26 @@ Fabric::dumpStats(StatSet &out) const
         out.set(p + "wordsStored", s.wordsStored);
         out.set(p + "activeCycles", s.activeCycles);
     }
+    // Per-stream traffic counters, plus per-network totals.
+    auto stream_stats = [&out](const StreamBase &s, const char *kind) {
+        const auto &t = s.stats();
+        std::string p = "stream." + s.name() + ".";
+        out.set(p + "pushes", t.pushes);
+        out.set(p + "pops", t.pops);
+        out.set(p + "peakOccupancy", t.peakOccupancy);
+        out.set(p + "fullStallCycles", t.fullStallCycles);
+        std::string n = std::string("net.") + kind + ".";
+        out.add(n + "pushes", t.pushes);
+        out.add(n + "pops", t.pops);
+        out.add(n + "fullStallCycles", t.fullStallCycles);
+    };
+    for (const auto &s : scalarStreams_)
+        stream_stats(*s, "scalar");
+    for (const auto &s : vectorStreams_)
+        stream_stats(*s, "vector");
+    for (const auto &s : controlStreams_)
+        stream_stats(*s, "control");
+
     const auto &m = mem_.stats();
     out.set("mem.bursts", m.bursts);
     out.set("mem.coalescedLanes", m.coalescedLanes);

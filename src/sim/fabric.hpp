@@ -19,26 +19,48 @@
 #include "sim/memsys.hpp"
 #include "sim/pcu.hpp"
 #include "sim/pmu.hpp"
+#include "sim/scheduler.hpp"
 
 namespace plast
 {
 
+/** Simulation-loop options (mode and window tuning). */
+struct SimOptions
+{
+    enum class Mode
+    {
+        kActivity, ///< event-assisted scheduling (default)
+        kDense,    ///< tick every unit and stream each cycle
+    };
+    Mode mode = Mode::kActivity;
+    /** Dense mode only: fatal after this many cycles without progress.
+     *  (Activity mode detects deadlock exactly: empty active set.) */
+    uint32_t deadlockWindow = 50'000;
+    /** Post-completion drain stops after this many quiet cycles. */
+    uint32_t drainQuietWindow = 128;
+    /** Hard cap on post-completion drain cycles. */
+    Cycles drainMaxCycles = 100'000;
+};
+
 class Fabric
 {
   public:
-    explicit Fabric(const FabricConfig &cfg);
+    explicit Fabric(const FabricConfig &cfg, SimOptions opts = {});
 
     /** DRAM image access for the host runtime (load inputs / results). */
     DramModel &dram() { return mem_.dram(); }
 
     /**
      * Run until the root controller completes (plus drain) or maxCycles
-     * elapse. Returns the cycle count at completion.
-     * Fatals on deadlock (no progress for `deadlockWindow` cycles).
+     * elapse. Returns the cycle count at completion. Fatals on deadlock:
+     * in activity mode the moment the active set empties with the root
+     * incomplete; in dense mode after `deadlockWindow` cycles without
+     * progress.
      */
     Cycles run(Cycles maxCycles = 500'000'000);
 
-    /** Step a single cycle (tests drive this directly). */
+    /** Step a single cycle (tests drive this directly). Both modes
+     *  produce bit-identical per-cycle architectural state. */
     void step();
 
     Cycles now() const { return now_; }
@@ -59,11 +81,20 @@ class Fabric
 
   private:
     void buildChannels();
+    void registerSimObjects();
     UnitPorts *portsOf(const UnitRef &ref);
+    SimUnit *unitOf(const UnitRef &ref);
     bool anyProgress() const;
+    void stepDense();
+    void stepActivity();
+    void drainHostSinks();
+    Cycles runDense(Cycles maxCycles);
+    Cycles runActivity(Cycles maxCycles);
     void dumpDeadlock() const;
 
     FabricConfig cfg_;
+    SimOptions opts_;
+    Scheduler sched_;
     MemSystem mem_;
     std::vector<std::unique_ptr<PcuSim>> pcus_;
     std::vector<std::unique_ptr<PmuSim>> pmus_;
@@ -84,7 +115,6 @@ class Fabric
     std::vector<std::deque<Word>> argOuts_;
 
     Cycles now_ = 0;
-    uint32_t deadlockWindow_ = 50'000;
 };
 
 } // namespace plast

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/logging.hpp"
+#include "sim/scheduler.hpp"
 
 namespace plast
 {
@@ -282,6 +283,7 @@ AgSim::deliverWords(uint64_t cmdId, uint32_t wordOffset, const Word *data,
                  "AG %u: burst overflows command", index_);
         std::copy(data, data + count, cmd.data.begin() + wordOffset);
         cmd.received += count;
+        requestWake();
         return;
     }
     panic("AG %u: deliverWords for unknown command %llu", index_,
@@ -297,6 +299,7 @@ AgSim::deliverLane(uint64_t cmdId, uint32_t lane, Word data)
         cmd.data.lane[lane] = data;
         panic_if(cmd.remaining == 0, "AG %u: extra lane delivery", index_);
         --cmd.remaining;
+        requestWake();
         return;
     }
     panic("AG %u: deliverLane for unknown command %llu", index_,
@@ -310,6 +313,7 @@ AgSim::ackWrite(uint64_t cmdId, uint32_t count)
     panic_if(outstandingWrites_ < count, "AG %u: spurious write ack",
              index_);
     outstandingWrites_ -= count;
+    requestWake();
 }
 
 // ====================================================================
@@ -334,9 +338,15 @@ MemSystem::submitDense(uint32_t cu, AgSim *ag, uint64_t cmdId,
                        Addr byteAddr, uint32_t words, bool write,
                        const Word *data)
 {
+    // A submit means the memory system has work this cycle, and a
+    // rejected AG must poll again next cycle (it gets no other event).
+    if (sched())
+        sched()->memWork();
     CuState &c = cus_.at(cu);
-    if (c.acceptedThisCycle)
+    if (c.acceptedThisCycle) {
+        ag->requestWake();
         return false;
+    }
     const Addr first_line = byteAddr / kBurstBytes;
     const Addr last_line = (byteAddr + words * 4 - 1) / kBurstBytes;
     const uint32_t n_bursts = static_cast<uint32_t>(last_line - first_line
@@ -345,8 +355,10 @@ MemSystem::submitDense(uint32_t cu, AgSim *ag, uint64_t cmdId,
              "dense command of %u bursts can never satisfy the "
              "outstanding budget (%u)",
              n_bursts, params_.coalescerMaxOutstanding);
-    if (c.outstanding + n_bursts > params_.coalescerMaxOutstanding)
+    if (c.outstanding + n_bursts > params_.coalescerMaxOutstanding) {
+        ag->requestWake();
         return false;
+    }
     c.acceptedThisCycle = true;
     c.outstanding += n_bursts;
     ++stats_.denseCmds;
@@ -385,9 +397,13 @@ MemSystem::submitSparse(uint32_t cu, AgSim *ag, uint64_t cmdId,
                         const Vec &addrs, uint32_t lanes, bool write,
                         const Vec *data)
 {
+    if (sched())
+        sched()->memWork();
     CuState &c = cus_.at(cu);
-    if (c.acceptedThisCycle)
+    if (c.acceptedThisCycle) {
+        ag->requestWake();
         return 0;
+    }
 
     uint32_t accepted = 0;
     for (uint32_t l = 0; l < lanes; ++l) {
@@ -443,6 +459,8 @@ MemSystem::submitSparse(uint32_t cu, AgSim *ag, uint64_t cmdId,
     if (accepted) {
         c.acceptedThisCycle = true;
         ++stats_.sparseCmds;
+    } else {
+        ag->requestWake();
     }
     return accepted;
 }

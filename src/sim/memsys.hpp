@@ -25,17 +25,14 @@ namespace plast
 class MemSystem;
 
 /** One Address Generator. */
-class AgSim
+class AgSim : public SimUnit
 {
   public:
     AgSim(const ArchParams &params, uint32_t index, const AgCfg &cfg,
           MemSystem &mem);
 
-    void step(Cycles now);
-    bool busy() const;
-    bool madeProgress() const { return progress_; }
-
-    UnitPorts ports;
+    void step(Cycles now) override;
+    bool busy() const override;
 
     // Callbacks from the memory system.
     void deliverWords(uint64_t cmdId, uint32_t wordOffset, const Word *data,
@@ -106,7 +103,6 @@ class AgSim
     std::vector<uint8_t> scalarRefs_;
 
     Stats stats_;
-    bool progress_ = false;
 };
 
 /**
@@ -114,7 +110,7 @@ class AgSim
  * call in with commands; each coalescing unit accepts at most one AG
  * command per cycle and tracks outstanding bursts.
  */
-class MemSystem
+class MemSystem : public SimObject
 {
   public:
     explicit MemSystem(const ArchParams &params);
@@ -139,6 +135,15 @@ class MemSystem
 
     void step(Cycles now);
     bool quiescent() const;
+
+    /** Activity adapter: the DRAM timing model is cycle-driven, so the
+     *  memory system stays active every cycle until fully quiescent. */
+    Activity
+    evaluate(Cycles now) override
+    {
+        step(now);
+        return quiescent() ? Activity::kBlocked : Activity::kActive;
+    }
 
     struct Stats
     {

@@ -21,16 +21,13 @@
 namespace plast
 {
 
-class PcuSim
+class PcuSim : public SimUnit
 {
   public:
     PcuSim(const ArchParams &params, uint32_t index, const PcuCfg &cfg);
 
-    void step(Cycles now);
-    bool busy() const { return state_ != State::kIdle; }
-    bool madeProgress() const { return progress_; }
-
-    UnitPorts ports;
+    void step(Cycles now) override;
+    bool busy() const override { return state_ != State::kIdle; }
 
     struct Stats
     {
@@ -77,7 +74,6 @@ class PcuSim
     std::vector<uint8_t> vectorRefs_;
 
     Stats stats_;
-    bool progress_ = false;
 };
 
 } // namespace plast

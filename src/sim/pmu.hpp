@@ -21,16 +21,13 @@
 namespace plast
 {
 
-class PmuSim
+class PmuSim : public SimUnit
 {
   public:
     PmuSim(const ArchParams &params, uint32_t index, const PmuCfg &cfg);
 
-    void step(Cycles now);
-    bool busy() const;
-    bool madeProgress() const { return progress_; }
-
-    UnitPorts ports;
+    void step(Cycles now) override;
+    bool busy() const override;
 
     struct Stats
     {
@@ -75,7 +72,6 @@ class PmuSim
     Scratchpad scratch_;
     Port write_, write2_, read_;
     Stats stats_;
-    bool progress_ = false;
 };
 
 } // namespace plast

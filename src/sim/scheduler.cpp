@@ -1,0 +1,168 @@
+#include "sim/scheduler.hpp"
+
+#include <algorithm>
+
+#include "sim/stream.hpp"
+
+namespace plast
+{
+
+void
+Scheduler::addUnit(SimObject *u)
+{
+    u->sched_ = this;
+    u->seq_ = nextSeq_++;
+    u->inRun_ = true;
+    run_.push_back(u);
+}
+
+void
+Scheduler::addMem(SimObject *m)
+{
+    m->sched_ = this;
+    m->seq_ = nextSeq_++;
+    mem_ = m;
+}
+
+void
+Scheduler::addStream(StreamBase *s)
+{
+    s->sched_ = this;
+    s->seq_ = nextSeq_++;
+}
+
+void
+Scheduler::wakeUnit(SimObject *u)
+{
+    if (u->inRun_ || u->wakeQueued_)
+        return;
+    u->wakeQueued_ = true;
+    wakePending_.push_back(u);
+}
+
+void
+Scheduler::streamDirty(StreamBase *s)
+{
+    if (s->inDirty_)
+        return;
+    s->inDirty_ = true;
+    dirty_.push_back(s);
+}
+
+void
+Scheduler::scheduleArrival(Cycles cycle, StreamBase *s)
+{
+    if (s->armedAt_ == cycle)
+        return;
+    s->armedAt_ = cycle;
+    timers_[cycle].push_back(s);
+}
+
+void
+Scheduler::applyWakes()
+{
+    if (wakePending_.empty())
+        return;
+    bool added = false;
+    for (SimObject *u : wakePending_) {
+        u->wakeQueued_ = false;
+        if (!u->inRun_) {
+            u->inRun_ = true;
+            run_.push_back(u);
+            added = true;
+        }
+    }
+    wakePending_.clear();
+    if (added) {
+        std::sort(run_.begin(), run_.end(),
+                  [](const SimObject *a, const SimObject *b) {
+                      return a->seq_ < b->seq_;
+                  });
+    }
+}
+
+void
+Scheduler::runCycle(Cycles now)
+{
+    // Due arrival timers feed this cycle's commit phase.
+    while (!timers_.empty() && timers_.begin()->first <= now) {
+        for (StreamBase *s : timers_.begin()->second) {
+            if (s->armedAt_ == timers_.begin()->first)
+                s->armedAt_ = kNeverCycle;
+            streamDirty(s);
+        }
+        timers_.erase(timers_.begin());
+    }
+
+    // Phase 1: evaluate awake units in deterministic order. A unit is
+    // dropped from the active set the moment it reports kBlocked; wake
+    // events queued during its own evaluate (memory-submit retry) are
+    // honored via wakeQueued_.
+    progress_ = false;
+    size_t keep = 0;
+    for (size_t i = 0; i < run_.size(); ++i) {
+        SimObject *u = run_[i];
+        u->inRun_ = false;
+        Activity a = u->evaluate(now);
+        if (a == Activity::kActive) {
+            u->inRun_ = true;
+            run_[keep++] = u;
+            progress_ = true;
+        }
+    }
+    run_.resize(keep);
+
+    // Phase 2: the memory system (coalescing units + DRAM timing) runs
+    // on submit cycles and then polls itself while non-quiescent.
+    if (mem_ && (memBusy_ || memWork_)) {
+        memWork_ = false;
+        memBusy_ = (mem_->evaluate(now) == Activity::kActive);
+        if (memBusy_)
+            progress_ = true;
+    }
+
+    // Phase 3: commit dirty streams; route wakes. Dirt created from
+    // here on (e.g. host-sink pops) belongs to the next cycle.
+    deliveredHost_.clear();
+    commitRun_.swap(dirty_);
+    for (StreamBase *s : commitRun_)
+        s->inDirty_ = false;
+    for (StreamBase *s : commitRun_) {
+        CommitResult r = s->commit(now);
+        if (r.delivered) {
+            if (s->consumer_)
+                wakeUnit(s->consumer_);
+            if (s->hostSlot_ >= 0)
+                deliveredHost_.push_back(s);
+        }
+        if (r.drained && s->producer_)
+            wakeUnit(s->producer_);
+        if (r.nextArrival != kNeverCycle)
+            scheduleArrival(r.nextArrival, s);
+    }
+    commitRun_.clear();
+
+    applyWakes();
+}
+
+bool
+Scheduler::idle() const
+{
+    return run_.empty() && wakePending_.empty() && dirty_.empty() &&
+           timers_.empty() && !memBusy_ && !memWork_;
+}
+
+bool
+Scheduler::canFastForward() const
+{
+    return run_.empty() && wakePending_.empty() && dirty_.empty() &&
+           !memBusy_ && !memWork_ && !timers_.empty();
+}
+
+Cycles
+Scheduler::nextEventCycle() const
+{
+    return timers_.empty() ? kNeverCycle : timers_.begin()->first;
+}
+
+} // namespace plast

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Activity-driven cycle scheduler. Instead of densely ticking every
+ * unit and stream each cycle, the scheduler keeps an active set:
+ *
+ *  - units evaluate only while they report kActive; a kBlocked unit
+ *    sleeps until a stream attached to one of its ports delivers
+ *    (consumer wake) or drains (producer wake), or the memory system
+ *    wakes it directly;
+ *  - the memory system runs on cycles where an AG submitted a command
+ *    and then polls itself while non-quiescent (DRAM timing is
+ *    cycle-driven);
+ *  - streams commit only on cycles where traffic was staged or an
+ *    in-flight element is due; each in-flight element schedules its
+ *    own arrival cycle, so fully idle regions cost zero per-cycle
+ *    work and can be skipped wholesale (fast-forward).
+ *
+ * Deadlock detection falls out of the design: an empty active set
+ * (no runnable unit, quiet memory, no dirty stream, no pending
+ * arrival) while the root controller is incomplete IS the deadlock
+ * condition — no windowed no-progress scan required.
+ *
+ * Determinism: units evaluate in registration order, which the fabric
+ * keeps identical to the dense tick order (PCUs, PMUs, AGs, boxes), so
+ * order-sensitive interactions (e.g. two AGs racing for one coalescing
+ * unit) resolve exactly as under dense ticking. Cycle-level results
+ * are bit-identical to the dense-tick baseline.
+ */
+
+#ifndef PLAST_SIM_SCHEDULER_HPP
+#define PLAST_SIM_SCHEDULER_HPP
+
+#include <map>
+#include <vector>
+
+#include "sim/simobject.hpp"
+
+namespace plast
+{
+
+class StreamBase;
+
+class Scheduler
+{
+  public:
+    // ---- registration (fabric construction) --------------------------
+    /** Register a unit; starts awake. Registration order defines the
+     *  deterministic evaluation order. */
+    void addUnit(SimObject *u);
+    /** Register the memory-phase object (evaluated after all units). */
+    void addMem(SimObject *m);
+    /** Register a routed stream (commit phase). */
+    void addStream(StreamBase *s);
+
+    // ---- wake rules --------------------------------------------------
+    /** Evaluate `u` starting next cycle. */
+    void wakeUnit(SimObject *u);
+    /** The memory phase must run this cycle (an AG submitted). */
+    void memWork() { memWork_ = true; }
+    /** Commit `s` at the next commit phase. */
+    void streamDirty(StreamBase *s);
+
+    /** One full cycle: evaluate awake units in order, run the memory
+     *  phase if needed, commit dirty streams and route wakes. */
+    void runCycle(Cycles now);
+
+    // ---- queries -----------------------------------------------------
+    /** True when nothing can ever happen again without external input:
+     *  no awake unit, no pending wake, quiet memory, no dirty stream,
+     *  no scheduled arrival. */
+    bool idle() const;
+    /** True when the only pending work is a future stream arrival, so
+     *  the clock can jump straight to nextEventCycle(). */
+    bool canFastForward() const;
+    /** Earliest scheduled arrival commit (kNeverCycle when none). */
+    Cycles nextEventCycle() const;
+    /** Did the last runCycle see unit or memory activity? (Equivalent
+     *  of the dense tick's anyProgress().) */
+    bool progressLastCycle() const { return progress_; }
+    /** Host-bound streams that delivered during the last runCycle. */
+    const std::vector<StreamBase *> &deliveredHost() const
+    {
+        return deliveredHost_;
+    }
+    /** Awake-unit count (diagnostics). */
+    size_t awakeUnits() const { return run_.size(); }
+
+  private:
+    void scheduleArrival(Cycles cycle, StreamBase *s);
+    void applyWakes();
+
+    uint32_t nextSeq_ = 0;
+    std::vector<SimObject *> run_;         ///< awake units, seq-sorted
+    std::vector<SimObject *> wakePending_; ///< wakes for next cycle
+    SimObject *mem_ = nullptr;
+    bool memBusy_ = false; ///< memory phase polls while non-quiescent
+    bool memWork_ = false; ///< memory phase forced this cycle
+    std::vector<StreamBase *> dirty_;      ///< commit next commit phase
+    std::vector<StreamBase *> commitRun_;  ///< scratch for runCycle
+    std::map<Cycles, std::vector<StreamBase *>> timers_;
+    std::vector<StreamBase *> deliveredHost_;
+    bool progress_ = false;
+};
+
+inline void
+SimObject::requestWake()
+{
+    if (sched_)
+        sched_->wakeUnit(this);
+}
+
+} // namespace plast
+
+#endif // PLAST_SIM_SCHEDULER_HPP

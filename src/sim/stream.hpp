@@ -13,6 +13,12 @@
  * Control channels are Stream<Token> with optional pre-loaded tokens,
  * which is how credits (§3.5) are expressed: a credit is a token on a
  * reverse channel with a nonzero initial count.
+ *
+ * Streams are SimObjects: under the activity-driven scheduler a stream
+ * commits only on cycles where traffic was staged or an in-flight
+ * element is due to arrive; each commit reports delivery/drain effects
+ * so the scheduler can wake the consumer/producer unit, and re-arms a
+ * timer for the next pending arrival.
  */
 
 #ifndef PLAST_SIM_STREAM_HPP
@@ -24,6 +30,8 @@
 
 #include "base/logging.hpp"
 #include "base/types.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/simobject.hpp"
 
 namespace plast
 {
@@ -33,11 +41,12 @@ struct Token
 {
 };
 
-template <typename T>
-class Stream
+/** Untyped stream interface: endpoint binding, statistics, and the
+ *  scheduler bookkeeping shared by all element types. */
+class StreamBase : public SimObject
 {
   public:
-    Stream(std::string name, uint32_t latency, uint32_t capacity)
+    StreamBase(std::string name, uint32_t latency, uint32_t capacity)
         : name_(std::move(name)), latency_(latency == 0 ? 1 : latency),
           capacity_(capacity == 0 ? 1 : capacity)
     {
@@ -45,6 +54,59 @@ class Stream
 
     const std::string &name() const { return name_; }
     uint32_t latency() const { return latency_; }
+
+    struct Stats
+    {
+        uint64_t pushes = 0; ///< elements staged by the producer
+        uint64_t pops = 0;   ///< elements consumed
+        /** Max in-flight + queued occupancy ever observed. */
+        uint64_t peakOccupancy = 0;
+        /** Total element-cycles spent stalled behind a full receiver
+         *  FIFO (cycles delivered past the unobstructed arrival). */
+        uint64_t fullStallCycles = 0;
+    };
+    const Stats &stats() const { return stats_; }
+
+    /** Endpoint binding (wake routing; set by the fabric). */
+    void bindProducer(SimObject *u) { producer_ = u; }
+    void bindConsumer(SimObject *u) { consumer_ = u; }
+    void bindHostSlot(int32_t slot) { hostSlot_ = slot; }
+    SimObject *producer() const { return producer_; }
+    SimObject *consumer() const { return consumer_; }
+    int32_t hostSlot() const { return hostSlot_; }
+
+    virtual bool quiescent() const = 0;
+    /** Receiver-FIFO elements currently poppable (diagnostics). */
+    virtual size_t available() const = 0;
+
+  protected:
+    /** Request a commit at the next commit phase (push/pop staged). */
+    void
+    markDirty()
+    {
+        if (sched())
+            sched()->streamDirty(this);
+    }
+
+    std::string name_;
+    uint32_t latency_;
+    uint32_t capacity_;
+    Stats stats_;
+
+  private:
+    friend class Scheduler;
+    SimObject *producer_ = nullptr;
+    SimObject *consumer_ = nullptr;
+    int32_t hostSlot_ = -1;     ///< argOut slot when host-bound
+    bool inDirty_ = false;      ///< queued for the next commit phase
+    Cycles armedAt_ = kNeverCycle; ///< pending arrival timer cycle
+};
+
+template <typename T>
+class Stream : public StreamBase
+{
+  public:
+    using StreamBase::StreamBase;
 
     /** Producer side: may we push this cycle? */
     bool
@@ -62,6 +124,8 @@ class Stream
                  name_.c_str());
         pushBuf_.push_back(v);
         ++stagedPushes_;
+        ++stats_.pushes;
+        markDirty();
     }
 
     /** Consumer side: is an element available this cycle? */
@@ -72,7 +136,7 @@ class Stream
     }
 
     size_t
-    available() const
+    available() const override
     {
         return queue_.size() > stagedPops_ ? queue_.size() - stagedPops_
                                            : 0;
@@ -92,6 +156,8 @@ class Stream
         panic_if(!canPop(), "stream %s: pop on empty stream",
                  name_.c_str());
         ++stagedPops_;
+        ++stats_.pops;
+        markDirty();
     }
 
     /** Seed tokens (credits) before simulation starts. */
@@ -102,9 +168,12 @@ class Stream
     }
 
     /** Commit phase: apply staged pops/pushes and advance arrivals. */
-    void
-    tick(Cycles now)
+    CommitResult
+    commit(Cycles now) override
     {
+        CommitResult res;
+        if (stagedPops_ > 0)
+            res.drained = true;
         while (stagedPops_ > 0) {
             queue_.pop_front();
             --stagedPops_;
@@ -115,14 +184,27 @@ class Stream
         stagedPushes_ = 0;
         while (!inFlight_.empty() && inFlight_.front().arrival <= now + 1 &&
                queue_.size() < capacity_) {
+            stats_.fullStallCycles += now + 1 - inFlight_.front().arrival;
             queue_.push_back(std::move(inFlight_.front().value));
             inFlight_.pop_front();
+            res.delivered = true;
         }
-        totalPushed_ += 0; // stat updated in push path below if desired
+        uint64_t occ = inFlight_.size() + queue_.size();
+        if (occ > stats_.peakOccupancy)
+            stats_.peakOccupancy = occ;
+        // A stalled arrival (due but the FIFO is full) needs no timer:
+        // the consumer's pop dirties the stream and the same commit
+        // both frees the slot and moves the element in.
+        if (!inFlight_.empty() && inFlight_.front().arrival > now + 1)
+            res.nextArrival = inFlight_.front().arrival - 1;
+        return res;
     }
 
+    /** Dense-tick compatibility: commit unconditionally. */
+    void tick(Cycles now) { commit(now); }
+
     bool
-    quiescent() const
+    quiescent() const override
     {
         return inFlight_.empty() && queue_.empty() && stagedPushes_ == 0;
     }
@@ -134,15 +216,11 @@ class Stream
         T value;
     };
 
-    std::string name_;
-    uint32_t latency_;
-    uint32_t capacity_;
     std::deque<InFlight> inFlight_;
     std::deque<T> queue_;
     std::deque<T> pushBuf_;
     uint32_t stagedPushes_ = 0;
     uint32_t stagedPops_ = 0;
-    uint64_t totalPushed_ = 0;
 };
 
 using ScalarStream = Stream<Word>;

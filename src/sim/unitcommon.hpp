@@ -1,8 +1,8 @@
 /**
  * @file
  * Machinery shared by all configurable units (PCU, PMU ports, AGs,
- * control boxes): port bundles, token gating, dynamic-bound resolution
- * and scalar-datapath evaluation.
+ * control boxes): the common SimUnit tick adapter, port bundles, token
+ * gating, dynamic-bound resolution and scalar-datapath evaluation.
  */
 
 #ifndef PLAST_SIM_UNITCOMMON_HPP
@@ -12,6 +12,7 @@
 
 #include "arch/config.hpp"
 #include "sim/ports.hpp"
+#include "sim/simobject.hpp"
 #include "sim/wavefront.hpp"
 
 namespace plast
@@ -38,6 +39,38 @@ struct UnitPorts
         vecOut.resize(vo);
         ctlOut.resize(co);
     }
+};
+
+/**
+ * Base of every configurable unit model (PCU, PMU, AG, control box):
+ * one IO port bundle plus the SimObject activity adapter. A unit's
+ * step() performs one cycle of its state machine and records in
+ * progress_ whether any architectural state moved; under the
+ * activity-driven scheduler that report doubles as the sleep decision,
+ * because a unit that made no progress is, by construction, blocked on
+ * a stream event (input arrival, output drain) or a memory-system
+ * callback — exactly the events that re-wake it.
+ */
+class SimUnit : public SimObject
+{
+  public:
+    UnitPorts ports;
+
+    /** One cycle of the unit's state machine; must set progress_. */
+    virtual void step(Cycles now) = 0;
+    /** Mid-run (diagnostics and deadlock dumps). */
+    virtual bool busy() const = 0;
+    bool madeProgress() const { return progress_; }
+
+    Activity
+    evaluate(Cycles now) final
+    {
+        step(now);
+        return progress_ ? Activity::kActive : Activity::kBlocked;
+    }
+
+  protected:
+    bool progress_ = false;
 };
 
 /** True when every token input listed in the control config has a token.

@@ -78,10 +78,11 @@ TEST(Tuner, LooserParametersNeverBecomeInfeasible)
         Tuner::Score st = tuner.evaluate(bi, tight);
         Tuner::Score sl = tuner.evaluate(bi, loose);
         EXPECT_TRUE(sl.feasible) << tuner.benchName(bi);
-        if (st.feasible)
+        if (st.feasible) {
             EXPECT_LE(sl.pcus, st.pcus)
                 << "more resources cannot need more PCUs for "
                 << tuner.benchName(bi);
+        }
     }
 }
 

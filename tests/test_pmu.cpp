@@ -167,10 +167,6 @@ TEST(Pmu, BroadcastReadFillsAllLanes)
     cfg.read.addrReg = 0;
     cfg.read.dataVecOut = 0;
     PmuHarness h(cfg);
-    // Pre-seed storage through the test access (no write port).
-    const_cast<Scratchpad &>(h.pmu->scratch());
-    PmuCfg cfg2 = cfg; // silence unused warning path
-    (void)cfg2;
     // Use a fresh harness with a write port instead:
     PmuCfg wc = copyCfg(16);
     wc.read = cfg.read;

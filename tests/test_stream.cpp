@@ -14,8 +14,9 @@ TEST(Stream, LatencyDelaysArrival)
     s.push(42);
     for (int i = 0; i < 3; ++i) {
         s.tick(now++);
-        if (i < 2)
+        if (i < 2) {
             EXPECT_FALSE(s.canPop()) << "arrived early at tick " << i;
+        }
     }
     ASSERT_TRUE(s.canPop());
     EXPECT_EQ(s.front(), 42u);
