@@ -10,6 +10,8 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 
 #include "apps/apps.hpp"
 #include "base/logging.hpp"
@@ -26,7 +28,8 @@ struct ModeRun
 };
 
 ModeRun
-timeApp(const apps::AppSpec &spec, apps::Scale scale, SimOptions opts)
+timeApp(const apps::AppSpec &spec, apps::Scale scale, SimOptions opts,
+        StatSet *statsOut = nullptr)
 {
     auto t0 = std::chrono::steady_clock::now();
     apps::AppInstance app = spec.make(scale);
@@ -36,6 +39,10 @@ timeApp(const apps::AppSpec &spec, apps::Scale scale, SimOptions opts)
     Runner::Result res = runner.run();
     auto t1 = std::chrono::steady_clock::now();
 
+    if (statsOut) {
+        for (const auto &[name, value] : res.stats.all())
+            statsOut->set(spec.name + "." + name, value);
+    }
     ModeRun out;
     out.wallSeconds = std::chrono::duration<double>(t1 - t0).count();
     out.cycles = res.cycles;
@@ -48,7 +55,14 @@ int
 main(int argc, char **argv)
 {
     setVerbose(false);
-    bool tiny = argc > 1 && std::string(argv[1]) == "--tiny";
+    bool tiny = false;
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--tiny") == 0)
+            tiny = true;
+        else if (std::strncmp(argv[i], "--stats-json=", 13) == 0)
+            json_path = argv[i] + 13;
+    }
     apps::Scale scale = tiny ? apps::Scale::kTiny : apps::Scale::kDefault;
 
     SimOptions dense;
@@ -60,10 +74,12 @@ main(int argc, char **argv)
     std::printf("%-14s | %10s | %10s %10s | %8s\n", "benchmark",
                 "cycles", "dense_s", "activity_s", "speedup");
 
+    StatSet json_stats;
     double dense_total = 0, act_total = 0;
     for (const auto &spec : apps::allApps()) {
         ModeRun d = timeApp(spec, scale, dense);
-        ModeRun a = timeApp(spec, scale, activity);
+        ModeRun a = timeApp(spec, scale, activity,
+                            json_path.empty() ? nullptr : &json_stats);
         fatal_if(d.cycles != a.cycles,
                  "%s: mode cycle mismatch (%llu vs %llu)",
                  spec.name.c_str(), (unsigned long long)d.cycles,
@@ -77,5 +93,11 @@ main(int argc, char **argv)
     }
     std::printf("%-14s | %10s | %10.4f %10.4f | %7.2fx\n", "total", "",
                 dense_total, act_total, dense_total / act_total);
+    if (!json_path.empty()) {
+        std::ofstream os(json_path);
+        fatal_if(!os, "cannot open %s", json_path.c_str());
+        json_stats.dumpJson(os);
+        std::printf("stats: %s\n", json_path.c_str());
+    }
     return 0;
 }

@@ -15,6 +15,8 @@
  */
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 
 #include "apps/apps.hpp"
 #include "fpga/fpga_model.hpp"
@@ -59,8 +61,16 @@ int
 main(int argc, char **argv)
 {
     setVerbose(false);
-    bool tiny = argc > 1 && std::string(argv[1]) == "--tiny";
+    bool tiny = false;
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--tiny") == 0)
+            tiny = true;
+        else if (std::strncmp(argv[i], "--stats-json=", 13) == 0)
+            json_path = argv[i] + 13;
+    }
     apps::Scale scale = tiny ? apps::Scale::kTiny : apps::Scale::kDefault;
+    StatSet json_stats;
 
     ArchParams params = ArchParams::plasticineFinal();
     model::PowerModel power;
@@ -79,6 +89,10 @@ main(int argc, char **argv)
         app.load(runner);
         Runner::Result res = runner.run();
         const auto &rep = runner.report();
+        if (!json_path.empty()) {
+            for (const auto &[k, v] : res.stats.all())
+                json_stats.set(app.name + "." + k, v);
+        }
 
         double cycles = static_cast<double>(res.cycles);
         double plas_s = cycles / 1e9;
@@ -115,5 +129,11 @@ main(int argc, char **argv)
                 "shape comparison. Utilizations are the mapper's unit "
                 "counts over the 64+64-unit fabric; FU%% is measured "
                 "lane occupancy.\n");
+    if (!json_path.empty()) {
+        std::ofstream os(json_path);
+        fatal_if(!os, "cannot open %s", json_path.c_str());
+        json_stats.dumpJson(os);
+        std::printf("stats: %s\n", json_path.c_str());
+    }
     return 0;
 }

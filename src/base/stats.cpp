@@ -23,4 +23,18 @@ StatSet::dump(std::ostream &os) const
         os << name << " = " << value << "\n";
 }
 
+void
+StatSet::dumpJson(std::ostream &os) const
+{
+    // Counter names are dotted identifiers (no characters needing
+    // escapes), so keys can be emitted verbatim.
+    os << "{";
+    bool first = true;
+    for (const auto &[name, value] : counters_) {
+        os << (first ? "\n" : ",\n") << "  \"" << name << "\": " << value;
+        first = false;
+    }
+    os << "\n}\n";
+}
+
 } // namespace plast

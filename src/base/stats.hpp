@@ -52,6 +52,8 @@ class StatSet
     uint64_t sumPrefix(const std::string &prefix) const;
 
     void dump(std::ostream &os) const;
+    /** All counters as one flat JSON object, keys sorted. */
+    void dumpJson(std::ostream &os) const;
     void clear() { counters_.clear(); }
 
   private:

@@ -1,0 +1,296 @@
+#include "runtime/bottleneck.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "base/logging.hpp"
+
+namespace plast
+{
+
+namespace
+{
+
+uint64_t
+refKey(const UnitRef &r)
+{
+    return (static_cast<uint64_t>(r.cls) << 32) | r.index;
+}
+
+const SimUnit *
+unitOf(const Fabric &f, const UnitRef &r)
+{
+    switch (r.cls) {
+      case UnitClass::kPcu:
+        return f.pcuPtr(r.index);
+      case UnitClass::kPmu:
+        return f.pmuPtr(r.index);
+      case UnitClass::kAg:
+        return f.agPtr(r.index);
+      case UnitClass::kBox:
+        return f.boxPtr(r.index);
+      case UnitClass::kHost:
+        return nullptr;
+    }
+    return nullptr;
+}
+
+std::string
+labelOf(const Fabric &f, const UnitRef &r)
+{
+    switch (r.cls) {
+      case UnitClass::kPcu:
+        return strfmt("pcu%02u (%s)", r.index,
+                      f.pcuPtr(r.index)->name().c_str());
+      case UnitClass::kPmu:
+        return strfmt("pmu%02u (%s)", r.index,
+                      f.pmuPtr(r.index)->name().c_str());
+      case UnitClass::kAg:
+        return strfmt("ag%02u (%s)", r.index,
+                      f.agPtr(r.index)->name().c_str());
+      case UnitClass::kBox:
+        return strfmt("box%02u (%s)", r.index,
+                      f.boxPtr(r.index)->name().c_str());
+      case UnitClass::kHost:
+        return "host";
+    }
+    return "?";
+}
+
+/** Largest ledger bucket; earlier class wins ties (kActive first). */
+CycleClass
+dominantOf(const CycleAcct &a)
+{
+    size_t best = 0;
+    uint64_t best_v = 0;
+    for (size_t c = 0; c < kNumCycleClasses; ++c) {
+        uint64_t v = a.by[c] + a.sleptBy[c];
+        if (v > best_v) {
+            best_v = v;
+            best = c;
+        }
+    }
+    return static_cast<CycleClass>(best);
+}
+
+/** How hard a unit is working (or waiting on memory): the blame walk
+ *  follows the most-loaded neighbor. */
+uint64_t
+loadOf(const Fabric &f, const UnitRef &r)
+{
+    const SimUnit *u = unitOf(f, r);
+    if (!u)
+        return 0;
+    const CycleAcct &a = u->acct();
+    return a.active() + a.blocked(CycleClass::kDramWait) +
+           a.blocked(CycleClass::kBankConflict);
+}
+
+bool
+isDataKind(NetKind k)
+{
+    return k == NetKind::kScalar || k == NetKind::kVector;
+}
+
+/** Busiest DRAM channel and its bus utilization percent. */
+uint32_t
+busiestDramChannel(const Fabric &f, double &pct)
+{
+    const DramModel &d = f.mem().dram();
+    uint32_t best = 0;
+    uint64_t best_busy = 0;
+    for (uint32_t c = 0; c < d.numChannels(); ++c) {
+        uint64_t busy = d.channel(c).stats().busBusyCycles;
+        if (busy > best_busy) {
+            best_busy = busy;
+            best = c;
+        }
+    }
+    pct = f.now() ? 100.0 * static_cast<double>(best_busy) /
+                        static_cast<double>(f.now())
+                  : 0.0;
+    return best;
+}
+
+double
+pctOf(uint64_t part, uint64_t whole)
+{
+    return whole ? 100.0 * static_cast<double>(part) /
+                       static_cast<double>(whole)
+                 : 0.0;
+}
+
+} // namespace
+
+BottleneckReport
+analyzeBottlenecks(const Fabric &fabric)
+{
+    const FabricConfig &cfg = fabric.config();
+    BottleneckReport rep;
+    rep.cycles = fabric.now();
+
+    auto add_row = [&](UnitClass cls, uint16_t idx) {
+        UnitRef ref{cls, idx};
+        const SimUnit *u = unitOf(fabric, ref);
+        if (!u)
+            return;
+        BottleneckReport::UnitRow row;
+        row.ref = ref;
+        row.label = labelOf(fabric, ref);
+        row.acct = u->acct();
+        uint64_t accounted = row.acct.stepped + row.acct.slept;
+        row.asleep = rep.cycles > accounted ? rep.cycles - accounted : 0;
+        row.dominant = dominantOf(row.acct);
+        rep.units.push_back(std::move(row));
+    };
+    for (size_t i = 0; i < cfg.pcus.size(); ++i)
+        add_row(UnitClass::kPcu, static_cast<uint16_t>(i));
+    for (size_t i = 0; i < cfg.pmus.size(); ++i)
+        add_row(UnitClass::kPmu, static_cast<uint16_t>(i));
+    for (size_t i = 0; i < cfg.ags.size(); ++i)
+        add_row(UnitClass::kAg, static_cast<uint16_t>(i));
+    for (size_t i = 0; i < cfg.boxes.size(); ++i)
+        add_row(UnitClass::kBox, static_cast<uint16_t>(i));
+
+    // ---- blame walk from the root controller -------------------------
+    UnitRef cur{UnitClass::kBox, static_cast<uint16_t>(cfg.rootBox)};
+    const SimUnit *root = unitOf(fabric, cur);
+    if (!root)
+        return rep;
+    uint64_t root_non_active = 0;
+    {
+        const CycleAcct &a = root->acct();
+        for (size_t c = 0; c < kNumCycleClasses; ++c) {
+            if (static_cast<CycleClass>(c) != CycleClass::kActive)
+                root_non_active += a.by[c] + a.sleptBy[c];
+        }
+        uint64_t accounted = a.stepped + a.slept;
+        root_non_active +=
+            rep.cycles > accounted ? rep.cycles - accounted : 0;
+    }
+    uint64_t root_dominant_blocked = 0;
+
+    std::set<uint64_t> visited;
+    while (true) {
+        const SimUnit *u = unitOf(fabric, cur);
+        if (!u)
+            break;
+        if (!visited.insert(refKey(cur)).second) {
+            rep.critical = strfmt("cyclic wait through %s",
+                                  labelOf(fabric, cur).c_str());
+            break;
+        }
+        const CycleAcct &a = u->acct();
+        CycleClass dom = dominantOf(a);
+        uint64_t dom_cycles = a.blocked(dom);
+        std::string label = labelOf(fabric, cur);
+        rep.blamePath.push_back(
+            strfmt("%s: dominant %s, %llu cycles (%.0f%% of run)",
+                   label.c_str(), cycleClassName(dom),
+                   static_cast<unsigned long long>(dom_cycles),
+                   pctOf(dom_cycles, rep.cycles)));
+        if (rep.blamePath.size() == 1)
+            root_dominant_blocked = dom_cycles;
+
+        double root_share = pctOf(root_dominant_blocked, root_non_active);
+
+        if (dom == CycleClass::kActive) {
+            rep.critical = strfmt(
+                "compute-bound at %s (active %.0f%% of cycles; %.0f%% "
+                "of root-controller stall follows this path)",
+                label.c_str(), pctOf(a.active(), rep.cycles), root_share);
+            break;
+        }
+        if (dom == CycleClass::kDramWait) {
+            double ch_pct = 0.0;
+            uint32_t ch = cur.cls == UnitClass::kAg
+                              ? fabric.ag(cur.index).cfg().channel
+                              : busiestDramChannel(fabric, ch_pct);
+            if (cur.cls == UnitClass::kAg) {
+                const auto &cs =
+                    fabric.mem().dram().channel(ch).stats();
+                ch_pct = pctOf(cs.busBusyCycles, rep.cycles);
+            }
+            rep.critical = strfmt(
+                "DRAM channel %u saturated (%.0f%% bus busy), gating %s "
+                "— %.0f%% of root-controller stall",
+                ch, ch_pct, label.c_str(), root_share);
+            break;
+        }
+        if (dom == CycleClass::kBankConflict) {
+            rep.critical = strfmt(
+                "scratchpad bank conflicts at %s (%llu cycles, %.0f%% "
+                "of run) — %.0f%% of root-controller stall",
+                label.c_str(),
+                static_cast<unsigned long long>(dom_cycles),
+                pctOf(dom_cycles, rep.cycles), root_share);
+            break;
+        }
+
+        // Walk an edge: upstream for starvation/credits, downstream for
+        // backpressure; pick the most-loaded neighbor.
+        bool upstream =
+            dom == CycleClass::kInputStarved || dom == CycleClass::kIdle ||
+            dom == CycleClass::kCreditBlocked;
+        bool control_edge = dom == CycleClass::kCreditBlocked;
+        UnitRef next{};
+        uint64_t next_load = 0;
+        bool found = false;
+        for (const ChannelCfg &ch : cfg.channels) {
+            const UnitRef &here = upstream ? ch.dst.unit : ch.src.unit;
+            const UnitRef &there = upstream ? ch.src.unit : ch.dst.unit;
+            if (!(here == cur) || there.cls == UnitClass::kHost)
+                continue;
+            if (control_edge ? ch.kind != NetKind::kControl
+                             : !isDataKind(ch.kind) && upstream)
+                continue;
+            if (visited.count(refKey(there)))
+                continue;
+            uint64_t l = loadOf(fabric, there);
+            if (!found || l > next_load) {
+                next = there;
+                next_load = l;
+                found = true;
+            }
+        }
+        if (!found) {
+            rep.critical = strfmt(
+                "%s blocked on %s with no further on-fabric %s to blame",
+                label.c_str(), cycleClassName(dom),
+                upstream ? "producer" : "consumer");
+            break;
+        }
+        cur = next;
+    }
+
+    return rep;
+}
+
+std::string
+BottleneckReport::render() const
+{
+    std::string out = strfmt("Bottleneck report (%llu cycles)\n",
+                             static_cast<unsigned long long>(cycles));
+    out += strfmt("  %-28s %7s", "unit", "active%");
+    for (size_t c = 1; c < kNumCycleClasses; ++c)
+        out += strfmt(" %7.7s",
+                      cycleClassName(static_cast<CycleClass>(c)));
+    out += strfmt(" %7s\n", "asleep%");
+    for (const UnitRow &r : units) {
+        out += strfmt("  %-28s", r.label.c_str());
+        for (size_t c = 0; c < kNumCycleClasses; ++c) {
+            uint64_t v = r.acct.by[c] + r.acct.sleptBy[c];
+            out += strfmt(" %6.1f%%", pctOf(v, cycles));
+        }
+        out += strfmt(" %6.1f%%\n", pctOf(r.asleep, cycles));
+    }
+    out += "Blame path:\n";
+    for (size_t i = 0; i < blamePath.size(); ++i)
+        out += strfmt("  %s%s\n", i == 0 ? "" : "-> ",
+                      blamePath[i].c_str());
+    out += strfmt("Critical: %s\n",
+                  critical.empty() ? "(no verdict)" : critical.c_str());
+    return out;
+}
+
+} // namespace plast

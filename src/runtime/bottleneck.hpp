@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Post-run bottleneck analysis: aggregates the per-unit cycle-class
+ * ledgers (SimUnit::acct()) over the mapped dataflow graph and walks
+ * blame along producer->consumer channels from the root controller to
+ * the resource that actually gates the application — a saturated DRAM
+ * channel, a conflicted scratchpad, or a compute-bound pipeline.
+ */
+
+#ifndef PLAST_RUNTIME_BOTTLENECK_HPP
+#define PLAST_RUNTIME_BOTTLENECK_HPP
+
+#include <string>
+#include <vector>
+
+#include "arch/config.hpp"
+#include "sim/fabric.hpp"
+#include "sim/stall.hpp"
+
+namespace plast
+{
+
+struct BottleneckReport
+{
+    /** One analyzed unit: its ledger plus the dominant cycle class. */
+    struct UnitRow
+    {
+        UnitRef ref;
+        std::string label;    ///< "pcu03 (dot.mul)"
+        CycleAcct acct;
+        uint64_t asleep = 0;  ///< unattributed tail cycles
+        CycleClass dominant = CycleClass::kIdle;
+    };
+
+    Cycles cycles = 0;           ///< total simulated cycles
+    std::vector<UnitRow> units;  ///< all used units, fabric order
+
+    /** Blame chain from the root controller to the critical resource,
+     *  one rendered step per hop. */
+    std::vector<std::string> blamePath;
+    /** One-line verdict naming the critical resource. */
+    std::string critical;
+
+    /** Human-readable report (table + blame chain + verdict). */
+    std::string render() const;
+};
+
+/** Analyze a completed run. The fabric must have finished run(). */
+BottleneckReport analyzeBottlenecks(const Fabric &fabric);
+
+} // namespace plast
+
+#endif // PLAST_RUNTIME_BOTTLENECK_HPP

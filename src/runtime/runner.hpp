@@ -63,6 +63,11 @@ class Runner
     /** Reference-side instrumentation (for the analytical models). */
     const pir::Evaluator::Counts &referenceCounts();
 
+    /** The simulated fabric, alive after run() — null before the first
+     *  run. Exposes the trace sink, utilization epochs and per-unit
+     *  cycle ledgers for post-run analysis. */
+    const Fabric *fabric() const { return fabric_.get(); }
+
   private:
     void ensureCompiled();
 

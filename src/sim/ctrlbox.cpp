@@ -21,14 +21,11 @@ CtrlBoxSim::CtrlBoxSim(const ArchParams &params, uint32_t index,
 void
 CtrlBoxSim::step(Cycles now)
 {
-    (void)now;
     progress_ = false;
 
     if (state_ == State::kIdle) {
-        if (!tryStart()) {
-            ++stats_.idleCycles;
+        if (!tryStart(now))
             return;
-        }
         progress_ = true;
     }
 
@@ -36,52 +33,76 @@ CtrlBoxSim::step(Cycles now)
 
     if (state_ == State::kActive) {
         if (!chain_.done()) {
-            if (tryIssueIteration())
+            if (tryIssueIteration(now))
                 progress_ = true;
         } else {
             state_ = State::kFinishing;
         }
     }
 
-    if (state_ == State::kFinishing && completedIters_ == issued_) {
-        if (canPushDone(cfg_.ctrl, ports)) {
-            popScalars(scalarRefs_, ports);
-            pushDone(cfg_.ctrl, ports);
-            state_ = State::kIdle;
-            ++stats_.runs;
-            progress_ = true;
+    if (state_ == State::kFinishing) {
+        if (completedIters_ == issued_) {
+            if (canPushDone(cfg_.ctrl, ports)) {
+                popScalars(scalarRefs_, ports);
+                pushDone(cfg_.ctrl, ports);
+                traceSpan(trace_, traceTrack_, TraceName::kRun, runStart_,
+                          now + 1);
+                traceInstant(trace_, traceTrack_, TraceName::kDone, now);
+                state_ = State::kIdle;
+                ++stats_.runs;
+                progress_ = true;
+            } else {
+                classify(CycleClass::kOutputBackpressure);
+            }
+        } else {
+            // Sweep issued; waiting on children's done tokens.
+            classify(CycleClass::kCreditBlocked);
         }
     }
 }
 
 bool
-CtrlBoxSim::tryStart()
+CtrlBoxSim::tryStart(Cycles now)
 {
-    if (!tokensReady(cfg_.ctrl, ports, selfStarted_))
+    if (!tokensReady(cfg_.ctrl, ports, selfStarted_)) {
+        if (!cfg_.ctrl.tokenIns.empty())
+            classify(CycleClass::kCreditBlocked);
         return false;
-    if (!scalarsReady(scalarRefs_, ports))
+    }
+    if (!scalarsReady(scalarRefs_, ports)) {
+        classify(CycleClass::kInputStarved);
         return false;
+    }
     consumeTokens(cfg_.ctrl, ports);
     selfStarted_ = true;
     chain_.reset(resolveBounds(cfg_.chain, ports));
     issued_ = 0;
     completedIters_ = 0;
+    runStart_ = now;
+    if (!cfg_.ctrl.tokenIns.empty())
+        traceInstant(trace_, traceTrack_, TraceName::kTokens, now);
     state_ = State::kActive;
     return true;
 }
 
 bool
-CtrlBoxSim::tryIssueIteration()
+CtrlBoxSim::tryIssueIteration(Cycles now)
 {
-    if (issued_ - completedIters_ >= cfg_.depth)
+    if (issued_ - completedIters_ >= cfg_.depth) {
+        classify(CycleClass::kCreditBlocked);
         return false;
+    }
     for (uint8_t port : cfg_.childStartOuts) {
-        if (!ports.ctlOut[port].canPush())
+        if (!ports.ctlOut[port].canPush()) {
+            classify(CycleClass::kOutputBackpressure);
             return false;
+        }
     }
     for (const auto &ex : cfg_.exports) {
-        if (!ports.scalOut[ex.scalarOutPort].canPush())
+        if (!ports.scalOut[ex.scalarOutPort].canPush()) {
+            classify(CycleClass::kOutputBackpressure);
             return false;
+        }
     }
 
     Wavefront wf;
@@ -92,6 +113,7 @@ CtrlBoxSim::tryIssueIteration()
     }
     for (uint8_t port : cfg_.childStartOuts)
         ports.ctlOut[port].push(Token{});
+    traceInstant(trace_, traceTrack_, TraceName::kIteration, now);
     ++issued_;
     ++stats_.iterations;
     return true;

@@ -64,6 +64,82 @@ Fabric::Fabric(const FabricConfig &cfg, SimOptions opts)
 
     if (opts_.mode == SimOptions::Mode::kActivity)
         registerSimObjects();
+
+    setupTrace();
+}
+
+/**
+ * Create the trace sink and hand every emitting component its display
+ * track. Compiled out entirely with PLAST_TRACING=0; with tracing
+ * compiled but disabled no sink exists and every emit site stays a
+ * null-pointer check.
+ */
+void
+Fabric::setupTrace()
+{
+    epochsOn_ = kTracingCompiled && opts_.trace.enabled &&
+                opts_.trace.epochCycles > 0;
+    nextEpochAt_ = opts_.trace.epochCycles;
+    if (!kTracingCompiled || !opts_.trace.enabled)
+        return;
+
+    trace_ = std::make_unique<TraceSink>(opts_.trace.capacity);
+    TraceSink *t = trace_.get();
+    schedTrack_ = t->addTrack("scheduler");
+    sched_.setTrace(t, schedTrack_);
+
+    for (size_t i = 0; i < pcus_.size(); ++i) {
+        if (pcus_[i])
+            pcus_[i]->bindTrace(
+                t, t->addTrack(strfmt("pcu%02zu %s", i,
+                                      pcus_[i]->name().c_str())));
+    }
+    for (size_t i = 0; i < pmus_.size(); ++i) {
+        if (!pmus_[i])
+            continue;
+        // Read/write port runs overlap in time, so each enabled port
+        // gets its own track; the unit track carries nothing itself.
+        uint16_t wr = 0, wr2 = 0, rd = 0;
+        if (cfg_.pmus[i].write.enabled)
+            wr = t->addTrack(strfmt("pmu%02zu %s wr", i,
+                                    pmus_[i]->name().c_str()));
+        if (cfg_.pmus[i].write2.enabled)
+            wr2 = t->addTrack(strfmt("pmu%02zu %s wr2", i,
+                                     pmus_[i]->name().c_str()));
+        if (cfg_.pmus[i].read.enabled)
+            rd = t->addTrack(strfmt("pmu%02zu %s rd", i,
+                                    pmus_[i]->name().c_str()));
+        pmus_[i]->bindTrace(t, cfg_.pmus[i].write.enabled ? wr : rd);
+        pmus_[i]->bindPortTracks(wr, wr2, rd);
+    }
+    for (size_t i = 0; i < ags_.size(); ++i) {
+        if (ags_[i])
+            ags_[i]->bindTrace(
+                t, t->addTrack(strfmt("ag%02zu %s", i,
+                                      ags_[i]->name().c_str())));
+    }
+    for (size_t i = 0; i < boxes_.size(); ++i) {
+        if (boxes_[i])
+            boxes_[i]->bindTrace(
+                t, t->addTrack(strfmt("box%02zu %s", i,
+                                      boxes_[i]->name().c_str())));
+    }
+
+    std::vector<uint16_t> cu_tracks;
+    for (uint32_t c = 0; c < mem_.dram().numChannels(); ++c)
+        cu_tracks.push_back(t->addTrack(strfmt("cu%u", c)));
+    mem_.bindTrace(t, cu_tracks.empty() ? 0 : cu_tracks[0]);
+    mem_.bindCuTracks(std::move(cu_tracks));
+
+    if (opts_.trace.streams) {
+        auto bind_streams = [&](auto &streams) {
+            for (auto &s : streams)
+                s->bindTrace(t, t->addTrack("stream " + s->name()));
+        };
+        bind_streams(scalarStreams_);
+        bind_streams(vectorStreams_);
+        bind_streams(controlStreams_);
+    }
 }
 
 /**
@@ -234,26 +310,30 @@ Fabric::step()
         stepDense();
     else
         stepActivity();
+    if (epochsOn_ && now_ >= nextEpochAt_)
+        sampleEpoch();
 }
 
 void
 Fabric::stepDense()
 {
+    // evaluate() (not step()) so cycle accounting runs; the activity
+    // report is ignored under dense ticking.
     for (auto &u : pcus_) {
         if (u)
-            u->step(now_);
+            u->evaluate(now_);
     }
     for (auto &u : pmus_) {
         if (u)
-            u->step(now_);
+            u->evaluate(now_);
     }
     for (auto &u : ags_) {
         if (u)
-            u->step(now_);
+            u->evaluate(now_);
     }
     for (auto &u : boxes_) {
         if (u)
-            u->step(now_);
+            u->evaluate(now_);
     }
     mem_.step(now_);
 
@@ -464,9 +544,119 @@ Fabric::totalLaneOps() const
     return ops;
 }
 
+/** Current cumulative per-class cycle sums over all units, plus DRAM
+ *  bus-busy cycles (the epoch sampler diffs successive calls). */
+void
+Fabric::classSums(std::array<uint64_t, kNumCycleClasses> &by,
+                  uint64_t &dramBusy) const
+{
+    by.fill(0);
+    auto accumulate = [&by](const SimUnit &u) {
+        const CycleAcct &a = u.acct();
+        for (size_t c = 0; c < kNumCycleClasses; ++c)
+            by[c] += a.by[c] + a.sleptBy[c];
+    };
+    for (const auto &u : pcus_) {
+        if (u)
+            accumulate(*u);
+    }
+    for (const auto &u : pmus_) {
+        if (u)
+            accumulate(*u);
+    }
+    for (const auto &u : ags_) {
+        if (u)
+            accumulate(*u);
+    }
+    for (const auto &u : boxes_) {
+        if (u)
+            accumulate(*u);
+    }
+    dramBusy = 0;
+    for (uint32_t c = 0; c < mem_.dram().numChannels(); ++c)
+        dramBusy += mem_.dram().channel(c).stats().busBusyCycles;
+}
+
+void
+Fabric::sampleEpoch()
+{
+    EpochRow row;
+    row.cycle = now_;
+    std::array<uint64_t, kNumCycleClasses> cur;
+    uint64_t dram_busy;
+    classSums(cur, dram_busy);
+    for (size_t c = 0; c < kNumCycleClasses; ++c)
+        row.by[c] = cur[c] - prevClassSum_[c];
+    row.dramBusy = dram_busy - prevDramBusy_;
+    prevClassSum_ = cur;
+    prevDramBusy_ = dram_busy;
+    epochs_.push_back(row);
+    // Fast-forward may jump several periods at once; re-anchor.
+    nextEpochAt_ += opts_.trace.epochCycles;
+    if (nextEpochAt_ <= now_)
+        nextEpochAt_ = now_ + opts_.trace.epochCycles;
+}
+
+void
+Fabric::writeTrace(std::ostream &os) const
+{
+    fatal_if(!trace_, "writeTrace: tracing was not enabled "
+                      "(SimOptions::trace.enabled)");
+    trace_->writeChromeJson(os);
+}
+
+void
+Fabric::writeUtilizationCsv(std::ostream &os) const
+{
+    os << "cycle";
+    for (size_t c = 0; c < kNumCycleClasses; ++c)
+        os << "," << cycleClassName(static_cast<CycleClass>(c));
+    os << ",dramBusy\n";
+    auto row_out = [&os](const EpochRow &r) {
+        os << r.cycle;
+        for (size_t c = 0; c < kNumCycleClasses; ++c)
+            os << "," << r.by[c];
+        os << "," << r.dramBusy << "\n";
+    };
+    for (const EpochRow &r : epochs_)
+        row_out(r);
+    // Close out the partial epoch since the last boundary.
+    std::array<uint64_t, kNumCycleClasses> cur;
+    uint64_t dram_busy;
+    classSums(cur, dram_busy);
+    EpochRow tail;
+    tail.cycle = now_;
+    bool nonzero = false;
+    for (size_t c = 0; c < kNumCycleClasses; ++c) {
+        tail.by[c] = cur[c] - prevClassSum_[c];
+        nonzero |= tail.by[c] != 0;
+    }
+    tail.dramBusy = dram_busy - prevDramBusy_;
+    if (nonzero || tail.dramBusy != 0)
+        row_out(tail);
+}
+
 void
 Fabric::dumpStats(StatSet &out) const
 {
+    // Per-unit cycle-class accounting. `cycles.<class>` counts both
+    // evaluated and attributed-asleep cycles; `asleep` is the
+    // never-reattributed tail, so that over the full run
+    //     sum(cycles.*) + asleep == cycles.
+    auto acct_stats = [&out, this](const std::string &p,
+                                   const SimUnit &u) {
+        const CycleAcct &a = u.acct();
+        for (size_t c = 0; c < kNumCycleClasses; ++c) {
+            out.set(p + "cycles." +
+                        cycleClassName(static_cast<CycleClass>(c)),
+                    a.by[c] + a.sleptBy[c]);
+        }
+        out.set(p + "cycles.stepped", a.stepped);
+        uint64_t accounted = a.stepped + a.slept;
+        out.set(p + "cycles.asleep",
+                now_ > accounted ? now_ - accounted : 0);
+    };
+
     for (size_t i = 0; i < pcus_.size(); ++i) {
         if (!pcus_[i])
             continue;
@@ -474,46 +664,65 @@ Fabric::dumpStats(StatSet &out) const
         std::string p = strfmt("pcu%02zu.", i);
         out.set(p + "runs", s.runs);
         out.set(p + "wavefronts", s.wavefronts);
-        out.set(p + "stallCycles", s.stallCycles);
-        out.set(p + "starveCycles", s.starveCycles);
         out.set(p + "laneOps", s.laneOps);
-        out.set(p + "activeCycles", s.activeCycles);
+        acct_stats(p, *pcus_[i]);
     }
     for (size_t i = 0; i < pmus_.size(); ++i) {
         if (!pmus_[i])
             continue;
         const auto &s = pmus_[i]->stats();
         std::string p = strfmt("pmu%02zu.", i);
+        out.set(p + "readRuns", s.readRuns);
+        out.set(p + "writeRuns", s.writeRuns);
         out.set(p + "reads", s.reads);
         out.set(p + "writes", s.writes);
         out.set(p + "wordsRead", s.wordsRead);
         out.set(p + "wordsWritten", s.wordsWritten);
-        out.set(p + "conflictCycles", s.conflictCycles);
-        out.set(p + "activeCycles", s.activeCycles);
+        acct_stats(p, *pmus_[i]);
     }
     for (size_t i = 0; i < ags_.size(); ++i) {
         if (!ags_[i])
             continue;
         const auto &s = ags_[i]->stats();
         std::string p = strfmt("ag%02zu.", i);
+        out.set(p + "runs", s.runs);
         out.set(p + "denseCmds", s.denseCmds);
         out.set(p + "sparseVecs", s.sparseVecs);
         out.set(p + "wordsLoaded", s.wordsLoaded);
         out.set(p + "wordsStored", s.wordsStored);
-        out.set(p + "activeCycles", s.activeCycles);
+        acct_stats(p, *ags_[i]);
     }
-    // Per-stream traffic counters, plus per-network totals.
-    auto stream_stats = [&out](const StreamBase &s, const char *kind) {
+    for (size_t i = 0; i < boxes_.size(); ++i) {
+        if (!boxes_[i])
+            continue;
+        const auto &s = boxes_[i]->stats();
+        std::string p = strfmt("box%02zu.", i);
+        out.set(p + "runs", s.runs);
+        out.set(p + "iterations", s.iterations);
+        acct_stats(p, *boxes_[i]);
+    }
+
+    // Per-stream traffic counters, plus per-network totals. The totals
+    // are accumulated locally and written with set() so dumpStats stays
+    // idempotent (a second dump into the same StatSet must not
+    // double-count).
+    struct NetTotals
+    {
+        uint64_t pushes = 0, pops = 0, fullStallCycles = 0;
+    };
+    std::map<std::string, NetTotals> net;
+    auto stream_stats = [&out, &net](const StreamBase &s,
+                                     const char *kind) {
         const auto &t = s.stats();
         std::string p = "stream." + s.name() + ".";
         out.set(p + "pushes", t.pushes);
         out.set(p + "pops", t.pops);
         out.set(p + "peakOccupancy", t.peakOccupancy);
         out.set(p + "fullStallCycles", t.fullStallCycles);
-        std::string n = std::string("net.") + kind + ".";
-        out.add(n + "pushes", t.pushes);
-        out.add(n + "pops", t.pops);
-        out.add(n + "fullStallCycles", t.fullStallCycles);
+        NetTotals &n = net[kind];
+        n.pushes += t.pushes;
+        n.pops += t.pops;
+        n.fullStallCycles += t.fullStallCycles;
     };
     for (const auto &s : scalarStreams_)
         stream_stats(*s, "scalar");
@@ -521,6 +730,12 @@ Fabric::dumpStats(StatSet &out) const
         stream_stats(*s, "vector");
     for (const auto &s : controlStreams_)
         stream_stats(*s, "control");
+    for (const auto &[kind, n] : net) {
+        std::string p = "net." + kind + ".";
+        out.set(p + "pushes", n.pushes);
+        out.set(p + "pops", n.pops);
+        out.set(p + "fullStallCycles", n.fullStallCycles);
+    }
 
     const auto &m = mem_.stats();
     out.set("mem.bursts", m.bursts);
@@ -535,6 +750,10 @@ Fabric::dumpStats(StatSet &out) const
         out.set(p + "rowHits", cs.rowHits);
         out.set(p + "rowMisses", cs.rowMisses + cs.rowConflicts);
         out.set(p + "busBusyCycles", cs.busBusyCycles);
+    }
+    if (trace_) {
+        out.set("trace.events", trace_->size());
+        out.set("trace.dropped", trace_->dropped());
     }
     out.set("cycles", now_);
 }

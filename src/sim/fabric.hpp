@@ -15,6 +15,7 @@
 
 #include "arch/config.hpp"
 #include "base/stats.hpp"
+#include "base/trace.hpp"
 #include "sim/ctrlbox.hpp"
 #include "sim/memsys.hpp"
 #include "sim/pcu.hpp"
@@ -40,6 +41,8 @@ struct SimOptions
     uint32_t drainQuietWindow = 128;
     /** Hard cap on post-completion drain cycles. */
     Cycles drainMaxCycles = 100'000;
+    /** Event tracing and utilization sampling (off by default). */
+    TraceOptions trace;
 };
 
 class Fabric
@@ -76,12 +79,33 @@ class Fabric
     const AgSim &ag(uint32_t i) const { return *ags_[i]; }
     const MemSystem &mem() const { return mem_; }
 
+    // Nullable accessors (unit may be unused) and the mapped config,
+    // for post-run analysis (bottleneck report) and tooling.
+    const FabricConfig &config() const { return cfg_; }
+    const PcuSim *pcuPtr(uint32_t i) const { return pcus_.at(i).get(); }
+    const PmuSim *pmuPtr(uint32_t i) const { return pmus_.at(i).get(); }
+    const AgSim *agPtr(uint32_t i) const { return ags_.at(i).get(); }
+    const CtrlBoxSim *boxPtr(uint32_t i) const
+    {
+        return boxes_.at(i).get();
+    }
+
+    /** The event-trace sink (null when tracing is off). */
+    const TraceSink *trace() const { return trace_.get(); }
+    /** Export the trace as Chrome trace-event JSON. Fatal when tracing
+     *  was not enabled for this fabric. */
+    void writeTrace(std::ostream &os) const;
+    /** Epoch-sampled per-class utilization time-series as CSV. */
+    void writeUtilizationCsv(std::ostream &os) const;
+
     /** Total FU-lane operations executed by all PCUs (utilization). */
     uint64_t totalLaneOps() const;
 
   private:
     void buildChannels();
     void registerSimObjects();
+    void setupTrace();
+    void sampleEpoch();
     UnitPorts *portsOf(const UnitRef &ref);
     SimUnit *unitOf(const UnitRef &ref);
     bool anyProgress() const;
@@ -113,6 +137,28 @@ class Fabric
     };
     std::vector<HostSink> hostSinks_;
     std::vector<std::deque<Word>> argOuts_;
+
+    // ---- observability -----------------------------------------------
+    std::unique_ptr<TraceSink> trace_; ///< null when tracing is off
+    uint16_t schedTrack_ = 0;
+
+    /** One row of the utilization time-series: cycles spent per class
+     *  (summed over units) and DRAM bus-busy cycles, within the epoch
+     *  ending at `cycle`. */
+    struct EpochRow
+    {
+        Cycles cycle;
+        std::array<uint64_t, kNumCycleClasses> by;
+        uint64_t dramBusy;
+    };
+    bool epochsOn_ = false;
+    Cycles nextEpochAt_ = 0;
+    std::vector<EpochRow> epochs_;
+    std::array<uint64_t, kNumCycleClasses> prevClassSum_{};
+    uint64_t prevDramBusy_ = 0;
+
+    void classSums(std::array<uint64_t, kNumCycleClasses> &by,
+                   uint64_t &dramBusy) const;
 
     Cycles now_ = 0;
 };

@@ -38,16 +38,13 @@ AgSim::busy() const
 void
 AgSim::step(Cycles now)
 {
-    (void)now;
     progress_ = false;
-    drainResponses();
+    drainResponses(now);
 
     switch (state_) {
       case State::kIdle:
-        if (tryStart())
+        if (tryStart(now))
             progress_ = true;
-        else
-            ++stats_.idleCycles;
         return;
       case State::kRunning: {
         if (fill_ > 0) {
@@ -62,23 +59,27 @@ AgSim::step(Cycles now)
         }
         bool issued = (cfg_.mode == AgMode::kDenseLoad ||
                        cfg_.mode == AgMode::kDenseStore)
-                          ? issueDense()
-                          : issueSparse();
-        if (issued) {
-            ++stats_.activeCycles;
+                          ? issueDense(now)
+                          : issueSparse(now);
+        if (issued)
             progress_ = true;
-        }
         return;
       }
       case State::kDrainOut: {
         if (sparsePendingMask_ != 0) {
             if (retrySparse())
                 progress_ = true;
+            else
+                classify(CycleClass::kDramWait);
             return;
         }
         if (dense_.empty() && sparse_.empty() && outstandingWrites_ == 0) {
-            if (finishRun())
+            if (finishRun(now))
                 progress_ = true;
+            else
+                classify(CycleClass::kOutputBackpressure);
+        } else {
+            classify(CycleClass::kDramWait);
         }
         return;
       }
@@ -86,28 +87,38 @@ AgSim::step(Cycles now)
 }
 
 bool
-AgSim::tryStart()
+AgSim::tryStart(Cycles now)
 {
-    if (!tokensReady(cfg_.ctrl, ports, selfStarted_))
+    if (!tokensReady(cfg_.ctrl, ports, selfStarted_)) {
+        if (!cfg_.ctrl.tokenIns.empty())
+            classify(CycleClass::kCreditBlocked);
         return false;
-    if (!scalarsReady(scalarRefs_, ports))
+    }
+    if (!scalarsReady(scalarRefs_, ports)) {
+        classify(CycleClass::kInputStarved);
         return false;
+    }
     consumeTokens(cfg_.ctrl, ports);
     selfStarted_ = true;
     chain_.reset(resolveBounds(cfg_.chain, ports));
     fill_ = static_cast<uint32_t>(cfg_.addrStages.size());
     state_ = State::kRunning;
+    runStart_ = now;
+    if (!cfg_.ctrl.tokenIns.empty())
+        traceInstant(trace_, traceTrack_, TraceName::kTokens, now);
     ++stats_.runs;
     return true;
 }
 
 bool
-AgSim::issueDense()
+AgSim::issueDense(Cycles now)
 {
     const bool write = (cfg_.mode == AgMode::kDenseStore);
     if (write &&
-        (cfg_.dataVecIn < 0 || !ports.vecIn[cfg_.dataVecIn].canPop()))
+        (cfg_.dataVecIn < 0 || !ports.vecIn[cfg_.dataVecIn].canPop())) {
+        classify(CycleClass::kInputStarved);
         return false;
+    }
 
     // Compute the command address from a copy of the chain; commit the
     // advance only if the coalescing unit accepts the command.
@@ -131,18 +142,23 @@ AgSim::issueDense()
         if (count == 0)
             count = 1; // degenerate all-masked store keeps the flow going
         if (!mem_.submitDense(cfg_.channel, this, id, byte_addr, count,
-                              true, buf.data()))
+                              true, buf.data())) {
+            classify(CycleClass::kDramWait);
             return false;
+        }
         ports.vecIn[cfg_.dataVecIn].pop();
         outstandingWrites_ += count;
         stats_.wordsStored += count;
     } else {
         if (!mem_.submitDense(cfg_.channel, this, id, byte_addr,
-                              cfg_.wordsPerCmd, false, nullptr))
+                              cfg_.wordsPerCmd, false, nullptr)) {
+            classify(CycleClass::kDramWait);
             return false;
+        }
         DenseCmd cmd;
         cmd.id = id;
         cmd.words = cfg_.wordsPerCmd;
+        cmd.issuedAt = now;
         cmd.data.assign(cfg_.wordsPerCmd, 0);
         dense_.push_back(std::move(cmd));
         stats_.wordsLoaded += cfg_.wordsPerCmd;
@@ -154,17 +170,25 @@ AgSim::issueDense()
 }
 
 bool
-AgSim::issueSparse()
+AgSim::issueSparse(Cycles now)
 {
-    if (sparsePendingMask_ != 0)
-        return retrySparse();
+    if (sparsePendingMask_ != 0) {
+        if (retrySparse())
+            return true;
+        classify(CycleClass::kDramWait);
+        return false;
+    }
 
     const bool write = (cfg_.mode == AgMode::kSparseStore);
-    if (cfg_.addrVecIn < 0 || !ports.vecIn[cfg_.addrVecIn].canPop())
+    if (cfg_.addrVecIn < 0 || !ports.vecIn[cfg_.addrVecIn].canPop()) {
+        classify(CycleClass::kInputStarved);
         return false;
+    }
     if (write &&
-        (cfg_.dataVecIn < 0 || !ports.vecIn[cfg_.dataVecIn].canPop()))
+        (cfg_.dataVecIn < 0 || !ports.vecIn[cfg_.dataVecIn].canPop())) {
+        classify(CycleClass::kInputStarved);
         return false;
+    }
 
     ChainState trial = chain_;
     Wavefront wf;
@@ -204,6 +228,7 @@ AgSim::issueSparse()
         cmd.mask = mask;
         cmd.remaining = __builtin_popcount(mask);
         cmd.data.mask = mask;
+        cmd.issuedAt = now;
         sparse_.push_back(cmd);
         stats_.wordsLoaded += cmd.remaining;
         sparsePendingWrite_ = false;
@@ -229,12 +254,15 @@ AgSim::retrySparse()
 }
 
 void
-AgSim::drainResponses()
+AgSim::drainResponses(Cycles now)
 {
     if (cfg_.mode == AgMode::kDenseLoad && !dense_.empty()) {
         DenseCmd &front = dense_.front();
-        if (front.received == front.words && cfg_.dataVecOut >= 0 &&
-            ports.vecOut[cfg_.dataVecOut].canPush()) {
+        if (front.received == front.words && cfg_.dataVecOut >= 0) {
+            if (!ports.vecOut[cfg_.dataVecOut].canPush()) {
+                classify(CycleClass::kOutputBackpressure);
+                return;
+            }
             // Emit the next vector of this command (one per cycle).
             static_assert(kMaxLanes <= 32, "mask width");
             uint32_t pushed = front.pushed;
@@ -247,14 +275,22 @@ AgSim::drainResponses()
             ports.vecOut[cfg_.dataVecOut].push(v);
             front.pushed += n;
             progress_ = true;
-            if (front.pushed >= front.words)
+            if (front.pushed >= front.words) {
+                traceAsync(trace_, traceTrack_, TraceName::kDramCmd,
+                           front.issuedAt, now + 1, front.id);
                 dense_.pop_front();
+            }
         }
     } else if (cfg_.mode == AgMode::kSparseLoad && !sparse_.empty()) {
         SparseCmd &front = sparse_.front();
-        if (front.remaining == 0 && cfg_.dataVecOut >= 0 &&
-            ports.vecOut[cfg_.dataVecOut].canPush()) {
+        if (front.remaining == 0 && cfg_.dataVecOut >= 0) {
+            if (!ports.vecOut[cfg_.dataVecOut].canPush()) {
+                classify(CycleClass::kOutputBackpressure);
+                return;
+            }
             ports.vecOut[cfg_.dataVecOut].push(front.data);
+            traceAsync(trace_, traceTrack_, TraceName::kDramCmd,
+                       front.issuedAt, now + 1, front.id);
             sparse_.pop_front();
             progress_ = true;
         }
@@ -262,12 +298,14 @@ AgSim::drainResponses()
 }
 
 bool
-AgSim::finishRun()
+AgSim::finishRun(Cycles now)
 {
     if (!canPushDone(cfg_.ctrl, ports))
         return false;
     popScalars(scalarRefs_, ports);
     pushDone(cfg_.ctrl, ports);
+    traceSpan(trace_, traceTrack_, TraceName::kRun, runStart_, now + 1);
+    traceInstant(trace_, traceTrack_, TraceName::kDone, now);
     state_ = State::kIdle;
     return true;
 }
@@ -482,6 +520,7 @@ MemSystem::step(Cycles now)
             continue;
         ch.submit(DramReq{b.lineAddr, b.write, id}, now);
         b.issued = true;
+        b.issuedAt = now;
         c.issueQueue.pop_front();
         ++stats_.bursts;
     }
@@ -512,10 +551,25 @@ MemSystem::step(Cycles now)
         CuState &c = cus_.at(b.cu);
         panic_if(c.outstanding == 0, "coalescer outstanding underflow");
         --c.outstanding;
+        if (b.cu < cuTracks_.size())
+            traceAsync(trace_, cuTracks_[b.cu], TraceName::kBurst,
+                       b.issuedAt, now + 1, req.tag);
         auto mit = c.mergeTable.find(b.lineAddr);
         if (mit != c.mergeTable.end() && mit->second == req.tag)
             c.mergeTable.erase(mit);
         bursts_.erase(it);
+    }
+
+    // Outstanding-burst counter per coalescing unit, on change only.
+    if (!cuTracks_.empty()) {
+        lastOutstanding_.resize(cus_.size(), 0);
+        for (size_t i = 0; i < cus_.size(); ++i) {
+            if (cus_[i].outstanding != lastOutstanding_[i]) {
+                lastOutstanding_[i] = cus_[i].outstanding;
+                traceCounter(trace_, cuTracks_[i], TraceName::kOutstanding,
+                             now, cus_[i].outstanding);
+            }
+        }
     }
 }
 

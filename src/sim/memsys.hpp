@@ -40,13 +40,13 @@ class AgSim : public SimUnit
     void deliverLane(uint64_t cmdId, uint32_t lane, Word data);
     void ackWrite(uint64_t cmdId, uint32_t count);
 
+    /** Work counters; cycle accounting lives in SimUnit::acct(). */
     struct Stats
     {
         uint64_t runs = 0;
         uint64_t denseCmds = 0;
         uint64_t sparseVecs = 0;
         uint64_t wordsLoaded = 0, wordsStored = 0;
-        uint64_t idleCycles = 0, activeCycles = 0;
     };
     const Stats &stats() const { return stats_; }
     const std::string &name() const { return cfg_.name; }
@@ -62,6 +62,7 @@ class AgSim : public SimUnit
         uint32_t words;
         uint32_t received = 0;
         uint32_t pushed = 0;
+        Cycles issuedAt = 0;
         std::vector<Word> data;
     };
 
@@ -72,14 +73,15 @@ class AgSim : public SimUnit
         Vec data;          ///< gathered words / scatter payload
         uint32_t mask = 0; ///< lanes requested
         uint32_t remaining = 0;
+        Cycles issuedAt = 0;
     };
 
-    bool tryStart();
-    bool issueDense();
-    bool issueSparse();
+    bool tryStart(Cycles now);
+    bool issueDense(Cycles now);
+    bool issueSparse(Cycles now);
     bool retrySparse();
-    void drainResponses();
-    bool finishRun();
+    void drainResponses(Cycles now);
+    bool finishRun(Cycles now);
 
     ArchParams params_;
     uint32_t index_;
@@ -102,6 +104,7 @@ class AgSim : public SimUnit
     uint64_t outstandingWrites_ = 0;
     std::vector<uint8_t> scalarRefs_;
 
+    Cycles runStart_ = 0; ///< cycle the current run's tokens fired
     Stats stats_;
 };
 
@@ -154,6 +157,13 @@ class MemSystem : public SimObject
     };
     const Stats &stats() const { return stats_; }
 
+    /** One trace track per coalescing unit (burst intervals plus the
+     *  outstanding-burst counter live there). */
+    void bindCuTracks(std::vector<uint16_t> tracks)
+    {
+        cuTracks_ = std::move(tracks);
+    }
+
   private:
     struct Waiter
     {
@@ -174,6 +184,7 @@ class MemSystem : public SimObject
         bool issued = false;
         std::vector<Waiter> waiters;
         uint32_t cu = 0;
+        Cycles issuedAt = 0; ///< cycle submitted to the DRAM channel
     };
 
     struct CuState
@@ -193,6 +204,8 @@ class MemSystem : public SimObject
     std::map<uint64_t, Burst> bursts_;
     uint64_t nextBurst_ = 1;
     std::vector<DramReq> completed_;
+    std::vector<uint16_t> cuTracks_;     ///< empty when tracing is off
+    std::vector<uint32_t> lastOutstanding_;
     Stats stats_;
 };
 

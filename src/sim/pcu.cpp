@@ -42,22 +42,30 @@ PcuSim::step(Cycles now)
 {
     progress_ = false;
     if (state_ == State::kIdle) {
-        if (!tryStart()) {
-            ++stats_.idleCycles;
+        if (!tryStart(now))
             return;
-        }
     }
     advancePipeline(now);
 }
 
 bool
-PcuSim::tryStart()
+PcuSim::tryStart(Cycles now)
 {
-    if (!tokensReady(cfg_.ctrl, ports, selfStarted_))
+    if (!tokensReady(cfg_.ctrl, ports, selfStarted_)) {
+        // A unit with gated token inputs is waiting on upstream
+        // control; one with none (self-start, already fired) is done.
+        if (!cfg_.ctrl.tokenIns.empty())
+            classify(CycleClass::kCreditBlocked);
         return false;
-    if (!scalarsReady(scalarRefs_, ports))
+    }
+    if (!scalarsReady(scalarRefs_, ports)) {
+        classify(CycleClass::kInputStarved);
         return false;
+    }
     consumeTokens(cfg_.ctrl, ports);
+    runStart_ = now;
+    if (!cfg_.ctrl.tokenIns.empty())
+        traceInstant(trace_, traceTrack_, TraceName::kTokens, now);
     selfStarted_ = true;
     chain_.reset(resolveBounds(cfg_.chain, ports));
     for (auto &buf : coalesceBuf_)
@@ -75,17 +83,16 @@ PcuSim::tryStart()
 void
 PcuSim::advancePipeline(Cycles now)
 {
-    (void)now;
     const size_t S = pipe_.size();
     bool moved = false;
 
     // Retire from the final stage.
     if (pipe_[S - 1]) {
-        if (tryRetire(*pipe_[S - 1])) {
+        if (tryRetire(*pipe_[S - 1], now)) {
             pipe_[S - 1].reset();
             moved = true;
         } else {
-            ++stats_.stallCycles;
+            classify(CycleClass::kOutputBackpressure);
             return; // head-of-line blocked: hold everything
         }
     }
@@ -104,10 +111,10 @@ PcuSim::advancePipeline(Cycles now)
     if (state_ == State::kRunning && !pipe_[0]) {
         if (chain_.done()) {
             state_ = State::kDraining;
-        } else if (tryIssue()) {
+        } else if (tryIssue(now)) {
             moved = true;
         } else {
-            ++stats_.starveCycles;
+            classify(CycleClass::kInputStarved);
         }
     }
     if (state_ == State::kRunning && chain_.done() && !pipe_[0])
@@ -120,18 +127,20 @@ PcuSim::advancePipeline(Cycles now)
             if (slot)
                 empty = false;
         }
-        if (empty && finishRun())
-            moved = true;
+        if (empty) {
+            if (finishRun(now))
+                moved = true;
+            else
+                classify(CycleClass::kOutputBackpressure);
+        }
     }
 
-    if (moved) {
-        ++stats_.activeCycles;
+    if (moved)
         progress_ = true;
-    }
 }
 
 bool
-PcuSim::tryIssue()
+PcuSim::tryIssue(Cycles now)
 {
     for (uint8_t ref : vectorRefs_) {
         panic_if(ref >= ports.vecIn.size(), "vector input %u out of range",
@@ -141,6 +150,7 @@ PcuSim::tryIssue()
     }
     Wavefront wf;
     chain_.issueInto(wf);
+    wf.issuedAt = now;
     for (uint8_t ref : vectorRefs_) {
         const Vec &v = ports.vecIn[ref].front();
         wf.vecIn[ref] = v;
@@ -244,7 +254,7 @@ PcuSim::applyStage(size_t idx, Wavefront &wf)
 }
 
 bool
-PcuSim::tryRetire(const Wavefront &wf)
+PcuSim::tryRetire(const Wavefront &wf, Cycles now)
 {
     // Phase 1: every triggered emission must be able to push.
     for (size_t p = 0; p < cfg_.vecOuts.size(); ++p) {
@@ -316,11 +326,13 @@ PcuSim::tryRetire(const Wavefront &wf)
         if (trig)
             ports.scalOut[p].push(wf.regs[so.srcReg][0]);
     }
+    traceAsync(trace_, traceTrack_, TraceName::kWavefront, wf.issuedAt,
+               now + 1, ++retiredWf_);
     return true;
 }
 
 bool
-PcuSim::finishRun()
+PcuSim::finishRun(Cycles now)
 {
     // Flush partial coalesce buffers, then counts, then done tokens.
     if (!flushedCoalesce_) {
@@ -364,6 +376,8 @@ PcuSim::finishRun()
     }
     popScalars(scalarRefs_, ports);
     pushDone(cfg_.ctrl, ports);
+    traceSpan(trace_, traceTrack_, TraceName::kRun, runStart_, now + 1);
+    traceInstant(trace_, traceTrack_, TraceName::kDone, now);
     state_ = State::kIdle;
     return true;
 }

@@ -29,15 +29,12 @@ class PcuSim : public SimUnit
     void step(Cycles now) override;
     bool busy() const override { return state_ != State::kIdle; }
 
+    /** Work counters; cycle accounting lives in SimUnit::acct(). */
     struct Stats
     {
         uint64_t runs = 0;
         uint64_t wavefronts = 0;
-        uint64_t stallCycles = 0;   ///< pipeline blocked on outputs
-        uint64_t starveCycles = 0;  ///< issue blocked on inputs
-        uint64_t idleCycles = 0;
-        uint64_t activeCycles = 0;  ///< cycles with any pipeline movement
-        uint64_t laneOps = 0;       ///< FU-lane operations executed
+        uint64_t laneOps = 0; ///< FU-lane operations executed
     };
     const Stats &stats() const { return stats_; }
     const std::string &name() const { return cfg_.name; }
@@ -45,14 +42,14 @@ class PcuSim : public SimUnit
   private:
     enum class State { kIdle, kRunning, kDraining };
 
-    bool tryStart();
+    bool tryStart(Cycles now);
     void advancePipeline(Cycles now);
-    bool tryIssue();
-    bool tryRetire(const Wavefront &wf);
+    bool tryIssue(Cycles now);
+    bool tryRetire(const Wavefront &wf, Cycles now);
     void applyStage(size_t idx, Wavefront &wf);
     Word operandValue(const Operand &op, const Wavefront &wf,
                       uint32_t lane) const;
-    bool finishRun();
+    bool finishRun(Cycles now);
 
     ArchParams params_;
     uint32_t index_;
@@ -73,6 +70,8 @@ class PcuSim : public SimUnit
     std::vector<uint8_t> scalarRefs_;
     std::vector<uint8_t> vectorRefs_;
 
+    Cycles runStart_ = 0;    ///< cycle the current run's tokens fired
+    uint64_t retiredWf_ = 0; ///< retire id for wavefront trace intervals
     Stats stats_;
 };
 

@@ -58,27 +58,30 @@ PmuSim::step(Cycles now)
         any |= stepPort(write2_, now);
     if (cfg_.read.enabled)
         any |= stepPort(read_, now);
-    if (any) {
-        ++stats_.activeCycles;
+    if (any)
         progress_ = true;
-    } else {
-        ++stats_.idleCycles;
-    }
 }
 
 bool
 PmuSim::stepPort(Port &port, Cycles now)
 {
-    (void)now;
     const PmuPortCfg &pcfg = *port.cfg;
     switch (port.state) {
       case Port::State::kIdle: {
-        if (!tokensReady(pcfg.ctrl, ports, port.selfStarted))
+        if (!tokensReady(pcfg.ctrl, ports, port.selfStarted)) {
+            if (!pcfg.ctrl.tokenIns.empty())
+                classify(CycleClass::kCreditBlocked);
             return false;
-        if (!scalarsReady(port.scalarRefs, ports))
+        }
+        if (!scalarsReady(port.scalarRefs, ports)) {
+            classify(CycleClass::kInputStarved);
             return false;
+        }
         consumeTokens(pcfg.ctrl, ports);
         port.selfStarted = true;
+        port.runStart = now;
+        if (!pcfg.ctrl.tokenIns.empty())
+            traceInstant(trace_, port.track, TraceName::kTokens, now);
         port.chain.reset(resolveBounds(pcfg.chain, ports));
         port.fill = static_cast<uint32_t>(pcfg.addrStages.size());
         port.appendCursor = 0;
@@ -103,16 +106,24 @@ PmuSim::stepPort(Port &port, Cycles now)
       }
       case Port::State::kRunning: {
         if (port.busy > 0) {
+            // The port is burning a conflict cycle: the state machine
+            // moves, but no architectural work happens — force the
+            // classification over the progress->active rule.
             --port.busy;
-            ++stats_.conflictCycles;
+            classifyForce(CycleClass::kBankConflict);
             return true;
         }
         if (port.chain.done()) {
             // Run complete: swap buffers, pop scalars, signal done.
-            if (!canPushDone(pcfg.ctrl, ports))
+            if (!canPushDone(pcfg.ctrl, ports)) {
+                classify(CycleClass::kOutputBackpressure);
                 return false;
+            }
             popScalars(port.scalarRefs, ports);
             pushDone(pcfg.ctrl, ports);
+            traceSpan(trace_, port.track, TraceName::kRun, port.runStart,
+                      now + 1);
+            traceInstant(trace_, port.track, TraceName::kDone, now);
             ++port.runCount;
             if (pcfg.swapEvery > 0 &&
                 port.runCount % pcfg.swapEvery == 0)
@@ -135,8 +146,10 @@ PmuSim::portAccess(Port &port)
     if (scratch_.mode() == BankingMode::kFifo) {
         if (port.isWrite) {
             if (pcfg.dataVecIn < 0 ||
-                !ports.vecIn[pcfg.dataVecIn].canPop())
+                !ports.vecIn[pcfg.dataVecIn].canPop()) {
+                classify(CycleClass::kInputStarved);
                 return false;
+            }
             Wavefront wf;
             port.chain.issueInto(wf);
             scratch_.fifoPush(ports.vecIn[pcfg.dataVecIn].front());
@@ -144,9 +157,14 @@ PmuSim::portAccess(Port &port)
             ++stats_.writes;
             return true;
         }
-        if (!scratch_.fifoCanPop() || pcfg.dataVecOut < 0 ||
-            !ports.vecOut[pcfg.dataVecOut].canPush())
+        if (!scratch_.fifoCanPop() || pcfg.dataVecOut < 0) {
+            classify(CycleClass::kInputStarved);
             return false;
+        }
+        if (!ports.vecOut[pcfg.dataVecOut].canPush()) {
+            classify(CycleClass::kOutputBackpressure);
+            return false;
+        }
         Wavefront wf;
         port.chain.issueInto(wf);
         ports.vecOut[pcfg.dataVecOut].push(scratch_.fifoPop());
@@ -156,8 +174,10 @@ PmuSim::portAccess(Port &port)
 
     // FlatMap append mode: pack incoming valid words at the cursor.
     if (pcfg.appendMode) {
-        if (pcfg.dataVecIn < 0 || !ports.vecIn[pcfg.dataVecIn].canPop())
+        if (pcfg.dataVecIn < 0 || !ports.vecIn[pcfg.dataVecIn].canPop()) {
+            classify(CycleClass::kInputStarved);
             return false;
+        }
         Wavefront wf;
         port.chain.issueInto(wf);
         const Vec &dv = ports.vecIn[pcfg.dataVecIn].front();
@@ -174,15 +194,21 @@ PmuSim::portAccess(Port &port)
     }
 
     // Check that every input/output this access needs is ready.
-    if (pcfg.addrVecIn >= 0 && !ports.vecIn[pcfg.addrVecIn].canPop())
+    if (pcfg.addrVecIn >= 0 && !ports.vecIn[pcfg.addrVecIn].canPop()) {
+        classify(CycleClass::kInputStarved);
         return false;
+    }
     if (port.isWrite) {
-        if (pcfg.dataVecIn < 0 || !ports.vecIn[pcfg.dataVecIn].canPop())
+        if (pcfg.dataVecIn < 0 || !ports.vecIn[pcfg.dataVecIn].canPop()) {
+            classify(CycleClass::kInputStarved);
             return false;
+        }
     } else {
         if (pcfg.dataVecOut < 0 ||
-            !ports.vecOut[pcfg.dataVecOut].canPush())
+            !ports.vecOut[pcfg.dataVecOut].canPush()) {
+            classify(CycleClass::kOutputBackpressure);
             return false;
+        }
     }
 
     Wavefront wf;

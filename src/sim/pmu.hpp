@@ -29,17 +29,25 @@ class PmuSim : public SimUnit
     void step(Cycles now) override;
     bool busy() const override;
 
+    /** Work counters; cycle accounting lives in SimUnit::acct(). */
     struct Stats
     {
         uint64_t writeRuns = 0, readRuns = 0;
         uint64_t reads = 0, writes = 0; ///< vector accesses
         uint64_t wordsRead = 0, wordsWritten = 0;
-        uint64_t conflictCycles = 0;
-        uint64_t activeCycles = 0;
-        uint64_t idleCycles = 0;
     };
     const Stats &stats() const { return stats_; }
     const std::string &name() const { return cfg_.name; }
+
+    /** Per-port trace tracks: read/write port runs overlap in time, so
+     *  each port gets its own display track. */
+    void
+    bindPortTracks(uint16_t write, uint16_t write2, uint16_t read)
+    {
+        write_.track = write;
+        write2_.track = write2;
+        read_.track = read;
+    }
 
     /** Test access to storage (checked against references in tests). */
     const Scratchpad &scratch() const { return scratch_; }
@@ -58,6 +66,8 @@ class PmuSim : public SimUnit
         uint32_t bufIdx = 0;     ///< N-buffer pointer
         uint64_t runCount = 0;   ///< completed runs (swap/clear cadence)
         uint32_t appendCursor = 0; ///< FlatMap append position
+        uint16_t track = 0;      ///< trace track of this port
+        Cycles runStart = 0;     ///< cycle this run's tokens fired
         std::vector<uint8_t> scalarRefs;
     };
 

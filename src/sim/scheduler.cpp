@@ -38,6 +38,7 @@ Scheduler::wakeUnit(SimObject *u)
         return;
     u->wakeQueued_ = true;
     wakePending_.push_back(u);
+    traceInstant(trace_, u->traceTrack(), TraceName::kWake, curCycle_);
 }
 
 void
@@ -84,6 +85,8 @@ Scheduler::applyWakes()
 void
 Scheduler::runCycle(Cycles now)
 {
+    curCycle_ = now;
+
     // Due arrival timers feed this cycle's commit phase.
     while (!timers_.empty() && timers_.begin()->first <= now) {
         for (StreamBase *s : timers_.begin()->second) {
@@ -108,6 +111,8 @@ Scheduler::runCycle(Cycles now)
             u->inRun_ = true;
             run_[keep++] = u;
             progress_ = true;
+        } else {
+            traceInstant(trace_, u->traceTrack(), TraceName::kSleep, now);
         }
     }
     run_.resize(keep);
@@ -143,6 +148,12 @@ Scheduler::runCycle(Cycles now)
     commitRun_.clear();
 
     applyWakes();
+
+    if (trace_ && run_.size() != lastActiveSet_) {
+        lastActiveSet_ = run_.size();
+        trace_->counter(traceTrack_, TraceName::kActiveSet, now,
+                        run_.size());
+    }
 }
 
 bool

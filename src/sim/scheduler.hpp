@@ -85,6 +85,15 @@ class Scheduler
     /** Awake-unit count (diagnostics). */
     size_t awakeUnits() const { return run_.size(); }
 
+    /** Attach the fabric's trace sink: sleep/wake instants land on each
+     *  unit's own track, the active-set counter on `ownTrack`. */
+    void
+    setTrace(TraceSink *sink, uint16_t ownTrack)
+    {
+        trace_ = sink;
+        traceTrack_ = ownTrack;
+    }
+
   private:
     void scheduleArrival(Cycles cycle, StreamBase *s);
     void applyWakes();
@@ -100,6 +109,11 @@ class Scheduler
     std::map<Cycles, std::vector<StreamBase *>> timers_;
     std::vector<StreamBase *> deliveredHost_;
     bool progress_ = false;
+
+    TraceSink *trace_ = nullptr;
+    uint16_t traceTrack_ = 0;
+    Cycles curCycle_ = 0;       ///< timestamp for wake instants
+    size_t lastActiveSet_ = ~size_t{0};
 };
 
 inline void

@@ -24,6 +24,7 @@
 
 #include <cstdint>
 
+#include "base/trace.hpp"
 #include "base/types.hpp"
 
 namespace plast
@@ -76,8 +77,20 @@ class SimObject
      *  wake AGs on response delivery and submit-retry. */
     void requestWake();
 
+    /** Attach the fabric's trace sink (null = tracing off). */
+    void
+    bindTrace(TraceSink *sink, uint16_t track)
+    {
+        trace_ = sink;
+        traceTrack_ = track;
+    }
+    uint16_t traceTrack() const { return traceTrack_; }
+
   protected:
     Scheduler *sched() const { return sched_; }
+
+    TraceSink *trace_ = nullptr; ///< null when tracing is off
+    uint16_t traceTrack_ = 0;
 
   private:
     friend class Scheduler;

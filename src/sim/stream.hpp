@@ -92,6 +92,8 @@ class StreamBase : public SimObject
     uint32_t latency_;
     uint32_t capacity_;
     Stats stats_;
+    /** Last occupancy traced, so counter samples fire on change only. */
+    uint64_t lastTracedOcc_ = 0;
 
   private:
     friend class Scheduler;
@@ -192,6 +194,11 @@ class Stream : public StreamBase
         uint64_t occ = inFlight_.size() + queue_.size();
         if (occ > stats_.peakOccupancy)
             stats_.peakOccupancy = occ;
+        if (trace_ && occ != lastTracedOcc_) {
+            lastTracedOcc_ = occ;
+            traceCounter(trace_, traceTrack_, TraceName::kOccupancy,
+                         now + 1, occ);
+        }
         // A stalled arrival (due but the FIFO is full) needs no timer:
         // the consumer's pop dirties the stream and the same commit
         // both frees the slot and moves the element in.

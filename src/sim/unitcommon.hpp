@@ -13,6 +13,7 @@
 #include "arch/config.hpp"
 #include "sim/ports.hpp"
 #include "sim/simobject.hpp"
+#include "sim/stall.hpp"
 #include "sim/wavefront.hpp"
 
 namespace plast
@@ -62,15 +63,71 @@ class SimUnit : public SimObject
     virtual bool busy() const = 0;
     bool madeProgress() const { return progress_; }
 
+    /** Per-cycle stall-attribution ledger (see stall.hpp). Updated only
+     *  through evaluate(); driving step() directly bypasses it. */
+    const CycleAcct &acct() const { return acct_; }
+
+    /**
+     * The accounting tick around step(): cycles the scheduler skipped
+     * since the last evaluation are attributed to the class that put
+     * the unit to sleep, then this cycle is classified — kActive on
+     * progress, the step's classify() reason otherwise, kIdle when the
+     * step never reached a blocking point.
+     */
     Activity
     evaluate(Cycles now) final
     {
+        if (lastEval_ != kNeverCycle && now > lastEval_ + 1) {
+            uint64_t gap = now - lastEval_ - 1;
+            acct_.slept += gap;
+            acct_.sleptBy[static_cast<size_t>(lastClass_)] += gap;
+        }
+        lastEval_ = now;
+        class_ = CycleClass::kIdle;
+        classSet_ = false;
+        classForced_ = false;
         step(now);
+        ++acct_.stepped;
+        CycleClass c = classForced_ ? class_
+                       : progress_ ? CycleClass::kActive
+                                   : class_;
+        ++acct_.by[static_cast<size_t>(c)];
+        lastClass_ = c;
         return progress_ ? Activity::kActive : Activity::kBlocked;
     }
 
   protected:
+    /** Record why this cycle is blocked; the first reason reached in
+     *  the step wins (it is the gating condition actually hit). Ignored
+     *  if the unit ends the cycle with progress. */
+    void
+    classify(CycleClass c)
+    {
+        if (!classSet_) {
+            class_ = c;
+            classSet_ = true;
+        }
+    }
+
+    /** Classify even though progress_ is set (bank-conflict busy
+     *  cycles: the port moved, but only to burn a conflict cycle). */
+    void
+    classifyForce(CycleClass c)
+    {
+        class_ = c;
+        classSet_ = true;
+        classForced_ = true;
+    }
+
     bool progress_ = false;
+
+  private:
+    CycleAcct acct_;
+    Cycles lastEval_ = kNeverCycle;
+    CycleClass lastClass_ = CycleClass::kIdle;
+    CycleClass class_ = CycleClass::kIdle;
+    bool classSet_ = false;
+    bool classForced_ = false;
 };
 
 /** True when every token input listed in the control config has a token.

@@ -44,6 +44,8 @@ struct Wavefront
     uint16_t lastLevels = 0;
     /** Data popped from vector inputs for this wavefront. */
     std::array<Vec, kMaxVecPorts> vecIn{};
+    /** Issue cycle, for retire-time trace intervals. */
+    Cycles issuedAt = 0;
 
     bool firstAtLevel(uint8_t lvl) const { return (firstLevels >> lvl) & 1; }
     bool lastAtLevel(uint8_t lvl) const { return (lastLevels >> lvl) & 1; }

@@ -59,7 +59,7 @@ struct PcuHarness
     step(int cycles = 1)
     {
         for (int i = 0; i < cycles; ++i) {
-            pcu->step(now);
+            pcu->evaluate(now);
             for (auto &s : vecOuts)
                 s->tick(now);
             for (auto &s : vecIns)
@@ -301,7 +301,7 @@ TEST(Pcu, StallsWhenOutputBlocked)
     PcuHarness h(cfg);
     VectorStream *out = h.bindVecOut(0, /*capacity=*/2);
     h.step(50); // no one pops
-    EXPECT_GT(h.pcu->stats().stallCycles, 10u);
+    EXPECT_GT(h.pcu->acct().blocked(CycleClass::kOutputBackpressure), 10u);
     // Drain and confirm everything still arrives in order.
     std::vector<Word> got;
     for (int c = 0; c < 400 && got.size() < 160; ++c) {
@@ -343,7 +343,8 @@ TEST(Pcu, VectorInputConsumedPerWavefront)
     VectorStream *out = h.bindVecOut(0);
 
     h.step(10);
-    EXPECT_GT(h.pcu->stats().starveCycles, 0u) << "waits for data";
+    EXPECT_GT(h.pcu->acct().blocked(CycleClass::kInputStarved), 0u)
+        << "waits for data";
     for (int i = 0; i < 2; ++i) {
         Vec v;
         for (uint32_t l = 0; l < 16; ++l) {
