@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Textual serialization of FabricConfig — the human-readable form of
+ * the configuration "bitstream". Every field of every structure in
+ * arch/config.hpp round-trips: write -> read -> write is a string
+ * fixpoint (property-tested over the compiled benchmarks), so saved
+ * configurations can be diffed, archived and reloaded exactly.
+ */
+
+#ifndef PLAST_ARCH_CFGIO_HPP
+#define PLAST_ARCH_CFGIO_HPP
+
+#include <iosfwd>
+#include <string>
+
+#include "arch/config.hpp"
+
+namespace plast
+{
+
+/** Write `cfg` as a .pcfg text document. */
+void writeConfig(std::ostream &os, const FabricConfig &cfg);
+
+/** Convenience: writeConfig into a string. */
+std::string configToText(const FabricConfig &cfg);
+
+/** Parse a .pcfg document. Returns true on success; on failure
+ *  returns false and, when `err` is non-null, stores a diagnostic. */
+bool readConfig(std::istream &is, FabricConfig &out,
+                std::string *err = nullptr);
+
+} // namespace plast
+
+#endif // PLAST_ARCH_CFGIO_HPP

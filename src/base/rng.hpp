@@ -30,11 +30,21 @@ class Rng
         return z ^ (z >> 31);
     }
 
-    /** Uniform in [0, bound). bound must be > 0. */
+    /**
+     * Uniform in [0, bound); bound == 0 returns 0 (instead of the
+     * divide-by-zero UB `next() % 0` would be). Uses plain modulo: the
+     * bias of value v < bound is at most bound/2^64 relative to a
+     * perfect uniform draw — under 2^-40 for every bound below 2^24,
+     * which is far beyond what workload synthesis or the fuzzer can
+     * observe. The payoff is platform-independent determinism: no
+     * rejection loop, so every (seed, call sequence) pair yields the
+     * same values everywhere.
+     */
     uint64_t
     nextBounded(uint64_t bound)
     {
-        return next() % bound;
+        uint64_t raw = next(); // always advance, even for bound <= 1
+        return bound == 0 ? 0 : raw % bound;
     }
 
     /** Uniform float in [0, 1). */

@@ -1,0 +1,242 @@
+#include "fuzz/diff.hpp"
+
+#include <vector>
+
+#include "base/logging.hpp"
+#include "base/rng.hpp"
+#include "compiler/mapper.hpp"
+#include "pir/eval.hpp"
+#include "pir/validate.hpp"
+#include "runtime/runner.hpp"
+#include "sim/fabric.hpp"
+
+namespace plast::fuzz
+{
+
+using namespace pir;
+
+void
+fillInputs(Runner &r, const Program &prog)
+{
+    for (size_t m = 0; m < prog.mems.size(); ++m) {
+        const MemDecl &md = prog.mems[m];
+        if (md.kind != MemKind::kDram)
+            continue;
+        auto &buf = r.dram(static_cast<MemId>(m));
+        // Seed from the MemId so renaming-preserving shrinks keep the
+        // same data but distinct buffers get distinct streams.
+        Rng rng(0x5eed0000u + static_cast<uint64_t>(m) * 0x9e37u);
+        char c = md.name.empty() ? 'o' : md.name[0];
+        for (auto &w : buf) {
+            if (c == 'f')
+                w = floatToWord(rng.nextFloat(-2.0f, 2.0f));
+            else if (c == 'i')
+                w = intToWord(
+                    static_cast<int32_t>(rng.nextBounded(1 << 15)));
+            else
+                w = 0;
+        }
+    }
+}
+
+namespace
+{
+
+/** First difference between two word sequences, or empty string. */
+std::string
+firstDiff(const char *what, const std::vector<Word> &want,
+          const std::vector<Word> &got)
+{
+    if (want.size() != got.size())
+        return strfmt("%s: size %zu vs %zu", what, want.size(),
+                      got.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+        if (want[i] != got[i])
+            return strfmt("%s[%zu]: 0x%08x (%f) vs 0x%08x (%f)", what,
+                          i, want[i], wordToFloat(want[i]), got[i],
+                          wordToFloat(got[i]));
+    }
+    return {};
+}
+
+std::vector<Word>
+argOutWords(const Runner::Result &res, uint32_t slot)
+{
+    const auto &dq = res.argOuts[slot];
+    return std::vector<Word>(dq.begin(), dq.end());
+}
+
+/** Per-unit cycle accounting: every evaluated cycle classified, every
+ *  slept cycle attributed, and nothing exceeds the fabric clock. */
+std::string
+checkLedger(const Fabric &fab)
+{
+    const Cycles total = fab.now();
+    const FabricConfig &cfg = fab.config();
+    auto check = [&](const std::string &label,
+                     const CycleAcct &a) -> std::string {
+        uint64_t by_sum = 0, slept_sum = 0;
+        for (size_t c = 0; c < kNumCycleClasses; ++c) {
+            by_sum += a.by[c];
+            slept_sum += a.sleptBy[c];
+        }
+        if (by_sum != a.stepped)
+            return strfmt("%s: classified %llu != stepped %llu",
+                          label.c_str(),
+                          static_cast<unsigned long long>(by_sum),
+                          static_cast<unsigned long long>(a.stepped));
+        if (slept_sum != a.slept)
+            return strfmt("%s: attributed-sleep %llu != slept %llu",
+                          label.c_str(),
+                          static_cast<unsigned long long>(slept_sum),
+                          static_cast<unsigned long long>(a.slept));
+        if (a.stepped + a.slept > total)
+            return strfmt(
+                "%s: stepped %llu + slept %llu exceeds clock %llu",
+                label.c_str(),
+                static_cast<unsigned long long>(a.stepped),
+                static_cast<unsigned long long>(a.slept),
+                static_cast<unsigned long long>(total));
+        return {};
+    };
+    for (size_t i = 0; i < cfg.pcus.size(); ++i)
+        if (const auto *u = fab.pcuPtr(static_cast<uint32_t>(i)))
+            if (auto e = check(strfmt("pcu%zu ledger", i), u->acct());
+                !e.empty())
+                return e;
+    for (size_t i = 0; i < cfg.pmus.size(); ++i)
+        if (const auto *u = fab.pmuPtr(static_cast<uint32_t>(i)))
+            if (auto e = check(strfmt("pmu%zu ledger", i), u->acct());
+                !e.empty())
+                return e;
+    for (size_t i = 0; i < cfg.ags.size(); ++i)
+        if (const auto *u = fab.agPtr(static_cast<uint32_t>(i)))
+            if (auto e = check(strfmt("ag%zu ledger", i), u->acct());
+                !e.empty())
+                return e;
+    for (size_t i = 0; i < cfg.boxes.size(); ++i)
+        if (const auto *u = fab.boxPtr(static_cast<uint32_t>(i)))
+            if (auto e = check(strfmt("box%zu ledger", i), u->acct());
+                !e.empty())
+                return e;
+    return {};
+}
+
+} // namespace
+
+DiffResult
+diffRun(const Program &prog, const ArchParams &params,
+        const DiffOptions &opts)
+{
+    DiffResult out;
+
+    auto errs = validateProgram(prog, params.pcu.lanes);
+    if (!errs.empty()) {
+        out.status = DiffResult::Status::kInvalid;
+        out.detail = errs.front();
+        return out;
+    }
+
+    // Pre-flight the mapping: capacity overruns are a legal outcome of
+    // random (program, arch) pairs, not a finding. Runner would fatal.
+    {
+        compiler::MapResult probe = compiler::compileProgram(prog, params);
+        if (!probe.report.ok) {
+            out.status = DiffResult::Status::kUnmappable;
+            out.detail = probe.report.error;
+            return out;
+        }
+    }
+
+    auto runMode = [&](SimOptions::Mode mode) {
+        SimOptions so;
+        so.mode = mode;
+        auto r = std::make_unique<Runner>(prog, params, so);
+        if (opts.tweak)
+            r->setConfigTweak(opts.tweak);
+        fillInputs(*r, prog);
+        return r;
+    };
+
+    auto activity = runMode(SimOptions::Mode::kActivity);
+    Evaluator ref = activity->runReference();
+    Runner::Result ares = activity->run(opts.maxCycles);
+    out.cycles = ares.cycles;
+
+    // 1. Reference vs fabric: argOut streams and DRAM images.
+    for (uint32_t s = 0; s < prog.numArgOuts; ++s) {
+        auto d = firstDiff(strfmt("argOut[%u]", s).c_str(),
+                           ref.argOuts(static_cast<int32_t>(s)),
+                           argOutWords(ares, s));
+        if (!d.empty()) {
+            out.status = DiffResult::Status::kMismatch;
+            out.detail = "ref vs fabric " + d;
+            return out;
+        }
+    }
+    for (size_t m = 0; m < prog.mems.size(); ++m) {
+        if (prog.mems[m].kind != MemKind::kDram)
+            continue;
+        MemId mid = static_cast<MemId>(m);
+        auto d = firstDiff(
+            strfmt("dram '%s'", prog.mems[m].name.c_str()).c_str(),
+            ref.dramBuf(mid), activity->readDram(mid));
+        if (!d.empty()) {
+            out.status = DiffResult::Status::kMismatch;
+            out.detail = "ref vs fabric " + d;
+            return out;
+        }
+    }
+
+    // 2. Cycle-ledger invariant on the activity-mode fabric.
+    if (auto e = checkLedger(*activity->fabric()); !e.empty()) {
+        out.status = DiffResult::Status::kMismatch;
+        out.detail = e;
+        return out;
+    }
+
+    // 3. Scheduler-mode parity: dense must be bit- and cycle-exact.
+    if (opts.checkDense) {
+        auto dense = runMode(SimOptions::Mode::kDense);
+        Runner::Result dres = dense->run(opts.maxCycles);
+        if (dres.cycles != ares.cycles) {
+            out.status = DiffResult::Status::kMismatch;
+            out.detail = strfmt(
+                "scheduler parity: dense %llu cycles vs activity %llu",
+                static_cast<unsigned long long>(dres.cycles),
+                static_cast<unsigned long long>(ares.cycles));
+            return out;
+        }
+        for (uint32_t s = 0; s < prog.numArgOuts; ++s) {
+            auto d = firstDiff(strfmt("argOut[%u]", s).c_str(),
+                               argOutWords(ares, s),
+                               argOutWords(dres, s));
+            if (!d.empty()) {
+                out.status = DiffResult::Status::kMismatch;
+                out.detail = "activity vs dense " + d;
+                return out;
+            }
+        }
+        for (size_t m = 0; m < prog.mems.size(); ++m) {
+            if (prog.mems[m].kind != MemKind::kDram)
+                continue;
+            MemId mid = static_cast<MemId>(m);
+            auto d = firstDiff(
+                strfmt("dram '%s'", prog.mems[m].name.c_str()).c_str(),
+                activity->readDram(mid), dense->readDram(mid));
+            if (!d.empty()) {
+                out.status = DiffResult::Status::kMismatch;
+                out.detail = "activity vs dense " + d;
+                return out;
+            }
+        }
+        if (auto e = checkLedger(*dense->fabric()); !e.empty()) {
+            out.status = DiffResult::Status::kMismatch;
+            out.detail = "dense " + e;
+            return out;
+        }
+    }
+    return out;
+}
+
+} // namespace plast::fuzz

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Command-line differential fuzzer for the PIR -> fabric pipeline.
+ *
+ *   fuzz_pir --runs=500 --seed=1          # bounded batch
+ *   fuzz_pir --time-budget=60             # CI smoke: run for 60 s
+ *   fuzz_pir --replay tests/corpus/x.pir  # re-execute a reproducer
+ *   fuzz_pir --inject --save-dir=out      # fault-injection self-test
+ *
+ * Exit status: 0 when every executed case matched (unmappable cases
+ * are skipped, not failures), 1 on any mismatch, 2 on usage errors.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "base/logging.hpp"
+#include "fuzz/harness.hpp"
+
+using namespace plast;
+
+namespace
+{
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: fuzz_pir [options]\n"
+        "  --seed=N          base seed for the run sequence (default 1)\n"
+        "  --runs=N          number of cases to execute (default 100)\n"
+        "  --time-budget=S   stop after S wall-clock seconds (0 = off)\n"
+        "  --replay=FILE     replay one .pir reproducer and exit\n"
+        "  --emit=SEED       print the seed's case as a .pir file and "
+        "exit\n"
+        "  --save-dir=DIR    write shrunk reproducers to DIR\n"
+        "  --inject          enable the canned reduction-stage fault\n"
+        "  --no-dense        skip the dense-scheduler parity re-run\n"
+        "  --no-shrink       keep failing programs unshrunk\n"
+        "  --quiet           suppress per-case progress\n");
+}
+
+bool
+parseU64(const char *s, uint64_t &out)
+{
+    char *end = nullptr;
+    out = std::strtoull(s, &end, 0);
+    return end && *end == '\0' && end != s;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    fuzz::FuzzOptions opts;
+    opts.progress = true;
+    std::string replay;
+    uint64_t emitSeed = 0;
+    bool haveEmit = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto val = [&](const char *prefix) -> const char * {
+            size_t n = std::strlen(prefix);
+            return a.compare(0, n, prefix) == 0 ? a.c_str() + n
+                                                : nullptr;
+        };
+        uint64_t u = 0;
+        if (const char *v = val("--seed=")) {
+            if (!parseU64(v, opts.seed)) {
+                usage();
+                return 2;
+            }
+        } else if (const char *v = val("--runs=")) {
+            if (!parseU64(v, u)) {
+                usage();
+                return 2;
+            }
+            opts.runs = static_cast<uint32_t>(u);
+        } else if (const char *v = val("--time-budget=")) {
+            if (!parseU64(v, u)) {
+                usage();
+                return 2;
+            }
+            opts.timeBudgetSec = static_cast<uint32_t>(u);
+            // A pure time budget should not stop early on run count.
+            if (opts.timeBudgetSec > 0)
+                opts.runs = UINT32_MAX;
+        } else if (const char *v = val("--replay=")) {
+            replay = v;
+        } else if (a == "--replay" && i + 1 < argc) {
+            replay = argv[++i];
+        } else if (const char *v = val("--emit=")) {
+            if (!parseU64(v, u)) {
+                usage();
+                return 2;
+            }
+            emitSeed = u;
+            haveEmit = true;
+        } else if (const char *v = val("--save-dir=")) {
+            opts.saveDir = v;
+        } else if (a == "--inject") {
+            opts.inject = true;
+        } else if (a == "--no-dense") {
+            opts.checkDense = false;
+        } else if (a == "--no-shrink") {
+            opts.shrink = false;
+        } else if (a == "--quiet") {
+            opts.progress = false;
+        } else if (a == "--help" || a == "-h") {
+            usage();
+            return 0;
+        } else {
+            std::fprintf(stderr, "fuzz_pir: unknown option '%s'\n",
+                         a.c_str());
+            usage();
+            return 2;
+        }
+    }
+
+    if (haveEmit) {
+        // Corpus curation: dump a generated case to stdout so clean
+        // seeds can be committed and replayed as regression tests.
+        fuzz::FuzzCase c = fuzz::caseForSeed(emitSeed, opts.inject);
+        std::ostringstream os;
+        fuzz::writeSeedFile(os, c);
+        std::fputs(os.str().c_str(), stdout);
+        return 0;
+    }
+
+    if (!replay.empty()) {
+        fuzz::DiffResult d = fuzz::replayFile(replay, opts.checkDense);
+        if (d.ok()) {
+            std::printf("PASS %s (%llu cycles)\n", replay.c_str(),
+                        static_cast<unsigned long long>(d.cycles));
+            return 0;
+        }
+        std::printf("FAIL %s: %s\n", replay.c_str(), d.detail.c_str());
+        return 1;
+    }
+
+    fuzz::FuzzStats stats = fuzz::fuzz(opts);
+    std::printf("fuzz_pir: %u executed, %u ok, %u unmappable, "
+                "%u mismatches\n",
+                stats.executed, stats.okRuns, stats.unmappable,
+                stats.mismatches);
+    for (const auto &f : stats.savedFiles)
+        std::printf("  reproducer: %s\n", f.c_str());
+    for (const auto &dtl : stats.details)
+        std::printf("  mismatch: %s\n", dtl.c_str());
+    return stats.mismatches == 0 ? 0 : 1;
+}

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Seeded random generation of PIR programs and architecture
+ * parameters for differential fuzzing.
+ *
+ * Programs are built through pir::Builder from a small library of
+ * kernel templates (stream-folds, tiled maps, SRAM producer/consumer
+ * chains, FlatMap pipelines), so every generated program passes
+ * pir::validateProgram by construction. All randomness is drawn from a
+ * caller-supplied Rng: the same seed always yields the same (program,
+ * architecture) pair on every platform.
+ */
+
+#ifndef PLAST_FUZZ_GENERATOR_HPP
+#define PLAST_FUZZ_GENERATOR_HPP
+
+#include "arch/params.hpp"
+#include "base/rng.hpp"
+#include "pir/ir.hpp"
+
+namespace plast::fuzz
+{
+
+/**
+ * Sample a legal ArchParams point. Lanes and banks stay at 16 (the
+ * compiler's vectorization width); everything else varies within the
+ * design-space bounds swept by the paper's Figure 7.
+ */
+ArchParams sampleArch(Rng &rng);
+
+/**
+ * Generate a random valid program: 1-3 independent kernels under a
+ * sequential root, each wrapped in its own outer controller so the
+ * shrinker can drop whole kernels at once. DRAM input buffers follow
+ * the fill-by-name convention of fuzz::fillInputs ('f...' = floats,
+ * 'i...' = small non-negative ints, 'o...' = zeroed outputs), so a
+ * serialized program alone is a complete reproducer.
+ */
+pir::Program generateProgram(Rng &rng);
+
+} // namespace plast::fuzz
+
+#endif // PLAST_FUZZ_GENERATOR_HPP

@@ -1,0 +1,227 @@
+#include "fuzz/harness.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "base/logging.hpp"
+#include "fuzz/shrink.hpp"
+#include "pir/serialize.hpp"
+#include "pir/validate.hpp"
+
+namespace plast::fuzz
+{
+
+using namespace pir;
+
+FuzzCase
+caseForSeed(uint64_t caseSeed, bool inject)
+{
+    Rng rng(caseSeed);
+    FuzzCase c;
+    // Fixed draw order: the architecture first, then the program.
+    c.params = sampleArch(rng);
+    c.prog = generateProgram(rng);
+    c.inject = inject;
+    return c;
+}
+
+std::function<void(FabricConfig &)>
+reduceStageFault()
+{
+    return [](FabricConfig &cfg) {
+        for (auto &pcu : cfg.pcus) {
+            if (!pcu.used)
+                continue;
+            for (auto &st : pcu.stages) {
+                if (st.kind != StageKind::kReduceStep)
+                    continue;
+                // The flipped op must stay a reduction combiner: the
+                // simulator derives masked-lane identity values from
+                // the stage op via fuOpIdentity, which rejects
+                // non-associative ops.
+                switch (st.op) {
+                  case FuOp::kFAdd: st.op = FuOp::kFMin; break;
+                  case FuOp::kIAdd: st.op = FuOp::kIMax; break;
+                  case FuOp::kFMin: st.op = FuOp::kFMax; break;
+                  case FuOp::kFMax: st.op = FuOp::kFMin; break;
+                  case FuOp::kIMin: st.op = FuOp::kIMax; break;
+                  case FuOp::kIMax: st.op = FuOp::kIMin; break;
+                  default: st.op = FuOp::kFMin; break;
+                }
+                return; // one flipped stage is the whole fault
+            }
+        }
+    };
+}
+
+DiffResult
+runCase(const FuzzCase &c, bool checkDense)
+{
+    DiffOptions d;
+    d.checkDense = checkDense;
+    if (c.inject)
+        d.tweak = reduceStageFault();
+    return diffRun(c.prog, c.params, d);
+}
+
+void
+writeSeedFile(std::ostream &os, const FuzzCase &c)
+{
+    const ArchParams &p = c.params;
+    os << "# fuzz_pir reproducer (replay with: fuzz_pir --replay <file>)\n";
+    os << "arch " << p.gridCols << ' ' << p.gridRows << ' '
+       << p.pcu.stages << ' ' << p.pcu.fifoDepth << ' '
+       << p.pmu.bankKilobytes << ' ' << p.dram.channels << ' '
+       << p.dram.queueDepth << ' ' << p.vectorTracks << ' '
+       << p.scalarTracks << ' ' << p.numAgs << '\n';
+    os << "inject " << (c.inject ? 1 : 0) << '\n';
+    writeProgram(os, c.prog);
+}
+
+bool
+readSeedFile(std::istream &is, FuzzCase &out, std::string *err)
+{
+    auto fail = [&](const std::string &msg) {
+        if (err)
+            *err = msg;
+        return false;
+    };
+    // The header is line-oriented; '#' lines are comments.
+    auto nextLine = [&](std::string &out) -> bool {
+        std::string line;
+        while (std::getline(is, line)) {
+            size_t p = line.find_first_not_of(" \t\r");
+            if (p == std::string::npos || line[p] == '#')
+                continue;
+            out = line;
+            return true;
+        }
+        return false;
+    };
+    std::string line, tok;
+    if (!nextLine(line))
+        return fail("empty seed file");
+    std::istringstream arch(line);
+    ArchParams p = ArchParams::plasticineFinal();
+    if (!(arch >> tok) || tok != "arch" ||
+        !(arch >> p.gridCols >> p.gridRows >> p.pcu.stages >>
+          p.pcu.fifoDepth >> p.pmu.bankKilobytes >> p.dram.channels >>
+          p.dram.queueDepth >> p.vectorTracks >> p.scalarTracks >>
+          p.numAgs))
+        return fail("seed file must start with an 'arch' line");
+    p.pmu.fifoDepth = p.pcu.fifoDepth;
+    int inj = 0;
+    if (!nextLine(line))
+        return fail("expected 'inject' line after 'arch'");
+    std::istringstream injs(line);
+    if (!(injs >> tok) || tok != "inject" || !(injs >> inj))
+        return fail("expected 'inject' line after 'arch'");
+    out.params = p;
+    out.inject = inj != 0;
+    return readProgram(is, out.prog, err);
+}
+
+DiffResult
+replayFile(const std::string &path, bool checkDense)
+{
+    DiffResult res;
+    std::ifstream is(path);
+    if (!is) {
+        res.status = DiffResult::Status::kInvalid;
+        res.detail = "cannot open " + path;
+        return res;
+    }
+    FuzzCase c;
+    std::string err;
+    if (!readSeedFile(is, c, &err)) {
+        res.status = DiffResult::Status::kInvalid;
+        res.detail = path + ": " + err;
+        return res;
+    }
+    return runCase(c, checkDense);
+}
+
+FuzzStats
+fuzz(const FuzzOptions &opts)
+{
+    FuzzStats stats;
+    Rng seedRng(opts.seed);
+    const auto t0 = std::chrono::steady_clock::now();
+    auto expired = [&] {
+        if (opts.timeBudgetSec == 0)
+            return false;
+        auto dt = std::chrono::steady_clock::now() - t0;
+        return std::chrono::duration_cast<std::chrono::seconds>(dt)
+                   .count() >= static_cast<int64_t>(opts.timeBudgetSec);
+    };
+
+    for (uint32_t run = 0; run < opts.runs && !expired(); ++run) {
+        const uint64_t caseSeed = seedRng.next();
+        FuzzCase c = caseForSeed(caseSeed, opts.inject);
+        DiffResult d = runCase(c, opts.checkDense);
+        ++stats.executed;
+        if (opts.progress)
+            std::fprintf(stderr,
+                         "[fuzz] run %u seed 0x%016llx: %s%s%s\n", run,
+                         static_cast<unsigned long long>(caseSeed),
+                         d.ok() ? "ok"
+                         : d.status == DiffResult::Status::kUnmappable
+                             ? "unmappable"
+                             : "MISMATCH",
+                         d.detail.empty() ? "" : " — ",
+                         d.detail.c_str());
+        switch (d.status) {
+          case DiffResult::Status::kOk:
+            ++stats.okRuns;
+            continue;
+          case DiffResult::Status::kUnmappable:
+            ++stats.unmappable;
+            continue;
+          case DiffResult::Status::kInvalid:
+            // Generator bug: surface loudly but keep fuzzing.
+            warn("seed 0x%016llx generated invalid program: %s",
+                 static_cast<unsigned long long>(caseSeed),
+                 d.detail.c_str());
+            ++stats.mismatches;
+            stats.details.push_back(d.detail);
+            continue;
+          case DiffResult::Status::kMismatch:
+            break;
+        }
+
+        ++stats.mismatches;
+        stats.details.push_back(d.detail);
+        FuzzCase minimal = c;
+        if (opts.shrink) {
+            auto stillFails = [&](const Program &cand) {
+                FuzzCase probe{cand, c.params, c.inject};
+                return runCase(probe, opts.checkDense).mismatch();
+            };
+            ShrinkResult sr = shrinkProgram(c.prog, stillFails);
+            minimal.prog = sr.prog;
+            if (opts.progress)
+                std::fprintf(stderr,
+                             "[fuzz] shrunk to %zu nodes in %d steps\n",
+                             minimal.prog.nodes.size(), sr.accepted);
+        }
+        if (!opts.saveDir.empty()) {
+            std::string path =
+                opts.saveDir +
+                strfmt("/seed_%016llx.pir",
+                       static_cast<unsigned long long>(caseSeed));
+            std::ofstream os(path);
+            if (os) {
+                os << "# detail: " << d.detail << '\n';
+                writeSeedFile(os, minimal);
+                stats.savedFiles.push_back(path);
+            } else {
+                warn("cannot write reproducer %s", path.c_str());
+            }
+        }
+    }
+    return stats;
+}
+
+} // namespace plast::fuzz

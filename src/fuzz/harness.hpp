@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The fuzzing harness: drives seeded generate -> diff -> shrink
+ * cycles, persists failing cases as standalone .pir seed files (the
+ * sampled architecture travels in the file header, inputs are
+ * reconstructed by the fill-by-name convention), and replays seed
+ * files deterministically — the corpus under tests/corpus runs as
+ * ordinary ctest cases through replayFile.
+ */
+
+#ifndef PLAST_FUZZ_HARNESS_HPP
+#define PLAST_FUZZ_HARNESS_HPP
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "fuzz/diff.hpp"
+#include "fuzz/generator.hpp"
+
+namespace plast::fuzz
+{
+
+/** One reproducible fuzz case: program + architecture + fault flag. */
+struct FuzzCase
+{
+    pir::Program prog;
+    ArchParams params;
+    bool inject = false; ///< run with the canned hardware fault
+};
+
+/** Deterministically derive the case for one seed. */
+FuzzCase caseForSeed(uint64_t caseSeed, bool inject = false);
+
+/**
+ * The canned hardware fault: flip the combiner opcode of the first
+ * reduction-tree stage of the first PCU that has one (kFAdd->kFMin,
+ * kFMin<->kFMax, ...). A no-op on programs without cross-lane folds.
+ */
+std::function<void(FabricConfig &)> reduceStageFault();
+
+/** Run one case differentially (applies the fault when requested). */
+DiffResult runCase(const FuzzCase &c, bool checkDense = true);
+
+// ---- seed files -----------------------------------------------------
+
+void writeSeedFile(std::ostream &os, const FuzzCase &c);
+bool readSeedFile(std::istream &is, FuzzCase &out,
+                  std::string *err = nullptr);
+
+/** Replay a .pir seed file from disk; kInvalid with detail on IO or
+ *  parse errors. */
+DiffResult replayFile(const std::string &path, bool checkDense = true);
+
+// ---- the fuzz loop --------------------------------------------------
+
+struct FuzzOptions
+{
+    uint64_t seed = 1;
+    uint32_t runs = 100;
+    /** Stop after this many wall-clock seconds (0 = unlimited). */
+    uint32_t timeBudgetSec = 0;
+    bool inject = false;
+    bool checkDense = true;
+    bool shrink = true;
+    /** Write shrunk reproducers here ("" = don't persist). */
+    std::string saveDir;
+    /** Per-case progress on stderr. */
+    bool progress = false;
+};
+
+struct FuzzStats
+{
+    uint32_t executed = 0;
+    uint32_t okRuns = 0;
+    uint32_t unmappable = 0;
+    uint32_t mismatches = 0;
+    std::vector<std::string> savedFiles;
+    std::vector<std::string> details; ///< one per mismatch
+};
+
+FuzzStats fuzz(const FuzzOptions &opts);
+
+} // namespace plast::fuzz
+
+#endif // PLAST_FUZZ_HARNESS_HPP

@@ -1,0 +1,305 @@
+#include "fuzz/shrink.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "pir/validate.hpp"
+
+namespace plast::fuzz
+{
+
+using namespace pir;
+
+namespace
+{
+
+/** All nodes of the subtree rooted at `id` (including `id`). */
+void
+collectSubtree(const Program &p, NodeId id, std::vector<bool> &in)
+{
+    in[static_cast<size_t>(id)] = true;
+    for (NodeId c : p.nodes[static_cast<size_t>(id)].children)
+        collectSubtree(p, c, in);
+}
+
+/**
+ * Remove the subtree at `target`, compacting NodeIds. Returns nullopt
+ * when a surviving structure still references a removed node (dangling
+ * ctrDyn bound, scalar input or transfer count source) — those
+ * candidates cannot be made valid by renumbering alone. A clearAt
+ * pointing into the removed subtree degrades to kNone; the property
+ * re-check decides whether the semantics change mattered.
+ */
+std::optional<Program>
+removeSubtree(const Program &p, NodeId target)
+{
+    if (target == p.root)
+        return std::nullopt;
+    std::vector<bool> removed(p.nodes.size(), false);
+    collectSubtree(p, target, removed);
+
+    std::vector<NodeId> remap(p.nodes.size(), kNone);
+    NodeId next = 0;
+    for (size_t i = 0; i < p.nodes.size(); ++i)
+        if (!removed[i])
+            remap[i] = next++;
+
+    auto mapRequired = [&](NodeId id) -> std::optional<NodeId> {
+        if (id < 0)
+            return id; // kNone and sentinels pass through
+        if (removed[static_cast<size_t>(id)])
+            return std::nullopt;
+        return remap[static_cast<size_t>(id)];
+    };
+
+    Program out = p;
+    out.nodes.clear();
+    for (size_t i = 0; i < p.nodes.size(); ++i) {
+        if (removed[i])
+            continue;
+        Node n = p.nodes[i];
+        if (auto m = mapRequired(n.parent))
+            n.parent = *m;
+        else
+            return std::nullopt;
+        std::vector<NodeId> kids;
+        for (NodeId c : n.children) {
+            if (!removed[static_cast<size_t>(c)])
+                kids.push_back(remap[static_cast<size_t>(c)]);
+        }
+        n.children = std::move(kids);
+        for (ScalarIn &si : n.scalarIns) {
+            if (auto m = mapRequired(si.fromNode))
+                si.fromNode = *m;
+            else
+                return std::nullopt;
+        }
+        if (auto m = mapRequired(n.xfer.countSinkNode))
+            n.xfer.countSinkNode = *m;
+        else
+            return std::nullopt;
+        out.nodes.push_back(std::move(n));
+    }
+    for (CtrDecl &c : out.ctrs) {
+        if (c.boundSinkNode == kNone)
+            continue;
+        if (auto m = mapRequired(c.boundSinkNode)) {
+            c.boundSinkNode = *m;
+        } else {
+            // The counter's bound producer is gone. If the counter is
+            // also unreferenced now, neutralize it to a static bound;
+            // validation rejects the candidate if anything uses it.
+            c.boundSinkNode = kNone;
+            c.boundSinkIdx = kNone;
+            c.max = c.min;
+        }
+    }
+    for (MemDecl &m : out.mems) {
+        if (m.clearAt >= 0) {
+            if (auto r = mapRequired(m.clearAt))
+                m.clearAt = *r;
+            else
+                m.clearAt = kNone;
+        }
+    }
+    out.root = remap[static_cast<size_t>(p.root)];
+    return out;
+}
+
+/** Static trip count of a counter, or -1 when the bound is dynamic. */
+int64_t
+staticTrips(const CtrDecl &c)
+{
+    if (c.boundArg != kNone || c.boundSinkNode != kNone)
+        return -1;
+    if (c.step <= 0)
+        return -1;
+    int64_t span = c.max - c.min;
+    return span <= 0 ? 0 : (span + c.step - 1) / c.step;
+}
+
+/**
+ * Flatten a single-trip outer controller: splice its children into
+ * the parent's child list at its position. Bails when the wrapper is
+ * referenced elsewhere.
+ */
+std::optional<Program>
+flattenOuter(const Program &p, NodeId target)
+{
+    const Node &n = p.nodes[static_cast<size_t>(target)];
+    if (n.kind != NodeKind::kOuter || target == p.root ||
+        n.children.empty())
+        return std::nullopt;
+    for (CtrId c : n.ctrs)
+        if (staticTrips(p.ctrs[static_cast<size_t>(c)]) != 1)
+            return std::nullopt;
+    for (const MemDecl &m : p.mems)
+        if (m.clearAt == target)
+            return std::nullopt;
+    for (const CtrDecl &c : p.ctrs)
+        if (c.boundSinkNode == target)
+            return std::nullopt;
+
+    Program out = p;
+    Node &parent = out.nodes[static_cast<size_t>(n.parent)];
+    auto it = std::find(parent.children.begin(), parent.children.end(),
+                        target);
+    if (it == parent.children.end())
+        return std::nullopt;
+    size_t pos = static_cast<size_t>(it - parent.children.begin());
+    parent.children.erase(it);
+    parent.children.insert(parent.children.begin() +
+                               static_cast<int64_t>(pos),
+                           n.children.begin(), n.children.end());
+    for (NodeId c : n.children)
+        out.nodes[static_cast<size_t>(c)].parent = n.parent;
+    // Detach the wrapper (now childless and unreachable), then compact
+    // ids by removing it as a one-node subtree.
+    out.nodes[static_cast<size_t>(target)].children.clear();
+    return removeSubtree(out, target);
+}
+
+/**
+ * Halve a counter's trip count. Vectorized counters stay a multiple
+ * of one wavefront (16 lanes) so stream transfers and reduction trees
+ * keep full lanes.
+ */
+std::optional<Program>
+halveTrips(const Program &p, size_t ctrIdx)
+{
+    const CtrDecl &c = p.ctrs[ctrIdx];
+    int64_t trips = staticTrips(c);
+    if (trips <= 1)
+        return std::nullopt;
+    int64_t unit = c.vectorized ? 16 : 1;
+    int64_t units = (trips + unit - 1) / unit;
+    if (units <= 1)
+        return std::nullopt;
+    int64_t newTrips = (units / 2) * unit;
+    if (newTrips <= 0 || newTrips >= trips)
+        return std::nullopt;
+    Program out = p;
+    out.ctrs[ctrIdx].max = c.min + newTrips * c.step;
+    return out;
+}
+
+/** Replace a sink's value expression by one of its ALU operands. */
+std::optional<Program>
+hoistSinkOperand(const Program &p, NodeId node, size_t sinkIdx,
+                 int which)
+{
+    const Sink &sk = p.nodes[static_cast<size_t>(node)].sinks[sinkIdx];
+    if (sk.value == kNone)
+        return std::nullopt;
+    const Expr &e = p.exprs[static_cast<size_t>(sk.value)];
+    if (e.kind != ExprKind::kAlu)
+        return std::nullopt;
+    ExprId child = which == 0 ? e.a : (which == 1 ? e.b : e.c);
+    if (child == kNone)
+        return std::nullopt;
+    Program out = p;
+    out.nodes[static_cast<size_t>(node)].sinks[sinkIdx].value = child;
+    return out;
+}
+
+/** Accept a candidate only when it is valid and still failing. */
+bool
+accept(const std::optional<Program> &cand, const FailProperty &fails,
+       Program &cur)
+{
+    if (!cand)
+        return false;
+    if (!validateProgram(*cand).empty())
+        return false;
+    if (!fails(*cand))
+        return false;
+    cur = *cand;
+    return true;
+}
+
+} // namespace
+
+ShrinkResult
+shrinkProgram(const Program &failing, const FailProperty &stillFails,
+              int maxSteps)
+{
+    ShrinkResult res;
+    res.prog = failing;
+    Program &cur = res.prog;
+
+    bool improved = true;
+    while (improved && res.accepted < maxSteps) {
+        improved = false;
+
+        // 1. Drop subtrees, biggest first (whole kernels, then leaves).
+        {
+            std::vector<std::pair<size_t, NodeId>> order;
+            for (NodeId id = 0;
+                 id < static_cast<NodeId>(cur.nodes.size()); ++id) {
+                if (id == cur.root)
+                    continue;
+                std::vector<bool> in(cur.nodes.size(), false);
+                collectSubtree(cur, id, in);
+                order.emplace_back(
+                    static_cast<size_t>(
+                        std::count(in.begin(), in.end(), true)),
+                    id);
+            }
+            std::sort(order.begin(), order.end(),
+                      [](const auto &a, const auto &b) {
+                          return a.first > b.first;
+                      });
+            for (const auto &[sz, id] : order) {
+                if (accept(removeSubtree(cur, id), stillFails, cur)) {
+                    ++res.accepted;
+                    improved = true;
+                    break;
+                }
+            }
+            if (improved)
+                continue;
+        }
+
+        // 2. Flatten single-trip wrappers.
+        for (NodeId id = 0; id < static_cast<NodeId>(cur.nodes.size());
+             ++id) {
+            if (accept(flattenOuter(cur, id), stillFails, cur)) {
+                ++res.accepted;
+                improved = true;
+                break;
+            }
+        }
+        if (improved)
+            continue;
+
+        // 3. Halve trip counts.
+        for (size_t c = 0; c < cur.ctrs.size(); ++c) {
+            if (accept(halveTrips(cur, c), stillFails, cur)) {
+                ++res.accepted;
+                improved = true;
+                break;
+            }
+        }
+        if (improved)
+            continue;
+
+        // 4. Simplify sink expressions.
+        for (NodeId id = 0; id < static_cast<NodeId>(cur.nodes.size());
+             ++id) {
+            const Node &n = cur.nodes[static_cast<size_t>(id)];
+            for (size_t s = 0; s < n.sinks.size() && !improved; ++s)
+                for (int which = 0; which < 3 && !improved; ++which)
+                    if (accept(hoistSinkOperand(cur, id, s, which),
+                               stillFails, cur)) {
+                        ++res.accepted;
+                        improved = true;
+                    }
+            if (improved)
+                break;
+        }
+    }
+    return res;
+}
+
+} // namespace plast::fuzz

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Automatic reduction of failing PIR programs to minimal reproducers.
+ *
+ * Greedy fixpoint over structural shrink passes: drop whole controller
+ * subtrees (with NodeId compaction), flatten single-trip wrapper
+ * controllers, halve counter trip counts, and simplify sink expression
+ * DAGs. Every candidate must (a) pass pir::validateProgram and (b)
+ * still fail the caller's property before it is accepted, so the
+ * result is always a valid program exhibiting the original failure.
+ */
+
+#ifndef PLAST_FUZZ_SHRINK_HPP
+#define PLAST_FUZZ_SHRINK_HPP
+
+#include <functional>
+
+#include "pir/ir.hpp"
+
+namespace plast::fuzz
+{
+
+/** Returns true when the candidate still exhibits the failure. */
+using FailProperty = std::function<bool(const pir::Program &)>;
+
+struct ShrinkResult
+{
+    pir::Program prog;
+    int accepted = 0; ///< number of shrink steps that stuck
+};
+
+/**
+ * Shrink `failing` while `stillFails` holds. `maxSteps` bounds the
+ * number of accepted shrinks (each accepted step restarts the pass
+ * list, so the bound also caps property evaluations at roughly
+ * maxSteps * candidates-per-round).
+ */
+ShrinkResult shrinkProgram(const pir::Program &failing,
+                           const FailProperty &stillFails,
+                           int maxSteps = 200);
+
+} // namespace plast::fuzz
+
+#endif // PLAST_FUZZ_SHRINK_HPP

@@ -12,6 +12,13 @@ Runner::Runner(Program prog, ArchParams params, SimOptions simOpts)
 {
 }
 
+void
+Runner::setConfigTweak(std::function<void(FabricConfig &)> tweak)
+{
+    panic_if(compiled_, "setConfigTweak after compilation");
+    configTweak_ = std::move(tweak);
+}
+
 std::vector<Word> &
 Runner::dram(MemId id)
 {
@@ -31,6 +38,8 @@ Runner::ensureCompiled()
     map_ = compiler::compileProgram(prog_, params_);
     fatal_if(!map_.report.ok, "compilation of '%s' failed: %s",
              prog_.name.c_str(), map_.report.error.c_str());
+    if (configTweak_)
+        configTweak_(map_.fabric);
     compiled_ = true;
     if (verbose())
         inform("%s: %s", prog_.name.c_str(),

@@ -11,6 +11,7 @@
 #define PLAST_RUNTIME_RUNNER_HPP
 
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <vector>
@@ -68,6 +69,15 @@ class Runner
      *  cycle ledgers for post-run analysis. */
     const Fabric *fabric() const { return fabric_.get(); }
 
+    /**
+     * Install a hook that mutates the compiled FabricConfig before the
+     * fabric is instantiated. Used by the fuzz harness to inject
+     * hardware faults (e.g. flipping a reduction-stage opcode) and by
+     * tests that want to probe specific mis-configurations. Must be
+     * called before the first run.
+     */
+    void setConfigTweak(std::function<void(FabricConfig &)> tweak);
+
   private:
     void ensureCompiled();
 
@@ -80,6 +90,7 @@ class Runner
     std::unique_ptr<Fabric> fabric_;
     bool haveCounts_ = false;
     pir::Evaluator::Counts counts_;
+    std::function<void(FabricConfig &)> configTweak_;
 };
 
 } // namespace plast

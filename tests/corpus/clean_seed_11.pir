@@ -1,0 +1,102 @@
+# fuzz_pir reproducer (replay with: fuzz_pir --replay <file>)
+arch 16 8 8 8 32 2 16 6 6 16
+inject 0
+# pir seed file (see src/pir/serialize.hpp)
+pir 1
+program fuzz
+argouts 1
+args 0
+mems 5
+mem 0 48 0 1 -1 iin0
+mem 0 48 0 1 -1 out0
+mem 1 48 0 1 -1 tin0
+mem 1 48 0 1 -1 tout0
+mem 0 224 0 1 -1 iin1_0
+ctrs 7
+ctr 0 1 1 -1 -1 -1 1 0 w0
+ctr 0 1 1 -1 -1 -1 1 0 t0
+ctr 0 1 48 -1 -1 -1 1 1 j0
+ctr 0 1 1 -1 -1 -1 1 0 w1
+ctr 0 1 112 -1 -1 -1 1 1 i1_0
+ctr 112 1 224 -1 -1 -1 1 1 i1_1
+ctr 0 1 1 -1 -1 -1 1 1 c1.one
+exprs 27
+expr 0 0x30 -1 -1 0 -1 -1 -1 -1 -1 -1 -1
+expr 2 0x0 -1 1 0 -1 -1 -1 -1 -1 -1 -1
+expr 3 0x0 -1 -1 3 1 0 -1 -1 -1 -1 -1
+expr 2 0x0 -1 2 0 -1 -1 -1 -1 -1 -1 -1
+expr 4 0x0 -1 -1 0 -1 -1 -1 2 3 -1 -1
+expr 0 0x744d -1 -1 0 -1 -1 -1 -1 -1 -1 -1
+expr 3 0x0 -1 -1 10 4 5 -1 -1 -1 -1 -1
+expr 2 0x0 -1 2 0 -1 -1 -1 -1 -1 -1 -1
+expr 0 0x542e -1 -1 0 -1 -1 -1 -1 -1 -1 -1
+expr 0 0x3af6 -1 -1 0 -1 -1 -1 -1 -1 -1 -1
+expr 2 0x0 -1 4 0 -1 -1 -1 -1 -1 -1 -1
+expr 5 0x0 -1 -1 0 -1 -1 -1 -1 -1 0 -1
+expr 3 0x0 -1 -1 9 11 8 -1 -1 -1 -1 -1
+expr 5 0x0 -1 -1 0 -1 -1 -1 -1 -1 0 -1
+expr 3 0x0 -1 -1 18 13 9 -1 -1 -1 -1 -1
+expr 0 0x7fffffff -1 -1 0 -1 -1 -1 -1 -1 -1 -1
+expr 3 0x0 -1 -1 41 14 12 15 -1 -1 -1 -1
+expr 2 0x0 -1 5 0 -1 -1 -1 -1 -1 -1 -1
+expr 5 0x0 -1 -1 0 -1 -1 -1 -1 -1 0 -1
+expr 3 0x0 -1 -1 9 18 8 -1 -1 -1 -1 -1
+expr 5 0x0 -1 -1 0 -1 -1 -1 -1 -1 0 -1
+expr 3 0x0 -1 -1 18 20 9 -1 -1 -1 -1 -1
+expr 0 0x7fffffff -1 -1 0 -1 -1 -1 -1 -1 -1 -1
+expr 3 0x0 -1 -1 41 21 19 22 -1 -1 -1 -1
+expr 6 0x0 -1 -1 0 -1 -1 -1 -1 -1 -1 0
+expr 6 0x0 -1 -1 0 -1 -1 -1 -1 -1 -1 1
+expr 3 0x0 -1 -1 6 24 25 -1 -1 -1 -1 -1
+nodes 10
+node 0 -1 root
+outer 0 0 ctrs 0 children 2 1 6
+node 0 0 kernel0
+outer 0 0 ctrs 1 0 children 1 2
+node 0 1 tiles0
+outer 0 0 ctrs 1 1 children 3 3 4 5
+node 2 2 load0
+xfer 1 0 0 2 2 1 48 -1 0 48 -1 -1 -1 1
+node 1 2 map0
+leafctrs 1 2
+streamins 0
+scalarins 0
+sinks 1
+sink 0 6 3 7 0 21 21 -1 1 -1 -1 0 -1 -1 -1 -1 -1 -1
+node 2 2 store0
+xfer 0 0 1 3 2 1 48 -1 0 48 -1 -1 -1 1
+node 0 0 kernel1
+outer 0 0 ctrs 1 3 children 3 7 8 9
+node 1 6 sf1_0
+leafctrs 1 4
+streamins 1 4 10
+scalarins 0
+sinks 1
+sink 1 16 -1 -1 0 21 6 4 1 -1 -1 2 -1 -1 -1 -1 -1 -1
+node 1 6 sf1_1
+leafctrs 1 5
+streamins 1 4 17
+scalarins 0
+sinks 1
+sink 1 23 -1 -1 0 21 6 5 1 -1 -1 2 -1 -1 -1 -1 -1 -1
+node 1 6 combine1
+leafctrs 1 6
+streamins 0
+scalarins 2 7 0 8 0
+sinks 1
+sink 1 26 -1 -1 0 21 6 6 1 -1 -1 0 0 -1 -1 -1 -1 -1
+root 0
+end
+#
+# controller tree:
+#   program fuzz
+#     root [sequential]
+#       kernel0 [sequential w0]
+#         tiles0 [sequential t0]
+#           tile load0 iin0<->tin0
+#           compute map0 (1 ctrs, 1 sinks)
+#           tile store0 out0<->tout0
+#       kernel1 [sequential w1]
+#         compute sf1_0 (1 ctrs, 1 sinks)
+#         compute sf1_1 (1 ctrs, 1 sinks)
+#         compute combine1 (1 ctrs, 1 sinks)

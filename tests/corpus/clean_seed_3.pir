@@ -1,0 +1,48 @@
+# fuzz_pir reproducer (replay with: fuzz_pir --replay <file>)
+arch 16 8 8 16 8 4 16 4 6 16
+inject 0
+# pir seed file (see src/pir/serialize.hpp)
+pir 1
+program fuzz
+argouts 2
+args 0
+mems 2
+mem 0 96 0 1 -1 iin0
+mem 1 96 3 1 -1 if0
+ctrs 3
+ctr 0 1 1 -1 -1 -1 1 0 w0
+ctr 0 1 96 -1 -1 -1 1 1 n0
+ctr 0 1 0 -1 2 0 1 1 d0
+exprs 6
+expr 2 0x0 -1 1 0 -1 -1 -1 -1 -1 -1 -1
+expr 0 0x13c3 -1 -1 0 -1 -1 -1 -1 -1 -1 -1
+expr 5 0x0 -1 -1 0 -1 -1 -1 -1 -1 0 -1
+expr 3 0x0 -1 -1 18 2 1 -1 -1 -1 -1 -1
+expr 2 0x0 -1 2 0 -1 -1 -1 -1 -1 -1 -1
+expr 4 0x0 -1 -1 0 -1 -1 -1 1 4 -1 -1
+nodes 4
+node 0 -1 root
+outer 0 0 ctrs 0 children 1 1
+node 0 0 kernel0
+outer 0 0 ctrs 1 0 children 2 2 3
+node 1 1 sel0
+leafctrs 1 1
+streamins 1 0 0
+scalarins 0
+sinks 1
+sink 2 0 1 -1 0 21 21 -1 1 -1 -1 0 -1 3 0 -1 -1 -1
+node 1 1 red0
+leafctrs 1 2
+streamins 0
+scalarins 0
+sinks 1
+sink 1 5 -1 -1 0 21 1 2 1 -1 -1 0 1 -1 -1 -1 -1 -1
+root 0
+end
+#
+# controller tree:
+#   program fuzz
+#     root [sequential]
+#       kernel0 [sequential w0]
+#         compute sel0 (1 ctrs, 1 sinks)
+#         compute red0 (1 ctrs, 1 sinks)

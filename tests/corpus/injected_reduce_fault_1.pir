@@ -1,0 +1,67 @@
+# detail: ref vs fabric argOut[1][0]: 0xc043dac6 (-3.060228) vs 0x3e030b8d (0.127974)
+# fuzz_pir reproducer (replay with: fuzz_pir --replay <file>)
+arch 16 6 8 16 16 2 16 4 6 34
+inject 1
+# pir seed file (see src/pir/serialize.hpp)
+pir 1
+program fuzz
+argouts 4
+args 0
+mems 5
+mem 1 112 0 1 -1 is0
+mem 0 96 0 1 -1 fin1_0
+mem 0 96 0 1 -1 fin1_1
+mem 0 128 0 1 -1 iin2
+mem 1 128 3 1 -1 if2
+ctrs 9
+ctr 0 1 1 -1 -1 -1 1 0 w0
+ctr 0 1 16 -1 -1 -1 1 1 p0
+ctr 0 1 1 -1 -1 -1 1 0 k0
+ctr 0 1 16 -1 -1 -1 1 1 c0
+ctr 0 1 1 -1 -1 -1 1 0 w1
+ctr 0 1 16 -1 -1 -1 1 1 i1_0
+ctr 0 1 1 -1 -1 -1 1 0 w2
+ctr 0 1 16 -1 -1 -1 1 1 n2
+ctr 0 1 0 -1 -1 -1 1 1 d2
+exprs 25
+expr 0 0x28 -1 -1 0 -1 -1 -1 -1 -1 -1 -1
+expr 2 0x0 -1 1 0 -1 -1 -1 -1 -1 -1 -1
+expr 3 0x0 -1 -1 7 1 0 -1 -1 -1 -1 -1
+expr 2 0x0 -1 1 0 -1 -1 -1 -1 -1 -1 -1
+expr 2 0x0 -1 2 0 -1 -1 -1 -1 -1 -1 -1
+expr 4 0x0 -1 -1 0 -1 -1 -1 0 4 -1 -1
+expr 2 0x0 -1 3 0 -1 -1 -1 -1 -1 -1 -1
+expr 3 0x0 -1 -1 1 5 6 -1 -1 -1 -1 -1
+expr 0 0xbdb47b60 -1 -1 0 -1 -1 -1 -1 -1 -1 -1
+expr 0 0x3f5da1cc -1 -1 0 -1 -1 -1 -1 -1 -1 -1
+expr 2 0x0 -1 5 0 -1 -1 -1 -1 -1 -1 -1
+expr 5 0x0 -1 -1 0 -1 -1 -1 -1 -1 0 -1
+expr 5 0x0 -1 -1 0 -1 -1 -1 -1 -1 1 -1
+expr 3 0x0 -1 -1 23 11 12 -1 -1 -1 -1 -1
+expr 3 0x0 -1 -1 22 13 8 -1 -1 -1 -1 -1
+expr 5 0x0 -1 -1 0 -1 -1 -1 -1 -1 0 -1
+expr 3 0x0 -1 -1 32 15 9 -1 -1 -1 -1 -1
+expr 0 0x7f800000 -1 -1 0 -1 -1 -1 -1 -1 -1 -1
+expr 3 0x0 -1 -1 41 16 14 17 -1 -1 -1 -1
+expr 2 0x0 -1 7 0 -1 -1 -1 -1 -1 -1 -1
+expr 0 0x112e -1 -1 0 -1 -1 -1 -1 -1 -1 -1
+expr 5 0x0 -1 -1 0 -1 -1 -1 -1 -1 0 -1
+expr 3 0x0 -1 -1 18 21 20 -1 -1 -1 -1 -1
+expr 2 0x0 -1 8 0 -1 -1 -1 -1 -1 -1 -1
+expr 4 0x0 -1 -1 0 -1 -1 -1 4 23 -1 -1
+nodes 2
+node 0 -1 root
+outer 0 0 ctrs 0 children 1 1
+node 1 0 sf1
+leafctrs 1 5
+streamins 2 1 10 2 10
+scalarins 0
+sinks 1
+sink 1 11 -1 -1 0 21 25 5 1 -1 -1 0 1 -1 -1 -1 -1 -1
+root 0
+end
+#
+# controller tree:
+#   program fuzz
+#     root [sequential]
+#       compute sf1 (1 ctrs, 1 sinks)

@@ -1,0 +1,73 @@
+# detail: ref vs fabric argOut[1][0]: 0x00184681 (0.000000) vs 0x00149ea5 (0.000000)
+# fuzz_pir reproducer (replay with: fuzz_pir --replay <file>)
+arch 12 6 8 8 32 2 16 4 6 34
+inject 1
+# pir seed file (see src/pir/serialize.hpp)
+pir 1
+program fuzz
+argouts 3
+args 0
+mems 3
+mem 1 48 0 1 -1 is0
+mem 0 96 0 1 -1 iin1_0
+mem 1 32 3 1 -1 is2
+ctrs 10
+ctr 0 1 1 -1 -1 -1 1 0 w0
+ctr 0 1 16 -1 -1 -1 1 1 p0
+ctr 0 1 16 -1 -1 -1 1 1 c0
+ctr 0 1 1 -1 -1 -1 1 0 w1
+ctr 0 1 16 -1 -1 -1 1 1 i1_0
+ctr 48 1 64 -1 -1 -1 1 1 i1_1
+ctr 0 1 1 -1 -1 -1 1 1 c1.one
+ctr 0 1 1 -1 -1 -1 1 0 w2
+ctr 0 1 16 -1 -1 -1 1 1 p2
+ctr 0 1 16 -1 -1 -1 1 1 c2
+exprs 25
+expr 0 0x48 -1 -1 0 -1 -1 -1 -1 -1 -1 -1
+expr 2 0x0 -1 1 0 -1 -1 -1 -1 -1 -1 -1
+expr 3 0x0 -1 -1 6 1 0 -1 -1 -1 -1 -1
+expr 2 0x0 -1 1 0 -1 -1 -1 -1 -1 -1 -1
+expr 2 0x0 -1 2 0 -1 -1 -1 -1 -1 -1 -1
+expr 4 0x0 -1 -1 0 -1 -1 -1 0 4 -1 -1
+expr 0 0x68ad -1 -1 0 -1 -1 -1 -1 -1 -1 -1
+expr 0 0x313c -1 -1 0 -1 -1 -1 -1 -1 -1 -1
+expr 2 0x0 -1 4 0 -1 -1 -1 -1 -1 -1 -1
+expr 5 0x0 -1 -1 0 -1 -1 -1 -1 -1 0 -1
+expr 2 0x0 -1 5 0 -1 -1 -1 -1 -1 -1 -1
+expr 5 0x0 -1 -1 0 -1 -1 -1 -1 -1 0 -1
+expr 6 0x0 -1 -1 0 -1 -1 -1 -1 -1 -1 0
+expr 6 0x0 -1 -1 0 -1 -1 -1 -1 -1 -1 1
+expr 3 0x0 -1 -1 1 12 13 -1 -1 -1 -1 -1
+expr 0 0xe3 -1 -1 0 -1 -1 -1 -1 -1 -1 -1
+expr 2 0x0 -1 8 0 -1 -1 -1 -1 -1 -1 -1
+expr 3 0x0 -1 -1 9 16 15 -1 -1 -1 -1 -1
+expr 2 0x0 -1 8 0 -1 -1 -1 -1 -1 -1 -1
+expr 2 0x0 -1 9 0 -1 -1 -1 -1 -1 -1 -1
+expr 0 0x1f -1 -1 0 -1 -1 -1 -1 -1 -1 -1
+expr 0 0x3 -1 -1 0 -1 -1 -1 -1 -1 -1 -1
+expr 3 0x0 -1 -1 3 19 21 -1 -1 -1 -1 -1
+expr 3 0x0 -1 -1 9 22 20 -1 -1 -1 -1 -1
+expr 4 0x0 -1 -1 0 -1 -1 -1 2 23 -1 -1
+nodes 3
+node 0 -1 root
+outer 0 0 ctrs 0 children 2 1 2
+node 1 0 fill2
+leafctrs 1 8
+streamins 0
+scalarins 0
+sinks 1
+sink 0 16 2 18 0 21 21 -1 1 -1 -1 0 -1 -1 -1 -1 -1 -1
+node 1 0 drain2
+leafctrs 1 9
+streamins 0
+scalarins 0
+sinks 1
+sink 1 24 -1 -1 0 21 7 9 1 -1 -1 0 2 -1 -1 -1 -1 -1
+root 0
+end
+#
+# controller tree:
+#   program fuzz
+#     root [sequential]
+#       compute fill2 (1 ctrs, 1 sinks)
+#       compute drain2 (1 ctrs, 1 sinks)

@@ -1,0 +1,91 @@
+/** @file FabricConfig text serialization: write -> read -> write is a
+ *  string fixpoint, and a reloaded config disassembles identically —
+ *  the "bitstream" can be archived and replayed. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "apps/apps.hpp"
+#include "arch/cfgio.hpp"
+#include "arch/disasm.hpp"
+#include "base/logging.hpp"
+#include "compiler/mapper.hpp"
+
+using namespace plast;
+
+namespace
+{
+
+FabricConfig
+compiledConfig(const apps::AppInstance &app)
+{
+    compiler::MapResult res = compiler::compileProgram(
+        app.prog, ArchParams::plasticineFinal());
+    EXPECT_TRUE(res.report.ok) << app.name << ": " << res.report.error;
+    return res.fabric;
+}
+
+void
+expectRoundTrip(const FabricConfig &cfg, const std::string &what)
+{
+    std::string t1 = configToText(cfg);
+    std::istringstream is(t1);
+    FabricConfig back;
+    std::string err;
+    ASSERT_TRUE(readConfig(is, back, &err)) << what << ": " << err;
+    // String fixpoint: every serialized field survived the parse.
+    EXPECT_EQ(configToText(back), t1) << what;
+    // And the reloaded config describes the identical fabric.
+    EXPECT_EQ(disasmFabric(back), disasmFabric(cfg)) << what;
+}
+
+} // namespace
+
+TEST(CfgIo, InnerProductRoundTrips)
+{
+    setVerbose(false);
+    expectRoundTrip(
+        compiledConfig(apps::makeInnerProduct(apps::Scale::kTiny)),
+        "innerproduct");
+}
+
+TEST(CfgIo, TpchQ6RoundTrips)
+{
+    setVerbose(false);
+    expectRoundTrip(compiledConfig(apps::makeTpchQ6(apps::Scale::kTiny)),
+                    "tpchq6");
+}
+
+TEST(CfgIo, GemmRoundTrips)
+{
+    setVerbose(false);
+    expectRoundTrip(compiledConfig(apps::makeGemm(apps::Scale::kTiny)),
+                    "gemm");
+}
+
+TEST(CfgIo, RejectsGarbage)
+{
+    std::istringstream is("not a config\n");
+    FabricConfig cfg;
+    std::string err;
+    EXPECT_FALSE(readConfig(is, cfg, &err));
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(CfgIo, RejectsTruncatedDocument)
+{
+    // Serialize a real config, drop the trailing 'end', expect a
+    // diagnostic instead of a silent partial parse.
+    setVerbose(false);
+    FabricConfig cfg =
+        compiledConfig(apps::makeInnerProduct(apps::Scale::kTiny));
+    std::string text = configToText(cfg);
+    size_t cut = text.rfind("end");
+    ASSERT_NE(cut, std::string::npos);
+    std::istringstream is(text.substr(0, cut));
+    FabricConfig back;
+    std::string err;
+    EXPECT_FALSE(readConfig(is, back, &err));
+    EXPECT_FALSE(err.empty());
+}

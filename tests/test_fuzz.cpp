@@ -1,0 +1,222 @@
+/** @file Fuzzing subsystem: generator validity, differential soak,
+ *  injected-fault detection and shrinking, seed-file round trips, and
+ *  deterministic replay of the committed corpus. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "base/logging.hpp"
+#include "base/rng.hpp"
+#include "fuzz/diff.hpp"
+#include "fuzz/generator.hpp"
+#include "fuzz/harness.hpp"
+#include "fuzz/shrink.hpp"
+#include "pir/builder.hpp"
+#include "pir/serialize.hpp"
+#include "pir/validate.hpp"
+
+using namespace plast;
+using namespace plast::fuzz;
+using namespace plast::pir;
+
+namespace
+{
+
+/** A known-good two-kernel program: a droppable store-only kernel plus
+ *  a cross-lane fold kernel the canned fault corrupts. The shrinker
+ *  should strip it down to (root + fold leaf). */
+FuzzCase
+injectedCase()
+{
+    Builder b("inj");
+    NodeId root = b.outer("root", CtrlScheme::kSequential, {}, kNone);
+
+    // Kernel 0: stores into an SRAM nobody reads; fault-irrelevant.
+    NodeId w0 = b.outer("kernel0", CtrlScheme::kSequential,
+                        {b.ctr("w0", 0, 1)}, root);
+    MemId scratch = b.sram("s0", 64);
+    CtrId j = b.ctr("j", 0, 64, 1, true);
+    b.compute("noise", w0, {j}, {}, {},
+              {Builder::storeSram(scratch, b.ctrE(j), b.ctrE(j))});
+
+    // Kernel 1: stream fold -> argOut; exercises a reduce tree.
+    NodeId w1 = b.outer("kernel1", CtrlScheme::kSequential,
+                        {b.ctr("w1", 0, 1)}, root);
+    MemId fin = b.dram("fin0", 256);
+    int32_t out = b.argOut();
+    CtrId i = b.ctr("i", 0, 256, 1, true);
+    b.compute("fold", w1, {i}, {StreamIn{fin, b.ctrE(i)}}, {},
+              {Builder::fold(FuOp::kFAdd, b.streamRef(0), i, out)});
+
+    FuzzCase c;
+    c.prog = b.finish(root);
+    c.params = ArchParams::plasticineFinal();
+    c.inject = true;
+    return c;
+}
+
+} // namespace
+
+TEST(Fuzz, GeneratedProgramsValidate)
+{
+    setVerbose(false);
+    for (uint64_t s = 1; s <= 40; ++s) {
+        FuzzCase c = caseForSeed(s);
+        auto errs = validateProgram(c.prog);
+        EXPECT_TRUE(errs.empty())
+            << "seed " << s << ": " << errs.front();
+        // The sampler must stay inside the legal design space.
+        EXPECT_GE(c.params.gridCols, 12u);
+        EXPECT_LE(c.params.gridCols, 16u);
+        EXPECT_GE(c.params.pcu.stages, 6u);
+        EXPECT_EQ(c.params.pcu.lanes, 16u);
+        EXPECT_EQ(c.params.pmu.fifoDepth, c.params.pcu.fifoDepth);
+    }
+}
+
+TEST(Fuzz, CasesAreDeterministicPerSeed)
+{
+    FuzzCase a = caseForSeed(42), b = caseForSeed(42);
+    EXPECT_EQ(programToText(a.prog), programToText(b.prog));
+    EXPECT_EQ(a.params.gridCols, b.params.gridCols);
+    EXPECT_EQ(a.params.gridRows, b.params.gridRows);
+    EXPECT_EQ(a.params.pmu.bankKilobytes, b.params.pmu.bankKilobytes);
+    EXPECT_EQ(a.params.numAgs, b.params.numAgs);
+}
+
+TEST(Fuzz, SerializeRoundTripIsFixpoint)
+{
+    // write -> read -> write reproduces the exact text, and the parsed
+    // program is itself valid.
+    for (uint64_t s = 1; s <= 30; ++s) {
+        FuzzCase c = caseForSeed(s);
+        std::string t1 = programToText(c.prog);
+        std::istringstream is(t1);
+        Program back;
+        std::string err;
+        ASSERT_TRUE(readProgram(is, back, &err))
+            << "seed " << s << ": " << err;
+        EXPECT_TRUE(validateProgram(back).empty()) << "seed " << s;
+        EXPECT_EQ(programToText(back), t1) << "seed " << s;
+    }
+}
+
+TEST(Fuzz, SeedFileRoundTrip)
+{
+    FuzzCase c = caseForSeed(9, /*inject=*/true);
+    std::ostringstream os;
+    writeSeedFile(os, c);
+    std::istringstream is(os.str());
+    FuzzCase back;
+    std::string err;
+    ASSERT_TRUE(readSeedFile(is, back, &err)) << err;
+    EXPECT_TRUE(back.inject);
+    EXPECT_EQ(back.params.gridCols, c.params.gridCols);
+    EXPECT_EQ(back.params.gridRows, c.params.gridRows);
+    EXPECT_EQ(back.params.pcu.stages, c.params.pcu.stages);
+    EXPECT_EQ(back.params.pcu.fifoDepth, c.params.pcu.fifoDepth);
+    EXPECT_EQ(back.params.pmu.bankKilobytes, c.params.pmu.bankKilobytes);
+    EXPECT_EQ(back.params.dram.channels, c.params.dram.channels);
+    EXPECT_EQ(back.params.vectorTracks, c.params.vectorTracks);
+    EXPECT_EQ(back.params.numAgs, c.params.numAgs);
+    EXPECT_EQ(programToText(back.prog), programToText(c.prog));
+}
+
+TEST(Fuzz, SoakFindsNoMismatches)
+{
+    // A bounded differential soak: evaluator vs fabric (both
+    // schedulers), cycle ledger checked on every unit of every run.
+    setVerbose(false);
+    FuzzOptions o;
+    o.seed = 1;
+    o.runs = 40;
+    o.shrink = false;
+    FuzzStats st = plast::fuzz::fuzz(o);
+    EXPECT_EQ(st.executed, 40u);
+    EXPECT_EQ(st.mismatches, 0u)
+        << (st.details.empty() ? "" : st.details.front());
+    EXPECT_EQ(st.okRuns + st.unmappable, st.executed);
+    // The generator must mostly produce mappable programs.
+    EXPECT_GE(st.okRuns, 30u);
+}
+
+TEST(Fuzz, InjectedFaultIsCaughtAndShrinks)
+{
+    setVerbose(false);
+    FuzzCase c = injectedCase();
+
+    // Healthy run passes...
+    FuzzCase clean = c;
+    clean.inject = false;
+    EXPECT_TRUE(runCase(clean).ok());
+
+    // ...the corrupted reduce tree is caught...
+    DiffResult d = runCase(c);
+    ASSERT_TRUE(d.mismatch()) << d.detail;
+    EXPECT_NE(d.detail.find("argOut"), std::string::npos) << d.detail;
+
+    // ...and shrinks to a minimal reproducer (root + fold leaf at
+    // most a wrapper more), which still validates and still fails.
+    auto stillFails = [&](const Program &cand) {
+        FuzzCase probe{cand, c.params, true};
+        return runCase(probe).mismatch();
+    };
+    ShrinkResult sr = shrinkProgram(c.prog, stillFails);
+    EXPECT_GT(sr.accepted, 0);
+    EXPECT_LE(sr.prog.nodes.size(), 3u);
+    EXPECT_TRUE(validateProgram(sr.prog).empty());
+    EXPECT_TRUE(stillFails(sr.prog));
+}
+
+TEST(Fuzz, InjectionSweepDetectsFaults)
+{
+    // Most generated programs contain a cross-lane fold, so the canned
+    // fault must be observable on a fixed seed sweep.
+    setVerbose(false);
+    FuzzOptions o;
+    o.seed = 7;
+    o.runs = 5;
+    o.inject = true;
+    o.shrink = false;
+    FuzzStats st = plast::fuzz::fuzz(o);
+    EXPECT_GE(st.mismatches, 1u);
+}
+
+TEST(Fuzz, CorpusReplaysDeterministically)
+{
+    setVerbose(false);
+    namespace fs = std::filesystem;
+    std::vector<std::string> files;
+    for (const auto &e : fs::directory_iterator(PLAST_CORPUS_DIR))
+        if (e.path().extension() == ".pir")
+            files.push_back(e.path().string());
+    std::sort(files.begin(), files.end());
+    ASSERT_FALSE(files.empty()) << "no corpus under " PLAST_CORPUS_DIR;
+
+    for (const std::string &f : files) {
+        std::ifstream is(f);
+        FuzzCase c;
+        std::string err;
+        ASSERT_TRUE(readSeedFile(is, c, &err)) << f << ": " << err;
+        DiffResult a = replayFile(f);
+        DiffResult b = replayFile(f);
+        // Bit-for-bit deterministic outcome...
+        EXPECT_EQ(static_cast<int>(a.status), static_cast<int>(b.status))
+            << f;
+        EXPECT_EQ(a.detail, b.detail) << f;
+        EXPECT_EQ(a.cycles, b.cycles) << f;
+        // ...matching the recorded expectation: injected seeds are
+        // regression witnesses (must still fail), clean seeds must run
+        // mismatch-free.
+        if (c.inject)
+            EXPECT_TRUE(a.mismatch()) << f << ": " << a.detail;
+        else
+            EXPECT_TRUE(a.ok()) << f << ": " << a.detail;
+    }
+}

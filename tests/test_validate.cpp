@@ -153,3 +153,93 @@ TEST(Validate, EveryBenchmarkValidates)
     // The app registry constructs (and thereby validates) all 13.
     SUCCEED();
 }
+
+// ---- negative paths exercised by the fuzzer's shrinker --------------
+// Forged mutations that bypass the Builder: the validator is the only
+// line of defense between a shrink candidate and a fabric deadlock or
+// mapper fatal, so each malformed shape must be rejected up front.
+
+TEST(Validate, RejectsChildlessOuter)
+{
+    // An outer controller with no children deadlocks the fabric: its
+    // control box waits forever on child-done pulses nobody produces.
+    Program p = skeleton([](Builder &b, NodeId root, MemId m) {
+        CtrId i = b.ctr("i", 0, 16, 1, true);
+        b.compute("leaf", root, {i}, {}, {},
+                  {Builder::storeSram(m, b.ctrE(i), b.ctrE(i))});
+        b.outer("empty", CtrlScheme::kSequential,
+                {b.ctr("e", 0, 4)}, root);
+    });
+    auto errs = validateProgram(p);
+    ASSERT_FALSE(errs.empty());
+    EXPECT_NE(errs[0].find("no children"), std::string::npos);
+}
+
+TEST(Validate, RejectsNonPositiveCounterStep)
+{
+    Program p = skeleton([](Builder &b, NodeId root, MemId m) {
+        CtrId i = b.ctr("i", 0, 16, 1, true);
+        b.compute("leaf", root, {i}, {}, {},
+                  {Builder::storeSram(m, b.ctrE(i), b.ctrE(i))});
+        b.program().ctrs[i].step = 0;
+    });
+    auto errs = validateProgram(p);
+    ASSERT_FALSE(errs.empty());
+    EXPECT_NE(errs[0].find("non-positive step"), std::string::npos);
+}
+
+TEST(Validate, RejectsOutOfRangeBufferDepth)
+{
+    Program p = skeleton([](Builder &b, NodeId root, MemId m) {
+        CtrId i = b.ctr("i", 0, 16, 1, true);
+        b.compute("leaf", root, {i}, {}, {},
+                  {Builder::storeSram(m, b.ctrE(i), b.ctrE(i))});
+        b.program().mems[m].nbufMin = 65; // beyond [1, 64]
+    });
+    auto errs = validateProgram(p);
+    ASSERT_FALSE(errs.empty());
+    EXPECT_NE(errs[0].find("buffer depth"), std::string::npos);
+}
+
+TEST(Validate, RejectsDanglingSinkMemory)
+{
+    Program p = skeleton([](Builder &b, NodeId root, MemId m) {
+        CtrId i = b.ctr("i", 0, 16, 1, true);
+        NodeId leaf =
+            b.compute("leaf", root, {i}, {}, {},
+                      {Builder::storeSram(m, b.ctrE(i), b.ctrE(i))});
+        b.program().nodes[leaf].sinks[0].mem = 42; // no such memory
+    });
+    auto errs = validateProgram(p);
+    ASSERT_FALSE(errs.empty());
+    EXPECT_NE(errs[0].find("dangling or non-SRAM memory"),
+              std::string::npos);
+}
+
+TEST(Validate, RejectsDanglingDynamicBoundProducer)
+{
+    Program p = skeleton([](Builder &b, NodeId root, MemId m) {
+        CtrId i = b.ctr("i", 0, 16, 1, true);
+        b.compute("leaf", root, {i}, {}, {},
+                  {Builder::storeSram(m, b.ctrE(i), b.ctrE(i))});
+        b.program().ctrs[i].boundSinkNode = 99;
+    });
+    auto errs = validateProgram(p);
+    ASSERT_FALSE(errs.empty());
+    EXPECT_NE(errs[0].find("dynamic bound from dangling node"),
+              std::string::npos);
+}
+
+TEST(Validate, RejectsOutOfRangeArgOutSlot)
+{
+    Program p = skeleton([](Builder &b, NodeId root, MemId m) {
+        (void)m;
+        CtrId i = b.ctr("i", 0, 16, 1, true);
+        // Slot 3 with no declared argOuts.
+        b.compute("leaf", root, {i}, {}, {},
+                  {Builder::fold(FuOp::kIAdd, b.ctrE(i), i, 3)});
+    });
+    auto errs = validateProgram(p);
+    ASSERT_FALSE(errs.empty());
+    EXPECT_NE(errs[0].find("argOut slot"), std::string::npos);
+}
