@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Cost of the resilience machinery: per-app checkpoint save/restore
+ * throughput (the word tape captures the full architectural state,
+ * DRAM image included), the end-to-end slowdown of running with a
+ * periodic checkpoint ring enabled, and the analytical area/power
+ * overhead of SECDED ECC on scratchpads and DRAM (39/32 on SRAM
+ * capacity, 72/64 on the DRAM interface, plus encoder/decoder logic).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "apps/apps.hpp"
+#include "base/logging.hpp"
+#include "model/area.hpp"
+#include "model/power.hpp"
+
+using namespace plast;
+
+namespace
+{
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    bool tiny = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--tiny") == 0)
+            tiny = true;
+    }
+    apps::Scale scale = tiny ? apps::Scale::kTiny : apps::Scale::kDefault;
+    ArchParams params = ArchParams::plasticineFinal();
+
+    std::printf("=== Checkpoint save/restore throughput and periodic-"
+                "checkpoint overhead ===\n");
+    std::printf("%-14s | %10s %9s | %9s %9s %9s | %8s\n", "benchmark",
+                "cycles", "tape_kw", "save_us", "restore_us", "MW/s",
+                "ckpt_ovh");
+
+    constexpr int kReps = 20;
+    for (const auto &spec : apps::allApps()) {
+        // Baseline run (also the fabric we snapshot).
+        apps::AppInstance app = spec.make(scale);
+        Runner r(app.prog, params);
+        app.load(r);
+        auto t0 = std::chrono::steady_clock::now();
+        Runner::Result res = r.run();
+        double base_s = secondsSince(t0);
+
+        Fabric *fab = r.mutableFabric();
+        FabricCheckpoint cp;
+        t0 = std::chrono::steady_clock::now();
+        for (int i = 0; i < kReps; ++i)
+            cp = fab->saveCheckpoint();
+        double save_s = secondsSince(t0) / kReps;
+        t0 = std::chrono::steady_clock::now();
+        for (int i = 0; i < kReps; ++i)
+            fatal_if(!fab->restoreCheckpoint(cp).ok(),
+                     "restore failed");
+        double restore_s = secondsSince(t0) / kReps;
+
+        // Same app with a live checkpoint ring (every 1/10 of the run).
+        apps::AppInstance app2 = spec.make(scale);
+        SimOptions so;
+        so.checkpointEvery = std::max<Cycles>(1, res.cycles / 10);
+        so.keepCheckpoints = 4;
+        Runner r2(app2.prog, params, so);
+        app2.load(r2);
+        t0 = std::chrono::steady_clock::now();
+        Runner::Result res2 = r2.run();
+        double ckpt_s = secondsSince(t0);
+        fatal_if(res2.cycles != res.cycles,
+                 "%s: checkpointing perturbed the run (%llu vs %llu)",
+                 spec.name.c_str(), (unsigned long long)res2.cycles,
+                 (unsigned long long)res.cycles);
+
+        double words = static_cast<double>(cp.tape.size());
+        std::printf(
+            "%-14s | %10llu %9.1f | %9.1f %9.1f %9.1f | %7.2f%%\n",
+            spec.name.c_str(), (unsigned long long)res.cycles,
+            words / 1e3, save_s * 1e6, restore_s * 1e6,
+            words / save_s / 1e6, (ckpt_s / base_s - 1.0) * 100.0);
+    }
+
+    std::printf("\n=== SECDED ECC overhead (analytical models) ===\n");
+    model::AreaModel area;
+    model::PowerModel power;
+    ArchParams off = params, on = params;
+    off.pmu.ecc = off.dram.ecc = false;
+    on.pmu.ecc = on.dram.ecc = true;
+    double a_off = area.chipArea(off), a_on = area.chipArea(on);
+    double p_off = power.peak(off), p_on = power.peak(on);
+    std::printf("%-22s | %10s %10s | %8s\n", "metric", "ecc_off",
+                "ecc_on", "delta");
+    std::printf("%-22s | %10.3f %10.3f | %+7.2f%%\n", "PMU area (mm^2)",
+                area.pmuArea(off.pmu), area.pmuArea(on.pmu),
+                (area.pmuArea(on.pmu) / area.pmuArea(off.pmu) - 1.0) *
+                    100.0);
+    std::printf("%-22s | %10.1f %10.1f | %+7.2f%%\n", "chip area (mm^2)",
+                a_off, a_on, (a_on / a_off - 1.0) * 100.0);
+    std::printf("%-22s | %10.2f %10.2f | %+7.2f%%\n", "peak power (W)",
+                p_off, p_on, (p_on / p_off - 1.0) * 100.0);
+    return 0;
+}

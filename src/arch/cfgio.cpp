@@ -363,12 +363,13 @@ writeParams(std::ostream &os, const ArchParams &p)
     os << "pmu_params " << m.banks << ' ' << m.bankKilobytes << ' '
        << m.stages << ' ' << m.regsPerStage << ' ' << m.scalarIns << ' '
        << m.scalarOuts << ' ' << m.vectorIns << ' ' << m.vectorOuts
-       << ' ' << m.counters << ' ' << m.fifoDepth << '\n';
+       << ' ' << m.counters << ' ' << m.fifoDepth << ' '
+       << (m.ecc ? 1 : 0) << '\n';
     const DramParams &d = p.dram;
     os << "dram_params " << d.channels << ' ' << d.burstBytes << ' '
        << d.banksPerChannel << ' ' << d.rowBytes << ' ' << d.tRcd << ' '
        << d.tCas << ' ' << d.tRp << ' ' << d.tRas << ' ' << d.tBurst
-       << ' ' << d.queueDepth << '\n';
+       << ' ' << d.queueDepth << ' ' << (d.ecc ? 1 : 0) << '\n';
 }
 
 bool
@@ -377,7 +378,8 @@ readParams(Reader &r, ArchParams &p)
     PcuParams &c = p.pcu;
     PmuParams &m = p.pmu;
     DramParams &d = p.dram;
-    return r.expect("params") && r.num(p.gridCols) &&
+    int pmuEcc = 0, dramEcc = 0;
+    bool ok = r.expect("params") && r.num(p.gridCols) &&
            r.num(p.gridRows) && r.num(p.numAgs) &&
            r.num(p.coalescerCacheLines) &&
            r.num(p.coalescerMaxOutstanding) && r.num(p.vectorTracks) &&
@@ -391,11 +393,16 @@ readParams(Reader &r, ArchParams &p)
            r.num(m.regsPerStage) && r.num(m.scalarIns) &&
            r.num(m.scalarOuts) && r.num(m.vectorIns) &&
            r.num(m.vectorOuts) && r.num(m.counters) &&
-           r.num(m.fifoDepth) && r.expect("dram_params") &&
+           r.num(m.fifoDepth) && r.num(pmuEcc) &&
+           r.expect("dram_params") &&
            r.num(d.channels) && r.num(d.burstBytes) &&
            r.num(d.banksPerChannel) && r.num(d.rowBytes) &&
            r.num(d.tRcd) && r.num(d.tCas) && r.num(d.tRp) &&
-           r.num(d.tRas) && r.num(d.tBurst) && r.num(d.queueDepth);
+           r.num(d.tRas) && r.num(d.tBurst) && r.num(d.queueDepth) &&
+           r.num(dramEcc);
+    m.ecc = pmuEcc != 0;
+    d.ecc = dramEcc != 0;
+    return ok;
 }
 
 } // namespace

@@ -42,6 +42,11 @@ struct PmuParams
     uint32_t vectorOuts = 1;
     uint32_t counters = 4;
     uint32_t fifoDepth = 16;
+    /** SECDED ECC on the scratchpad banks: single-bit upsets are
+     *  corrected (and scrubbed) on read, double-bit upsets are detected
+     *  as uncorrectable. Costs 7 check bits per 32-bit word (39/32 SRAM
+     *  area) plus encode/decode logic; see model/area.cpp. */
+    bool ecc = false;
 
     uint32_t totalBytes() const { return banks * bankKilobytes * 1024; }
     uint32_t totalWords() const { return totalBytes() / 4; }
@@ -61,6 +66,10 @@ struct DramParams
     uint32_t tRas = 35;
     uint32_t tBurst = 5;            ///< 64 B on a 12.8 GB/s channel
     uint32_t queueDepth = 32;       ///< per-channel command queue
+    /** SECDED ECC on DRAM bursts (x72 DIMM: 8 check bits per 64 data
+     *  bits). Single-bit response errors are corrected in the memory
+     *  controller; double-bit errors are detected and retried. */
+    bool ecc = false;
     double
     peakBytesPerCycle() const
     {

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Flat word-tape archives for cycle-exact checkpoint/restore.
+ *
+ * Architectural state is serialized as a sequence of uint64 words: each
+ * component implements `template <class Ar> void serializeState(Ar &)`
+ * calling `io(ar, field)` on every piece of mutable state, and the same
+ * member function both saves (StateWriter) and restores (StateReader).
+ * Symmetry by construction — there is exactly one field list per
+ * component, so save and restore cannot drift apart.
+ *
+ * Only *architectural* state goes on the tape: anything derivable from
+ * the FabricConfig (port wiring, stage programs, counter bounds) is
+ * rebuilt by constructing a fresh Fabric from the same config and is
+ * never serialized.
+ */
+
+#ifndef PLAST_BASE_STATEIO_HPP
+#define PLAST_BASE_STATEIO_HPP
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "base/types.hpp"
+
+namespace plast
+{
+
+/** Appends words to a tape. */
+class StateWriter
+{
+  public:
+    static constexpr bool kSaving = true;
+
+    void put(uint64_t w) { tape_.push_back(w); }
+    uint64_t get() { return 0; } // never called; keeps io() well-formed
+
+    const std::vector<uint64_t> &tape() const { return tape_; }
+    std::vector<uint64_t> takeTape() { return std::move(tape_); }
+
+  private:
+    std::vector<uint64_t> tape_;
+};
+
+/** Consumes words from a tape; underflow latches `failed`. */
+class StateReader
+{
+  public:
+    static constexpr bool kSaving = false;
+
+    explicit StateReader(const std::vector<uint64_t> &tape) : tape_(&tape) {}
+
+    void put(uint64_t) {} // never called; keeps io() well-formed
+
+    uint64_t
+    get()
+    {
+        if (pos_ >= tape_->size())
+        {
+            failed_ = true;
+            return 0;
+        }
+        return (*tape_)[pos_++];
+    }
+
+    bool failed() const { return failed_; }
+    /** True when every word was consumed — a structural sanity check. */
+    bool exhausted() const { return pos_ == tape_->size() && !failed_; }
+    size_t position() const { return pos_; }
+
+  private:
+    const std::vector<uint64_t> *tape_;
+    size_t pos_ = 0;
+    bool failed_ = false;
+};
+
+// --------------------------------------------------------------------
+// io() overload set. Declaration order matters: the scalar and
+// member-hook overloads must precede the container overloads so that
+// ordinary (definition-point) lookup inside the latter can see them;
+// overloads for plast types are additionally found via ADL.
+// --------------------------------------------------------------------
+
+template <class Ar, class T>
+    requires(std::is_integral_v<T> || std::is_enum_v<T>)
+void
+io(Ar &ar, T &v)
+{
+    if constexpr (Ar::kSaving)
+        ar.put(static_cast<uint64_t>(v));
+    else
+        v = static_cast<T>(ar.get());
+}
+
+template <class Ar, class T>
+    requires requires(Ar &a, T &x) { x.serializeState(a); }
+void
+io(Ar &ar, T &v)
+{
+    v.serializeState(ar);
+}
+
+template <class Ar>
+void
+io(Ar &ar, Vec &v)
+{
+    for (Word &w : v.lane)
+        io(ar, w);
+    io(ar, v.mask);
+}
+
+template <class Ar, class T, std::size_t N>
+void
+io(Ar &ar, std::array<T, N> &a)
+{
+    for (T &e : a)
+        io(ar, e);
+}
+
+template <class Ar, class T>
+void
+io(Ar &ar, std::vector<T> &v)
+{
+    uint64_t n = v.size();
+    io(ar, n);
+    if constexpr (!Ar::kSaving)
+        v.resize(n);
+    for (T &e : v)
+        io(ar, e);
+}
+
+template <class Ar, class T>
+void
+io(Ar &ar, std::deque<T> &d)
+{
+    uint64_t n = d.size();
+    io(ar, n);
+    if constexpr (!Ar::kSaving)
+        d.resize(n);
+    for (T &e : d)
+        io(ar, e);
+}
+
+template <class Ar, class T>
+void
+io(Ar &ar, std::optional<T> &o)
+{
+    uint64_t has = o.has_value() ? 1 : 0;
+    io(ar, has);
+    if constexpr (!Ar::kSaving)
+    {
+        if (has && !o)
+            o.emplace();
+        else if (!has)
+            o.reset();
+    }
+    if (has)
+        io(ar, *o);
+}
+
+template <class Ar, class A, class B>
+void
+io(Ar &ar, std::pair<A, B> &p)
+{
+    io(ar, p.first);
+    io(ar, p.second);
+}
+
+template <class Ar, class K, class V>
+void
+io(Ar &ar, std::map<K, V> &m)
+{
+    if constexpr (Ar::kSaving)
+    {
+        uint64_t n = m.size();
+        io(ar, n);
+        for (auto &kv : m)
+        {
+            K key = kv.first;
+            io(ar, key);
+            io(ar, kv.second);
+        }
+    }
+    else
+    {
+        uint64_t n = 0;
+        io(ar, n);
+        m.clear();
+        for (uint64_t i = 0; i < n; ++i)
+        {
+            K key{};
+            V val{};
+            io(ar, key);
+            io(ar, val);
+            m.emplace(std::move(key), std::move(val));
+        }
+    }
+}
+
+} // namespace plast
+
+#endif // PLAST_BASE_STATEIO_HPP

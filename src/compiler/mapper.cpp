@@ -57,8 +57,9 @@ struct Cluster
 class Mapper
 {
   public:
-    Mapper(const Program &prog, const ArchParams &params)
-        : prog_(prog), P_(params), geom_(params)
+    Mapper(const Program &prog, const ArchParams &params,
+           const UnitMask &mask)
+        : prog_(prog), P_(params), geom_(params), mask_(mask)
     {
     }
 
@@ -116,6 +117,7 @@ class Mapper
     const Program &prog_;
     ArchParams P_;
     Geometry geom_;
+    UnitMask mask_; ///< faulted physical sites placement must avoid
 
     bool ok_ = true;
     std::string error_;
@@ -1734,14 +1736,31 @@ Mapper::wireControl()
 bool
 Mapper::placeAndRoute(FabricConfig &fab)
 {
-    if (pcus_.size() > P_.numPcus()) {
-        fail(strfmt("needs %zu PCUs, chip has %u", pcus_.size(),
-                    P_.numPcus()));
+    auto maskedCount = [](const std::vector<uint32_t> &masked,
+                          uint32_t capacity) {
+        uint32_t n = 0;
+        for (uint32_t m : masked)
+            n += m < capacity ? 1 : 0;
+        return n;
+    };
+    uint32_t masked_pcus = maskedCount(mask_.pcus, P_.numPcus());
+    uint32_t masked_pmus = maskedCount(mask_.pmus, P_.numPmus());
+    if (pcus_.size() > P_.numPcus() - masked_pcus) {
+        fail(strfmt("needs %zu PCUs, chip has %u%s", pcus_.size(),
+                    P_.numPcus() - masked_pcus,
+                    masked_pcus ? strfmt(" (%u masked as faulted)",
+                                         masked_pcus)
+                                      .c_str()
+                                : ""));
         return false;
     }
-    if (pmus_.size() > P_.numPmus()) {
-        fail(strfmt("needs %zu PMUs, chip has %u", pmus_.size(),
-                    P_.numPmus()));
+    if (pmus_.size() > P_.numPmus() - masked_pmus) {
+        fail(strfmt("needs %zu PMUs, chip has %u%s", pmus_.size(),
+                    P_.numPmus() - masked_pmus,
+                    masked_pmus ? strfmt(" (%u masked as faulted)",
+                                         masked_pmus)
+                                      .c_str()
+                                : ""));
         return false;
     }
     if (ags_.size() > P_.numAgs) {
@@ -1806,6 +1825,13 @@ Mapper::placeAndRoute(FabricConfig &fab)
     auto greedyPlace = [&](UnitClass cls, size_t count,
                            std::vector<int> &phys, uint32_t capacity) {
         std::vector<bool> taken(capacity, false);
+        // Faulted sites are permanently occupied (degraded re-mapping).
+        const std::vector<uint32_t> &masked =
+            cls == UnitClass::kPcu ? mask_.pcus : mask_.pmus;
+        for (uint32_t m : masked) {
+            if (m < capacity)
+                taken[m] = true;
+        }
         for (size_t u = 0; u < count; ++u) {
             std::pair<UnitClass, uint16_t> key{
                 cls, static_cast<uint16_t>(u)};
@@ -2065,7 +2091,15 @@ Mapper::run()
 MapResult
 compileProgram(const Program &prog, const ArchParams &params)
 {
-    Mapper m(prog, params);
+    Mapper m(prog, params, UnitMask{});
+    return m.run();
+}
+
+MapResult
+compileProgram(const Program &prog, const ArchParams &params,
+               const UnitMask &mask)
+{
+    Mapper m(prog, params, mask);
     return m.run();
 }
 

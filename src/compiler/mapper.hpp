@@ -21,7 +21,9 @@
 #ifndef PLAST_COMPILER_MAPPER_HPP
 #define PLAST_COMPILER_MAPPER_HPP
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "arch/config.hpp"
 #include "arch/params.hpp"
@@ -30,6 +32,20 @@
 
 namespace plast::compiler
 {
+
+/**
+ * Physical units the placer must avoid — the degraded-mode re-mapping
+ * input. After a hard fault is localized, recovery recompiles the
+ * program with the faulted sites masked; placement treats them as
+ * permanently occupied and capacity checks shrink accordingly.
+ */
+struct UnitMask
+{
+    std::vector<uint32_t> pcus; ///< physical PCU indices to avoid
+    std::vector<uint32_t> pmus; ///< physical PMU indices to avoid
+
+    bool empty() const { return pcus.empty() && pmus.empty(); }
+};
 
 struct MappingReport
 {
@@ -69,6 +85,11 @@ struct MapResult
  */
 MapResult compileProgram(const pir::Program &prog,
                          const ArchParams &params);
+
+/** Compile with faulted physical units masked out of placement
+ *  (graceful degradation after a hard fault). */
+MapResult compileProgram(const pir::Program &prog,
+                         const ArchParams &params, const UnitMask &mask);
 
 } // namespace plast::compiler
 

@@ -1,5 +1,6 @@
 #include "fuzz/diff.hpp"
 
+#include <memory>
 #include <vector>
 
 #include "base/logging.hpp"
@@ -7,6 +8,7 @@
 #include "compiler/mapper.hpp"
 #include "pir/eval.hpp"
 #include "pir/validate.hpp"
+#include "resilience/fault.hpp"
 #include "runtime/runner.hpp"
 #include "sim/fabric.hpp"
 
@@ -139,14 +141,30 @@ diffRun(const Program &prog, const ArchParams &params,
 
     // Pre-flight the mapping: capacity overruns are a legal outcome of
     // random (program, arch) pairs, not a finding. Runner would fatal.
-    {
-        compiler::MapResult probe = compiler::compileProgram(prog, params);
-        if (!probe.report.ok) {
-            out.status = DiffResult::Status::kUnmappable;
-            out.detail = probe.report.error;
-            return out;
-        }
+    compiler::MapResult probe = compiler::compileProgram(prog, params);
+    if (!probe.report.ok) {
+        out.status = DiffResult::Status::kUnmappable;
+        out.detail = probe.report.error;
+        return out;
     }
+
+    // Fault-library injection: one plan, targeted at the mapped config;
+    // every scheduler mode gets a fresh injector over the same plan so
+    // the upsets land on identical cycles in both modes.
+    resilience::FaultPlan plan;
+    if (opts.injectMode >= 2) {
+        // Fuzz programs finish in a few hundred cycles, so the plan
+        // horizon is tight and the rate high — otherwise most upsets
+        // would land after completion and every case would be a no-op.
+        plan = resilience::FaultPlan::random(
+            0x5eedfa17ull + opts.injectMode,
+            /*eventsPerMillion=*/20000.0,
+            /*horizon=*/300, probe.fabric,
+            opts.injectMode == 2 ? resilience::FaultMix::kProtected
+                                 : resilience::FaultMix::kDatapath,
+            /*includeHard=*/false);
+    }
+    std::vector<std::unique_ptr<resilience::FaultInjector>> injectors;
 
     auto runMode = [&](SimOptions::Mode mode) {
         SimOptions so;
@@ -154,6 +172,12 @@ diffRun(const Program &prog, const ArchParams &params,
         auto r = std::make_unique<Runner>(prog, params, so);
         if (opts.tweak)
             r->setConfigTweak(opts.tweak);
+        if (opts.injectMode >= 2) {
+            injectors.push_back(
+                std::make_unique<resilience::FaultInjector>(
+                    plan, params.dram.ecc));
+            r->setFaultInjector(injectors.back().get());
+        }
         fillInputs(*r, prog);
         return r;
     };

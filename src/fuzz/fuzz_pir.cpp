@@ -38,7 +38,10 @@ usage()
         "  --emit=SEED       print the seed's case as a .pir file and "
         "exit\n"
         "  --save-dir=DIR    write shrunk reproducers to DIR\n"
-        "  --inject          enable the canned reduction-stage fault\n"
+        "  --inject[=N]      inject hardware faults: 1 = canned\n"
+        "                    reduction-stage opcode flip (default), 2 =\n"
+        "                    scratch/DRAM upsets from the fault library\n"
+        "                    (ECC off), 3 = datapath register upsets\n"
         "  --no-dense        skip the dense-scheduler parity re-run\n"
         "  --no-shrink       keep failing programs unshrunk\n"
         "  --quiet           suppress per-case progress\n");
@@ -106,7 +109,13 @@ main(int argc, char **argv)
         } else if (const char *v = val("--save-dir=")) {
             opts.saveDir = v;
         } else if (a == "--inject") {
-            opts.inject = true;
+            opts.inject = 1;
+        } else if (const char *v = val("--inject=")) {
+            if (!parseU64(v, u) || u > 3) {
+                usage();
+                return 2;
+            }
+            opts.inject = static_cast<uint32_t>(u);
         } else if (a == "--no-dense") {
             opts.checkDense = false;
         } else if (a == "--no-shrink") {

@@ -16,7 +16,7 @@ namespace plast::fuzz
 using namespace pir;
 
 FuzzCase
-caseForSeed(uint64_t caseSeed, bool inject)
+caseForSeed(uint64_t caseSeed, uint32_t inject)
 {
     Rng rng(caseSeed);
     FuzzCase c;
@@ -61,8 +61,10 @@ runCase(const FuzzCase &c, bool checkDense)
 {
     DiffOptions d;
     d.checkDense = checkDense;
-    if (c.inject)
+    if (c.inject == 1)
         d.tweak = reduceStageFault();
+    else if (c.inject >= 2)
+        d.injectMode = c.inject;
     return diffRun(c.prog, c.params, d);
 }
 
@@ -76,7 +78,7 @@ writeSeedFile(std::ostream &os, const FuzzCase &c)
        << p.pmu.bankKilobytes << ' ' << p.dram.channels << ' '
        << p.dram.queueDepth << ' ' << p.vectorTracks << ' '
        << p.scalarTracks << ' ' << p.numAgs << '\n';
-    os << "inject " << (c.inject ? 1 : 0) << '\n';
+    os << "inject " << c.inject << '\n';
     writeProgram(os, c.prog);
 }
 
@@ -112,14 +114,14 @@ readSeedFile(std::istream &is, FuzzCase &out, std::string *err)
           p.numAgs))
         return fail("seed file must start with an 'arch' line");
     p.pmu.fifoDepth = p.pcu.fifoDepth;
-    int inj = 0;
+    uint32_t inj = 0;
     if (!nextLine(line))
         return fail("expected 'inject' line after 'arch'");
     std::istringstream injs(line);
     if (!(injs >> tok) || tok != "inject" || !(injs >> inj))
         return fail("expected 'inject' line after 'arch'");
     out.params = p;
-    out.inject = inj != 0;
+    out.inject = inj;
     return readProgram(is, out.prog, err);
 }
 

@@ -22,16 +22,21 @@
 namespace plast::fuzz
 {
 
-/** One reproducible fuzz case: program + architecture + fault flag. */
+/** One reproducible fuzz case: program + architecture + fault mode. */
 struct FuzzCase
 {
     pir::Program prog;
     ArchParams params;
-    bool inject = false; ///< run with the canned hardware fault
+    /** Hardware-fault injection mode (the seed file's `inject` line):
+     *  0 = clean, 1 = canned reduction-stage opcode flip, 2 = seeded
+     *  scratchpad/DRAM upsets from the resilience fault library (ECC
+     *  off, so they surface as output corruption), 3 = seeded datapath
+     *  upsets (PCU pipeline registers + scratch words). */
+    uint32_t inject = 0;
 };
 
 /** Deterministically derive the case for one seed. */
-FuzzCase caseForSeed(uint64_t caseSeed, bool inject = false);
+FuzzCase caseForSeed(uint64_t caseSeed, uint32_t inject = 0);
 
 /**
  * The canned hardware fault: flip the combiner opcode of the first
@@ -61,7 +66,7 @@ struct FuzzOptions
     uint32_t runs = 100;
     /** Stop after this many wall-clock seconds (0 = unlimited). */
     uint32_t timeBudgetSec = 0;
-    bool inject = false;
+    uint32_t inject = 0; ///< FuzzCase::inject mode for every case
     bool checkDense = true;
     bool shrink = true;
     /** Write shrunk reproducers here ("" = don't persist). */

@@ -21,12 +21,16 @@ AreaModel::pcuArea(const PcuParams &p) const
 double
 AreaModel::pmuArea(const PmuParams &p) const
 {
-    double scratch = c_.sramPerKb * p.banks * p.bankKilobytes;
+    // SECDED on 32-bit words stores 7 check bits alongside each word
+    // (39/32 array overhead) plus an encode/correct stage per bank.
+    double scratch = c_.sramPerKb * p.banks * p.bankKilobytes *
+                     (p.ecc ? 39.0 / 32.0 : 1.0);
+    double eccLogic = p.ecc ? kEccLogicPerBank * p.banks : 0.0;
     double fus = c_.scalarFu * p.stages;
     double regs = c_.pmuReg * p.stages * p.regsPerStage;
     double fifos = c_.vecFifo / 3.0 * p.vectorIns +
                    c_.scalFifo * p.scalarIns;
-    return scratch + fus + regs + fifos + 0.001;
+    return scratch + eccLogic + fus + regs + fifos + 0.001;
 }
 
 double
@@ -52,7 +56,9 @@ AreaModel::chipBreakdown(const ArchParams &p) const
     b.pcuEach = pcuArea(p.pcu);
     b.pcuTotal = b.pcuEach * p.numPcus();
 
-    b.pmuScratch = c_.sramPerKb * p.pmu.banks * p.pmu.bankKilobytes;
+    b.pmuScratch = c_.sramPerKb * p.pmu.banks * p.pmu.bankKilobytes *
+                       (p.pmu.ecc ? 39.0 / 32.0 : 1.0) +
+                   (p.pmu.ecc ? kEccLogicPerBank * p.pmu.banks : 0.0);
     b.pmuFus = c_.scalarFu * p.pmu.stages;
     b.pmuRegs = c_.pmuReg * p.pmu.stages * p.pmu.regsPerStage;
     b.pmuFifos = c_.vecFifo / 3.0 * p.pmu.vectorIns +
@@ -62,8 +68,11 @@ AreaModel::chipBreakdown(const ArchParams &p) const
     b.pmuTotal = b.pmuEach * p.numPmus();
 
     b.interconnect = switchArea(p) * p.switchCols() * p.switchRows();
-    b.memController =
-        c_.coalescingUnit * p.dram.channels + c_.ag * p.numAgs;
+    // DRAM-side SECDED: one burst-wide encoder/decoder per channel.
+    b.memController = c_.coalescingUnit * p.dram.channels +
+                      c_.ag * p.numAgs +
+                      (p.dram.ecc ? kEccLogicPerChannel * p.dram.channels
+                                  : 0.0);
     b.chip = b.pcuTotal + b.pmuTotal + b.interconnect + b.memController;
     return b;
 }

@@ -43,6 +43,13 @@ struct AreaCosts
     double ag = (5.616 - 4 * 0.724) / 34;
 };
 
+/** SECDED logic adders (mm^2): a (39,32) encode + correct stage per
+ *  scratchpad bank, and a burst-wide codec per DRAM channel. The array
+ *  overhead itself (7 check bits per 32-bit word = 39/32) is applied
+ *  to the SRAM area directly. */
+constexpr double kEccLogicPerBank = 0.0008;
+constexpr double kEccLogicPerChannel = 0.020;
+
 class AreaModel
 {
   public:

@@ -8,8 +8,12 @@ PowerModel::peak(const ArchParams &p) const
 {
     double lane_ops = static_cast<double>(p.numPcus()) * p.pcu.lanes *
                       p.pcu.stages; // every FU busy every cycle
-    double sram_words = static_cast<double>(p.numPmus()) * p.pmu.banks;
-    double dram_bytes = p.dram.peakBytesPerCycle();
+    // SECDED widens every scratchpad access to 39 bits and every DRAM
+    // burst by its check bytes (x9/8, the standard 72/64 ratio).
+    double sram_words = static_cast<double>(p.numPmus()) * p.pmu.banks *
+                        (p.pmu.ecc ? 39.0 / 32.0 : 1.0);
+    double dram_bytes =
+        p.dram.peakBytesPerCycle() * (p.dram.ecc ? 9.0 / 8.0 : 1.0);
     double net_words =
         static_cast<double>(p.numPcus()) * p.pcu.lanes * 2.0;
     return c_.chipStatic + p.numPcus() * c_.pcuStatic +
@@ -23,7 +27,6 @@ PowerModel::estimate(const StatSet &stats,
                      const compiler::MappingReport &rep,
                      const ArchParams &params) const
 {
-    (void)params;
     double cycles = static_cast<double>(stats.get("cycles"));
     if (cycles <= 0)
         cycles = 1;
@@ -45,11 +48,16 @@ PowerModel::estimate(const StatSet &stats,
                      : 2.0;
     double net_words = lane_ops / 4.0 * avg_hops / 4.0;
 
+    // ECC widens the physical accesses behind the logical word/byte
+    // counts the simulator reports (see PowerModel::peak).
+    double sram_ecc = params.pmu.ecc ? 39.0 / 32.0 : 1.0;
+    double dram_ecc = params.dram.ecc ? 9.0 / 8.0 : 1.0;
+
     return c_.chipStatic + rep.pcusUsed * c_.pcuStatic +
            rep.pmusUsed * c_.pmuStatic + rep.agsUsed * c_.agStatic +
            (lane_ops / cycles) * c_.perLaneOp +
-           (sram_words / cycles) * c_.perSramWord +
-           (dram_bytes / cycles) * c_.perDramByte +
+           (sram_words * sram_ecc / cycles) * c_.perSramWord +
+           (dram_bytes * dram_ecc / cycles) * c_.perDramByte +
            (net_words / cycles) * c_.perNetHopWord;
 }
 

@@ -1,0 +1,184 @@
+#include "resilience/campaign.hpp"
+
+#include <functional>
+#include <ostream>
+
+#include "apps/apps.hpp"
+#include "base/logging.hpp"
+
+namespace plast::resilience
+{
+
+namespace
+{
+
+const char *
+mixName(FaultMix m)
+{
+    switch (m) {
+      case FaultMix::kAll:
+        return "all";
+      case FaultMix::kProtected:
+        return "protected";
+      case FaultMix::kDatapath:
+        return "datapath";
+    }
+    return "?";
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += strfmt("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+CampaignResult
+runCampaign(const CampaignOptions &opts)
+{
+    const auto &all = apps::allApps();
+    std::vector<const apps::AppSpec *> selected;
+    if (opts.apps.empty()) {
+        for (const auto &spec : all)
+            selected.push_back(&spec);
+    } else {
+        for (const auto &name : opts.apps) {
+            const apps::AppSpec *found = nullptr;
+            for (const auto &spec : all) {
+                if (spec.name == name)
+                    found = &spec;
+            }
+            fatal_if(!found, "unknown app '%s'", name.c_str());
+            selected.push_back(found);
+        }
+    }
+
+    ArchParams params = ArchParams::plasticineFinal();
+    params.pmu.ecc = opts.ecc;
+    params.dram.ecc = opts.ecc;
+
+    CampaignResult out;
+    for (const apps::AppSpec *spec : selected) {
+        apps::AppInstance inst = spec->make(apps::Scale::kTiny);
+
+        // Stage inputs once (apps load through a Runner) and compile to
+        // learn the placement the fault plans target.
+        Runner stage(inst.prog, params);
+        inst.load(stage);
+
+        ResilienceOptions ropts = opts.resilience;
+        if (opts.maxCycles)
+            ropts.maxCycles = opts.maxCycles;
+        ResilientRunner rr(inst.prog, params, ropts);
+        rr.setInputs(stage.hostBuffers());
+
+        auto record = [&](uint64_t seed, ResilienceReport rep) {
+            CampaignRun run;
+            run.app = inst.name;
+            run.seed = seed;
+            run.unexplainedSdc =
+                rep.cls == RunClass::kSilentCorruption && opts.ecc &&
+                !rep.explainedSdc();
+            out.byClass[static_cast<size_t>(rep.cls)]++;
+            out.unexplainedSdc += run.unexplainedSdc ? 1 : 0;
+            run.report = std::move(rep);
+            out.runs.push_back(std::move(run));
+        };
+
+        Status cst = stage.tryCompile();
+        Status gst = cst.ok() ? rr.runGolden() : cst;
+        if (!gst.ok()) {
+            // Record the failure once and move on: with no golden
+            // horizon there is nothing meaningful to inject into.
+            ResilienceReport rep;
+            rep.cls = RunClass::kCompileError;
+            rep.finalStatus = gst;
+            rep.detail = gst.message();
+            record(opts.seed, std::move(rep));
+            continue;
+        }
+
+        const uint64_t appSalt = std::hash<std::string>{}(inst.name);
+        for (uint32_t r = 0; r < opts.runsPerApp; ++r) {
+            uint64_t seed =
+                opts.seed + appSalt * 0x100000001b3ull + r * 8191;
+            FaultPlan plan = FaultPlan::random(
+                seed, opts.rate, rr.goldenCycles(),
+                stage.mapResult().fabric, opts.mix, opts.includeHard);
+            record(seed, rr.run(plan));
+        }
+    }
+    return out;
+}
+
+void
+CampaignResult::writeJson(std::ostream &os,
+                          const CampaignOptions &opts) const
+{
+    os << "{\n";
+    os << "  \"config\": {"
+       << "\"rate\": " << opts.rate << ", \"seed\": " << opts.seed
+       << ", \"runsPerApp\": " << opts.runsPerApp
+       << ", \"ecc\": " << (opts.ecc ? "true" : "false")
+       << ", \"hard\": " << (opts.includeHard ? "true" : "false")
+       << ", \"kinds\": \"" << mixName(opts.mix) << "\"},\n";
+    os << "  \"runs\": [\n";
+    for (size_t i = 0; i < runs.size(); ++i) {
+        const CampaignRun &run = runs[i];
+        const ResilienceReport &rep = run.report;
+        os << "    {\"app\": \"" << jsonEscape(run.app) << "\""
+           << ", \"seed\": " << run.seed << ", \"class\": \""
+           << runClassName(rep.cls) << "\""
+           << ", \"cycles\": " << rep.cycles
+           << ", \"eventsPlanned\": " << rep.eventsPlanned
+           << ", \"eventsFired\": " << rep.eventsFired
+           << ", \"firedUnprotected\": " << rep.firedUnprotected
+           << ", \"eccCorrected\": " << rep.eccCorrected
+           << ", \"dramCorrected\": " << rep.dramCorrected
+           << ", \"dramRetries\": " << rep.dramRetries
+           << ", \"rollbacks\": " << rep.rollbacks
+           << ", \"restarts\": " << rep.restarts
+           << ", \"remaps\": " << rep.remaps << ", \"unexplainedSdc\": "
+           << (run.unexplainedSdc ? "true" : "false")
+           << ", \"status\": \""
+           << jsonEscape(rep.finalStatus.ok() ? "ok"
+                                              : rep.finalStatus.message())
+           << "\""
+           << ", \"detail\": \"" << jsonEscape(rep.detail) << "\"}"
+           << (i + 1 < runs.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n";
+    os << "  \"summary\": {";
+    for (size_t c = 0; c < byClass.size(); ++c) {
+        os << "\"" << runClassName(static_cast<RunClass>(c))
+           << "\": " << byClass[c] << ", ";
+    }
+    os << "\"unexplainedSdc\": " << unexplainedSdc << "}\n";
+    os << "}\n";
+}
+
+} // namespace plast::resilience

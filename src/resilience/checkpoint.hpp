@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Text round-trip for fabric checkpoints, in the cfgio idiom: a small
+ * line-oriented format so a snapshot can be written to disk, inspected,
+ * and restored in a later process (same FabricConfig required —
+ * `cfghash` is verified by Fabric::restoreCheckpoint).
+ */
+
+#ifndef PLAST_RESILIENCE_CHECKPOINT_HPP
+#define PLAST_RESILIENCE_CHECKPOINT_HPP
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/fabric.hpp"
+
+namespace plast::resilience
+{
+
+/** Serialize a checkpoint as text (always succeeds). */
+void writeCheckpoint(std::ostream &os, const FabricCheckpoint &cp);
+
+/** Parse a checkpoint written by writeCheckpoint(). Returns false and
+ *  fills `err` (when non-null) on a malformed stream. */
+bool readCheckpoint(std::istream &is, FabricCheckpoint &cp,
+                    std::string *err = nullptr);
+
+} // namespace plast::resilience
+
+#endif // PLAST_RESILIENCE_CHECKPOINT_HPP

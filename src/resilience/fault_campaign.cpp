@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Fault-injection campaign driver:
+ *
+ *   fault_campaign --rate 50 --apps all --runs 3 --out campaign.json
+ *
+ * sweeps seeded fault plans over the evaluation benchmarks, recovers
+ * where the machinery allows, prints a per-class tally, and writes the
+ * full JSON report. Exits nonzero iff any run ended in *unexplained*
+ * silent data corruption (wrong output while only ECC-protected state
+ * was upset and ECC was on) — the invariant CI enforces.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "base/logging.hpp"
+#include "resilience/campaign.hpp"
+
+using namespace plast;
+using namespace plast::resilience;
+
+namespace
+{
+
+void
+usage()
+{
+    std::printf(
+        "usage: fault_campaign [options]\n"
+        "  --rate=<r>          fault events per million cycles "
+        "(default 50)\n"
+        "  --apps=<list>       'all' or comma-separated names "
+        "(default all)\n"
+        "  --runs=<n>          fault plans per app (default 3)\n"
+        "  --seed=<s>          base RNG seed (default 1)\n"
+        "  --ecc / --no-ecc    SECDED on scratchpads + DRAM "
+        "(default on)\n"
+        "  --kinds=<mix>       all | protected | datapath "
+        "(default all)\n"
+        "  --hard              allow a hard (stuck-unit) fault per "
+        "plan\n"
+        "  --max-cycles=<n>    per-attempt cycle cap (default derived)\n"
+        "  --out=<path>        write the JSON report (default stdout)\n");
+}
+
+std::string
+flagValue(const char *arg, const char *name)
+{
+    size_t n = std::strlen(name);
+    if (std::strncmp(arg, name, n) == 0 && arg[n] == '=')
+        return arg + n + 1;
+    return "";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    CampaignOptions opts;
+    std::string out_path;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        std::string v;
+        if (!(v = flagValue(arg, "--rate")).empty()) {
+            opts.rate = std::stod(v);
+        } else if (!(v = flagValue(arg, "--apps")).empty()) {
+            if (v != "all") {
+                std::stringstream ss(v);
+                std::string name;
+                while (std::getline(ss, name, ','))
+                    opts.apps.push_back(name);
+            }
+        } else if (!(v = flagValue(arg, "--runs")).empty()) {
+            opts.runsPerApp = std::stoul(v);
+        } else if (!(v = flagValue(arg, "--seed")).empty()) {
+            opts.seed = std::stoull(v);
+        } else if (std::strcmp(arg, "--ecc") == 0) {
+            opts.ecc = true;
+        } else if (std::strcmp(arg, "--no-ecc") == 0) {
+            opts.ecc = false;
+        } else if (!(v = flagValue(arg, "--kinds")).empty()) {
+            if (v == "all")
+                opts.mix = FaultMix::kAll;
+            else if (v == "protected")
+                opts.mix = FaultMix::kProtected;
+            else if (v == "datapath")
+                opts.mix = FaultMix::kDatapath;
+            else
+                fatal("unknown --kinds '%s'", v.c_str());
+        } else if (std::strcmp(arg, "--hard") == 0) {
+            opts.includeHard = true;
+        } else if (!(v = flagValue(arg, "--max-cycles")).empty()) {
+            opts.maxCycles = std::stoull(v);
+        } else if (!(v = flagValue(arg, "--out")).empty()) {
+            out_path = v;
+        } else {
+            usage();
+            return std::strcmp(arg, "--help") == 0 ? 0 : 1;
+        }
+    }
+
+    CampaignResult result = runCampaign(opts);
+
+    std::printf("fault campaign: rate=%.1f/Mcyc ecc=%s hard=%s "
+                "apps=%s runs=%zu\n",
+                opts.rate, opts.ecc ? "on" : "off",
+                opts.includeHard ? "yes" : "no",
+                opts.apps.empty() ? "all" : "selected",
+                result.runs.size());
+    for (size_t c = 0; c < result.byClass.size(); ++c) {
+        if (result.byClass[c]) {
+            std::printf("  %-24s %u\n",
+                        runClassName(static_cast<RunClass>(c)),
+                        result.byClass[c]);
+        }
+    }
+    std::printf("  %-24s %u\n", "unexplained SDC",
+                result.unexplainedSdc);
+
+    if (out_path.empty()) {
+        result.writeJson(std::cout, opts);
+    } else {
+        std::ofstream ofs(out_path);
+        fatal_if(!ofs, "cannot open '%s' for writing",
+                 out_path.c_str());
+        result.writeJson(ofs, opts);
+        std::printf("wrote %s\n", out_path.c_str());
+    }
+
+    return result.unexplainedSdc ? 1 : 0;
+}

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The recovery orchestrator: runs an application under a fault plan
+ * and drives every resilience mechanism in concert — ECC correction
+ * happens inside the fabric, while this layer reacts to *detected*
+ * failures (uncorrectable ECC latches, deadlocks, watchdog/livelock
+ * trips) with checkpoint rollback, full restart, or degraded
+ * re-place-and-route around hard-faulted units. Each run is classified
+ * against a fault-free golden execution of the same inputs:
+ *
+ *   clean      no fault event fired at all
+ *   masked     faults fired but the output is exact with no machinery
+ *              engaged (the upset hit dead state)
+ *   corrected  ECC / DRAM retry absorbed the upsets in place
+ *   recovered  rollback, restart or re-mapping was needed; output exact
+ *   detected-unrecoverable   detected, but the recovery budget ran out
+ *   silent-corruption        completed with wrong output (SDC)
+ *
+ * A rollback re-executes from the newest checkpoint at or before the
+ * corruption cycle; fault events are one-shot, so the replayed region
+ * runs fault-free and re-execution converges. Checkpoints are bound to
+ * a placement, so a re-mapping onto a degraded fabric restarts from
+ * cycle 0 with freshly staged inputs (documented in DESIGN.md).
+ */
+
+#ifndef PLAST_RESILIENCE_RECOVERY_HPP
+#define PLAST_RESILIENCE_RECOVERY_HPP
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "resilience/fault.hpp"
+#include "runtime/runner.hpp"
+
+namespace plast::resilience
+{
+
+struct ResilienceOptions
+{
+    /** Hard cap per attempt; 0 derives ~50x the golden cycle count. */
+    Cycles maxCycles = 0;
+    /** Checkpoint interval; 0 derives ~1/5 of the golden cycle count. */
+    Cycles checkpointEvery = 0;
+    uint32_t keepCheckpoints = 4;
+    /** Watchdog / livelock windows; 0 derives from the golden count. */
+    Cycles watchdogCycles = 0;
+    Cycles livelockCycles = 0;
+    /** Recovery attempts (rollbacks + restarts + remaps) before giving
+     *  up with detected-unrecoverable. */
+    uint32_t maxRecoveries = 4;
+};
+
+enum class RunClass : uint8_t
+{
+    kClean,
+    kMasked,
+    kCorrected,
+    kRecovered,
+    kDetectedUnrecoverable,
+    kSilentCorruption,
+    kCompileError,
+};
+
+const char *runClassName(RunClass c);
+
+struct ResilienceReport
+{
+    RunClass cls = RunClass::kClean;
+    Status finalStatus;
+    Cycles cycles = 0;       ///< completion cycle of the final attempt
+    uint32_t rollbacks = 0;  ///< checkpoint restores
+    uint32_t restarts = 0;   ///< cycle-0 restarts (no usable checkpoint)
+    uint32_t remaps = 0;     ///< degraded re-place-and-route compiles
+    uint32_t eventsPlanned = 0;
+    uint32_t eventsFired = 0;
+    uint32_t firedUnprotected = 0; ///< fired events ECC cannot see
+    uint64_t eccCorrected = 0;     ///< scratchpad single-bit scrubs
+    uint64_t dramCorrected = 0;
+    uint64_t dramRetries = 0;
+    std::string detail; ///< human-readable recovery trail
+
+    /** A silent corruption is *explained* when at least one fired event
+     *  struck state outside the ECC umbrella (or ECC was off — the
+     *  caller knows). An unexplained SDC with ECC on means the
+     *  detection machinery has a hole. */
+    bool explainedSdc() const { return firedUnprotected > 0; }
+};
+
+/** Bit-exact outputs of a fault-free execution. */
+struct GoldenOutputs
+{
+    std::vector<std::deque<Word>> argOuts;
+    std::map<pir::MemId, std::vector<Word>> dram;
+};
+
+class ResilientRunner
+{
+  public:
+    ResilientRunner(pir::Program prog, ArchParams params,
+                    ResilienceOptions opts = {});
+
+    /** Input staging (before runGolden / run). */
+    void setInputs(std::map<pir::MemId, std::vector<Word>> bufs);
+
+    /** Fault-free reference execution: records golden outputs and the
+     *  cycle horizon the recovery thresholds derive from. */
+    Status runGolden();
+    const GoldenOutputs &golden() const { return golden_; }
+    Cycles goldenCycles() const { return goldenCycles_; }
+
+    /** Execute under `plan`, recovering as needed, and classify. */
+    ResilienceReport run(const FaultPlan &plan);
+
+  private:
+    SimOptions simOptions() const;
+    Cycles attemptCap() const;
+    bool matchesGolden(Runner &runner, const Runner::Result &res) const;
+    void harvestCounters(ResilienceReport &rep, const Runner &runner,
+                         const FaultInjector &inj) const;
+
+    pir::Program prog_;
+    ArchParams params_;
+    ResilienceOptions opts_;
+    std::map<pir::MemId, std::vector<Word>> inputs_;
+    GoldenOutputs golden_;
+    Cycles goldenCycles_ = 0;
+    bool haveGolden_ = false;
+};
+
+} // namespace plast::resilience
+
+#endif // PLAST_RESILIENCE_RECOVERY_HPP

@@ -266,6 +266,99 @@ analyzeBottlenecks(const Fabric &fabric)
     return rep;
 }
 
+DeadlockReport
+analyzeDeadlock(const Fabric &fabric)
+{
+    const FabricConfig &cfg = fabric.config();
+    DeadlockReport rep;
+    rep.bottlenecks = analyzeBottlenecks(fabric);
+
+    auto scan = [&](UnitClass cls, const SimUnit *u, uint16_t idx) {
+        if (!u || !u->busy())
+            return;
+        DeadlockReport::WaitingUnit w;
+        w.ref = UnitRef{cls, idx};
+        w.label = labelOf(fabric, w.ref);
+        w.stuck = u->stuck();
+        w.stalledFor = fabric.now() - u->lastProgressAt();
+        rep.waiting.push_back(std::move(w));
+    };
+    for (size_t i = 0; i < cfg.pcus.size(); ++i)
+        scan(UnitClass::kPcu, fabric.pcuPtr(i),
+             static_cast<uint16_t>(i));
+    for (size_t i = 0; i < cfg.pmus.size(); ++i)
+        scan(UnitClass::kPmu, fabric.pmuPtr(i),
+             static_cast<uint16_t>(i));
+    for (size_t i = 0; i < cfg.ags.size(); ++i)
+        scan(UnitClass::kAg, fabric.agPtr(i), static_cast<uint16_t>(i));
+    for (size_t i = 0; i < cfg.boxes.size(); ++i)
+        scan(UnitClass::kBox, fabric.boxPtr(i),
+             static_cast<uint16_t>(i));
+    std::sort(rep.waiting.begin(), rep.waiting.end(),
+              [](const auto &a, const auto &b) {
+                  return a.stalledFor > b.stalledFor;
+              });
+
+    for (const StreamBase *s : fabric.heldStreams())
+        rep.held.push_back({s->name(), s->available()});
+
+    // Diagnosis, most specific cause first.
+    const DeadlockReport::WaitingUnit *frozen = nullptr;
+    for (const auto &w : rep.waiting) {
+        if (w.stuck)
+            frozen = &w;
+    }
+    if (frozen) {
+        rep.verdict = strfmt(
+            "hard-faulted %s is frozen mid-run; %zu downstream unit(s) "
+            "starved",
+            frozen->label.c_str(), rep.waiting.size() - 1);
+    } else if (rep.waiting.empty() && rep.held.empty()) {
+        rep.verdict = "no unit mid-run and no tokens in flight — a "
+                      "start/done control token was lost";
+    } else if (rep.waiting.empty()) {
+        rep.verdict = strfmt(
+            "%zu stream(s) hold undelivered tokens but every unit is "
+            "between runs — a control token was lost or misrouted",
+            rep.held.size());
+    } else {
+        rep.verdict = strfmt(
+            "%s stalled longest (%llu cycles) with %zu stream(s) "
+            "holding tokens — circular or starved dependence",
+            rep.waiting.front().label.c_str(),
+            static_cast<unsigned long long>(
+                rep.waiting.front().stalledFor),
+            rep.held.size());
+    }
+    return rep;
+}
+
+std::string
+DeadlockReport::render() const
+{
+    std::string out =
+        strfmt("Deadlock report (hung at cycle %llu)\n",
+               static_cast<unsigned long long>(bottlenecks.cycles));
+    out += strfmt("Verdict: %s\n", verdict.c_str());
+    if (!waiting.empty()) {
+        out += "Units mid-run:\n";
+        for (const WaitingUnit &w : waiting) {
+            out += strfmt("  %-28s %s stalled %llu cycles\n",
+                          w.label.c_str(),
+                          w.stuck ? "[STUCK]" : "       ",
+                          static_cast<unsigned long long>(w.stalledFor));
+        }
+    }
+    if (!held.empty()) {
+        out += "Streams holding tokens:\n";
+        for (const HeldStream &h : held)
+            out += strfmt("  %-40s %zu element(s)\n", h.name.c_str(),
+                          h.tokens);
+    }
+    out += bottlenecks.render();
+    return out;
+}
+
 std::string
 BottleneckReport::render() const
 {

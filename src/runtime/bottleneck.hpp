@@ -48,6 +48,44 @@ struct BottleneckReport
 /** Analyze a completed run. The fabric must have finished run(). */
 BottleneckReport analyzeBottlenecks(const Fabric &fabric);
 
+/**
+ * Post-mortem for a hung fabric (runChecked returned kDeadlock,
+ * kWatchdog or kLivelock): the full bottleneck ledger plus the wait
+ * structure at the point of death — which units were mid-work and for
+ * how long they had made no progress, which units were frozen by a
+ * hard fault, and which streams still held undelivered tokens.
+ */
+struct DeadlockReport
+{
+    BottleneckReport bottlenecks;
+
+    struct WaitingUnit
+    {
+        UnitRef ref;
+        std::string label;
+        bool stuck = false;   ///< frozen by an injected hard fault
+        Cycles stalledFor = 0; ///< cycles since last forward progress
+    };
+    /** Units that were started but never finished, longest-stalled
+     *  first. Empty when the hang is pre-start (lost start token). */
+    std::vector<WaitingUnit> waiting;
+
+    struct HeldStream
+    {
+        std::string name;
+        size_t tokens = 0; ///< undelivered elements at the hang point
+    };
+    std::vector<HeldStream> held;
+
+    /** One-line diagnosis (stuck unit / starved consumer / lost token). */
+    std::string verdict;
+
+    std::string render() const;
+};
+
+/** Analyze a fabric whose runChecked stopped without completing. */
+DeadlockReport analyzeDeadlock(const Fabric &fabric);
+
 } // namespace plast
 
 #endif // PLAST_RUNTIME_BOTTLENECK_HPP

@@ -19,6 +19,21 @@ Runner::setConfigTweak(std::function<void(FabricConfig &)> tweak)
     configTweak_ = std::move(tweak);
 }
 
+void
+Runner::setUnitMask(compiler::UnitMask mask)
+{
+    panic_if(compiled_, "setUnitMask after compilation");
+    mask_ = std::move(mask);
+}
+
+void
+Runner::setFaultInjector(resilience::FaultInjector *inj)
+{
+    injector_ = inj;
+    if (fabric_)
+        fabric_->armFaults(inj);
+}
+
 std::vector<Word> &
 Runner::dram(MemId id)
 {
@@ -30,27 +45,40 @@ Runner::dram(MemId id)
     return buf;
 }
 
-void
-Runner::ensureCompiled()
+Status
+Runner::tryCompile()
 {
     if (compiled_)
-        return;
-    map_ = compiler::compileProgram(prog_, params_);
-    fatal_if(!map_.report.ok, "compilation of '%s' failed: %s",
-             prog_.name.c_str(), map_.report.error.c_str());
+        return Status();
+    map_ = compiler::compileProgram(prog_, params_, mask_);
+    if (!map_.report.ok) {
+        return Status(StatusCode::kCompileError,
+                      strfmt("compilation of '%s' failed: %s",
+                             prog_.name.c_str(),
+                             map_.report.error.c_str()));
+    }
     if (configTweak_)
         configTweak_(map_.fabric);
     compiled_ = true;
     if (verbose())
         inform("%s: %s", prog_.name.c_str(),
                map_.report.summary(params_).c_str());
+    return Status();
 }
 
-Runner::Result
-Runner::run(Cycles maxCycles)
+void
+Runner::ensureCompiled()
 {
-    ensureCompiled();
+    Status st = tryCompile();
+    fatal_if(!st.ok(), "%s", st.message().c_str());
+}
+
+void
+Runner::buildFabric()
+{
     fabric_ = std::make_unique<Fabric>(map_.fabric, simOpts_);
+    if (injector_)
+        fabric_->armFaults(injector_);
 
     // Load the DRAM image.
     Addr max_extent = 0;
@@ -67,14 +95,51 @@ Runner::run(Cycles maxCycles)
         for (size_t w = 0; w < data.size(); ++w)
             fabric_->dram().writeWord(base + w * 4, data[w]);
     }
+}
 
+void
+Runner::collectResult(Result &out) const
+{
+    fabric_->dumpStats(out.stats);
+    out.argOuts.resize(prog_.numArgOuts);
+    for (uint32_t s = 0; s < prog_.numArgOuts; ++s)
+        out.argOuts[s] = fabric_->argOut(s);
+}
+
+Runner::Result
+Runner::run(Cycles maxCycles)
+{
+    ensureCompiled();
+    buildFabric();
     Result res;
     res.cycles = fabric_->run(maxCycles);
-    fabric_->dumpStats(res.stats);
-    res.argOuts.resize(prog_.numArgOuts);
-    for (uint32_t s = 0; s < prog_.numArgOuts; ++s)
-        res.argOuts[s] = fabric_->argOut(s);
+    collectResult(res);
     return res;
+}
+
+Status
+Runner::tryRun(Result &out, Cycles maxCycles)
+{
+    Status st = tryCompile();
+    if (!st.ok())
+        return st;
+    buildFabric();
+    RunResult rr = fabric_->runChecked(maxCycles);
+    out.cycles = rr.cycles;
+    collectResult(out);
+    return rr.status;
+}
+
+Status
+Runner::tryRunValidated(Result &out, Cycles maxCycles)
+{
+    Status st = tryRun(out, maxCycles);
+    if (!st.ok())
+        return st;
+    Evaluator ev = runReference();
+    counts_ = ev.counts();
+    haveCounts_ = true;
+    return compareWithReference(ev, out);
 }
 
 std::vector<Word>
@@ -111,29 +176,31 @@ Runner::referenceCounts()
     return counts_;
 }
 
-Runner::Result
-Runner::runValidated(Cycles maxCycles)
+Status
+Runner::compareWithReference(const Evaluator &ev, const Result &res) const
 {
-    Evaluator ev = runReference();
-    counts_ = ev.counts();
-    haveCounts_ = true;
-    Result res = run(maxCycles);
-
     // argOut streams must match exactly (the evaluator is
     // wavefront-faithful, so float folds are bit-identical).
     for (uint32_t s = 0; s < prog_.numArgOuts; ++s) {
         const auto &want = ev.argOuts(static_cast<int32_t>(s));
         const auto &got = res.argOuts[s];
-        fatal_if(want.size() != got.size(),
-                 "%s argOut[%u]: expected %zu values, fabric produced "
-                 "%zu",
-                 prog_.name.c_str(), s, want.size(), got.size());
+        if (want.size() != got.size()) {
+            return Status(
+                StatusCode::kMismatch,
+                strfmt("%s argOut[%u]: expected %zu values, fabric "
+                       "produced %zu",
+                       prog_.name.c_str(), s, want.size(), got.size()));
+        }
         for (size_t i = 0; i < want.size(); ++i) {
-            fatal_if(want[i] != got[i],
-                     "%s argOut[%u][%zu]: expected 0x%08x (%f) got "
-                     "0x%08x (%f)",
-                     prog_.name.c_str(), s, i, want[i],
-                     wordToFloat(want[i]), got[i], wordToFloat(got[i]));
+            if (want[i] != got[i]) {
+                return Status(
+                    StatusCode::kMismatch,
+                    strfmt("%s argOut[%u][%zu]: expected 0x%08x (%f) "
+                           "got 0x%08x (%f)",
+                           prog_.name.c_str(), s, i, want[i],
+                           wordToFloat(want[i]), got[i],
+                           wordToFloat(got[i])));
+            }
         }
     }
 
@@ -145,14 +212,30 @@ Runner::runValidated(Cycles maxCycles)
         const auto &want = ev.dramBuf(mid);
         std::vector<Word> got = readDram(mid);
         for (size_t w = 0; w < want.size(); ++w) {
-            fatal_if(want[w] != got[w],
-                     "%s dram '%s'[%zu]: expected 0x%08x (%f) got "
-                     "0x%08x (%f)",
-                     prog_.name.c_str(), prog_.mems[m].name.c_str(), w,
-                     want[w], wordToFloat(want[w]), got[w],
-                     wordToFloat(got[w]));
+            if (want[w] != got[w]) {
+                return Status(
+                    StatusCode::kMismatch,
+                    strfmt("%s dram '%s'[%zu]: expected 0x%08x (%f) "
+                           "got 0x%08x (%f)",
+                           prog_.name.c_str(),
+                           prog_.mems[m].name.c_str(), w, want[w],
+                           wordToFloat(want[w]), got[w],
+                           wordToFloat(got[w])));
+            }
         }
     }
+    return Status();
+}
+
+Runner::Result
+Runner::runValidated(Cycles maxCycles)
+{
+    Evaluator ev = runReference();
+    counts_ = ev.counts();
+    haveCounts_ = true;
+    Result res = run(maxCycles);
+    Status st = compareWithReference(ev, res);
+    fatal_if(!st.ok(), "%s", st.message().c_str());
     return res;
 }
 

@@ -48,6 +48,26 @@ class Runner
     /** Compile (once) and run the cycle simulator. */
     Result run(Cycles maxCycles = 500'000'000);
 
+    // ---- non-fatal variants ------------------------------------------
+    // The fatal APIs above remain for tests and tools where dying with
+    // a message is the right behavior; the try* family returns a typed
+    // Status instead so callers (fault campaigns, fuzzers, recovery)
+    // can observe compile errors, deadlocks, watchdog/livelock trips,
+    // uncorrectable ECC errors and validation mismatches as data.
+
+    /** Compile (once); kCompileError instead of fatal on failure. */
+    Status tryCompile();
+    /** Compile + run; failures come back as a Status. `out` carries
+     *  stats and partial argOuts even when the run failed. */
+    Status tryRun(Result &out, Cycles maxCycles = 500'000'000);
+    /** tryRun plus bit-exact comparison against the reference
+     *  evaluator; a divergence is kMismatch. */
+    Status tryRunValidated(Result &out, Cycles maxCycles = 500'000'000);
+    /** Compare a fabric result with a finished reference evaluation
+     *  (argOut streams and output DRAM buffers, bit for bit). */
+    Status compareWithReference(const pir::Evaluator &ev,
+                                const Result &res) const;
+
     /** Run the reference evaluator on the same inputs. */
     pir::Evaluator runReference() const;
 
@@ -78,13 +98,42 @@ class Runner
      */
     void setConfigTweak(std::function<void(FabricConfig &)> tweak);
 
+    // ---- resilience plumbing -----------------------------------------
+    /** Compile with faulted physical units masked out of placement.
+     *  Must be called before compilation. */
+    void setUnitMask(compiler::UnitMask mask);
+    /** Fault injector armed on every fabric the runner builds (and
+     *  installed as the DRAM fault hook). */
+    void setFaultInjector(resilience::FaultInjector *inj);
+    /** The full compile result (placement, DRAM layout). */
+    const compiler::MapResult &mapResult() const { return map_; }
+    /** Staged host input buffers (reusable across runners, e.g. when
+     *  recovery recompiles onto a degraded fabric). */
+    const std::map<pir::MemId, std::vector<Word>> &hostBuffers() const
+    {
+        return host_;
+    }
+    void setHostBuffers(std::map<pir::MemId, std::vector<Word>> bufs)
+    {
+        host_ = std::move(bufs);
+    }
+    /** Mutable fabric access for checkpoint/rollback orchestration. */
+    Fabric *mutableFabric() { return fabric_.get(); }
+    /** Harvest stats and argOuts from the finished (or failed) run —
+     *  public so recovery can re-harvest after a direct rollback. */
+    void collectResult(Result &out) const;
+
   private:
     void ensureCompiled();
+    /** Instantiate the fabric and load the DRAM image. */
+    void buildFabric();
 
     pir::Program prog_;
     ArchParams params_;
     SimOptions simOpts_;
     bool compiled_ = false;
+    compiler::UnitMask mask_;
+    resilience::FaultInjector *injector_ = nullptr;
     compiler::MapResult map_;
     std::map<pir::MemId, std::vector<Word>> host_;
     std::unique_ptr<Fabric> fabric_;

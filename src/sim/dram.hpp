@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "arch/params.hpp"
+#include "base/stateio.hpp"
 #include "base/types.hpp"
 
 namespace plast
@@ -27,6 +28,15 @@ struct DramReq
     Addr lineAddr = 0; ///< burst-aligned byte address
     bool write = false;
     uint64_t tag = 0;
+
+    template <class Ar>
+    void
+    serializeState(Ar &ar)
+    {
+        io(ar, lineAddr);
+        io(ar, write);
+        io(ar, tag);
+    }
 };
 
 /** One DDR channel. */
@@ -56,17 +66,49 @@ class DramChannel
     };
     const Stats &stats() const { return stats_; }
 
+    template <class Ar>
+    void
+    serializeState(Ar &ar)
+    {
+        io(ar, queue_);
+        io(ar, banks_);
+        io(ar, busFreeAt_);
+        io(ar, responses_);
+        io(ar, stats_.reads);
+        io(ar, stats_.writes);
+        io(ar, stats_.rowHits);
+        io(ar, stats_.rowMisses);
+        io(ar, stats_.rowConflicts);
+        io(ar, stats_.busBusyCycles);
+    }
+
   private:
     struct Bank
     {
         int64_t openRow = -1;
         Cycles readyAt = 0;
+
+        template <class Ar>
+        void
+        serializeState(Ar &ar)
+        {
+            io(ar, openRow);
+            io(ar, readyAt);
+        }
     };
 
     struct Pending
     {
-        Cycles readyAt;
+        Cycles readyAt = 0;
         DramReq req;
+
+        template <class Ar>
+        void
+        serializeState(Ar &ar)
+        {
+            io(ar, readyAt);
+            io(ar, req);
+        }
     };
 
     void rowOf(Addr lineAddr, uint32_t &bank, int64_t &row) const;
@@ -104,6 +146,15 @@ class DramModel
     Word readWord(Addr byteAddr) const;
     void writeWord(Addr byteAddr, Word w);
     Addr sizeBytes() const { return image_.size() * sizeof(Word); }
+
+    template <class Ar>
+    void
+    serializeState(Ar &ar)
+    {
+        for (DramChannel &c : channels_)
+            c.serializeState(ar);
+        io(ar, image_);
+    }
 
   private:
     DramParams params_;

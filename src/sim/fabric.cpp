@@ -1,8 +1,12 @@
 #include "sim/fabric.hpp"
 
+#include <algorithm>
 #include <cstdio>
+#include <functional>
 
+#include "arch/cfgio.hpp"
 #include "base/logging.hpp"
+#include "resilience/fault.hpp"
 
 namespace plast
 {
@@ -43,6 +47,20 @@ Fabric::Fabric(const FabricConfig &cfg, SimOptions opts)
                              : nullptr);
     }
     argOuts_.resize(cfg_.hostArgOuts);
+
+    // SECDED ECC on the scratchpads is an architecture parameter, not a
+    // per-PMU choice: enable it fabric-wide when configured.
+    if (cfg_.params.pmu.ecc) {
+        for (auto &u : pmus_) {
+            if (u)
+                u->scratch().enableEcc(true);
+        }
+    }
+
+    // Checkpoints are only exchangeable between fabrics built from the
+    // identical configuration (same placement, same routes); hash the
+    // canonical text form as the compatibility guard.
+    cfgHash_ = std::hash<std::string>{}(configToText(cfg_));
 
     buildChannels();
 
@@ -306,6 +324,11 @@ Fabric::buildChannels()
 void
 Fabric::step()
 {
+    // Fault events land at the cycle boundary, before any unit
+    // evaluates, so an injected flip is visible to every reader of this
+    // cycle in both modes (dense/activity parity).
+    if (injector_)
+        applyDueFaults();
     if (opts_.mode == SimOptions::Mode::kDense)
         stepDense();
     else
@@ -396,32 +419,58 @@ Fabric::anyProgress() const
 Cycles
 Fabric::run(Cycles maxCycles)
 {
-    return opts_.mode == SimOptions::Mode::kDense
-               ? runDense(maxCycles)
-               : runActivity(maxCycles);
+    RunResult r = runChecked(maxCycles);
+    if (!r.status.ok()) {
+        if (r.status.code() != StatusCode::kMaxCycles)
+            dumpDeadlock();
+        fatal("%s", r.status.message().c_str());
+    }
+    return r.cycles;
 }
 
-Cycles
-Fabric::runDense(Cycles maxCycles)
+RunResult
+Fabric::runChecked(Cycles maxCycles)
+{
+    return opts_.mode == SimOptions::Mode::kDense
+               ? runDenseChecked(maxCycles)
+               : runActivityChecked(maxCycles);
+}
+
+RunResult
+Fabric::runDenseChecked(Cycles maxCycles)
 {
     CtrlBoxSim *root = boxes_.at(cfg_.rootBox).get();
     fatal_if(!root, "root controller not instantiated");
 
     Cycles last_progress = now_;
     while (root->runsCompleted() == 0) {
+        maybeAutoCheckpoint();
         step();
         if (anyProgress())
             last_progress = now_;
-        if (now_ - last_progress > opts_.deadlockWindow) {
-            dumpDeadlock();
-            fatal("fabric deadlock: no progress for %u cycles at cycle "
-                  "%llu",
-                  opts_.deadlockWindow,
-                  static_cast<unsigned long long>(now_));
+        if (injector_) {
+            Status ecc = checkUncorrectable();
+            if (!ecc.ok())
+                return {ecc, now_, eccCorruptedAt()};
+        }
+        Status hang = scanHangs(*root);
+        if (!hang.ok())
+            return {hang, now_, kNeverCycle};
+        if (now_ - last_progress > opts_.deadlockWindow &&
+            (!injector_ || injector_->nextDue(now_) == kNeverCycle)) {
+            return {Status(StatusCode::kDeadlock,
+                           strfmt("fabric deadlock: no progress for %u "
+                                  "cycles at cycle %llu",
+                                  opts_.deadlockWindow,
+                                  static_cast<unsigned long long>(now_))),
+                    now_, kNeverCycle};
         }
         if (now_ >= maxCycles)
-            fatal("fabric exceeded max cycles (%llu)",
-                  static_cast<unsigned long long>(maxCycles));
+            return {Status(StatusCode::kMaxCycles,
+                           strfmt("fabric exceeded max cycles (%llu)",
+                                  static_cast<unsigned long long>(
+                                      maxCycles))),
+                    now_, kNeverCycle};
     }
     Cycles done_at = now_;
     // Drain in-flight writes and host-bound scalars: run until nothing
@@ -434,11 +483,11 @@ Fabric::runDense(Cycles maxCycles)
         if (anyProgress())
             quiet_since = now_;
     }
-    return done_at;
+    return {Status(), done_at, kNeverCycle};
 }
 
-Cycles
-Fabric::runActivity(Cycles maxCycles)
+RunResult
+Fabric::runActivityChecked(Cycles maxCycles)
 {
     CtrlBoxSim *root = boxes_.at(cfg_.rootBox).get();
     fatal_if(!root, "root controller not instantiated");
@@ -447,22 +496,50 @@ Fabric::runActivity(Cycles maxCycles)
         if (sched_.idle()) {
             // Nothing can ever happen again: no runnable unit, quiet
             // memory, no stream traffic, no pending arrival. This is
-            // the deadlock condition, detected the cycle it forms.
-            dumpDeadlock();
-            fatal("fabric deadlock: empty active set at cycle %llu",
-                  static_cast<unsigned long long>(now_));
-        }
-        if (sched_.canFastForward()) {
+            // the deadlock condition, detected the cycle it forms —
+            // unless a future clock-triggered fault event could still
+            // perturb the fabric, in which case jump straight to it.
+            Cycles nd =
+                injector_ ? injector_->nextDue(now_) : kNeverCycle;
+            if (nd == kNeverCycle) {
+                return {Status(StatusCode::kDeadlock,
+                               strfmt("fabric deadlock: empty active "
+                                      "set at cycle %llu",
+                                      static_cast<unsigned long long>(
+                                          now_))),
+                        now_, kNeverCycle};
+            }
+            now_ = nd < maxCycles ? nd : maxCycles;
+        } else if (sched_.canFastForward()) {
             // The only pending work is a future stream arrival; every
             // skipped cycle would have been a no-op under dense ticking.
+            // Pending fault events bound the jump so injections land on
+            // their exact cycle.
             Cycles target = sched_.nextEventCycle();
+            if (injector_) {
+                Cycles nd = injector_->nextDue(now_);
+                if (nd < target)
+                    target = nd;
+            }
             if (target > now_)
                 now_ = target < maxCycles ? target : maxCycles;
         }
+        maybeAutoCheckpoint();
         step();
+        if (injector_) {
+            Status ecc = checkUncorrectable();
+            if (!ecc.ok())
+                return {ecc, now_, eccCorruptedAt()};
+        }
+        Status hang = scanHangs(*root);
+        if (!hang.ok())
+            return {hang, now_, kNeverCycle};
         if (now_ >= maxCycles)
-            fatal("fabric exceeded max cycles (%llu)",
-                  static_cast<unsigned long long>(maxCycles));
+            return {Status(StatusCode::kMaxCycles,
+                           strfmt("fabric exceeded max cycles (%llu)",
+                                  static_cast<unsigned long long>(
+                                      maxCycles))),
+                    now_, kNeverCycle};
     }
     Cycles done_at = now_;
     // Same drain policy as dense mode, cycle for cycle — no idle break
@@ -476,7 +553,7 @@ Fabric::runActivity(Cycles maxCycles)
         if (sched_.progressLastCycle())
             quiet_since = now_;
     }
-    return done_at;
+    return {Status(), done_at, kNeverCycle};
 }
 
 void
@@ -531,6 +608,225 @@ const std::deque<Word> &
 Fabric::argOut(uint32_t slot) const
 {
     return argOuts_.at(slot);
+}
+
+// --------------------------------------------------------------------
+// Resilience: fault delivery, hang detection, checkpoint/restore
+// --------------------------------------------------------------------
+
+void
+Fabric::armFaults(resilience::FaultInjector *inj)
+{
+    injector_ = inj;
+    mem_.setFaultHook(inj);
+}
+
+void
+Fabric::applyDueFaults()
+{
+    using resilience::FaultKind;
+    for (const resilience::FaultEvent &e : injector_->collectDue(now_)) {
+        switch (e.kind) {
+          case FaultKind::kPcuRegFlip:
+            if (PcuSim *u = pcus_.at(e.unit % pcus_.size()).get())
+                u->injectRegFlip(e.reg, e.lane, e.bit);
+            break;
+          case FaultKind::kPmuScratchFlip:
+            if (PmuSim *u = pmus_.at(e.unit % pmus_.size()).get())
+                u->scratch().injectFault(e.buf, e.addr, e.bits, e.bit,
+                                         now_);
+            break;
+          case FaultKind::kCtrlTokenDrop:
+          case FaultKind::kCtrlTokenDup: {
+            if (controlStreams_.empty())
+                break;
+            ControlStream *s =
+                controlStreams_[e.unit % controlStreams_.size()].get();
+            bool did = e.kind == FaultKind::kCtrlTokenDrop
+                           ? s->injectDrop()
+                           : s->injectDuplicate();
+            // The mutation bypasses commit(), so route the wakes it
+            // would have produced: a drop frees producer space, a dup
+            // gives the consumer a poppable token.
+            if (did && opts_.mode == SimOptions::Mode::kActivity) {
+                if (s->producer())
+                    sched_.wakeUnit(s->producer());
+                if (s->consumer())
+                    sched_.wakeUnit(s->consumer());
+                sched_.streamDirty(s);
+            }
+            break;
+          }
+          case FaultKind::kPcuStuck:
+            if (PcuSim *u = pcus_.at(e.unit % pcus_.size()).get())
+                u->setStuck(true);
+            break;
+          case FaultKind::kPmuStuck:
+            if (PmuSim *u = pmus_.at(e.unit % pmus_.size()).get())
+                u->setStuck(true);
+            break;
+          default:
+            break;
+        }
+    }
+}
+
+void
+Fabric::maybeAutoCheckpoint()
+{
+    if (opts_.checkpointEvery == 0 || now_ < nextCheckpointAt_)
+        return;
+    ckptRing_.push_back(saveCheckpoint());
+    while (ckptRing_.size() > std::max<uint32_t>(1, opts_.keepCheckpoints))
+        ckptRing_.pop_front();
+    nextCheckpointAt_ = now_ + opts_.checkpointEvery;
+}
+
+Status
+Fabric::scanHangs(const CtrlBoxSim &root)
+{
+    if (opts_.watchdogCycles == 0 && opts_.livelockCycles == 0)
+        return Status();
+    if (now_ < nextHangScanAt_)
+        return Status();
+    Cycles window = kNeverCycle;
+    if (opts_.watchdogCycles)
+        window = std::min(window, opts_.watchdogCycles);
+    if (opts_.livelockCycles)
+        window = std::min(window, opts_.livelockCycles);
+    nextHangScanAt_ = now_ + std::max<Cycles>(64, window / 8);
+
+    Status st;
+    if (opts_.watchdogCycles) {
+        auto scan = [&](const auto &units) {
+            for (const auto &u : units) {
+                if (!u || !st.ok() || !u->busy())
+                    continue;
+                if (now_ - u->lastProgressAt() > opts_.watchdogCycles) {
+                    st = Status(
+                        StatusCode::kWatchdog,
+                        strfmt("watchdog: unit %s made no progress for "
+                               "%llu cycles (cycle %llu)",
+                               u->name().c_str(),
+                               static_cast<unsigned long long>(
+                                   now_ - u->lastProgressAt()),
+                               static_cast<unsigned long long>(now_)));
+                }
+            }
+        };
+        scan(pcus_);
+        scan(pmus_);
+        scan(ags_);
+        scan(boxes_);
+    }
+    if (st.ok() && opts_.livelockCycles) {
+        uint64_t iters = root.stats().iterations + root.stats().runs;
+        if (iters != lastRootIters_) {
+            lastRootIters_ = iters;
+            lastRootProgressAt_ = now_;
+        } else if (now_ - lastRootProgressAt_ > opts_.livelockCycles) {
+            st = Status(
+                StatusCode::kLivelock,
+                strfmt("livelock: root controller stuck at %llu "
+                       "iterations for %llu cycles (cycle %llu)",
+                       static_cast<unsigned long long>(iters),
+                       static_cast<unsigned long long>(
+                           now_ - lastRootProgressAt_),
+                       static_cast<unsigned long long>(now_)));
+        }
+    }
+    return st;
+}
+
+Cycles
+Fabric::eccCorruptedAt() const
+{
+    Cycles at = kNeverCycle;
+    for (const auto &u : pmus_) {
+        if (u && u->scratch().eccUncorrectable())
+            at = std::min(at, u->scratch().eccCorruptedAt());
+    }
+    return at;
+}
+
+Status
+Fabric::checkUncorrectable() const
+{
+    Cycles at = eccCorruptedAt();
+    if (at == kNeverCycle)
+        return Status();
+    return Status(StatusCode::kUncorrectable,
+                  strfmt("uncorrectable ECC error in a PMU scratchpad "
+                         "(corrupted at cycle %llu, detected at %llu)",
+                         static_cast<unsigned long long>(at),
+                         static_cast<unsigned long long>(now_)));
+}
+
+std::vector<const StreamBase *>
+Fabric::heldStreams() const
+{
+    std::vector<const StreamBase *> held;
+    auto collect = [&held](const auto &streams) {
+        for (const auto &s : streams) {
+            if (!s->quiescent())
+                held.push_back(s.get());
+        }
+    };
+    collect(scalarStreams_);
+    collect(vectorStreams_);
+    collect(controlStreams_);
+    return held;
+}
+
+FabricCheckpoint
+Fabric::saveCheckpoint()
+{
+    FabricCheckpoint cp;
+    cp.cycle = now_;
+    cp.cfgHash = cfgHash_;
+    StateWriter w;
+    serializeFabricState(w);
+    cp.tape = w.takeTape();
+    return cp;
+}
+
+Status
+Fabric::restoreCheckpoint(const FabricCheckpoint &cp)
+{
+    if (cp.cfgHash != cfgHash_) {
+        return Status(StatusCode::kInvalidArgument,
+                      "checkpoint was taken from a differently "
+                      "configured fabric");
+    }
+    StateReader r(cp.tape);
+    serializeFabricState(r);
+    if (r.failed() || !r.exhausted()) {
+        return Status(StatusCode::kInternal,
+                      strfmt("checkpoint tape mismatch (%s at word %zu "
+                             "of %zu)",
+                             r.failed() ? "underflow" : "leftover",
+                             r.position(), cp.tape.size()));
+    }
+    now_ = cp.cycle;
+    // ECC poison is part of the scratchpad tape, but the uncorrectable
+    // latch must not survive a rollback — the whole point of restoring
+    // is to re-execute past the corruption.
+    for (auto &u : pmus_) {
+        if (u)
+            u->scratch().clearEccError();
+    }
+    // Checkpoints "newer" than the restore point are from an abandoned
+    // timeline; drop them and re-anchor the periodic snapshot clock.
+    while (!ckptRing_.empty() && ckptRing_.back().cycle > cp.cycle)
+        ckptRing_.pop_back();
+    if (opts_.checkpointEvery)
+        nextCheckpointAt_ = now_ + opts_.checkpointEvery;
+    nextHangScanAt_ = 0;
+    lastRootIters_ = 0;
+    lastRootProgressAt_ = now_;
+    if (opts_.mode == SimOptions::Mode::kActivity)
+        sched_.rearmAll();
+    return Status();
 }
 
 uint64_t

@@ -14,7 +14,10 @@
 #include <vector>
 
 #include "arch/config.hpp"
+#include "base/logging.hpp"
+#include "base/stateio.hpp"
 #include "base/stats.hpp"
+#include "base/status.hpp"
 #include "base/trace.hpp"
 #include "sim/ctrlbox.hpp"
 #include "sim/memsys.hpp"
@@ -24,6 +27,11 @@
 
 namespace plast
 {
+
+namespace resilience
+{
+class FaultInjector;
+}
 
 /** Simulation-loop options (mode and window tuning). */
 struct SimOptions
@@ -43,6 +51,46 @@ struct SimOptions
     Cycles drainMaxCycles = 100'000;
     /** Event tracing and utilization sampling (off by default). */
     TraceOptions trace;
+
+    // ---- resilience knobs (all off by default) -----------------------
+    /** Periodic checkpoint interval during runChecked (0 = off). The
+     *  fabric keeps a ring of `keepCheckpoints` snapshots for rollback. */
+    Cycles checkpointEvery = 0;
+    /** Checkpoints retained in the rollback ring. */
+    uint32_t keepCheckpoints = 2;
+    /** Watchdog: runChecked reports kWatchdog when some busy unit has
+     *  made no progress for this many cycles (0 = off). Catches hangs
+     *  that still have background activity (e.g. a credit loop spinning
+     *  while a stuck unit starves its consumers). */
+    Cycles watchdogCycles = 0;
+    /** Livelock: runChecked reports kLivelock when the root controller
+     *  completes no iteration for this many cycles while the fabric is
+     *  still active (0 = off). */
+    Cycles livelockCycles = 0;
+};
+
+/**
+ * A cycle-exact fabric snapshot: the full architectural state as a flat
+ * word tape (see base/stateio.hpp). Valid only for a fabric built from
+ * the identical FabricConfig — `cfgHash` guards against mixing
+ * placements. Restoring into a fresh or a running fabric resumes
+ * bit-identically from `cycle`.
+ */
+struct FabricCheckpoint
+{
+    Cycles cycle = 0;
+    uint64_t cfgHash = 0;
+    std::vector<uint64_t> tape;
+};
+
+/** Outcome of a non-fatal run (Fabric::runChecked). */
+struct RunResult
+{
+    Status status;    ///< ok, or why the run stopped early
+    Cycles cycles = 0; ///< completion cycle (valid when status.ok())
+    /** Earliest known corruption cycle when status is kUncorrectable
+     *  (rollback must restart at or before this point). */
+    Cycles corruptedAt = kNeverCycle;
 };
 
 class Fabric
@@ -62,9 +110,43 @@ class Fabric
      */
     Cycles run(Cycles maxCycles = 500'000'000);
 
+    /**
+     * Non-fatal variant of run(): instead of fatal()ing, deadlock,
+     * watchdog/livelock trips, ECC-uncorrectable latches and the
+     * max-cycle cap come back as a typed Status. This is the entry
+     * point the resilience layer drives; run() is a thin wrapper that
+     * preserves the historical fatal messages.
+     */
+    RunResult runChecked(Cycles maxCycles = 500'000'000);
+
     /** Step a single cycle (tests drive this directly). Both modes
      *  produce bit-identical per-cycle architectural state. */
     void step();
+
+    // ---- resilience --------------------------------------------------
+    /** Snapshot the complete architectural state. Only legal at a cycle
+     *  boundary (between step() calls), which is the only place the
+     *  run loops call it. */
+    FabricCheckpoint saveCheckpoint();
+    /** Restore a snapshot taken from an identically configured fabric.
+     *  Rolls the clock back to cp.cycle, drops ring checkpoints that
+     *  are now in the future, and re-arms the scheduler. */
+    Status restoreCheckpoint(const FabricCheckpoint &cp);
+    /** The rollback ring filled by runChecked when
+     *  SimOptions::checkpointEvery is set (oldest first). */
+    const std::deque<FabricCheckpoint> &autoCheckpoints() const
+    {
+        return ckptRing_;
+    }
+    /** Attach (or detach with nullptr) a fault injector: clock-
+     *  triggered events are applied at cycle boundaries, DRAM events
+     *  through the memory system's fault hook. */
+    void armFaults(resilience::FaultInjector *inj);
+    /** Earliest ECC-uncorrectable corruption cycle across all PMU
+     *  scratchpads (kNeverCycle when clean). */
+    Cycles eccCorruptedAt() const;
+    /** Streams still holding poppable elements (deadlock analysis). */
+    std::vector<const StreamBase *> heldStreams() const;
 
     Cycles now() const { return now_; }
 
@@ -112,9 +194,66 @@ class Fabric
     void stepDense();
     void stepActivity();
     void drainHostSinks();
-    Cycles runDense(Cycles maxCycles);
-    Cycles runActivity(Cycles maxCycles);
+    RunResult runDenseChecked(Cycles maxCycles);
+    RunResult runActivityChecked(Cycles maxCycles);
     void dumpDeadlock() const;
+
+    // ---- resilience internals ----------------------------------------
+    void applyDueFaults();
+    void maybeAutoCheckpoint();
+    /** Periodic watchdog / livelock scan; non-ok on a tripped timer. */
+    Status scanHangs(const CtrlBoxSim &root);
+    /** Non-ok when some PMU scratchpad latched an uncorrectable ECC
+     *  error (fills RunResult::corruptedAt). */
+    Status checkUncorrectable() const;
+
+    /**
+     * The complete architectural state, visited in a fixed order:
+     * units in registration (= dense tick) order, then the memory
+     * system, then every stream, then host-visible argOuts. The
+     * scheduler's transient bookkeeping is deliberately excluded —
+     * restoreCheckpoint() re-arms it wholesale (Scheduler::rearmAll).
+     * Tracing/epoch observability state is not checkpointed either.
+     */
+    template <class Ar>
+    void
+    serializeFabricState(Ar &ar)
+    {
+        for (auto &u : pcus_) {
+            if (u)
+                u->serializeState(ar);
+        }
+        for (auto &u : pmus_) {
+            if (u)
+                u->serializeState(ar);
+        }
+        for (auto &u : ags_) {
+            if (u)
+                u->serializeState(ar);
+        }
+        for (auto &u : boxes_) {
+            if (u)
+                u->serializeState(ar);
+        }
+        auto agIndexOf = [this](const AgSim *ag) -> uint64_t {
+            for (size_t i = 0; i < ags_.size(); ++i) {
+                if (ags_[i].get() == ag)
+                    return i;
+            }
+            panic("checkpoint: waiter references unknown AG");
+        };
+        auto agPtrOf = [this](uint64_t i) -> AgSim * {
+            return ags_.at(i).get();
+        };
+        mem_.serializeState(ar, agIndexOf, agPtrOf);
+        for (auto &s : scalarStreams_)
+            s->serializeState(ar);
+        for (auto &s : vectorStreams_)
+            s->serializeState(ar);
+        for (auto &s : controlStreams_)
+            s->serializeState(ar);
+        io(ar, argOuts_);
+    }
 
     FabricConfig cfg_;
     SimOptions opts_;
@@ -159,6 +298,15 @@ class Fabric
 
     void classSums(std::array<uint64_t, kNumCycleClasses> &by,
                    uint64_t &dramBusy) const;
+
+    // ---- resilience state --------------------------------------------
+    uint64_t cfgHash_ = 0; ///< hash of the config text (checkpoint guard)
+    resilience::FaultInjector *injector_ = nullptr;
+    std::deque<FabricCheckpoint> ckptRing_;
+    Cycles nextCheckpointAt_ = 0;
+    Cycles nextHangScanAt_ = 0;
+    uint64_t lastRootIters_ = 0;     ///< livelock: last observed progress
+    Cycles lastRootProgressAt_ = 0;
 
     Cycles now_ = 0;
 };

@@ -515,6 +515,8 @@ MemSystem::step(Cycles now)
             continue;
         uint64_t id = c.issueQueue.front();
         Burst &b = bursts_.at(id);
+        if (b.notBefore > now)
+            continue; // error-retry backoff window still open
         DramChannel &ch = dram_.channel(dram_.channelOf(b.lineAddr));
         if (!ch.canSubmit())
             continue;
@@ -532,18 +534,57 @@ MemSystem::step(Cycles now)
         auto it = bursts_.find(req.tag);
         panic_if(it == bursts_.end(), "DRAM completed unknown burst");
         Burst &b = it->second;
+
+        // Consult the fault model on read responses. Write data rides
+        // the command path (CRC-protected, committed at submit), so
+        // only read bursts can return corrupted.
+        uint32_t corruptWord = ~0u, corruptBit = 0;
+        if (faultHook_ && !b.write) {
+            MemFaultHook::BurstFault f =
+                faultHook_->onBurstResponse(b.lineAddr, now);
+            switch (f.action) {
+              case MemFaultHook::BurstAction::kClean:
+                break;
+              case MemFaultHook::BurstAction::kCorrected:
+                ++stats_.dramCorrected;
+                break;
+              case MemFaultHook::BurstAction::kCorrupt:
+                corruptWord = (f.bit / 32) % (kBurstBytes / 4);
+                corruptBit = f.bit % 32;
+                break;
+              case MemFaultHook::BurstAction::kRetry: {
+                // Detected-uncorrectable response: drop the data and
+                // re-issue the burst after an exponential backoff.
+                ++stats_.dramRetries;
+                b.issued = false;
+                b.notBefore =
+                    now + (Cycles{params_.dram.tBurst} << std::min(
+                                                            b.retries, 8u));
+                ++b.retries;
+                cus_.at(b.cu).issueQueue.push_back(req.tag);
+                continue;
+              }
+            }
+        }
+        const Addr corruptByte =
+            b.lineAddr + static_cast<Addr>(corruptWord) * 4;
+
         for (const Waiter &w : b.waiters) {
             if (b.write) {
                 w.ag->ackWrite(w.cmdId, w.wordCount);
             } else if (w.sparse) {
-                w.ag->deliverLane(w.cmdId, w.lane,
-                                  dram_.readWord(w.byteAddr));
+                Word data = dram_.readWord(w.byteAddr);
+                if (corruptWord != ~0u && w.byteAddr == corruptByte)
+                    data ^= Word{1} << corruptBit;
+                w.ag->deliverLane(w.cmdId, w.lane, data);
             } else {
                 std::vector<Word> buf(w.wordCount);
-                for (uint32_t i = 0; i < w.wordCount; ++i)
-                    buf[i] =
-                        dram_.readWord(w.lineOffset +
-                                       static_cast<Addr>(i) * 4);
+                for (uint32_t i = 0; i < w.wordCount; ++i) {
+                    Addr a = w.lineOffset + static_cast<Addr>(i) * 4;
+                    buf[i] = dram_.readWord(a);
+                    if (corruptWord != ~0u && a == corruptByte)
+                        buf[i] ^= Word{1} << corruptBit;
+                }
                 w.ag->deliverWords(w.cmdId, w.wordOffset, buf.data(),
                                    w.wordCount);
             }

@@ -16,6 +16,7 @@
 
 #include "arch/config.hpp"
 #include "arch/params.hpp"
+#include "base/stateio.hpp"
 #include "sim/dram.hpp"
 #include "sim/unitcommon.hpp"
 
@@ -23,6 +24,35 @@ namespace plast
 {
 
 class MemSystem;
+
+/**
+ * Fault-model hook consulted once per completed DRAM *read* burst
+ * (writes are protected by the command/CRC path and committed at submit
+ * time). The resilience library implements this; the default is no
+ * hook, i.e. a fault-free memory system.
+ */
+class MemFaultHook
+{
+  public:
+    virtual ~MemFaultHook() = default;
+
+    enum class BurstAction : uint8_t
+    {
+        kClean,     ///< deliver as read
+        kCorrected, ///< single-bit upset, fixed by DRAM ECC; count it
+        kRetry,     ///< uncorrectable response; re-issue the burst
+        kCorrupt,   ///< undetected upset: flip a bit in the delivered data
+    };
+
+    struct BurstFault
+    {
+        BurstAction action = BurstAction::kClean;
+        /** kCorrupt: which bit of the 512-bit burst payload flips. */
+        uint32_t bit = 0;
+    };
+
+    virtual BurstFault onBurstResponse(Addr lineAddr, Cycles now) = 0;
+};
 
 /** One Address Generator. */
 class AgSim : public SimUnit
@@ -52,28 +82,77 @@ class AgSim : public SimUnit
     const std::string &name() const { return cfg_.name; }
     const AgCfg &cfg() const { return cfg_; }
 
+    template <class Ar>
+    void
+    serializeState(Ar &ar)
+    {
+        serializeUnitBase(ar);
+        io(ar, state_);
+        io(ar, selfStarted_);
+        io(ar, chain_);
+        io(ar, fill_);
+        io(ar, nextCmdId_);
+        io(ar, dense_);
+        io(ar, sparse_);
+        io(ar, sparsePendingMask_);
+        io(ar, sparsePendingId_);
+        io(ar, sparsePendingAddrs_);
+        io(ar, sparsePendingData_);
+        io(ar, sparsePendingWrite_);
+        io(ar, outstandingWrites_);
+        io(ar, runStart_);
+        io(ar, stats_.runs);
+        io(ar, stats_.denseCmds);
+        io(ar, stats_.sparseVecs);
+        io(ar, stats_.wordsLoaded);
+        io(ar, stats_.wordsStored);
+    }
+
   private:
     enum class State { kIdle, kRunning, kDrainOut };
 
     /** A dense command awaiting response data / write acks. */
     struct DenseCmd
     {
-        uint64_t id;
-        uint32_t words;
+        uint64_t id = 0;
+        uint32_t words = 0;
         uint32_t received = 0;
         uint32_t pushed = 0;
         Cycles issuedAt = 0;
         std::vector<Word> data;
+
+        template <class Ar>
+        void
+        serializeState(Ar &ar)
+        {
+            io(ar, id);
+            io(ar, words);
+            io(ar, received);
+            io(ar, pushed);
+            io(ar, issuedAt);
+            io(ar, data);
+        }
     };
 
     /** A gather/scatter vector in flight. */
     struct SparseCmd
     {
-        uint64_t id;
+        uint64_t id = 0;
         Vec data;          ///< gathered words / scatter payload
         uint32_t mask = 0; ///< lanes requested
         uint32_t remaining = 0;
         Cycles issuedAt = 0;
+
+        template <class Ar>
+        void
+        serializeState(Ar &ar)
+        {
+            io(ar, id);
+            io(ar, data);
+            io(ar, mask);
+            io(ar, remaining);
+            io(ar, issuedAt);
+        }
     };
 
     bool tryStart(Cycles now);
@@ -154,8 +233,27 @@ class MemSystem : public SimObject
         uint64_t coalescedLanes = 0; ///< sparse lanes merged into a burst
         uint64_t denseCmds = 0, sparseCmds = 0;
         uint64_t bytesRead = 0, bytesWritten = 0;
+        uint64_t dramCorrected = 0;  ///< single-bit upsets fixed by ECC
+        uint64_t dramRetries = 0;    ///< bursts re-issued after an error
+
+        template <class Ar>
+        void
+        serializeState(Ar &ar)
+        {
+            io(ar, bursts);
+            io(ar, coalescedLanes);
+            io(ar, denseCmds);
+            io(ar, sparseCmds);
+            io(ar, bytesRead);
+            io(ar, bytesWritten);
+            io(ar, dramCorrected);
+            io(ar, dramRetries);
+        }
     };
     const Stats &stats() const { return stats_; }
+
+    /** Install (or clear) the DRAM response fault model. */
+    void setFaultHook(MemFaultHook *hook) { faultHook_ = hook; }
 
     /** One trace track per coalescing unit (burst intervals plus the
      *  outstanding-burst counter live there). */
@@ -179,12 +277,14 @@ class MemSystem : public SimObject
 
     struct Burst
     {
-        Addr lineAddr;
-        bool write;
+        Addr lineAddr = 0;
+        bool write = false;
         bool issued = false;
         std::vector<Waiter> waiters;
         uint32_t cu = 0;
-        Cycles issuedAt = 0; ///< cycle submitted to the DRAM channel
+        Cycles issuedAt = 0;   ///< cycle submitted to the DRAM channel
+        uint32_t retries = 0;  ///< error retries so far
+        Cycles notBefore = 0;  ///< backoff: earliest re-issue cycle
     };
 
     struct CuState
@@ -207,6 +307,85 @@ class MemSystem : public SimObject
     std::vector<uint16_t> cuTracks_;     ///< empty when tracing is off
     std::vector<uint32_t> lastOutstanding_;
     Stats stats_;
+    MemFaultHook *faultHook_ = nullptr;
+
+  public:
+    /**
+     * Checkpoint the memory system. Waiters hold AgSim pointers, so the
+     * caller (the fabric) provides the pointer <-> index mapping:
+     * `agIndexOf(AgSim*) -> uint64_t` and `agPtrOf(uint64_t) -> AgSim*`.
+     */
+    template <class Ar, class AgToIdx, class IdxToAg>
+    void
+    serializeState(Ar &ar, AgToIdx agIndexOf, IdxToAg agPtrOf)
+    {
+        for (CuState &c : cus_)
+        {
+            io(ar, c.acceptedThisCycle);
+            io(ar, c.outstanding);
+            io(ar, c.mergeTable);
+            io(ar, c.issueQueue);
+        }
+        uint64_t n = bursts_.size();
+        io(ar, n);
+        if constexpr (!Ar::kSaving)
+            bursts_.clear();
+        if constexpr (Ar::kSaving)
+        {
+            for (auto &kv : bursts_)
+            {
+                uint64_t id = kv.first;
+                io(ar, id);
+                serializeBurst(ar, kv.second, agIndexOf, agPtrOf);
+            }
+        }
+        else
+        {
+            for (uint64_t i = 0; i < n; ++i)
+            {
+                uint64_t id = 0;
+                io(ar, id);
+                serializeBurst(ar, bursts_[id], agIndexOf, agPtrOf);
+            }
+        }
+        io(ar, nextBurst_);
+        io(ar, stats_);
+        dram_.serializeState(ar);
+    }
+
+  private:
+    template <class Ar, class AgToIdx, class IdxToAg>
+    void
+    serializeBurst(Ar &ar, Burst &b, AgToIdx agIndexOf, IdxToAg agPtrOf)
+    {
+        io(ar, b.lineAddr);
+        io(ar, b.write);
+        io(ar, b.issued);
+        io(ar, b.cu);
+        io(ar, b.issuedAt);
+        io(ar, b.retries);
+        io(ar, b.notBefore);
+        uint64_t n = b.waiters.size();
+        io(ar, n);
+        if constexpr (!Ar::kSaving)
+            b.waiters.resize(n);
+        for (Waiter &w : b.waiters)
+        {
+            uint64_t agIdx = 0;
+            if constexpr (Ar::kSaving)
+                agIdx = agIndexOf(w.ag);
+            io(ar, agIdx);
+            if constexpr (!Ar::kSaving)
+                w.ag = agPtrOf(agIdx);
+            io(ar, w.cmdId);
+            io(ar, w.sparse);
+            io(ar, w.lane);
+            io(ar, w.byteAddr);
+            io(ar, w.wordOffset);
+            io(ar, w.wordCount);
+            io(ar, w.lineOffset);
+        }
+    }
 };
 
 } // namespace plast

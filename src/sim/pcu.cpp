@@ -382,4 +382,24 @@ PcuSim::finishRun(Cycles now)
     return true;
 }
 
+bool
+PcuSim::injectRegFlip(uint32_t reg, uint32_t lane, uint32_t bit)
+{
+    if (lanes_ == 0)
+        return false;
+    reg %= kMaxRegs;
+    lane %= lanes_;
+    bit %= 32;
+    // Target the oldest occupied pipeline latch: that wavefront's
+    // registers have the most downstream consumers left.
+    for (size_t s = pipe_.size(); s-- > 0;)
+    {
+        if (!pipe_[s].has_value())
+            continue;
+        pipe_[s]->regs[reg][lane] ^= Word{1} << bit;
+        return true;
+    }
+    return false;
+}
+
 } // namespace plast

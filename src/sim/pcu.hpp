@@ -39,6 +39,34 @@ class PcuSim : public SimUnit
     const Stats &stats() const { return stats_; }
     const std::string &name() const { return cfg_.name; }
 
+    /**
+     * Fault injection: flip bit `bit` of pipeline register `reg` in
+     * lane `lane` of the oldest in-flight wavefront. Returns false when
+     * the pipeline is empty (the upset lands in an unused latch and is
+     * architecturally masked).
+     */
+    bool injectRegFlip(uint32_t reg, uint32_t lane, uint32_t bit);
+
+    template <class Ar>
+    void
+    serializeState(Ar &ar)
+    {
+        serializeUnitBase(ar);
+        io(ar, state_);
+        io(ar, selfStarted_);
+        io(ar, chain_);
+        io(ar, pipe_);
+        io(ar, acc_);
+        io(ar, coalesceBuf_);
+        io(ar, coalesceCount_);
+        io(ar, flushedCoalesce_);
+        io(ar, runStart_);
+        io(ar, retiredWf_);
+        io(ar, stats_.runs);
+        io(ar, stats_.wavefronts);
+        io(ar, stats_.laneOps);
+    }
+
   private:
     enum class State { kIdle, kRunning, kDraining };
 

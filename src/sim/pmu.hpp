@@ -51,6 +51,25 @@ class PmuSim : public SimUnit
 
     /** Test access to storage (checked against references in tests). */
     const Scratchpad &scratch() const { return scratch_; }
+    /** Mutable access for ECC control and fault injection. */
+    Scratchpad &scratch() { return scratch_; }
+
+    template <class Ar>
+    void
+    serializeState(Ar &ar)
+    {
+        serializeUnitBase(ar);
+        io(ar, scratch_);
+        write_.serializeState(ar);
+        write2_.serializeState(ar);
+        read_.serializeState(ar);
+        io(ar, stats_.writeRuns);
+        io(ar, stats_.readRuns);
+        io(ar, stats_.reads);
+        io(ar, stats_.writes);
+        io(ar, stats_.wordsRead);
+        io(ar, stats_.wordsWritten);
+    }
 
   private:
     /** Runtime state of one access port. */
@@ -69,6 +88,21 @@ class PmuSim : public SimUnit
         uint16_t track = 0;      ///< trace track of this port
         Cycles runStart = 0;     ///< cycle this run's tokens fired
         std::vector<uint8_t> scalarRefs;
+
+        template <class Ar>
+        void
+        serializeState(Ar &ar)
+        {
+            io(ar, state);
+            io(ar, selfStarted);
+            io(ar, chain);
+            io(ar, fill);
+            io(ar, busy);
+            io(ar, bufIdx);
+            io(ar, runCount);
+            io(ar, appendCursor);
+            io(ar, runStart);
+        }
     };
 
     bool stepPort(Port &port, Cycles now);

@@ -14,6 +14,7 @@ Scheduler::addUnit(SimObject *u)
     u->seq_ = nextSeq_++;
     u->inRun_ = true;
     run_.push_back(u);
+    allUnits_.push_back(u);
 }
 
 void
@@ -29,6 +30,29 @@ Scheduler::addStream(StreamBase *s)
 {
     s->sched_ = this;
     s->seq_ = nextSeq_++;
+    allStreams_.push_back(s);
+}
+
+void
+Scheduler::rearmAll()
+{
+    for (SimObject *u : allUnits_)
+        u->wakeQueued_ = false;
+    wakePending_.clear();
+    run_ = allUnits_; // registration order == seq order
+    for (SimObject *u : run_)
+        u->inRun_ = true;
+    dirty_.clear();
+    timers_.clear();
+    for (StreamBase *s : allStreams_)
+    {
+        s->inDirty_ = false;
+        s->armedAt_ = kNeverCycle;
+        streamDirty(s);
+    }
+    // The memory phase polls itself back to quiescence.
+    memBusy_ = mem_ != nullptr;
+    memWork_ = false;
 }
 
 void

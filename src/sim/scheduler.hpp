@@ -85,6 +85,17 @@ class Scheduler
     /** Awake-unit count (diagnostics). */
     size_t awakeUnits() const { return run_.size(); }
 
+    /**
+     * Re-arm everything after a checkpoint restore or a fault
+     * injection: every unit re-enters the active set and every stream
+     * is queued for commit (re-arming its own arrival timer). Waking a
+     * unit that is architecturally blocked is a no-op by construction
+     * (it evaluates once, reports kBlocked and sleeps again), so this
+     * is always safe — it trades a few evaluations for not having to
+     * checkpoint the scheduler's transient bookkeeping at all.
+     */
+    void rearmAll();
+
     /** Attach the fabric's trace sink: sleep/wake instants land on each
      *  unit's own track, the active-set counter on `ownTrack`. */
     void
@@ -101,6 +112,8 @@ class Scheduler
     uint32_t nextSeq_ = 0;
     std::vector<SimObject *> run_;         ///< awake units, seq-sorted
     std::vector<SimObject *> wakePending_; ///< wakes for next cycle
+    std::vector<SimObject *> allUnits_;    ///< every registered unit
+    std::vector<StreamBase *> allStreams_; ///< every registered stream
     SimObject *mem_ = nullptr;
     bool memBusy_ = false; ///< memory phase polls while non-quiescent
     bool memWork_ = false; ///< memory phase forced this cycle

@@ -37,7 +37,30 @@ Scratchpad::read(uint32_t buf, uint32_t addr) const
     panic_if(addr >= cfg_.sizeWords,
              "scratchpad read addr %u out of range (%u words)", addr,
              cfg_.sizeWords);
-    return data_[static_cast<size_t>(buf) * cfg_.sizeWords + addr];
+    size_t flat = static_cast<size_t>(buf) * cfg_.sizeWords + addr;
+    if (ecc_ && !poison_.empty())
+    {
+        auto it = poison_.find(static_cast<uint32_t>(flat));
+        if (it != poison_.end())
+        {
+            if (it->second.bits == 1)
+            {
+                // SECDED corrects the single-bit upset and the
+                // controller scrubs the word back to the array.
+                ++eccStats_.corrected;
+                poison_.erase(it);
+            }
+            else
+            {
+                ++eccStats_.uncorrectable;
+                uncorrectable_ = true;
+                corruptedAt_ =
+                    std::min(corruptedAt_, it->second.injectedAt);
+                poison_.erase(it);
+            }
+        }
+    }
+    return data_[flat];
 }
 
 void
@@ -48,7 +71,39 @@ Scratchpad::write(uint32_t buf, uint32_t addr, Word w)
     panic_if(addr >= cfg_.sizeWords,
              "scratchpad write addr %u out of range (%u words)", addr,
              cfg_.sizeWords);
-    data_[static_cast<size_t>(buf) * cfg_.sizeWords + addr] = w;
+    size_t flat = static_cast<size_t>(buf) * cfg_.sizeWords + addr;
+    // A write regenerates the check bits, clearing any pending upset.
+    if (!poison_.empty())
+        poison_.erase(static_cast<uint32_t>(flat));
+    data_[flat] = w;
+}
+
+bool
+Scratchpad::injectFault(uint32_t buf, uint32_t addr, uint32_t bits,
+                        uint32_t bitPos, Cycles now)
+{
+    if (cfg_.mode == BankingMode::kFifo || bits == 0)
+        return false;
+    addr = wrap(addr);
+    if (buf >= cfg_.numBufs || addr >= cfg_.sizeWords)
+        return false;
+    size_t flat = static_cast<size_t>(buf) * cfg_.sizeWords + addr;
+    if (ecc_)
+    {
+        // Correction restores the original word, so the data array is
+        // left untouched; only the poison ledger records the upset.
+        Poison &p = poison_[static_cast<uint32_t>(flat)];
+        p.bits += bits;
+        p.injectedAt = p.bits == bits ? now : std::min(p.injectedAt, now);
+    }
+    else
+    {
+        Word mask = 0;
+        for (uint32_t i = 0; i < bits && i < 32; ++i)
+            mask |= Word{1} << ((bitPos + i) % 32);
+        data_[flat] ^= mask;
+    }
+    return true;
 }
 
 uint32_t

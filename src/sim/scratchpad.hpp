@@ -10,9 +10,11 @@
 #define PLAST_SIM_SCRATCHPAD_HPP
 
 #include <deque>
+#include <map>
 #include <vector>
 
 #include "arch/config.hpp"
+#include "base/stateio.hpp"
 #include "base/types.hpp"
 
 namespace plast
@@ -52,6 +54,65 @@ class Scratchpad
         return static_cast<uint64_t>(cfg_.numBufs) * cfg_.sizeWords * 4;
     }
 
+    // ---- SECDED ECC model & fault injection --------------------------
+    //
+    // Check bits are not stored; instead each upset is tracked in a
+    // poison ledger keyed by flat word address. With ECC enabled a
+    // single-bit upset is corrected (and the word scrubbed) on the next
+    // read, while a multi-bit upset latches `eccUncorrectable`. With
+    // ECC disabled the stored word is corrupted in place — the upset
+    // propagates into results (potential silent data corruption).
+
+    void enableEcc(bool on) { ecc_ = on; }
+    bool eccEnabled() const { return ecc_; }
+
+    /**
+     * Flip `bits` adjacent bits (starting at `bitPos`, wrapping within
+     * the word) of buffer `buf`, word `addr` at cycle `now`. Returns
+     * false when the location is not injectable (FIFO mode or out of
+     * range).
+     */
+    bool injectFault(uint32_t buf, uint32_t addr, uint32_t bits,
+                     uint32_t bitPos, Cycles now);
+
+    struct EccStats
+    {
+        uint64_t corrected = 0;      ///< single-bit upsets scrubbed
+        uint64_t uncorrectable = 0;  ///< multi-bit upsets detected
+
+        template <class Ar>
+        void
+        serializeState(Ar &ar)
+        {
+            io(ar, corrected);
+            io(ar, uncorrectable);
+        }
+    };
+
+    const EccStats &eccStats() const { return eccStats_; }
+    /** A detected-uncorrectable error is pending (ECC on, >=2 bits). */
+    bool eccUncorrectable() const { return uncorrectable_; }
+    /** Cycle the earliest still-unrecovered upset was injected. */
+    Cycles eccCorruptedAt() const { return corruptedAt_; }
+    void
+    clearEccError()
+    {
+        uncorrectable_ = false;
+        corruptedAt_ = ~Cycles{0};
+    }
+
+    template <class Ar>
+    void
+    serializeState(Ar &ar)
+    {
+        io(ar, data_);
+        io(ar, fifo_);
+        io(ar, poison_);
+        io(ar, eccStats_);
+        io(ar, uncorrectable_);
+        io(ar, corruptedAt_);
+    }
+
   private:
     uint32_t
     wrap(uint32_t addr) const
@@ -61,10 +122,31 @@ class Scratchpad
                    : addr;
     }
 
+    struct Poison
+    {
+        uint32_t bits = 0;        ///< number of upset bits in the word
+        Cycles injectedAt = 0;
+
+        template <class Ar>
+        void
+        serializeState(Ar &ar)
+        {
+            io(ar, bits);
+            io(ar, injectedAt);
+        }
+    };
+
     ScratchCfg cfg_;
     uint32_t banks_ = 16;
     std::vector<Word> data_;
     std::deque<Vec> fifo_;
+    bool ecc_ = false;
+    // Mutable: reads perform ECC decode (scrub / detect) as a side
+    // effect, and read() is const for normal datapath callers.
+    mutable std::map<uint32_t, Poison> poison_;
+    mutable EccStats eccStats_;
+    mutable bool uncorrectable_ = false;
+    mutable Cycles corruptedAt_ = ~Cycles{0};
 };
 
 } // namespace plast

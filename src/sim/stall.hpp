@@ -97,6 +97,16 @@ struct CycleAcct
             t += by[i] + sleptBy[i];
         return t;
     }
+
+    template <class Ar>
+    void
+    serializeState(Ar &ar)
+    {
+        io(ar, stepped);
+        io(ar, slept);
+        io(ar, by);
+        io(ar, sleptBy);
+    }
 };
 
 } // namespace plast

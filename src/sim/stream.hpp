@@ -29,6 +29,7 @@
 #include <string>
 
 #include "base/logging.hpp"
+#include "base/stateio.hpp"
 #include "base/types.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/simobject.hpp"
@@ -40,6 +41,13 @@ namespace plast
 struct Token
 {
 };
+
+/** Tokens carry no payload — nothing on the checkpoint tape. */
+template <class Ar>
+void
+io(Ar &, Token &)
+{
+}
 
 /** Untyped stream interface: endpoint binding, statistics, and the
  *  scheduler bookkeeping shared by all element types. */
@@ -64,6 +72,16 @@ class StreamBase : public SimObject
         /** Total element-cycles spent stalled behind a full receiver
          *  FIFO (cycles delivered past the unobstructed arrival). */
         uint64_t fullStallCycles = 0;
+
+        template <class Ar>
+        void
+        serializeState(Ar &ar)
+        {
+            io(ar, pushes);
+            io(ar, pops);
+            io(ar, peakOccupancy);
+            io(ar, fullStallCycles);
+        }
     };
     const Stats &stats() const { return stats_; }
 
@@ -216,11 +234,75 @@ class Stream : public StreamBase
         return inFlight_.empty() && queue_.empty() && stagedPushes_ == 0;
     }
 
+    /**
+     * Fault injection: silently lose one element (a switch-register
+     * upset swallowing a token). Prefers the delivered queue. Returns
+     * false when the stream is empty.
+     */
+    bool
+    injectDrop()
+    {
+        if (!queue_.empty())
+        {
+            queue_.pop_front();
+            return true;
+        }
+        if (!inFlight_.empty())
+        {
+            inFlight_.pop_front();
+            return true;
+        }
+        return false;
+    }
+
+    /** Fault injection: replay (duplicate) the head element. */
+    bool
+    injectDuplicate()
+    {
+        if (!queue_.empty() && queue_.size() < capacity_)
+        {
+            queue_.push_back(queue_.front());
+            return true;
+        }
+        if (!inFlight_.empty())
+        {
+            inFlight_.push_back(inFlight_.back());
+            return true;
+        }
+        return false;
+    }
+
+    /**
+     * Checkpoint the stream. Only legal at a cycle boundary, where
+     * staged traffic is provably empty (every push/pop commits in the
+     * same cycle it was staged).
+     */
+    template <class Ar>
+    void
+    serializeState(Ar &ar)
+    {
+        panic_if(stagedPushes_ != 0 || stagedPops_ != 0 ||
+                     !pushBuf_.empty(),
+                 "stream %s: checkpoint with staged traffic",
+                 name_.c_str());
+        io(ar, inFlight_);
+        io(ar, queue_);
+        io(ar, stats_);
+    }
+
   private:
     struct InFlight
     {
         Cycles arrival;
         T value;
+
+        template <class Ar>
+        void
+        serializeState(Ar &ar)
+        {
+            io(ar, arrival);
+            io(ar, value);
+        }
     };
 
     std::deque<InFlight> inFlight_;

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "arch/config.hpp"
+#include "base/stateio.hpp"
 #include "sim/ports.hpp"
 #include "sim/simobject.hpp"
 #include "sim/stall.hpp"
@@ -86,6 +87,16 @@ class SimUnit : public SimObject
         class_ = CycleClass::kIdle;
         classSet_ = false;
         classForced_ = false;
+        if (stuck_) {
+            // Hard-faulted unit: architecturally frozen. Inputs pile up
+            // behind it and downstream consumers starve, which is what
+            // the watchdog / deadlock detectors then observe.
+            progress_ = false;
+            ++acct_.stepped;
+            ++acct_.by[static_cast<size_t>(CycleClass::kIdle)];
+            lastClass_ = CycleClass::kIdle;
+            return Activity::kBlocked;
+        }
         step(now);
         ++acct_.stepped;
         CycleClass c = classForced_ ? class_
@@ -93,7 +104,35 @@ class SimUnit : public SimObject
                                    : class_;
         ++acct_.by[static_cast<size_t>(c)];
         lastClass_ = c;
+        if (progress_)
+            lastProgressAt_ = now;
         return progress_ ? Activity::kActive : Activity::kBlocked;
+    }
+
+    /** Hard-fault a unit: it stops evaluating its state machine. */
+    void setStuck(bool s) { stuck_ = s; }
+    bool stuck() const { return stuck_; }
+
+    /** Cycle of the most recent progress-making evaluation (0 before
+     *  the first); the control watchdogs compare this against `now`. */
+    Cycles lastProgressAt() const { return lastProgressAt_; }
+
+    /**
+     * Checkpoint the state shared by every unit class: the input-port
+     * pop phases and the accounting ledger. Derived classes call this
+     * from their serializeState() before their own fields.
+     */
+    template <class Ar>
+    void
+    serializeUnitBase(Ar &ar)
+    {
+        for (ScalarInPort &p : ports.scalIn)
+            io(ar, p.popCount);
+        io(ar, acct_);
+        io(ar, lastEval_);
+        io(ar, lastClass_);
+        io(ar, progress_);
+        io(ar, lastProgressAt_);
     }
 
   protected:
@@ -128,6 +167,8 @@ class SimUnit : public SimObject
     CycleClass class_ = CycleClass::kIdle;
     bool classSet_ = false;
     bool classForced_ = false;
+    bool stuck_ = false;
+    Cycles lastProgressAt_ = 0;
 };
 
 /** True when every token input listed in the control config has a token.

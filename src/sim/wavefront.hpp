@@ -13,6 +13,7 @@
 
 #include "arch/config.hpp"
 #include "base/logging.hpp"
+#include "base/stateio.hpp"
 #include "base/types.hpp"
 
 namespace plast
@@ -62,6 +63,21 @@ struct Wavefront
             return ctr[idx] + static_cast<int64_t>(lane) * vecStep;
         return ctr[idx];
     }
+
+    template <class Ar>
+    void
+    serializeState(Ar &ar)
+    {
+        io(ar, regs);
+        io(ar, mask);
+        io(ar, ctr);
+        io(ar, vecStep);
+        io(ar, vecCtr);
+        io(ar, firstLevels);
+        io(ar, lastLevels);
+        io(ar, vecIn);
+        io(ar, issuedAt);
+    }
 };
 
 /**
@@ -101,6 +117,18 @@ class ChainState
      * values, per-level first/last flags, lane validity) and advance.
      */
     void issueInto(Wavefront &wf);
+
+    /** Checkpoint the run-position state (cfg_/lanes_ are rebuilt from
+     *  the FabricConfig and never serialized). */
+    template <class Ar>
+    void
+    serializeState(Ar &ar)
+    {
+        io(ar, cur_);
+        io(ar, bounds_);
+        io(ar, done_);
+        io(ar, oneshotFired_);
+    }
 
   private:
     int64_t

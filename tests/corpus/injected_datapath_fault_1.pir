@@ -1,0 +1,75 @@
+# detail: ref vs fabric dram 'out1'[42]: 0xbffad57c (-1.959640) vs 0xbffa557c (-1.955734)
+# fuzz_pir reproducer (replay with: fuzz_pir --replay <file>)
+arch 16 8 6 8 16 2 16 6 6 34
+inject 3
+# pir seed file (see src/pir/serialize.hpp)
+pir 1
+program fuzz
+argouts 3
+args 0
+mems 7
+mem 0 128 0 1 -1 iin0
+mem 1 128 3 1 -1 if0
+mem 0 96 0 1 -1 fin1
+mem 0 96 0 1 -1 out1
+mem 1 32 0 1 -1 tin1
+mem 1 32 0 1 -1 tout1
+mem 1 48 0 1 -1 is2
+ctrs 10
+ctr 0 1 1 -1 -1 -1 1 0 w0
+ctr 0 1 128 -1 -1 -1 1 1 n0
+ctr 0 1 0 -1 1 0 1 1 d0
+ctr 0 1 1 -1 -1 -1 1 0 w1
+ctr 0 1 3 -1 -1 -1 1 0 t1
+ctr 0 1 16 -1 -1 -1 1 1 j1
+ctr 0 1 1 -1 -1 -1 1 0 w2
+ctr 0 1 16 -1 -1 -1 1 1 p2
+ctr 0 1 1 -1 -1 -1 1 0 k2
+ctr 0 1 16 -1 -1 -1 1 1 c2
+exprs 21
+expr 2 0x0 -1 1 0 -1 -1 -1 -1 -1 -1 -1
+expr 0 0x960 -1 -1 0 -1 -1 -1 -1 -1 -1 -1
+expr 5 0x0 -1 -1 0 -1 -1 -1 -1 -1 0 -1
+expr 3 0x0 -1 -1 18 2 1 -1 -1 -1 -1 -1
+expr 2 0x0 -1 2 0 -1 -1 -1 -1 -1 -1 -1
+expr 4 0x0 -1 -1 0 -1 -1 -1 1 4 -1 -1
+expr 0 0x20 -1 -1 0 -1 -1 -1 -1 -1 -1 -1
+expr 2 0x0 -1 4 0 -1 -1 -1 -1 -1 -1 -1
+expr 3 0x0 -1 -1 3 7 6 -1 -1 -1 -1 -1
+expr 2 0x0 -1 5 0 -1 -1 -1 -1 -1 -1 -1
+expr 4 0x0 -1 -1 0 -1 -1 -1 4 9 -1 -1
+expr 3 0x0 -1 -1 26 10 10 -1 -1 -1 -1 -1
+expr 2 0x0 -1 5 0 -1 -1 -1 -1 -1 -1 -1
+expr 0 0x57 -1 -1 0 -1 -1 -1 -1 -1 -1 -1
+expr 2 0x0 -1 7 0 -1 -1 -1 -1 -1 -1 -1
+expr 3 0x0 -1 -1 9 14 13 -1 -1 -1 -1 -1
+expr 2 0x0 -1 7 0 -1 -1 -1 -1 -1 -1 -1
+expr 2 0x0 -1 8 0 -1 -1 -1 -1 -1 -1 -1
+expr 4 0x0 -1 -1 0 -1 -1 -1 6 17 -1 -1
+expr 2 0x0 -1 9 0 -1 -1 -1 -1 -1 -1 -1
+expr 3 0x0 -1 -1 1 18 19 -1 -1 -1 -1 -1
+nodes 5
+node 0 -1 root
+outer 0 0 ctrs 0 children 2 1 2
+node 1 0 sel0
+leafctrs 1 1
+streamins 1 0 0
+scalarins 0
+sinks 1
+sink 2 0 1 -1 0 21 21 -1 1 -1 -1 0 -1 3 0 -1 -1 -1
+node 0 0 tiles1
+outer 0 0 ctrs 1 4 children 2 3 4
+node 2 2 load1
+xfer 1 0 2 4 8 1 32 -1 0 32 -1 -1 -1 1
+node 2 2 store1
+xfer 0 0 3 5 8 1 32 -1 0 32 -1 -1 -1 1
+root 0
+end
+#
+# controller tree:
+#   program fuzz
+#     root [sequential]
+#       compute sel0 (1 ctrs, 1 sinks)
+#       tiles1 [sequential t1]
+#         tile load1 fin1<->tin1
+#         tile store1 out1<->tout1

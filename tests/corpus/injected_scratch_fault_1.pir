@@ -1,0 +1,49 @@
+# detail: ref vs fabric dram 'out0'[0]: 0xffffdd83 (-nan) vs 0x0000dd83 (0.000000)
+# fuzz_pir reproducer (replay with: fuzz_pir --replay <file>)
+arch 16 6 8 16 16 4 32 3 6 34
+inject 2
+# pir seed file (see src/pir/serialize.hpp)
+pir 1
+program fuzz
+argouts 0
+args 0
+mems 4
+mem 0 144 0 1 -1 iin0
+mem 0 144 0 1 -1 out0
+mem 1 48 0 1 -1 tin0
+mem 1 48 0 1 -1 tout0
+ctrs 3
+ctr 0 1 1 -1 -1 -1 1 0 w0
+ctr 0 1 3 -1 -1 -1 1 0 t0
+ctr 0 1 16 -1 -1 -1 1 1 j0
+exprs 8
+expr 0 0x30 -1 -1 0 -1 -1 -1 -1 -1 -1 -1
+expr 2 0x0 -1 1 0 -1 -1 -1 -1 -1 -1 -1
+expr 3 0x0 -1 -1 3 1 0 -1 -1 -1 -1 -1
+expr 2 0x0 -1 2 0 -1 -1 -1 -1 -1 -1 -1
+expr 4 0x0 -1 -1 0 -1 -1 -1 2 3 -1 -1
+expr 0 0x6fb9 -1 -1 0 -1 -1 -1 -1 -1 -1 -1
+expr 3 0x0 -1 -1 2 4 5 -1 -1 -1 -1 -1
+expr 2 0x0 -1 2 0 -1 -1 -1 -1 -1 -1 -1
+nodes 4
+node 0 -1 root
+outer 0 0 ctrs 0 children 1 1
+node 0 0 tiles0
+outer 0 0 ctrs 1 1 children 2 2 3
+node 1 1 map0
+leafctrs 1 2
+streamins 0
+scalarins 0
+sinks 1
+sink 0 4 3 7 0 21 21 -1 1 -1 -1 0 -1 -1 -1 -1 -1 -1
+node 2 1 store0
+xfer 0 0 1 3 2 1 48 -1 0 48 -1 -1 -1 1
+root 0
+end
+#
+# controller tree:
+#   program fuzz
+#     root [sequential]
+#       tiles0 [sequential t0]
+#         compute map0 (1 ctrs, 1 sinks)
+#         tile store0 out0<->tout0

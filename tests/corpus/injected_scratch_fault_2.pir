@@ -1,0 +1,52 @@
+# detail: ref vs fabric dram 'out0'[0]: 0xbfc67d5c (-1.550701) vs 0xbfc77d5c (-1.558513)
+# fuzz_pir reproducer (replay with: fuzz_pir --replay <file>)
+arch 12 6 8 8 8 2 16 3 8 16
+inject 2
+# pir seed file (see src/pir/serialize.hpp)
+pir 1
+program fuzz
+argouts 0
+args 0
+mems 4
+mem 0 32 0 1 -1 fin0
+mem 0 32 0 1 -1 out0
+mem 1 32 0 2 -1 tin0
+mem 1 32 0 2 -1 tout0
+ctrs 3
+ctr 0 1 1 -1 -1 -1 1 0 w0
+ctr 0 1 1 -1 -1 -1 1 0 t0
+ctr 0 1 16 -1 -1 -1 1 1 j0
+exprs 8
+expr 0 0x20 -1 -1 0 -1 -1 -1 -1 -1 -1 -1
+expr 2 0x0 -1 1 0 -1 -1 -1 -1 -1 -1 -1
+expr 3 0x0 -1 -1 3 1 0 -1 -1 -1 -1 -1
+expr 2 0x0 -1 2 0 -1 -1 -1 -1 -1 -1 -1
+expr 4 0x0 -1 -1 0 -1 -1 -1 2 3 -1 -1
+expr 0 0xbf7d8a54 -1 -1 0 -1 -1 -1 -1 -1 -1 -1
+expr 3 0x0 -1 -1 25 4 5 -1 -1 -1 -1 -1
+expr 2 0x0 -1 2 0 -1 -1 -1 -1 -1 -1 -1
+nodes 5
+node 0 -1 root
+outer 0 0 ctrs 0 children 1 1
+node 0 0 tiles0
+outer 0 0 ctrs 1 1 children 3 2 3 4
+node 2 1 load0
+xfer 1 0 0 2 2 1 32 -1 0 32 -1 -1 -1 1
+node 1 1 map0
+leafctrs 1 2
+streamins 0
+scalarins 0
+sinks 1
+sink 0 4 3 7 0 21 21 -1 1 -1 -1 0 -1 -1 -1 -1 -1 -1
+node 2 1 store0
+xfer 0 0 1 3 2 1 32 -1 0 32 -1 -1 -1 1
+root 0
+end
+#
+# controller tree:
+#   program fuzz
+#     root [sequential]
+#       tiles0 [sequential t0]
+#         tile load0 fin0<->tin0
+#         compute map0 (1 ctrs, 1 sinks)
+#         tile store0 out0<->tout0
