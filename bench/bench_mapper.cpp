@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Compile-pipeline QoR benchmark: maps the 13 evaluation benchmarks
+ * with both routers — the legacy one-shot greedy BFS and the
+ * negotiated-congestion (PathFinder) default — and reports compile
+ * time, routed hop counts and switch-track utilization side by side.
+ *
+ * The negotiated router must never be worse on hops: uncongested
+ * multicast trees are source-shortest by construction, so a regression
+ * here means a router bug, and the run exits nonzero.
+ *
+ *   bench_mapper [--tiny] [--stats-json=PATH]
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "apps/apps.hpp"
+#include "base/logging.hpp"
+#include "base/stats.hpp"
+#include "compiler/mapper.hpp"
+
+using namespace plast;
+
+namespace
+{
+
+struct CompileSample
+{
+    compiler::MapResult map;
+    double micros = 0;
+};
+
+CompileSample
+compileWith(const pir::Program &prog, const ArchParams &params,
+            compiler::RouterMode mode)
+{
+    compiler::CompileOptions opts;
+    opts.router = mode;
+    auto t0 = std::chrono::steady_clock::now();
+    CompileSample s;
+    s.map = compiler::compileProgram(prog, params, {}, opts);
+    auto dt = std::chrono::steady_clock::now() - t0;
+    s.micros = std::chrono::duration_cast<std::chrono::microseconds>(dt)
+                   .count();
+    return s;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    bool tiny = false;
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--tiny") == 0)
+            tiny = true;
+        else if (std::strncmp(argv[i], "--stats-json=", 13) == 0)
+            json_path = argv[i] + 13;
+    }
+    apps::Scale scale = tiny ? apps::Scale::kTiny : apps::Scale::kDefault;
+    ArchParams params = ArchParams::plasticineFinal();
+    StatSet json_stats;
+
+    std::printf("=== Mapper QoR: greedy BFS vs negotiated congestion "
+                "===\n");
+    std::printf("%-14s | %9s %9s | %7s %7s | %6s | %5s %5s %5s\n",
+                "benchmark", "greedy_us", "negot_us", "g_hops",
+                "n_hops", "rounds", "vec%", "scl%", "ctl%");
+
+    int regressions = 0;
+    for (const auto &spec : apps::allApps()) {
+        apps::AppInstance app = spec.make(scale);
+        CompileSample g = compileWith(app.prog, params,
+                                      compiler::RouterMode::kGreedy);
+        CompileSample n = compileWith(app.prog, params,
+                                      compiler::RouterMode::kNegotiated);
+        fatal_if(!g.map.report.ok, "%s: greedy compile failed: %s",
+                 app.name.c_str(), g.map.report.error.c_str());
+        fatal_if(!n.map.report.ok, "%s: negotiated compile failed: %s",
+                 app.name.c_str(), n.map.report.error.c_str());
+        const auto &gd = g.map.report;
+        const auto &nd = n.map.report;
+
+        if (nd.routedHops > gd.routedHops) {
+            std::printf("%s: REGRESSION — negotiated %llu hops > "
+                        "greedy %llu\n",
+                        app.name.c_str(),
+                        static_cast<unsigned long long>(nd.routedHops),
+                        static_cast<unsigned long long>(gd.routedHops));
+            ++regressions;
+        }
+
+        std::printf("%-14s | %9.0f %9.0f | %7llu %7llu | %6u | %5.1f "
+                    "%5.1f %5.1f\n",
+                    app.name.c_str(), g.micros, n.micros,
+                    static_cast<unsigned long long>(gd.routedHops),
+                    static_cast<unsigned long long>(nd.routedHops),
+                    nd.diag.routeRounds,
+                    100.0 * nd.diag.vectorTrackUtil,
+                    100.0 * nd.diag.scalarTrackUtil,
+                    100.0 * nd.diag.controlTrackUtil);
+
+        if (!json_path.empty()) {
+            auto put = [&](const std::string &k, uint64_t v) {
+                json_stats.set(app.name + "." + k, v);
+            };
+            put("greedy.compileUs",
+                static_cast<uint64_t>(g.micros));
+            put("negotiated.compileUs",
+                static_cast<uint64_t>(n.micros));
+            put("greedy.routedHops", gd.routedHops);
+            put("negotiated.routedHops", nd.routedHops);
+            put("negotiated.routeRounds", nd.diag.routeRounds);
+            put("negotiated.placementAttempts",
+                nd.diag.placementAttempts);
+            // Utilizations as basis points (StatSet holds integers).
+            put("negotiated.vectorTrackBp",
+                static_cast<uint64_t>(nd.diag.vectorTrackUtil * 1e4));
+            put("negotiated.scalarTrackBp",
+                static_cast<uint64_t>(nd.diag.scalarTrackUtil * 1e4));
+            put("negotiated.controlTrackBp",
+                static_cast<uint64_t>(nd.diag.controlTrackUtil * 1e4));
+        }
+    }
+
+    std::printf("\nNotes: both compiles run the full pipeline; hops "
+                "are summed routed switch-to-switch links. The "
+                "negotiated router is hop-optimal per multicast "
+                "terminal when uncongested, so n_hops <= g_hops must "
+                "hold on every benchmark.\n");
+    if (!json_path.empty()) {
+        std::ofstream os(json_path);
+        fatal_if(!os, "cannot open %s", json_path.c_str());
+        json_stats.dumpJson(os);
+        std::printf("stats: %s\n", json_path.c_str());
+    }
+    return regressions == 0 ? 0 : 1;
+}

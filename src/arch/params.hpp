@@ -92,9 +92,11 @@ struct ArchParams
     uint32_t scalarTracks = 8;
     uint32_t controlTracks = 32;
 
-    /** Units are laid out as a PCU/PMU checkerboard. */
+    /** Units are laid out as a PCU/PMU checkerboard: site (c, r) is a
+     *  PCU when (c + r) is even, so odd x odd grids hold one more PCU
+     *  than PMU — the counts here must match Geometry::siteIsPcu. */
     uint32_t numUnits() const { return gridCols * gridRows; }
-    uint32_t numPcus() const { return numUnits() / 2; }
+    uint32_t numPcus() const { return (numUnits() + 1) / 2; }
     uint32_t numPmus() const { return numUnits() - numPcus(); }
     uint32_t switchCols() const { return gridCols + 1; }
     uint32_t switchRows() const { return gridRows + 1; }

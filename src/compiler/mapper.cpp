@@ -8,6 +8,9 @@
 
 #include "arch/geometry.hpp"
 #include "base/logging.hpp"
+#include "base/rng.hpp"
+#include "compiler/precheck.hpp"
+#include "compiler/router.hpp"
 #include "compiler/vleaf.hpp"
 
 namespace plast::compiler
@@ -54,16 +57,34 @@ struct Cluster
     std::vector<CtrlHandle> dones;
 };
 
+/** One capacity-spill request: shrink a memory's N-buffer depth (and
+ *  the metapipe depths that drive it) so the buffers fit on-chip. */
+struct SpillReq
+{
+    uint32_t fromBufs = 0;
+    uint32_t toBufs = 0;
+    std::set<NodeId> nodes; ///< metapipe controllers to throttle
+};
+
 class Mapper
 {
   public:
     Mapper(const Program &prog, const ArchParams &params,
-           const UnitMask &mask)
-        : prog_(prog), P_(params), geom_(params), mask_(mask)
+           const UnitMask &mask, const CompileOptions &opts = {},
+           const std::map<NodeId, uint32_t> &depthCaps = {})
+        : prog_(prog), P_(params), geom_(params), mask_(mask),
+          opts_(opts), depthCaps_(depthCaps)
     {
     }
 
     MapResult run();
+
+    /** Spill requests recorded by a failed run (empty when the design
+     *  is unspillable — the failure is then final). */
+    const std::map<MemId, SpillReq> &spillRequests() const
+    {
+        return spillReqs_;
+    }
 
   private:
     // ---- analysis ----------------------------------------------------
@@ -113,14 +134,42 @@ class Mapper
         }
     }
 
+    /** fail() plus the binding-resource tag for the diagnostics. */
+    void failBinding(const std::string &resource, const std::string &msg)
+    {
+        if (ok_ && diag_.binding.empty())
+            diag_.binding = resource;
+        fail(msg);
+    }
+
+    /** Metapipe concurrency of an outer node, after any spill caps. */
+    uint32_t metapipeDepth(NodeId o) const
+    {
+        const Node &n = prog_.nodes[o];
+        uint32_t d = n.depthHint
+                         ? n.depthHint
+                         : static_cast<uint32_t>(n.children.size());
+        auto it = depthCaps_.find(o);
+        if (it != depthCaps_.end())
+            d = std::min(d, it->second);
+        return std::max(d, 1u);
+    }
+
     // ---- inputs --------------------------------------------------------
     const Program &prog_;
     ArchParams P_;
     Geometry geom_;
     UnitMask mask_; ///< faulted physical sites placement must avoid
+    CompileOptions opts_;
+    /** Spill state from earlier rounds: metapipe node -> depth cap. */
+    std::map<NodeId, uint32_t> depthCaps_;
 
     bool ok_ = true;
     std::string error_;
+    CompileDiagnostics diag_;
+    std::map<MemId, SpillReq> spillReqs_;
+    /** Metapipe nodes whose depth drives each memory's N-buffering. */
+    std::map<MemId, std::set<NodeId>> nbufContrib_;
 
     // ---- analysis results -----------------------------------------------
     std::vector<NodeId> leaves_, xfers_, outers_;
@@ -371,10 +420,15 @@ Mapper::analyze()
     // Lower + partition every compute leaf.
     for (NodeId l : leaves_) {
         VirtualLeaf vl = lowerLeaf(prog_, l, P_.pcu.lanes);
+        if (!vl.error.empty()) {
+            failBinding("pcu.pipeline", vl.error);
+            return;
+        }
         PartitionResult pr = partitionLeaf(vl, P_.pcu);
         if (!pr.ok) {
-            fail(strfmt("leaf '%s': %s", vl.name.c_str(),
-                        pr.error.c_str()));
+            failBinding("pcu.pipeline",
+                        strfmt("leaf '%s': %s", vl.name.c_str(),
+                               pr.error.c_str()));
             return;
         }
         vleaves_.emplace(l, std::move(vl));
@@ -438,11 +492,8 @@ Mapper::analyze()
                 const Node &ln = prog_.nodes[l];
                 if (ln.kind == NodeKind::kOuter &&
                     ln.scheme == CtrlScheme::kMetapipe) {
-                    uint32_t d = ln.depthHint
-                                     ? ln.depthHint
-                                     : static_cast<uint32_t>(
-                                           ln.children.size());
-                    nbuf = std::max(nbuf, d);
+                    nbuf = std::max(nbuf, metapipeDepth(l));
+                    nbufContrib_[mid].insert(l);
                 }
             }
         }
@@ -617,7 +668,12 @@ Mapper::addrStages(ExprId expr, const std::vector<CtrId> &chainCtrs,
         }
     };
     collect(expr);
-    return lowerScalarExpr(prog_, expr, ctr_level, scalar_port, reg);
+    std::string err;
+    std::vector<StageCfg> stages =
+        lowerScalarExpr(prog_, expr, ctr_level, scalar_port, reg, &err);
+    if (!err.empty())
+        failBinding("pcu.pipeline", err);
+    return stages;
 }
 
 // =====================================================================
@@ -910,13 +966,50 @@ Mapper::createPmus()
         if (rds.empty() && wrs.empty())
             continue;
         if (wrs.size() > 2) {
-            fail(strfmt("memory '%s' has %zu writers (max 2)",
-                        md.name.c_str(), wrs.size()));
+            failBinding("pmu.writePorts",
+                        strfmt("memory '%s' has %zu writers (max 2)",
+                               md.name.c_str(), wrs.size()));
             return;
         }
         if (rds.empty()) {
             warn("memory '%s' is written but never read", md.name.c_str());
             rds.push_back({ReaderDesc::Kind::kLeafLoad, kNone, -1});
+        }
+
+        // Scratchpad capacity: the requested N-buffer depth may not fit
+        // the physical PMU (or the 8-bit config field). If a shallower
+        // depth would fit, record a spill request so the driver can cap
+        // the contributing metapipes and re-partition; otherwise the
+        // memory is simply too large and the failure is final.
+        uint64_t effective = md.mode == BankingMode::kDup
+                                 ? P_.pmu.totalWords() / P_.pmu.banks
+                                 : P_.pmu.totalWords();
+        uint64_t nbuf = nbuf_[mid];
+        if (md.sizeWords > 0 &&
+            (nbuf * md.sizeWords > effective || nbuf > 255)) {
+            uint64_t maxBufs =
+                std::min<uint64_t>(effective / md.sizeWords, 255);
+            uint32_t floorBufs = std::max<uint32_t>(md.nbufMin, 1);
+            bool spillable = opts_.allowSpill && maxBufs >= floorBufs &&
+                             maxBufs < nbuf &&
+                             !nbufContrib_[mid].empty();
+            if (spillable) {
+                SpillReq &req = spillReqs_[mid];
+                req.fromBufs = static_cast<uint32_t>(nbuf);
+                req.toBufs = static_cast<uint32_t>(maxBufs);
+                req.nodes = nbufContrib_[mid];
+            }
+            failBinding(
+                "pmu.scratchpad",
+                strfmt("memory '%s' needs %llu words (%llu bufs x %u), "
+                       "PMU scratchpad holds %llu",
+                       md.name.c_str(),
+                       static_cast<unsigned long long>(nbuf *
+                                                       md.sizeWords),
+                       static_cast<unsigned long long>(nbuf),
+                       static_cast<uint32_t>(md.sizeWords),
+                       static_cast<unsigned long long>(effective)));
+            return;
         }
 
         for (const ReaderDesc &rd : rds) {
@@ -1468,11 +1561,8 @@ Mapper::createBoxes()
         cfg.scheme = n.scheme;
         UnitRef ref{UnitClass::kBox, static_cast<uint16_t>(idx)};
         cfg.chain = buildChain(n.ctrs, ref);
-        cfg.depth = n.scheme == CtrlScheme::kMetapipe
-                        ? (n.depthHint
-                               ? n.depthHint
-                               : static_cast<uint32_t>(n.children.size()))
-                        : 1;
+        cfg.depth =
+            n.scheme == CtrlScheme::kMetapipe ? metapipeDepth(o) : 1;
         boxOf_[o] = idx;
         clusters_[o].triggers.push_back({ref, CtrlSel::kMain});
         clusters_[o].dones.push_back({ref, CtrlSel::kMain});
@@ -1746,26 +1836,30 @@ Mapper::placeAndRoute(FabricConfig &fab)
     uint32_t masked_pcus = maskedCount(mask_.pcus, P_.numPcus());
     uint32_t masked_pmus = maskedCount(mask_.pmus, P_.numPmus());
     if (pcus_.size() > P_.numPcus() - masked_pcus) {
-        fail(strfmt("needs %zu PCUs, chip has %u%s", pcus_.size(),
-                    P_.numPcus() - masked_pcus,
-                    masked_pcus ? strfmt(" (%u masked as faulted)",
-                                         masked_pcus)
-                                      .c_str()
-                                : ""));
+        failBinding(
+            "pcu",
+            strfmt("needs %zu PCUs, chip has %u%s", pcus_.size(),
+                   P_.numPcus() - masked_pcus,
+                   masked_pcus ? strfmt(" (%u masked as faulted)",
+                                        masked_pcus)
+                                     .c_str()
+                               : ""));
         return false;
     }
     if (pmus_.size() > P_.numPmus() - masked_pmus) {
-        fail(strfmt("needs %zu PMUs, chip has %u%s", pmus_.size(),
-                    P_.numPmus() - masked_pmus,
-                    masked_pmus ? strfmt(" (%u masked as faulted)",
-                                         masked_pmus)
-                                      .c_str()
-                                : ""));
+        failBinding(
+            "pmu",
+            strfmt("needs %zu PMUs, chip has %u%s", pmus_.size(),
+                   P_.numPmus() - masked_pmus,
+                   masked_pmus ? strfmt(" (%u masked as faulted)",
+                                        masked_pmus)
+                                     .c_str()
+                               : ""));
         return false;
     }
     if (ags_.size() > P_.numAgs) {
-        fail(strfmt("needs %zu AGs, chip has %u", ags_.size(),
-                    P_.numAgs));
+        failBinding("ag", strfmt("needs %zu AGs, chip has %u",
+                                 ags_.size(), P_.numAgs));
         return false;
     }
 
@@ -1822,6 +1916,14 @@ Mapper::placeAndRoute(FabricConfig &fab)
         return {-1, -1};
     };
 
+    // Placement-perturbation state for restart attempts: attempt 0 is
+    // noise-free (bit-identical to the legacy greedy placement); later
+    // attempts add seeded noise to the site cost, growing with the
+    // attempt index so restarts explore progressively farther from the
+    // greedy optimum.
+    Rng rng(opts_.seed);
+    uint64_t noiseMag = 0;
+
     auto greedyPlace = [&](UnitClass cls, size_t count,
                            std::vector<int> &phys, uint32_t capacity) {
         std::vector<bool> taken(capacity, false);
@@ -1852,6 +1954,8 @@ Mapper::placeAndRoute(FabricConfig &fab)
                        Geometry::manhattan(
                            sc, {static_cast<int>(P_.gridCols / 2),
                                 static_cast<int>(P_.gridRows / 2)});
+                if (noiseMag)
+                    cost += rng.nextBounded(noiseMag);
                 if (cost < best_cost) {
                     best_cost = cost;
                     best = static_cast<int>(site);
@@ -1862,44 +1966,140 @@ Mapper::placeAndRoute(FabricConfig &fab)
         }
     };
 
-    greedyPlace(UnitClass::kPcu, pcus_.size(), pcuPhys, P_.numPcus());
-    greedyPlace(UnitClass::kPmu, pmus_.size(), pmuPhys, P_.numPmus());
+    const int W = static_cast<int>(P_.switchCols());
+    const int H = static_cast<int>(P_.switchRows());
+    RouterGrid grid;
+    grid.cols = W;
+    grid.rows = H;
+    grid.vectorTracks = P_.vectorTracks;
+    grid.scalarTracks = P_.scalarTracks;
+    grid.controlTracks = P_.controlTracks;
 
-    // Boxes: nearest free switch to the centroid of their neighbors.
-    std::set<int> box_sites;
-    for (size_t b = 0; b < boxes_.size(); ++b) {
-        std::pair<UnitClass, uint16_t> key{UnitClass::kBox,
-                                           static_cast<uint16_t>(b)};
-        int64_t sx = 0, sy = 0, cnt = 0;
-        for (const auto &nb : adj[key]) {
-            SwitchCoord nc = placedSwitch(nb);
-            if (nc.col >= 0) {
-                sx += nc.col;
-                sy += nc.row;
-                ++cnt;
-            }
-        }
-        int cx = cnt ? static_cast<int>(sx / cnt)
-                     : static_cast<int>(P_.gridCols / 2);
-        int cy = cnt ? static_cast<int>(sy / cnt)
-                     : static_cast<int>(P_.gridRows / 2);
-        int best = -1;
-        int best_d = 1 << 30;
-        for (uint32_t r = 0; r < P_.switchRows(); ++r) {
-            for (uint32_t c = 0; c < P_.switchCols(); ++c) {
-                int site = static_cast<int>(r * P_.switchCols() + c);
-                if (box_sites.count(site))
-                    continue;
-                int d = std::abs(static_cast<int>(c) - cx) +
-                        std::abs(static_cast<int>(r) - cy);
-                if (d < best_d) {
-                    best_d = d;
-                    best = site;
+    // The greedy baseline is one-shot by definition; negotiated mode
+    // retries with perturbed placements and a growing round budget.
+    const uint32_t attempts = opts_.router == RouterMode::kGreedy
+                                  ? 1
+                                  : std::max(1u,
+                                             opts_.maxPlacementAttempts);
+
+    std::vector<RouterNet> nets;
+    RouteOutcome outcome;
+    std::string lastFail;
+    for (uint32_t attempt = 0; attempt < attempts; ++attempt) {
+        rng = Rng(opts_.seed + attempt);
+        noiseMag = static_cast<uint64_t>(attempt) * 96;
+        std::fill(pcuPhys.begin(), pcuPhys.end(), -1);
+        std::fill(pmuPhys.begin(), pmuPhys.end(), -1);
+        std::fill(boxPhys.begin(), boxPhys.end(), -1);
+
+        greedyPlace(UnitClass::kPcu, pcus_.size(), pcuPhys,
+                    P_.numPcus());
+        greedyPlace(UnitClass::kPmu, pmus_.size(), pmuPhys,
+                    P_.numPmus());
+
+        // Boxes: nearest free switch to the centroid of their neighbors.
+        std::set<int> box_sites;
+        for (size_t b = 0; b < boxes_.size(); ++b) {
+            std::pair<UnitClass, uint16_t> key{
+                UnitClass::kBox, static_cast<uint16_t>(b)};
+            int64_t sx = 0, sy = 0, cnt = 0;
+            for (const auto &nb : adj[key]) {
+                SwitchCoord nc = placedSwitch(nb);
+                if (nc.col >= 0) {
+                    sx += nc.col;
+                    sy += nc.row;
+                    ++cnt;
                 }
             }
+            int cx = cnt ? static_cast<int>(sx / cnt)
+                         : static_cast<int>(P_.gridCols / 2);
+            int cy = cnt ? static_cast<int>(sy / cnt)
+                         : static_cast<int>(P_.gridRows / 2);
+            int best = -1;
+            int best_d = 1 << 30;
+            for (uint32_t r = 0; r < P_.switchRows(); ++r) {
+                for (uint32_t c = 0; c < P_.switchCols(); ++c) {
+                    int site =
+                        static_cast<int>(r * P_.switchCols() + c);
+                    if (box_sites.count(site))
+                        continue;
+                    int d = std::abs(static_cast<int>(c) - cx) +
+                            std::abs(static_cast<int>(r) - cy);
+                    if (d < best_d) {
+                        best_d = d;
+                        best = site;
+                    }
+                }
+            }
+            boxPhys[b] = best;
+            box_sites.insert(best);
         }
-        boxPhys[b] = best;
-        box_sites.insert(best);
+
+        // Router nets from the logical channels. Multicast branches
+        // from one source port share routed tracks — a switch forks
+        // the bus instead of allocating a second track — so nets get a
+        // group id per (source unit, port, network kind).
+        std::map<std::tuple<UnitClass, uint16_t, uint8_t, int>,
+                 uint32_t>
+            groupIds;
+        nets.clear();
+        nets.reserve(chans_.size());
+        for (const ChannelCfg &ch : chans_) {
+            RouterNet net;
+            net.src = placedSwitch(keyOf(ch.src.unit));
+            net.dst = ch.dst.unit.cls == UnitClass::kHost
+                          ? SwitchCoord{0, 0}
+                          : placedSwitch(keyOf(ch.dst.unit));
+            net.kind = ch.kind;
+            auto gkey = std::make_tuple(ch.src.unit.cls,
+                                        ch.src.unit.index, ch.src.port,
+                                        static_cast<int>(ch.kind));
+            net.group = groupIds
+                            .try_emplace(gkey, static_cast<uint32_t>(
+                                                   groupIds.size()))
+                            .first->second;
+            nets.push_back(net);
+        }
+
+        RouterOptions ro;
+        ro.mode = opts_.router;
+        ro.maxRounds = opts_.maxRouteRounds + attempt * 8;
+        ro.seed = opts_.seed;
+        outcome = routeNets(nets, grid, ro);
+
+        RouteAttempt ra;
+        ra.placement = attempt;
+        ra.rounds = outcome.rounds;
+        ra.overusedLinks = outcome.overusedLinks;
+        ra.routedHops = outcome.totalHops;
+        ra.routed = outcome.routed;
+        diag_.attempts.push_back(ra);
+        diag_.placementAttempts = attempt + 1;
+
+        if (outcome.routed)
+            break;
+        if (!outcome.hotspots.empty())
+            diag_.hotspots = outcome.hotspots;
+        if (outcome.failedNet >= 0) {
+            lastFail = strfmt(
+                "routing failed: %s",
+                chans_[static_cast<size_t>(outcome.failedNet)]
+                    .describe()
+                    .c_str());
+        } else {
+            lastFail = strfmt("routing failed: %u links over capacity "
+                              "after %u rip-up rounds",
+                              outcome.overusedLinks, outcome.rounds);
+        }
+    }
+
+    if (!outcome.routed) {
+        failBinding("routing",
+                    attempts == 1
+                        ? lastFail
+                        : strfmt("%s (%u placement attempts)",
+                                 lastFail.c_str(), attempts));
+        return false;
     }
 
     // ---- assemble the fabric config -------------------------------
@@ -1938,100 +2138,22 @@ Mapper::placeAndRoute(FabricConfig &fab)
             break;
         }
     };
-
-    // ---- route every channel over the switch grid --------------------
-    // Track usage per directed switch-to-switch hop and network kind.
-    std::map<std::tuple<int, int, int, int, int>, uint32_t> usage;
-    auto trackCap = [&](NetKind kind) {
-        switch (kind) {
-          case NetKind::kScalar: return P_.scalarTracks;
-          case NetKind::kVector: return P_.vectorTracks;
-          case NetKind::kControl: return P_.controlTracks;
-        }
-        return 1u;
-    };
-
-    // Multicast branches from one source port share routed tracks: a
-    // switch forks the bus instead of allocating a second track, so
-    // links already claimed by the same (source, port, network) group
-    // are free for its later branches.
-    std::map<std::tuple<UnitClass, uint16_t, uint8_t, int>,
-             std::set<std::tuple<int, int, int, int>>>
-        groupLinks;
-    for (ChannelCfg &ch : chans_) {
+    for (size_t i = 0; i < chans_.size(); ++i) {
+        ChannelCfg &ch = chans_[i];
         remap(ch.src.unit);
         if (ch.dst.unit.cls != UnitClass::kHost)
             remap(ch.dst.unit);
-
-        SwitchCoord s = geom_.switchOf(ch.src.unit.cls,
-                                       ch.src.unit.index);
-        SwitchCoord d = ch.dst.unit.cls == UnitClass::kHost
-                            ? SwitchCoord{0, 0}
-                            : geom_.switchOf(ch.dst.unit.cls,
-                                             ch.dst.unit.index);
-        auto gkey = std::make_tuple(ch.src.unit.cls, ch.src.unit.index,
-                                    ch.src.port,
-                                    static_cast<int>(ch.kind));
-        auto &shared = groupLinks[gkey];
-
-        // BFS over the switch grid respecting track capacity.
-        const int W = static_cast<int>(P_.switchCols());
-        const int H = static_cast<int>(P_.switchRows());
-        std::vector<int> prev(static_cast<size_t>(W * H), -2);
-        std::vector<int> queue;
-        auto idx = [&](int c, int r) { return r * W + c; };
-        queue.push_back(idx(s.col, s.row));
-        prev[static_cast<size_t>(queue[0])] = -1;
-        bool found = (s == d);
-        for (size_t qi = 0; qi < queue.size() && !found; ++qi) {
-            int cur = queue[qi];
-            int cc = cur % W, cr = cur / W;
-            static const int dc[4] = {1, -1, 0, 0};
-            static const int dr[4] = {0, 0, 1, -1};
-            for (int dir = 0; dir < 4; ++dir) {
-                int nc = cc + dc[dir], nr = cr + dr[dir];
-                if (nc < 0 || nc >= W || nr < 0 || nr >= H)
-                    continue;
-                int nxt = idx(nc, nr);
-                if (prev[static_cast<size_t>(nxt)] != -2)
-                    continue;
-                auto link = std::make_tuple(cc, cr, nc, nr);
-                auto key = std::make_tuple(cc, cr, nc, nr,
-                                           static_cast<int>(ch.kind));
-                if (!shared.count(link) &&
-                    usage[key] >= trackCap(ch.kind))
-                    continue;
-                prev[static_cast<size_t>(nxt)] = cur;
-                if (nc == d.col && nr == d.row) {
-                    found = true;
-                    break;
-                }
-                queue.push_back(nxt);
-            }
-        }
-        if (!found) {
-            fail(strfmt("routing failed: %s", ch.describe().c_str()));
-            return false;
-        }
-        // Walk back, claiming tracks (shared links are free).
-        uint32_t hops = 0;
-        int cur = idx(d.col, d.row);
-        while (prev[static_cast<size_t>(cur)] >= 0) {
-            int pr = prev[static_cast<size_t>(cur)];
-            auto link = std::make_tuple(pr % W, pr / W, cur % W,
-                                        cur / W);
-            if (!shared.count(link)) {
-                usage[std::make_tuple(pr % W, pr / W, cur % W, cur / W,
-                                      static_cast<int>(ch.kind))]++;
-                shared.insert(link);
-            }
-            cur = pr;
-            ++hops;
-        }
-        ch.latency = hops + 2;
-        rep_.routedHops += hops;
+        ch.latency = nets[i].hops + 2;
+        rep_.routedHops += nets[i].hops;
     }
     fab.channels = chans_;
+
+    diag_.routeRounds = outcome.rounds;
+    diag_.routedHops = outcome.totalHops;
+    diag_.vectorTrackUtil = outcome.utilization(NetKind::kVector, grid);
+    diag_.scalarTrackUtil = outcome.utilization(NetKind::kScalar, grid);
+    diag_.controlTrackUtil =
+        outcome.utilization(NetKind::kControl, grid);
     return true;
 }
 
@@ -2061,6 +2183,10 @@ Mapper::run()
 
     rep_.ok = ok_;
     rep_.error = error_;
+    diag_.feasible = ok_;
+    if (!ok_ && diag_.binding.empty())
+        diag_.binding = "compile";
+    rep_.diag = diag_;
     rep_.pcusUsed = static_cast<uint32_t>(pcus_.size());
     rep_.pmusUsed = static_cast<uint32_t>(pmus_.size());
     rep_.agsUsed = static_cast<uint32_t>(ags_.size());
@@ -2091,16 +2217,74 @@ Mapper::run()
 MapResult
 compileProgram(const Program &prog, const ArchParams &params)
 {
-    Mapper m(prog, params, UnitMask{});
-    return m.run();
+    return compileProgram(prog, params, UnitMask{}, CompileOptions{});
 }
 
 MapResult
 compileProgram(const Program &prog, const ArchParams &params,
                const UnitMask &mask)
 {
-    Mapper m(prog, params, mask);
-    return m.run();
+    return compileProgram(prog, params, mask, CompileOptions{});
+}
+
+MapResult
+compileProgram(const Program &prog, const ArchParams &params,
+               const UnitMask &mask, const CompileOptions &opts)
+{
+    // Fast structured rejection: total demand vs capacity, before any
+    // placement work and with the binding resource named.
+    if (opts.runPrecheck) {
+        CompileDiagnostics pre = precheckProgram(prog, params, mask);
+        if (!pre.feasible) {
+            MapResult r;
+            r.report.ok = false;
+            for (const ResourceCheck &c : pre.checks) {
+                if (c.over) {
+                    r.report.error = c.describe();
+                    break;
+                }
+            }
+            r.report.diag = std::move(pre);
+            return r;
+        }
+    }
+
+    // Capacity-spill loop: when a memory's N-buffer demand exceeds the
+    // physical scratchpad, cap the metapipe depths that drive it (the
+    // matching throughput throttle) and re-run the partitioner with the
+    // caps applied, accumulating until the design fits or nothing
+    // shrinks any further.
+    constexpr uint32_t kMaxSpillRounds = 8;
+    std::map<NodeId, uint32_t> depthCaps;
+    std::vector<SpillAction> spills;
+    for (uint32_t round = 0;; ++round) {
+        Mapper m(prog, params, mask, opts, depthCaps);
+        MapResult result = m.run();
+        result.report.diag.spills = spills;
+        if (result.report.ok || round >= kMaxSpillRounds ||
+            m.spillRequests().empty())
+            return result;
+        bool changed = false;
+        for (const auto &[mid, req] : m.spillRequests()) {
+            for (NodeId nd : req.nodes) {
+                auto it = depthCaps.find(nd);
+                uint32_t cur =
+                    it == depthCaps.end() ? ~0u : it->second;
+                if (req.toBufs >= cur)
+                    continue;
+                depthCaps[nd] = req.toBufs;
+                changed = true;
+                SpillAction act;
+                act.memory = prog.mems[mid].name;
+                act.node = prog.nodes[nd].name;
+                act.fromBufs = req.fromBufs;
+                act.toBufs = req.toBufs;
+                spills.push_back(act);
+            }
+        }
+        if (!changed)
+            return result;
+    }
 }
 
 std::string

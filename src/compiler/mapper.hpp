@@ -27,7 +27,9 @@
 
 #include "arch/config.hpp"
 #include "arch/params.hpp"
+#include "compiler/diagnostics.hpp"
 #include "compiler/partition.hpp"
+#include "compiler/router.hpp"
 #include "pir/ir.hpp"
 
 namespace plast::compiler
@@ -47,10 +49,39 @@ struct UnitMask
     bool empty() const { return pcus.empty() && pmus.empty(); }
 };
 
+/**
+ * Compile-pipeline knobs. The defaults give the robust pipeline —
+ * negotiated-congestion routing, seeded placement restarts and
+ * capacity spilling; kGreedy restores the legacy one-shot BFS (single
+ * placement, no retries) as a QoR / regression baseline.
+ */
+struct CompileOptions
+{
+    RouterMode router = RouterMode::kNegotiated;
+    /** Rip-up-and-reroute round budget per placement attempt; later
+     *  attempts get a larger budget (cost backoff). */
+    uint32_t maxRouteRounds = 24;
+    /** Placement attempts: 0 is the deterministic greedy placement,
+     *  later ones perturb site costs with seeded noise. */
+    uint32_t maxPlacementAttempts = 4;
+    /** Shrink N-buffer depths (with the matching metapipe throttle)
+     *  when a memory exceeds the physical scratchpad. */
+    bool allowSpill = true;
+    /** Perturbation seed: same seed -> identical placement + routes. */
+    uint64_t seed = 0;
+    /** Skip the feasibility pre-check (used by harnesses that want to
+     *  cross-validate the pre-check against the full pipeline). */
+    bool runPrecheck = true;
+};
+
 struct MappingReport
 {
     bool ok = false;
     std::string error;
+
+    /** Structured compile diagnostics: feasibility checks, placement /
+     *  routing attempts, congestion hotspots, spill actions. */
+    CompileDiagnostics diag;
 
     uint32_t pcusUsed = 0;
     uint32_t pmusUsed = 0;
@@ -79,9 +110,10 @@ struct MapResult
 
 /**
  * Compile a program (arguments already bound) for the given
- * architecture. Fatals on malformed programs; capacity overruns are
- * reported via report.ok/error so design-space sweeps can observe
- * infeasible points.
+ * architecture. Malformed programs and capacity overruns are reported
+ * via report.ok/error (with structured report.diag) so design-space
+ * sweeps, fuzzers and recovery can observe infeasible points; nothing
+ * reachable from user-supplied PIR is fatal.
  */
 MapResult compileProgram(const pir::Program &prog,
                          const ArchParams &params);
@@ -90,6 +122,12 @@ MapResult compileProgram(const pir::Program &prog,
  *  (graceful degradation after a hard fault). */
 MapResult compileProgram(const pir::Program &prog,
                          const ArchParams &params, const UnitMask &mask);
+
+/** Compile with explicit pipeline options (router mode, restart /
+ *  spill budgets, perturbation seed). */
+MapResult compileProgram(const pir::Program &prog,
+                         const ArchParams &params, const UnitMask &mask,
+                         const CompileOptions &opts);
 
 } // namespace plast::compiler
 

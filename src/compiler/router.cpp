@@ -1,0 +1,344 @@
+#include "compiler/router.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <set>
+#include <tuple>
+
+namespace plast::compiler
+{
+
+namespace
+{
+
+// Neighbor order matches the legacy BFS exactly: E, W, S, N.
+const int kDc[4] = {1, -1, 0, 0};
+const int kDr[4] = {0, 0, 1, -1};
+
+// Negotiated-congestion cost weights. Base is the per-hop cost; history
+// accumulates on links that stay oversubscribed across rounds; the
+// present-congestion factor escalates linearly with the round number so
+// early rounds explore short paths and later rounds force detours.
+constexpr uint32_t kBaseCost = 16;
+constexpr uint32_t kHistCost = 8;
+
+int
+kindIdx(NetKind k)
+{
+    return static_cast<int>(k);
+}
+
+/**
+ * The legacy router: per-net BFS in order over capacity-free links,
+ * claiming tracks as it goes, with multicast groups riding already
+ * claimed links for free. Kept bit-for-bit compatible with the
+ * original mapper so it remains a trustworthy QoR baseline.
+ */
+RouteOutcome
+routeGreedy(std::vector<RouterNet> &nets, const RouterGrid &grid)
+{
+    RouteOutcome out;
+    const int W = grid.cols;
+    const int H = grid.rows;
+
+    std::map<std::tuple<int, int, int, int, int>, uint32_t> usage;
+    std::map<uint32_t, std::set<std::tuple<int, int, int, int>>>
+        groupLinks;
+
+    for (size_t n = 0; n < nets.size(); ++n) {
+        RouterNet &net = nets[n];
+        auto &shared = groupLinks[net.group];
+        const SwitchCoord s = net.src;
+        const SwitchCoord d = net.dst;
+
+        std::vector<int> prev(static_cast<size_t>(W * H), -2);
+        std::vector<int> queue;
+        auto idx = [&](int c, int r) { return r * W + c; };
+        queue.push_back(idx(s.col, s.row));
+        prev[static_cast<size_t>(queue[0])] = -1;
+        bool found = (s == d);
+        for (size_t qi = 0; qi < queue.size() && !found; ++qi) {
+            int cur = queue[qi];
+            int cc = cur % W, cr = cur / W;
+            for (int dir = 0; dir < 4; ++dir) {
+                int nc = cc + kDc[dir], nr = cr + kDr[dir];
+                if (nc < 0 || nc >= W || nr < 0 || nr >= H)
+                    continue;
+                int nxt = idx(nc, nr);
+                if (prev[static_cast<size_t>(nxt)] != -2)
+                    continue;
+                auto link = std::make_tuple(cc, cr, nc, nr);
+                auto key = std::make_tuple(cc, cr, nc, nr,
+                                           static_cast<int>(net.kind));
+                if (!shared.count(link) &&
+                    usage[key] >= grid.trackCap(net.kind))
+                    continue;
+                prev[static_cast<size_t>(nxt)] = cur;
+                if (nc == d.col && nr == d.row) {
+                    found = true;
+                    break;
+                }
+                queue.push_back(nxt);
+            }
+        }
+        if (!found) {
+            out.routed = false;
+            out.failedNet = static_cast<int>(n);
+            out.rounds = 1;
+            for (const auto &[key, u] : usage)
+                out.linkLoad[std::get<4>(key)] += u;
+            return out;
+        }
+        // Walk back, claiming tracks (shared links are free).
+        uint32_t hops = 0;
+        int cur = idx(d.col, d.row);
+        while (prev[static_cast<size_t>(cur)] >= 0) {
+            int pr = prev[static_cast<size_t>(cur)];
+            auto link =
+                std::make_tuple(pr % W, pr / W, cur % W, cur / W);
+            if (!shared.count(link)) {
+                usage[std::make_tuple(pr % W, pr / W, cur % W, cur / W,
+                                      static_cast<int>(net.kind))]++;
+                shared.insert(link);
+            }
+            cur = pr;
+            ++hops;
+        }
+        net.hops = hops;
+        out.totalHops += hops;
+    }
+    out.routed = true;
+    out.rounds = 1;
+    for (const auto &[key, u] : usage)
+        out.linkLoad[std::get<4>(key)] += u;
+    return out;
+}
+
+/** One multicast group: a source and its terminals in net order. */
+struct Group
+{
+    NetKind kind = NetKind::kVector;
+    SwitchCoord src;
+    std::vector<size_t> nets;
+};
+
+RouteOutcome
+routeNegotiated(std::vector<RouterNet> &nets, const RouterGrid &grid,
+                const RouterOptions &opts)
+{
+    RouteOutcome out;
+    const int W = grid.cols;
+    const int H = grid.rows;
+    const size_t numNodes = static_cast<size_t>(W * H);
+    const size_t numLinks = numNodes * 4;
+
+    // Group nets into multicast trees, preserving first-seen order.
+    std::vector<Group> groups;
+    std::map<uint32_t, size_t> groupOf;
+    for (size_t n = 0; n < nets.size(); ++n) {
+        auto [it, fresh] = groupOf.try_emplace(nets[n].group,
+                                               groups.size());
+        if (fresh) {
+            groups.push_back({nets[n].kind, nets[n].src, {}});
+        }
+        groups[it->second].nets.push_back(n);
+    }
+
+    // Per-kind present usage and cross-round history, indexed by
+    // directed link id (node * 4 + direction).
+    std::vector<uint32_t> usage[3], hist[3];
+    for (int k = 0; k < 3; ++k) {
+        usage[k].assign(numLinks, 0);
+        hist[k].assign(numLinks, 0);
+    }
+
+    auto nodeOf = [&](const SwitchCoord &c) {
+        return static_cast<size_t>(c.row * W + c.col);
+    };
+
+    // Dijkstra scratch, reused across terminals.
+    constexpr uint64_t kInf = ~0ull;
+    std::vector<uint64_t> dist(numNodes);
+    std::vector<uint32_t> hopCnt(numNodes);
+    std::vector<int32_t> prevLink(numNodes);
+    std::vector<int32_t> depth(numNodes);
+    std::vector<uint8_t> claimed(numLinks);
+
+    const uint32_t maxRounds = std::max(1u, opts.maxRounds);
+    for (uint32_t round = 1; round <= maxRounds; ++round) {
+        for (int k = 0; k < 3; ++k)
+            std::fill(usage[k].begin(), usage[k].end(), 0u);
+        const uint64_t presFac = static_cast<uint64_t>(kBaseCost) * round;
+        out.totalHops = 0;
+
+        for (const Group &g : groups) {
+            const int k = kindIdx(g.kind);
+            const uint32_t cap = grid.trackCap(g.kind);
+            std::fill(depth.begin(), depth.end(), -1);
+            std::fill(claimed.begin(), claimed.end(),
+                      static_cast<uint8_t>(0));
+            depth[nodeOf(g.src)] = 0;
+
+            for (size_t n : g.nets) {
+                RouterNet &net = nets[n];
+                size_t dstNode = nodeOf(net.dst);
+                if (depth[dstNode] >= 0) {
+                    // Terminal already on the tree (same-switch fanout).
+                    net.hops = static_cast<uint32_t>(depth[dstNode]);
+                    out.totalHops += net.hops;
+                    continue;
+                }
+
+                // Dijkstra from the whole tree: seeding each tree node
+                // at cost depth*base makes a terminal's final cost its
+                // hop count from the source, so uncongested routes are
+                // source-shortest — never longer than the greedy BFS.
+                std::fill(dist.begin(), dist.end(), kInf);
+                std::fill(prevLink.begin(), prevLink.end(), -1);
+                using QE = std::pair<uint64_t, size_t>; // (cost, node)
+                std::priority_queue<QE, std::vector<QE>,
+                                    std::greater<QE>>
+                    pq;
+                for (size_t v = 0; v < numNodes; ++v) {
+                    if (depth[v] >= 0) {
+                        dist[v] = static_cast<uint64_t>(depth[v]) *
+                                  kBaseCost;
+                        hopCnt[v] = static_cast<uint32_t>(depth[v]);
+                        pq.push({dist[v], v});
+                    }
+                }
+                while (!pq.empty()) {
+                    auto [cost, v] = pq.top();
+                    pq.pop();
+                    if (cost != dist[v])
+                        continue;
+                    if (v == dstNode)
+                        break;
+                    int vc = static_cast<int>(v) % W;
+                    int vr = static_cast<int>(v) / W;
+                    for (int dir = 0; dir < 4; ++dir) {
+                        int nc = vc + kDc[dir], nr = vr + kDr[dir];
+                        if (nc < 0 || nc >= W || nr < 0 || nr >= H)
+                            continue;
+                        size_t nb = static_cast<size_t>(nr * W + nc);
+                        size_t link = v * 4 + static_cast<size_t>(dir);
+                        uint64_t c;
+                        if (claimed[link]) {
+                            // Already part of this group's tree: the
+                            // track is paid for, only the hop counts.
+                            c = kBaseCost;
+                        } else {
+                            uint32_t u = usage[k][link];
+                            uint32_t over = u + 1 > cap ? u + 1 - cap : 0;
+                            c = kBaseCost +
+                                static_cast<uint64_t>(kHistCost) *
+                                    hist[k][link] +
+                                presFac * over;
+                        }
+                        if (cost + c < dist[nb]) {
+                            dist[nb] = cost + c;
+                            hopCnt[nb] = hopCnt[v] + 1;
+                            prevLink[nb] = static_cast<int32_t>(link);
+                            pq.push({dist[nb], nb});
+                        }
+                    }
+                }
+
+                // Claim the new path back to the tree.
+                size_t v = dstNode;
+                while (depth[v] < 0) {
+                    depth[v] = static_cast<int32_t>(hopCnt[v]);
+                    size_t link = static_cast<size_t>(prevLink[v]);
+                    if (!claimed[link]) {
+                        claimed[link] = 1;
+                        usage[k][link]++;
+                    }
+                    v = link / 4;
+                }
+                net.hops = static_cast<uint32_t>(depth[dstNode]);
+                out.totalHops += net.hops;
+            }
+        }
+
+        // Convergence check: any link over capacity?
+        uint32_t overused = 0;
+        for (int k = 0; k < 3; ++k) {
+            const uint32_t cap =
+                grid.trackCap(static_cast<NetKind>(k));
+            for (size_t l = 0; l < numLinks; ++l) {
+                if (usage[k][l] > cap)
+                    ++overused;
+            }
+        }
+        out.rounds = round;
+        if (overused == 0) {
+            out.routed = true;
+            out.overusedLinks = 0;
+            for (int k = 0; k < 3; ++k)
+                for (size_t l = 0; l < numLinks; ++l)
+                    out.linkLoad[k] += usage[k][l];
+            return out;
+        }
+        out.overusedLinks = overused;
+        for (int k = 0; k < 3; ++k) {
+            const uint32_t cap =
+                grid.trackCap(static_cast<NetKind>(k));
+            for (size_t l = 0; l < numLinks; ++l) {
+                if (usage[k][l] > cap)
+                    hist[k][l] += usage[k][l] - cap;
+            }
+        }
+    }
+
+    // Round budget exhausted: report the surviving hotspots.
+    out.routed = false;
+    struct Hot
+    {
+        uint32_t over;
+        int k;
+        size_t link;
+    };
+    std::vector<Hot> hots;
+    for (int k = 0; k < 3; ++k) {
+        const uint32_t cap = grid.trackCap(static_cast<NetKind>(k));
+        for (size_t l = 0; l < numLinks; ++l) {
+            out.linkLoad[k] += usage[k][l];
+            if (usage[k][l] > cap)
+                hots.push_back({usage[k][l] - cap, k, l});
+        }
+    }
+    std::stable_sort(hots.begin(), hots.end(),
+                     [](const Hot &a, const Hot &b) {
+                         return a.over > b.over;
+                     });
+    if (hots.size() > 8)
+        hots.resize(8);
+    for (const Hot &h : hots) {
+        CongestionHotspot spot;
+        size_t node = h.link / 4;
+        int dir = static_cast<int>(h.link % 4);
+        spot.fromCol = static_cast<int>(node) % W;
+        spot.fromRow = static_cast<int>(node) / W;
+        spot.toCol = spot.fromCol + kDc[dir];
+        spot.toRow = spot.fromRow + kDr[dir];
+        spot.kind = static_cast<NetKind>(h.k);
+        spot.capacity = grid.trackCap(spot.kind);
+        spot.demand = spot.capacity + h.over;
+        out.hotspots.push_back(spot);
+    }
+    return out;
+}
+
+} // namespace
+
+RouteOutcome
+routeNets(std::vector<RouterNet> &nets, const RouterGrid &grid,
+          const RouterOptions &opts)
+{
+    if (opts.mode == RouterMode::kGreedy)
+        return routeGreedy(nets, grid);
+    return routeNegotiated(nets, grid, opts);
+}
+
+} // namespace plast::compiler

@@ -379,8 +379,12 @@ lowerLeaf(const Program &prog, NodeId leafId, uint32_t lanes)
           case SinkKind::kFold: {
             int32_t val = ctx.visit(sk.value);
             int lvl = ctx.leafCtrLevel(sk.foldLevel);
-            fatal_if(lvl < 0, "%s: fold level is not a leaf counter",
-                     leaf.name.c_str());
+            if (lvl < 0) {
+                ctx.out.error =
+                    strfmt("%s: fold level is not a leaf counter",
+                           leaf.name.c_str());
+                return ctx.out;
+            }
             if (sk.crossLane) {
                 val = ctx.materialize(val);
                 for (uint32_t dist = 1; dist < lanes; dist *= 2) {
@@ -502,13 +506,26 @@ lowerLeaf(const Program &prog, NodeId leafId, uint32_t lanes)
 std::vector<StageCfg>
 lowerScalarExpr(const Program &prog, ExprId expr,
                 const std::map<CtrId, int> &ctrLevel,
-                const std::map<CtrId, int> &scalarPort, uint8_t &addrReg)
+                const std::map<CtrId, int> &scalarPort, uint8_t &addrReg,
+                std::string *err)
 {
     std::vector<StageCfg> stages;
     uint8_t nextReg = 0;
 
+    // Malformed user expressions become diagnosed errors when the
+    // caller provides `err`; without it they abort (internal callers
+    // that already validated their input).
+    auto bad = [&](const std::string &msg) {
+        if (!err)
+            fatal("%s", msg.c_str());
+        if (err->empty())
+            *err = msg;
+    };
+
     // Recursive lowering returning an Operand.
     std::function<Operand(ExprId)> lower = [&](ExprId id) -> Operand {
+        if (err && !err->empty())
+            return Operand::none();
         const Expr &e = prog.exprs[id];
         switch (e.kind) {
           case ExprKind::kConst:
@@ -520,9 +537,12 @@ lowerScalarExpr(const Program &prog, ExprId expr,
             if (lit != ctrLevel.end())
                 return Operand::ctr(static_cast<uint8_t>(lit->second));
             auto sit = scalarPort.find(e.ctr);
-            fatal_if(sit == scalarPort.end(),
-                     "scalar expr references unmapped counter '%s'",
-                     prog.ctrs[e.ctr].name.c_str());
+            if (sit == scalarPort.end()) {
+                bad(strfmt(
+                    "scalar expr references unmapped counter '%s'",
+                    prog.ctrs[e.ctr].name.c_str()));
+                return Operand::none();
+            }
             return Operand::scalarIn(static_cast<uint8_t>(sit->second));
           }
           case ExprKind::kAlu: {
@@ -535,18 +555,27 @@ lowerScalarExpr(const Program &prog, ExprId expr,
             st.a = a;
             st.b = b;
             st.c = c;
-            fatal_if(nextReg >= kMaxLanes, "scalar expr too deep");
+            if (nextReg >= kMaxLanes) {
+                bad("scalar expr too deep");
+                return Operand::none();
+            }
             st.dstReg = nextReg++;
             stages.push_back(st);
             return Operand::reg(st.dstReg);
           }
           default:
-            fatal("scalar address expression may only use counters, "
-                  "arguments and ALU ops");
+            bad("scalar address expression may only use counters, "
+                "arguments and ALU ops");
+            return Operand::none();
         }
     };
 
     Operand root = lower(expr);
+    if (err && !err->empty()) {
+        stages.clear();
+        addrReg = 0;
+        return stages;
+    }
     if (root.kind != OperandKind::kReg) {
         StageCfg st;
         st.kind = StageKind::kMap;

@@ -117,6 +117,9 @@ struct VirtualLeaf
 {
     pir::NodeId node = pir::kNone;
     std::string name;
+    /** Non-empty when lowering failed; the rest of the leaf is then
+     *  partial and must not be partitioned or mapped. */
+    std::string error;
     ChainCfg chain;              ///< leaf counter chain (bounds resolved)
     std::vector<pir::CtrId> ctrIds; ///< CtrId per chain level
     std::vector<int8_t> dynBoundScalar; ///< per level: scalar idx or -1
@@ -144,12 +147,17 @@ VirtualLeaf lowerLeaf(const pir::Program &prog, pir::NodeId leaf,
  * `ctrLevel` maps CtrId -> chain level of the port's own chain;
  * `scalarPort` maps CtrId (outer counters) -> scalar input port.
  * Returns the stages and sets `addrReg`.
+ *
+ * With `err` provided, malformed expressions (unmapped counters,
+ * too-deep trees, non-address expr kinds) set *err and return empty
+ * stages instead of aborting the process; with err == nullptr they
+ * remain fatal (internal-invariant callers).
  */
 std::vector<StageCfg>
 lowerScalarExpr(const pir::Program &prog, pir::ExprId expr,
                 const std::map<pir::CtrId, int> &ctrLevel,
                 const std::map<pir::CtrId, int> &scalarPort,
-                uint8_t &addrReg);
+                uint8_t &addrReg, std::string *err = nullptr);
 
 } // namespace plast::compiler
 

@@ -42,6 +42,10 @@ usage()
         "                    reduction-stage opcode flip (default), 2 =\n"
         "                    scratch/DRAM upsets from the fault library\n"
         "                    (ECC off), 3 = datapath register upsets\n"
+        "  --oversize        pair programs with deliberately undersized\n"
+        "                    fabrics; assert every compile either yields\n"
+        "                    a structured diagnosis or (after capacity\n"
+        "                    spilling) validates bit-exactly\n"
         "  --no-dense        skip the dense-scheduler parity re-run\n"
         "  --no-shrink       keep failing programs unshrunk\n"
         "  --quiet           suppress per-case progress\n");
@@ -116,6 +120,8 @@ main(int argc, char **argv)
                 return 2;
             }
             opts.inject = static_cast<uint32_t>(u);
+        } else if (a == "--oversize") {
+            opts.oversize = true;
         } else if (a == "--no-dense") {
             opts.checkDense = false;
         } else if (a == "--no-shrink") {
@@ -136,7 +142,9 @@ main(int argc, char **argv)
     if (haveEmit) {
         // Corpus curation: dump a generated case to stdout so clean
         // seeds can be committed and replayed as regression tests.
-        fuzz::FuzzCase c = fuzz::caseForSeed(emitSeed, opts.inject);
+        fuzz::FuzzCase c = opts.oversize
+                               ? fuzz::oversizeCaseForSeed(emitSeed)
+                               : fuzz::caseForSeed(emitSeed, opts.inject);
         std::ostringstream os;
         fuzz::writeSeedFile(os, c);
         std::fputs(os.str().c_str(), stdout);
@@ -146,8 +154,10 @@ main(int argc, char **argv)
     if (!replay.empty()) {
         fuzz::DiffResult d = fuzz::replayFile(replay, opts.checkDense);
         if (d.ok()) {
-            std::printf("PASS %s (%llu cycles)\n", replay.c_str(),
-                        static_cast<unsigned long long>(d.cycles));
+            std::printf("PASS %s (%llu cycles)%s%s\n", replay.c_str(),
+                        static_cast<unsigned long long>(d.cycles),
+                        d.detail.empty() ? "" : " — ",
+                        d.detail.c_str());
             return 0;
         }
         std::printf("FAIL %s: %s\n", replay.c_str(), d.detail.c_str());

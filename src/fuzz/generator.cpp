@@ -317,6 +317,32 @@ sampleArch(Rng &rng)
     return p;
 }
 
+ArchParams
+sampleTightArch(Rng &rng)
+{
+    ArchParams p = ArchParams::plasticineFinal();
+    static const uint32_t cols[] = {2, 3, 4};
+    static const uint32_t rows[] = {2, 3};
+    static const uint32_t stages[] = {4, 6};
+    static const uint32_t bankKb[] = {1, 2};
+    static const uint32_t chans[] = {1, 2};
+    static const uint32_t vtr[] = {1, 2};
+    static const uint32_t str[] = {2, 4};
+    static const uint32_t ags[] = {2, 4, 6};
+    p.gridCols = pick(rng, cols);
+    p.gridRows = pick(rng, rows);
+    p.pcu.stages = pick(rng, stages);
+    p.pcu.fifoDepth = 8;
+    p.pmu.fifoDepth = 8;
+    p.pmu.bankKilobytes = pick(rng, bankKb);
+    p.dram.channels = pick(rng, chans);
+    p.dram.queueDepth = 8;
+    p.vectorTracks = pick(rng, vtr);
+    p.scalarTracks = pick(rng, str);
+    p.numAgs = pick(rng, ags);
+    return p;
+}
+
 pir::Program
 generateProgram(Rng &rng)
 {

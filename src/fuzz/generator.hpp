@@ -29,6 +29,15 @@ namespace plast::fuzz
 ArchParams sampleArch(Rng &rng);
 
 /**
+ * Sample a deliberately undersized ArchParams point: tiny grids, few
+ * AGs, one or two tracks per link, kilobyte scratchpads. Programs from
+ * generateProgram frequently exceed these fabrics, exercising the
+ * compiler's pre-check / spill / diagnosed-failure paths (the
+ * `fuzz_pir --oversize` mode).
+ */
+ArchParams sampleTightArch(Rng &rng);
+
+/**
  * Generate a random valid program: 1-3 independent kernels under a
  * sequential root, each wrapped in its own outer controller so the
  * shrinker can drop whole kernels at once. DRAM input buffers follow

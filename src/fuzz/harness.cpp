@@ -9,6 +9,7 @@
 #include "fuzz/shrink.hpp"
 #include "pir/serialize.hpp"
 #include "pir/validate.hpp"
+#include "runtime/runner.hpp"
 
 namespace plast::fuzz
 {
@@ -56,9 +57,68 @@ reduceStageFault()
     };
 }
 
+FuzzCase
+oversizeCaseForSeed(uint64_t caseSeed)
+{
+    Rng rng(caseSeed);
+    FuzzCase c;
+    c.params = sampleTightArch(rng);
+    c.prog = generateProgram(rng);
+    c.expectDiagnosed = true;
+    return c;
+}
+
+DiffResult
+runOversizeCase(const FuzzCase &c)
+{
+    DiffResult res;
+    Runner r(c.prog, c.params);
+    fillInputs(r, c.prog);
+    Status st = r.tryCompile();
+    if (!st.ok()) {
+        // The failure must be a structured diagnosis, not a bare
+        // error: compile errors carry the binding resource.
+        if (st.message().empty()) {
+            res.status = DiffResult::Status::kMismatch;
+            res.detail = "compile failure with empty message";
+            return res;
+        }
+        if (st.code() == StatusCode::kCompileError &&
+            r.report().diag.binding.empty()) {
+            res.status = DiffResult::Status::kMismatch;
+            res.detail = strfmt("undiagnosed compile failure: %s",
+                                st.message().c_str());
+            return res;
+        }
+        res.detail = strfmt(
+            "diagnosed (%s)",
+            st.code() == StatusCode::kCompileError
+                ? r.report().diag.binding.c_str()
+                : statusCodeName(st.code()));
+        return res;
+    }
+    // The design fit — possibly only via capacity spilling. A spilled
+    // compile must still compute bit-identical results.
+    Runner::Result out;
+    Status rv = r.tryRunValidated(out);
+    if (!rv.ok()) {
+        res.status = DiffResult::Status::kMismatch;
+        res.detail = strfmt("compiled design failed validation: %s",
+                            rv.message().c_str());
+        return res;
+    }
+    res.cycles = out.cycles;
+    if (!r.report().diag.spills.empty())
+        res.detail = strfmt("spilled %zu and validated",
+                            r.report().diag.spills.size());
+    return res;
+}
+
 DiffResult
 runCase(const FuzzCase &c, bool checkDense)
 {
+    if (c.expectDiagnosed)
+        return runOversizeCase(c);
     DiffOptions d;
     d.checkDense = checkDense;
     if (c.inject == 1)
@@ -79,6 +139,8 @@ writeSeedFile(std::ostream &os, const FuzzCase &c)
        << p.dram.queueDepth << ' ' << p.vectorTracks << ' '
        << p.scalarTracks << ' ' << p.numAgs << '\n';
     os << "inject " << c.inject << '\n';
+    if (c.expectDiagnosed)
+        os << "expect diagnosed\n";
     writeProgram(os, c.prog);
 }
 
@@ -122,6 +184,29 @@ readSeedFile(std::istream &is, FuzzCase &out, std::string *err)
         return fail("expected 'inject' line after 'arch'");
     out.params = p;
     out.inject = inj;
+    // Optional 'expect diagnosed' line (oversize reproducers). Peek
+    // manually so the program header line is left for readProgram.
+    out.expectDiagnosed = false;
+    std::streampos pos = is.tellg();
+    std::string probe;
+    while (std::getline(is, probe)) {
+        size_t pch = probe.find_first_not_of(" \t\r");
+        if (pch == std::string::npos || probe[pch] == '#') {
+            pos = is.tellg();
+            continue;
+        }
+        std::istringstream ex(probe);
+        std::string what;
+        if ((ex >> tok) && tok == "expect") {
+            if (!(ex >> what) || what != "diagnosed")
+                return fail("unknown 'expect' directive");
+            out.expectDiagnosed = true;
+        } else {
+            is.clear();
+            is.seekg(pos);
+        }
+        break;
+    }
     return readProgram(is, out.prog, err);
 }
 
@@ -161,7 +246,9 @@ fuzz(const FuzzOptions &opts)
 
     for (uint32_t run = 0; run < opts.runs && !expired(); ++run) {
         const uint64_t caseSeed = seedRng.next();
-        FuzzCase c = caseForSeed(caseSeed, opts.inject);
+        FuzzCase c = opts.oversize
+                         ? oversizeCaseForSeed(caseSeed)
+                         : caseForSeed(caseSeed, opts.inject);
         DiffResult d = runCase(c, opts.checkDense);
         ++stats.executed;
         if (opts.progress)
@@ -198,7 +285,8 @@ fuzz(const FuzzOptions &opts)
         FuzzCase minimal = c;
         if (opts.shrink) {
             auto stillFails = [&](const Program &cand) {
-                FuzzCase probe{cand, c.params, c.inject};
+                FuzzCase probe{cand, c.params, c.inject,
+                               c.expectDiagnosed};
                 return runCase(probe, opts.checkDense).mismatch();
             };
             ShrinkResult sr = shrinkProgram(c.prog, stillFails);

@@ -33,10 +33,26 @@ struct FuzzCase
      *  off, so they surface as output corruption), 3 = seeded datapath
      *  upsets (PCU pipeline registers + scratch words). */
     uint32_t inject = 0;
+    /** Oversize case (the seed file's `expect diagnosed` line): the
+     *  design likely exceeds the fabric; the oracle is "tryCompile
+     *  returns a clean structured diagnosis, or the compile (possibly
+     *  after capacity spilling) passes validated execution" — never a
+     *  crash. */
+    bool expectDiagnosed = false;
 };
 
 /** Deterministically derive the case for one seed. */
 FuzzCase caseForSeed(uint64_t caseSeed, uint32_t inject = 0);
+
+/** Derive an oversize case: a normal program paired with a
+ *  deliberately undersized fabric (sampleTightArch). */
+FuzzCase oversizeCaseForSeed(uint64_t caseSeed);
+
+/** Run the oversize oracle on one case (see
+ *  FuzzCase::expectDiagnosed). kOk = cleanly diagnosed or compiled +
+ *  validated; kMismatch = diagnosis missing its structure or a spilled
+ *  compile that computes wrong results. */
+DiffResult runOversizeCase(const FuzzCase &c);
 
 /**
  * The canned hardware fault: flip the combiner opcode of the first
@@ -67,6 +83,9 @@ struct FuzzOptions
     /** Stop after this many wall-clock seconds (0 = unlimited). */
     uint32_t timeBudgetSec = 0;
     uint32_t inject = 0; ///< FuzzCase::inject mode for every case
+    /** Generate oversize cases (tight fabrics) and run the
+     *  diagnosed-or-correct oracle instead of the differential one. */
+    bool oversize = false;
     bool checkDense = true;
     bool shrink = true;
     /** Write shrunk reproducers here ("" = don't persist). */

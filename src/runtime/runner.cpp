@@ -1,6 +1,7 @@
 #include "runtime/runner.hpp"
 
 #include "base/logging.hpp"
+#include "pir/validate.hpp"
 
 namespace plast
 {
@@ -27,6 +28,13 @@ Runner::setUnitMask(compiler::UnitMask mask)
 }
 
 void
+Runner::setCompileOptions(compiler::CompileOptions opts)
+{
+    panic_if(compiled_, "setCompileOptions after compilation");
+    copts_ = opts;
+}
+
+void
 Runner::setFaultInjector(resilience::FaultInjector *inj)
 {
     injector_ = inj;
@@ -50,12 +58,22 @@ Runner::tryCompile()
 {
     if (compiled_)
         return Status();
-    map_ = compiler::compileProgram(prog_, params_, mask_);
+    // Structural validation first: program shapes the compiler cannot
+    // map get a diagnosis naming the construct, not a mapper error.
+    std::vector<std::string> problems =
+        validateProgram(prog_, params_.pcu.lanes);
+    if (!problems.empty()) {
+        return Status(StatusCode::kValidationError,
+                      strfmt("validation of '%s' failed: %s",
+                             prog_.name.c_str(), problems[0].c_str()));
+    }
+    map_ = compiler::compileProgram(prog_, params_, mask_, copts_);
     if (!map_.report.ok) {
         return Status(StatusCode::kCompileError,
-                      strfmt("compilation of '%s' failed: %s",
+                      strfmt("compilation of '%s' failed: %s\n%s",
                              prog_.name.c_str(),
-                             map_.report.error.c_str()));
+                             map_.report.error.c_str(),
+                             map_.report.diag.summary().c_str()));
     }
     if (configTweak_)
         configTweak_(map_.fabric);

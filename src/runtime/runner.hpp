@@ -102,6 +102,9 @@ class Runner
     /** Compile with faulted physical units masked out of placement.
      *  Must be called before compilation. */
     void setUnitMask(compiler::UnitMask mask);
+    /** Compile-pipeline knobs (router mode, restart / spill budgets).
+     *  Must be called before compilation. */
+    void setCompileOptions(compiler::CompileOptions opts);
     /** Fault injector armed on every fabric the runner builds (and
      *  installed as the DRAM fault hook). */
     void setFaultInjector(resilience::FaultInjector *inj);
@@ -133,6 +136,7 @@ class Runner
     SimOptions simOpts_;
     bool compiled_ = false;
     compiler::UnitMask mask_;
+    compiler::CompileOptions copts_;
     resilience::FaultInjector *injector_ = nullptr;
     compiler::MapResult map_;
     std::map<pir::MemId, std::vector<Word>> host_;

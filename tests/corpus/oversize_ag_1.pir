@@ -1,0 +1,45 @@
+# fuzz_pir reproducer (replay with: fuzz_pir --replay <file>)
+arch 4 2 6 8 2 1 8 1 4 2
+inject 0
+expect diagnosed
+# pir seed file (see src/pir/serialize.hpp)
+pir 1
+program fuzz
+argouts 1
+args 0
+mems 2
+mem 0 16 0 1 -1 fin0_0
+mem 0 16 0 1 -1 fin0_1
+ctrs 2
+ctr 0 1 1 -1 -1 -1 1 0 w0
+ctr 0 1 16 -1 -1 -1 1 1 i0_0
+exprs 10
+expr 0 0xbf8cacfc -1 -1 0 -1 -1 -1 -1 -1 -1 -1
+expr 0 0xbe1f7bf0 -1 -1 0 -1 -1 -1 -1 -1 -1 -1
+expr 2 0x0 -1 1 0 -1 -1 -1 -1 -1 -1 -1
+expr 5 0x0 -1 -1 0 -1 -1 -1 -1 -1 0 -1
+expr 5 0x0 -1 -1 0 -1 -1 -1 -1 -1 1 -1
+expr 3 0x0 -1 -1 22 3 4 -1 -1 -1 -1 -1
+expr 5 0x0 -1 -1 0 -1 -1 -1 -1 -1 0 -1
+expr 3 0x0 -1 -1 32 6 1 -1 -1 -1 -1 -1
+expr 0 0x0 -1 -1 0 -1 -1 -1 -1 -1 -1 -1
+expr 3 0x0 -1 -1 41 7 5 8 -1 -1 -1 -1
+nodes 3
+node 0 -1 root
+outer 0 0 ctrs 0 children 1 1
+node 0 0 kernel0
+outer 0 0 ctrs 1 0 children 1 2
+node 1 1 sf0
+leafctrs 1 1
+streamins 2 0 2 1 2
+scalarins 0
+sinks 1
+sink 1 9 -1 -1 0 21 21 1 1 -1 -1 0 0 -1 -1 -1 -1 -1
+root 0
+end
+#
+# controller tree:
+#   program fuzz
+#     root [sequential]
+#       kernel0 [sequential w0]
+#         compute sf0 (1 ctrs, 1 sinks)

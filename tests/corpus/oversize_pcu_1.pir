@@ -1,0 +1,74 @@
+# fuzz_pir reproducer (replay with: fuzz_pir --replay <file>)
+arch 3 2 6 8 1 2 8 2 2 6
+inject 0
+expect diagnosed
+# pir seed file (see src/pir/serialize.hpp)
+pir 1
+program fuzz
+argouts 1
+args 0
+mems 2
+mem 0 224 0 1 -1 iin0_0
+mem 0 224 0 1 -1 iin0_1
+ctrs 4
+ctr 0 1 1 -1 -1 -1 1 0 w0
+ctr 0 1 112 -1 -1 -1 1 1 i0_0
+ctr 112 1 224 -1 -1 -1 1 1 i0_1
+ctr 0 1 1 -1 -1 -1 1 1 c0.one
+exprs 23
+expr 0 0x16d5 -1 -1 0 -1 -1 -1 -1 -1 -1 -1
+expr 0 0x26c1 -1 -1 0 -1 -1 -1 -1 -1 -1 -1
+expr 2 0x0 -1 1 0 -1 -1 -1 -1 -1 -1 -1
+expr 5 0x0 -1 -1 0 -1 -1 -1 -1 -1 0 -1
+expr 5 0x0 -1 -1 0 -1 -1 -1 -1 -1 1 -1
+expr 3 0x0 -1 -1 11 3 4 -1 -1 -1 -1 -1
+expr 3 0x0 -1 -1 6 5 0 -1 -1 -1 -1 -1
+expr 5 0x0 -1 -1 0 -1 -1 -1 -1 -1 0 -1
+expr 3 0x0 -1 -1 18 7 1 -1 -1 -1 -1 -1
+expr 0 0x7fffffff -1 -1 0 -1 -1 -1 -1 -1 -1 -1
+expr 3 0x0 -1 -1 41 8 6 9 -1 -1 -1 -1
+expr 2 0x0 -1 2 0 -1 -1 -1 -1 -1 -1 -1
+expr 5 0x0 -1 -1 0 -1 -1 -1 -1 -1 0 -1
+expr 5 0x0 -1 -1 0 -1 -1 -1 -1 -1 1 -1
+expr 3 0x0 -1 -1 11 12 13 -1 -1 -1 -1 -1
+expr 3 0x0 -1 -1 6 14 0 -1 -1 -1 -1 -1
+expr 5 0x0 -1 -1 0 -1 -1 -1 -1 -1 0 -1
+expr 3 0x0 -1 -1 18 16 1 -1 -1 -1 -1 -1
+expr 0 0x7fffffff -1 -1 0 -1 -1 -1 -1 -1 -1 -1
+expr 3 0x0 -1 -1 41 17 15 18 -1 -1 -1 -1
+expr 6 0x0 -1 -1 0 -1 -1 -1 -1 -1 -1 0
+expr 6 0x0 -1 -1 0 -1 -1 -1 -1 -1 -1 1
+expr 3 0x0 -1 -1 6 20 21 -1 -1 -1 -1 -1
+nodes 5
+node 0 -1 root
+outer 0 0 ctrs 0 children 1 1
+node 0 0 kernel0
+outer 0 0 ctrs 1 0 children 3 2 3 4
+node 1 1 sf0_0
+leafctrs 1 1
+streamins 2 0 2 1 2
+scalarins 0
+sinks 1
+sink 1 10 -1 -1 0 21 6 1 1 -1 -1 2 -1 -1 -1 -1 -1 -1
+node 1 1 sf0_1
+leafctrs 1 2
+streamins 2 0 11 1 11
+scalarins 0
+sinks 1
+sink 1 19 -1 -1 0 21 6 2 1 -1 -1 2 -1 -1 -1 -1 -1 -1
+node 1 1 combine0
+leafctrs 1 3
+streamins 0
+scalarins 2 2 0 3 0
+sinks 1
+sink 1 22 -1 -1 0 21 6 3 1 -1 -1 0 0 -1 -1 -1 -1 -1
+root 0
+end
+#
+# controller tree:
+#   program fuzz
+#     root [sequential]
+#       kernel0 [sequential w0]
+#         compute sf0_0 (1 ctrs, 1 sinks)
+#         compute sf0_1 (1 ctrs, 1 sinks)
+#         compute combine0 (1 ctrs, 1 sinks)
