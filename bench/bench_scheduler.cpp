@@ -1,11 +1,20 @@
 /**
  * @file
  * Host-side cost of the simulation core: runs every Table 4 benchmark
- * end to end (compile, load, simulate) under the dense-tick loop and
- * under the activity-driven scheduler, and reports the wall-clock
- * speedup. Both modes produce bit-identical cycle results (enforced by
- * the test suite); the win comes from not ticking blocked units,
- * committing only dirty streams, and fast-forwarding idle regions.
+ * end to end under three engine combinations — dense tick +
+ * interpreter, activity scheduling + interpreter, and activity
+ * scheduling + specialized execution plans — and reports the
+ * wall-clock speedups of the *simulation phase* (compile, place &
+ * route and input loading are engine-independent and timed
+ * separately). All combinations produce bit-identical cycle results
+ * (enforced here fatally and by the test suite); the activity win
+ * comes from not ticking blocked units, and the specialization win
+ * from flat pre-resolved stage plans, monomorphic vectorized kernels
+ * and elided dead machinery (DESIGN.md §13).
+ *
+ * `--paper` additionally runs InnerProduct at the paper's dataset size
+ * (768 M elements, Table 7) under the specialized engine — the run the
+ * interpretive simulator could not complete in reasonable wall-clock.
  */
 
 #include <chrono>
@@ -23,7 +32,8 @@ namespace
 
 struct ModeRun
 {
-    double wallSeconds = 0;
+    double setupSeconds = 0; ///< compile + place-and-route + load
+    double simSeconds = 0;   ///< Runner::run() only
     Cycles cycles = 0;
 };
 
@@ -36,17 +46,43 @@ timeApp(const apps::AppSpec &spec, apps::Scale scale, SimOptions opts,
     Runner runner(std::move(app.prog), ArchParams::plasticineFinal(),
                   opts);
     app.load(runner);
-    Runner::Result res = runner.run();
     auto t1 = std::chrono::steady_clock::now();
+    Runner::Result res = runner.run();
+    auto t2 = std::chrono::steady_clock::now();
 
     if (statsOut) {
         for (const auto &[name, value] : res.stats.all())
             statsOut->set(spec.name + "." + name, value);
     }
     ModeRun out;
-    out.wallSeconds = std::chrono::duration<double>(t1 - t0).count();
+    out.setupSeconds = std::chrono::duration<double>(t1 - t0).count();
+    out.simSeconds = std::chrono::duration<double>(t2 - t1).count();
     out.cycles = res.cycles;
     return out;
+}
+
+void
+runPaperScaleInnerProduct()
+{
+    std::printf("\n=== Paper-scale InnerProduct (768 M elements, "
+                "Table 7) — activity + specialized ===\n");
+    auto t0 = std::chrono::steady_clock::now();
+    apps::AppInstance app =
+        apps::makeInnerProduct(apps::Scale::kPaper);
+    SimOptions opts;
+    opts.simMode = SimMode::kSpecialized;
+    Runner runner(std::move(app.prog), ArchParams::plasticineFinal(),
+                  opts);
+    app.load(runner);
+    auto t1 = std::chrono::steady_clock::now();
+    Runner::Result res = runner.run();
+    auto t2 = std::chrono::steady_clock::now();
+    double setup = std::chrono::duration<double>(t1 - t0).count();
+    double sim = std::chrono::duration<double>(t2 - t1).count();
+    std::printf("completed: %llu cycles | setup %.1f s | sim %.1f s "
+                "(%.2f Mcycles/s)\n",
+                (unsigned long long)res.cycles, setup, sim,
+                static_cast<double>(res.cycles) / sim / 1e6);
 }
 
 } // namespace
@@ -55,11 +91,13 @@ int
 main(int argc, char **argv)
 {
     setVerbose(false);
-    bool tiny = false;
+    bool tiny = false, paper = false;
     std::string json_path;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--tiny") == 0)
             tiny = true;
+        else if (std::strcmp(argv[i], "--paper") == 0)
+            paper = true;
         else if (std::strncmp(argv[i], "--stats-json=", 13) == 0)
             json_path = argv[i] + 13;
     }
@@ -67,37 +105,62 @@ main(int argc, char **argv)
 
     SimOptions dense;
     dense.mode = SimOptions::Mode::kDense;
-    SimOptions activity; // default
+    SimOptions activity; // default: activity scheduler, interpreter
+    SimOptions specialized;
+    specialized.simMode = SimMode::kSpecialized;
 
-    std::printf("=== Simulation-core cost: dense tick vs activity "
-                "scheduling (end-to-end per app) ===\n");
-    std::printf("%-14s | %10s | %10s %10s | %8s\n", "benchmark",
-                "cycles", "dense_s", "activity_s", "speedup");
+    std::printf("=== Simulation-phase cost: dense+interp vs "
+                "activity+interp vs activity+specialized ===\n");
+    std::printf("%-14s | %10s | %8s | %9s %9s %9s | %7s %7s\n",
+                "benchmark", "cycles", "setup_s", "dense_s", "activ_s",
+                "spec_s", "act_x", "spec_x");
 
     StatSet json_stats;
-    double dense_total = 0, act_total = 0;
+    double dense_total = 0, act_total = 0, spec_total = 0;
     for (const auto &spec : apps::allApps()) {
         ModeRun d = timeApp(spec, scale, dense);
-        ModeRun a = timeApp(spec, scale, activity,
+        ModeRun a = timeApp(spec, scale, activity);
+        ModeRun s = timeApp(spec, scale, specialized,
                             json_path.empty() ? nullptr : &json_stats);
         fatal_if(d.cycles != a.cycles,
-                 "%s: mode cycle mismatch (%llu vs %llu)",
+                 "%s: scheduler cycle mismatch (%llu vs %llu)",
                  spec.name.c_str(), (unsigned long long)d.cycles,
                  (unsigned long long)a.cycles);
-        dense_total += d.wallSeconds;
-        act_total += a.wallSeconds;
-        std::printf("%-14s | %10llu | %10.4f %10.4f | %7.2fx\n",
+        fatal_if(s.cycles != a.cycles,
+                 "%s: datapath cycle mismatch (%llu vs %llu)",
+                 spec.name.c_str(), (unsigned long long)s.cycles,
+                 (unsigned long long)a.cycles);
+        dense_total += d.simSeconds;
+        act_total += a.simSeconds;
+        spec_total += s.simSeconds;
+        std::printf("%-14s | %10llu | %8.4f | %9.4f %9.4f %9.4f | "
+                    "%6.2fx %6.2fx\n",
                     spec.name.c_str(), (unsigned long long)d.cycles,
-                    d.wallSeconds, a.wallSeconds,
-                    d.wallSeconds / a.wallSeconds);
+                    s.setupSeconds, d.simSeconds, a.simSeconds,
+                    s.simSeconds, d.simSeconds / a.simSeconds,
+                    d.simSeconds / s.simSeconds);
+        if (!json_path.empty()) {
+            json_stats.set(spec.name + ".wall_us.setup",
+                           (uint64_t)(s.setupSeconds * 1e6));
+            json_stats.set(spec.name + ".wall_us.dense_interp",
+                           (uint64_t)(d.simSeconds * 1e6));
+            json_stats.set(spec.name + ".wall_us.activity_interp",
+                           (uint64_t)(a.simSeconds * 1e6));
+            json_stats.set(spec.name + ".wall_us.activity_specialized",
+                           (uint64_t)(s.simSeconds * 1e6));
+        }
     }
-    std::printf("%-14s | %10s | %10.4f %10.4f | %7.2fx\n", "total", "",
-                dense_total, act_total, dense_total / act_total);
+    std::printf("%-14s | %10s | %8s | %9.4f %9.4f %9.4f | %6.2fx "
+                "%6.2fx\n",
+                "total", "", "", dense_total, act_total, spec_total,
+                dense_total / act_total, dense_total / spec_total);
     if (!json_path.empty()) {
         std::ofstream os(json_path);
         fatal_if(!os, "cannot open %s", json_path.c_str());
         json_stats.dumpJson(os);
         std::printf("stats: %s\n", json_path.c_str());
     }
+    if (paper)
+        runPaperScaleInnerProduct();
     return 0;
 }

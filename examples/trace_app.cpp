@@ -31,6 +31,8 @@ usage()
     std::printf(
         "usage: trace_app <app> [options]\n"
         "  --mode=activity|dense   simulation mode (default activity)\n"
+        "  --sim-mode=interp|specialized\n"
+        "                          datapath engine (default interp)\n"
         "  --scale=tiny|default    workload size (default tiny)\n"
         "  --trace=<path>          write Chrome trace-event JSON\n"
         "  --util-csv=<path>       write epoch utilization CSV\n"
@@ -75,6 +77,9 @@ main(int argc, char **argv)
         if (!(v = flagValue(arg, "--mode")).empty()) {
             opts.mode = v == "dense" ? SimOptions::Mode::kDense
                                      : SimOptions::Mode::kActivity;
+        } else if (!(v = flagValue(arg, "--sim-mode")).empty()) {
+            opts.simMode = v == "specialized" ? SimMode::kSpecialized
+                                              : SimMode::kInterp;
         } else if (!(v = flagValue(arg, "--scale")).empty()) {
             scale = v == "default" ? apps::Scale::kDefault
                                    : apps::Scale::kTiny;
@@ -118,10 +123,12 @@ main(int argc, char **argv)
     Runner runner(app.prog, ArchParams::plasticineFinal(), opts);
     app.load(runner);
     Runner::Result res = runner.run();
-    std::printf("%s: %llu cycles (%s mode)\n", app.name.c_str(),
+    std::printf("%s: %llu cycles (%s mode, %s datapath)\n",
+                app.name.c_str(),
                 static_cast<unsigned long long>(res.cycles),
                 opts.mode == SimOptions::Mode::kDense ? "dense"
-                                                      : "activity");
+                                                      : "activity",
+                simModeName(opts.simMode));
 
     const Fabric *fab = runner.fabric();
     if (!trace_path.empty()) {

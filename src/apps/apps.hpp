@@ -46,8 +46,10 @@ struct AppInstance
     double fpgaTrafficFactor = 1.0;
 };
 
-/** Scale selector: small sizes for tests, default for benches. */
-enum class Scale { kTiny, kDefault };
+/** Scale selector: small sizes for tests, default for benches,
+ *  kPaper for the paper's original dataset sizes (Table 7) on apps
+ *  that support it (others fall back to their default size). */
+enum class Scale { kTiny, kDefault, kPaper };
 
 AppInstance makeInnerProduct(Scale scale, uint32_t par = 2);
 AppInstance makeOuterProduct(Scale scale);

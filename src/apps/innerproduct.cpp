@@ -17,8 +17,11 @@ using namespace pir;
 AppInstance
 makeInnerProduct(Scale scale, uint32_t par)
 {
-    const uint64_t n = scale == Scale::kTiny ? 4096 : (1ull << 20);
     const double paper_n = 768e6;
+    const uint64_t n = scale == Scale::kTiny ? 4096
+                       : scale == Scale::kPaper
+                           ? static_cast<uint64_t>(paper_n)
+                           : (1ull << 20);
 
     Builder b("InnerProduct");
     MemId va = b.dram("a", n);

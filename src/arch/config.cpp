@@ -1,5 +1,7 @@
 #include "arch/config.hpp"
 
+#include <algorithm>
+
 #include "base/logging.hpp"
 
 namespace plast
@@ -160,6 +162,95 @@ FabricConfig::describe() const
                   "%u boxes, %zu channels",
                   usedPcus(), pcus.size(), usedPmus(), pmus.size(),
                   usedAgs(), ags.size(), used_boxes, channels.size());
+}
+
+// --------------------------------------------------------------------
+// Reachability / deadness analysis
+// --------------------------------------------------------------------
+
+namespace
+{
+
+void
+noteOperand(const Operand &op, PcuLiveness &lv)
+{
+    if (op.kind == OperandKind::kReg)
+        lv.readRegs |= 1u << op.index;
+    if (op.kind == OperandKind::kVectorIn &&
+        std::find(lv.vecInRefs.begin(), lv.vecInRefs.end(), op.index) ==
+            lv.vecInRefs.end())
+        lv.vecInRefs.push_back(op.index);
+}
+
+} // namespace
+
+PcuLiveness
+analyzePcu(const PcuCfg &cfg)
+{
+    PcuLiveness lv;
+    for (const StageCfg &st : cfg.stages) {
+        // Conservative: count every operand slot, not just the op's
+        // arity — a dead slot left pointing at a register still makes
+        // that register part of the reset set.
+        noteOperand(st.a, lv);
+        noteOperand(st.b, lv);
+        noteOperand(st.c, lv);
+        lv.writtenRegs |= 1u << st.dstReg;
+        if (st.kind == StageKind::kMap && st.setsMask)
+            lv.anySetsMask = true;
+    }
+    for (size_t p = 0; p < cfg.vecOuts.size(); ++p) {
+        const VecOutCfg &vo = cfg.vecOuts[p];
+        if (!vo.enabled)
+            continue;
+        lv.liveVecOuts.push_back(static_cast<uint8_t>(p));
+        lv.readRegs |= 1u << vo.srcReg;
+        lv.anyCoalesce |= vo.coalesce;
+    }
+    for (size_t p = 0; p < cfg.scalOuts.size(); ++p) {
+        const ScalOutCfg &so = cfg.scalOuts[p];
+        if (!so.enabled)
+            continue;
+        if (so.countOfVecOut >= 0) {
+            lv.countScalOuts.push_back(static_cast<uint8_t>(p));
+        } else {
+            lv.liveScalOuts.push_back(static_cast<uint8_t>(p));
+            lv.readRegs |= 1u << so.srcReg;
+        }
+    }
+    lv.touchedRegs = lv.readRegs | lv.writtenRegs;
+    return lv;
+}
+
+FabricLiveness
+analyzeFabric(const FabricConfig &cfg)
+{
+    FabricLiveness fl;
+    fl.pcus.reserve(cfg.pcus.size());
+    for (const PcuCfg &pcu : cfg.pcus)
+        fl.pcus.push_back(analyzePcu(pcu));
+
+    auto routed = [&cfg](NetKind kind, uint16_t pcu, uint8_t port) {
+        UnitRef self{UnitClass::kPcu, pcu};
+        for (const ChannelCfg &ch : cfg.channels) {
+            if (ch.kind == kind && ch.src.unit == self &&
+                ch.src.port == port)
+                return true;
+        }
+        return false;
+    };
+    for (size_t i = 0; i < cfg.pcus.size(); ++i) {
+        if (!cfg.pcus[i].used)
+            continue;
+        uint16_t idx = static_cast<uint16_t>(i);
+        for (uint8_t p : fl.pcus[i].liveVecOuts)
+            fl.unroutedPcuOuts += routed(NetKind::kVector, idx, p) ? 0 : 1;
+        for (uint8_t p : fl.pcus[i].liveScalOuts)
+            fl.unroutedPcuOuts += routed(NetKind::kScalar, idx, p) ? 0 : 1;
+        for (uint8_t p : fl.pcus[i].countScalOuts)
+            fl.unroutedPcuOuts += routed(NetKind::kScalar, idx, p) ? 0 : 1;
+    }
+    return fl;
 }
 
 } // namespace plast

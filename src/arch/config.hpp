@@ -414,6 +414,51 @@ struct FabricConfig
     std::string describe() const;
 };
 
+// --------------------------------------------------------------------
+// Reachability / deadness analysis
+// --------------------------------------------------------------------
+
+/**
+ * What a mapped PCU configuration can actually exercise. Computed once
+ * per config; the specializer (sim/execplan.hpp) uses it to elide the
+ * machinery a config provably cannot touch from the per-cycle path:
+ * only `touchedRegs` lane arrays are reset per issue, only the live
+ * output ports are scanned at retire, and coalescing/run-count logic
+ * is skipped entirely when no port uses it.
+ *
+ * Conservatism contract: every register the datapath may read or write
+ * during a run is in `touchedRegs`, and every enabled output port is
+ * live — analysis may over-approximate (extra resets are harmless,
+ * they match the interpreter's zero-initialised wavefronts) but never
+ * under-approximate.
+ */
+struct PcuLiveness
+{
+    uint32_t readRegs = 0;    ///< bitmask: regs any operand or srcReg reads
+    uint32_t writtenRegs = 0; ///< bitmask: regs any stage dstReg writes
+    uint32_t touchedRegs = 0; ///< readRegs | writtenRegs
+    std::vector<uint8_t> liveVecOuts;   ///< indices of enabled vector outs
+    std::vector<uint8_t> liveScalOuts;  ///< enabled register scalar outs
+    std::vector<uint8_t> countScalOuts; ///< enabled FlatMap-count outs
+    std::vector<uint8_t> vecInRefs;     ///< vector inputs any stage reads
+    bool anyCoalesce = false; ///< some live vector out coalesces
+    bool anySetsMask = false; ///< some map stage filters the lane mask
+};
+
+PcuLiveness analyzePcu(const PcuCfg &cfg);
+
+/** Per-unit liveness for a whole mapped fabric, plus cross-checks that
+ *  only make sense with channel routing in view. */
+struct FabricLiveness
+{
+    std::vector<PcuLiveness> pcus; ///< indexed like FabricConfig::pcus
+    /** Enabled PCU output ports with no routed channel: data the unit
+     *  computes but the fabric provably drops (suspicious mappings). */
+    uint32_t unroutedPcuOuts = 0;
+};
+
+FabricLiveness analyzeFabric(const FabricConfig &cfg);
+
 } // namespace plast
 
 #endif // PLAST_ARCH_CONFIG_HPP

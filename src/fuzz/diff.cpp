@@ -166,9 +166,11 @@ diffRun(const Program &prog, const ArchParams &params,
     }
     std::vector<std::unique_ptr<resilience::FaultInjector>> injectors;
 
-    auto runMode = [&](SimOptions::Mode mode) {
+    auto runMode = [&](SimOptions::Mode mode,
+                       SimMode simMode = SimMode::kInterp) {
         SimOptions so;
         so.mode = mode;
+        so.simMode = simMode;
         auto r = std::make_unique<Runner>(prog, params, so);
         if (opts.tweak)
             r->setConfigTweak(opts.tweak);
@@ -257,6 +259,50 @@ diffRun(const Program &prog, const ArchParams &params,
         if (auto e = checkLedger(*dense->fabric()); !e.empty()) {
             out.status = DiffResult::Status::kMismatch;
             out.detail = "dense " + e;
+            return out;
+        }
+    }
+
+    // 4. Datapath parity: the specialized execution plans must be bit-
+    //    and cycle-exact against the interpreter.
+    if (opts.checkSpecialized) {
+        auto spec =
+            runMode(SimOptions::Mode::kActivity, SimMode::kSpecialized);
+        Runner::Result sres = spec->run(opts.maxCycles);
+        if (sres.cycles != ares.cycles) {
+            out.status = DiffResult::Status::kMismatch;
+            out.detail = strfmt(
+                "datapath parity: specialized %llu cycles vs interp %llu",
+                static_cast<unsigned long long>(sres.cycles),
+                static_cast<unsigned long long>(ares.cycles));
+            return out;
+        }
+        for (uint32_t s = 0; s < prog.numArgOuts; ++s) {
+            auto d = firstDiff(strfmt("argOut[%u]", s).c_str(),
+                               argOutWords(ares, s),
+                               argOutWords(sres, s));
+            if (!d.empty()) {
+                out.status = DiffResult::Status::kMismatch;
+                out.detail = "interp vs specialized " + d;
+                return out;
+            }
+        }
+        for (size_t m = 0; m < prog.mems.size(); ++m) {
+            if (prog.mems[m].kind != MemKind::kDram)
+                continue;
+            MemId mid = static_cast<MemId>(m);
+            auto d = firstDiff(
+                strfmt("dram '%s'", prog.mems[m].name.c_str()).c_str(),
+                activity->readDram(mid), spec->readDram(mid));
+            if (!d.empty()) {
+                out.status = DiffResult::Status::kMismatch;
+                out.detail = "interp vs specialized " + d;
+                return out;
+            }
+        }
+        if (auto e = checkLedger(*spec->fabric()); !e.empty()) {
+            out.status = DiffResult::Status::kMismatch;
+            out.detail = "specialized " + e;
             return out;
         }
     }

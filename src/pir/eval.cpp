@@ -330,7 +330,7 @@ Evaluator::execCompute(const Node &n)
                     if (fifo && a >= m.size())
                         m.resize(a + 1, 0);
                     if (sk.accumulate)
-                        v = fuExec(sk.accumOp, m.at(a), v);
+                        v = fuExec(sk.accumOp, m.at(a), v, 0);
                     m.at(a) = v;
                     ++counts_.sramWordsWritten;
                 }
@@ -353,15 +353,16 @@ Evaluator::execCompute(const Node &n)
                     for (uint32_t dist = 1; dist < lanes_; dist *= 2) {
                         for (uint32_t i = 0; i + dist < lanes_;
                              i += 2 * dist)
-                            v[i] = fuExec(sk.foldOp, v[i], v[i + dist]);
+                            v[i] = fuExec(sk.foldOp, v[i],
+                                           v[i + dist], 0);
                     }
-                    fs.acc[0] = fuExec(sk.foldOp, fs.acc[0], v[0]);
+                    fs.acc[0] = fuExec(sk.foldOp, fs.acc[0], v[0], 0);
                 } else {
                     for (uint32_t l = 0; l < lanes_; ++l) {
                         if (wf.valid(l)) {
                             fs.acc[l] = fuExec(
                                 sk.foldOp, fs.acc[l],
-                                evalExpr(sk.value, l, n, wf, cache));
+                                evalExpr(sk.value, l, n, wf, cache), 0);
                         }
                     }
                 }
@@ -393,7 +394,7 @@ Evaluator::execCompute(const Node &n)
                         std::vector<Word> &m = memData_[sk.mem];
                         Word v = post(fs.acc[0], 0);
                         if (sk.accumulate)
-                            v = fuExec(sk.accumOp, m.at(a), v);
+                            v = fuExec(sk.accumOp, m.at(a), v, 0);
                         m.at(a) = v;
                         ++counts_.sramWordsWritten;
                     } else {
@@ -404,7 +405,7 @@ Evaluator::execCompute(const Node &n)
                             std::vector<Word> &m = memData_[sk.mem];
                             Word v = post(fs.acc[l], l);
                             if (sk.accumulate)
-                                v = fuExec(sk.accumOp, m.at(a), v);
+                                v = fuExec(sk.accumOp, m.at(a), v, 0);
                             m.at(a) = v;
                             ++counts_.sramWordsWritten;
                         }

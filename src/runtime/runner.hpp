@@ -89,6 +89,11 @@ class Runner
      *  cycle ledgers for post-run analysis. */
     const Fabric *fabric() const { return fabric_.get(); }
 
+    /** Select the datapath engine (interpreted or specialized plans)
+     *  for fabrics this runner builds. Must be called before the first
+     *  run; both engines are bit-exact (see DESIGN.md §13). */
+    void setSimMode(SimMode mode);
+
     /**
      * Install a hook that mutates the compiled FabricConfig before the
      * fabric is instantiated. Used by the fuzz harness to inject

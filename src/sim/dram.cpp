@@ -14,7 +14,11 @@ void
 DramChannel::submit(const DramReq &req, Cycles now)
 {
     panic_if(!canSubmit(), "DRAM channel %u queue overflow", index_);
-    queue_.push_back({now, req});
+    Pending p{now, req, 0, 0};
+    rowOf(req.lineAddr, p.bank, p.row);
+    queue_.push_back(p);
+    // A new request may target an idle bank: re-enable the scan.
+    nextIssueAt_ = 0;
 }
 
 void
@@ -39,33 +43,37 @@ DramChannel::step(Cycles now, std::vector<DramReq> &completed)
         responses_.pop_front();
     }
 
-    if (queue_.empty())
+    if (queue_.empty() || now < nextIssueAt_)
         return;
 
     // FR-FCFS: oldest row-hit whose bank is ready; else oldest ready.
+    // The scan is pure, so when every target bank is busy we can skip
+    // re-scanning until the earliest of their ready times.
     size_t pick = queue_.size();
+    Cycles earliest = ~Cycles{0};
     for (size_t i = 0; i < queue_.size(); ++i) {
-        uint32_t bank;
-        int64_t row;
-        rowOf(queue_[i].req.lineAddr, bank, row);
-        if (banks_[bank].readyAt > now)
+        const Pending &q = queue_[i];
+        if (banks_[q.bank].readyAt > now) {
+            earliest = std::min(earliest, banks_[q.bank].readyAt);
             continue;
-        if (banks_[bank].openRow == row) {
+        }
+        if (banks_[q.bank].openRow == q.row) {
             pick = i;
             break;
         }
         if (pick == queue_.size())
             pick = i;
     }
-    if (pick == queue_.size())
-        return; // all target banks busy
+    if (pick == queue_.size()) {
+        nextIssueAt_ = earliest; // all target banks busy until then
+        return;
+    }
 
     Pending p = queue_[pick];
     queue_.erase(queue_.begin() + static_cast<long>(pick));
 
-    uint32_t bank;
-    int64_t row;
-    rowOf(p.req.lineAddr, bank, row);
+    uint32_t bank = p.bank;
+    int64_t row = p.row;
     Bank &bk = banks_[bank];
 
     Cycles t0 = std::max(now, bk.readyAt);
@@ -108,12 +116,6 @@ DramModel::DramModel(const DramParams &params) : params_(params)
         channels_.emplace_back(params, i);
 }
 
-uint32_t
-DramModel::channelOf(Addr lineAddr) const
-{
-    return static_cast<uint32_t>((lineAddr / params_.burstBytes) %
-                                 params_.channels);
-}
 
 void
 DramModel::step(Cycles now, std::vector<DramReq> &completed)
@@ -140,22 +142,6 @@ DramModel::reserve(Addr bytes)
         image_.resize(words, 0);
 }
 
-Word
-DramModel::readWord(Addr byteAddr) const
-{
-    Addr w = byteAddr / 4;
-    panic_if(w >= image_.size(), "DRAM read beyond image: %llu",
-             static_cast<unsigned long long>(byteAddr));
-    return image_[w];
-}
 
-void
-DramModel::writeWord(Addr byteAddr, Word w)
-{
-    Addr idx = byteAddr / 4;
-    panic_if(idx >= image_.size(), "DRAM write beyond image: %llu",
-             static_cast<unsigned long long>(byteAddr));
-    image_[idx] = w;
-}
 
 } // namespace plast

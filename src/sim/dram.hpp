@@ -17,6 +17,8 @@
 #include <vector>
 
 #include "arch/params.hpp"
+#include "base/logging.hpp"
+#include "base/ring.hpp"
 #include "base/stateio.hpp"
 #include "base/types.hpp"
 
@@ -80,6 +82,13 @@ class DramChannel
         io(ar, stats_.rowMisses);
         io(ar, stats_.rowConflicts);
         io(ar, stats_.busBusyCycles);
+        if constexpr (!Ar::kSaving) {
+            // Cached geometry and the scan-skip bound are derived
+            // state: rebuild / reset them rather than trusting a tape.
+            for (auto &p : queue_)
+                rowOf(p.req.lineAddr, p.bank, p.row);
+            nextIssueAt_ = 0;
+        }
     }
 
   private:
@@ -101,6 +110,11 @@ class DramChannel
     {
         Cycles readyAt = 0;
         DramReq req;
+        /** Bank/row geometry, derived from req.lineAddr at submit time
+         *  (and re-derived after checkpoint restore) so the per-cycle
+         *  FR-FCFS scan never divides. */
+        uint32_t bank = 0;
+        int64_t row = 0;
 
         template <class Ar>
         void
@@ -118,8 +132,13 @@ class DramChannel
     std::deque<Pending> queue_; ///< Pending::readyAt = submit time here
     std::vector<Bank> banks_;
     Cycles busFreeAt_ = 0;
-    std::deque<Pending> responses_;
+    Ring<Pending> responses_;
     Stats stats_;
+    /** Earliest cycle the FR-FCFS scan could possibly issue (min bank
+     *  readyAt over the queue when every target bank was busy). Purely
+     *  an evaluation-skipping bound — 0 means "scan now" — so it is
+     *  not checkpointed; a restore conservatively rescans. */
+    Cycles nextIssueAt_ = 0;
 };
 
 /**
@@ -132,7 +151,12 @@ class DramModel
   public:
     explicit DramModel(const DramParams &params);
 
-    uint32_t channelOf(Addr lineAddr) const;
+    uint32_t
+    channelOf(Addr lineAddr) const
+    {
+        return static_cast<uint32_t>((lineAddr / params_.burstBytes) %
+                                     params_.channels);
+    }
     DramChannel &channel(uint32_t i) { return channels_[i]; }
     const DramChannel &channel(uint32_t i) const { return channels_[i]; }
     uint32_t numChannels() const { return params_.channels; }
@@ -143,8 +167,22 @@ class DramModel
     // --- Memory image -------------------------------------------------
     /** Ensure the image covers [0, bytes). */
     void reserve(Addr bytes);
-    Word readWord(Addr byteAddr) const;
-    void writeWord(Addr byteAddr, Word w);
+    Word
+    readWord(Addr byteAddr) const
+    {
+        Addr w = byteAddr / 4;
+        panic_if(w >= image_.size(), "DRAM read beyond image: %llu",
+                 static_cast<unsigned long long>(byteAddr));
+        return image_[w];
+    }
+    void
+    writeWord(Addr byteAddr, Word w)
+    {
+        Addr idx = byteAddr / 4;
+        panic_if(idx >= image_.size(), "DRAM write beyond image: %llu",
+                 static_cast<unsigned long long>(byteAddr));
+        image_[idx] = w;
+    }
     Addr sizeBytes() const { return image_.size() * sizeof(Word); }
 
     template <class Ar>

@@ -22,21 +22,21 @@ Fabric::Fabric(const FabricConfig &cfg, SimOptions opts)
         pcus_.push_back(cfg_.pcus[i].used
                             ? std::make_unique<PcuSim>(
                                   cfg_.params, static_cast<uint32_t>(i),
-                                  cfg_.pcus[i])
+                                  cfg_.pcus[i], opts_.simMode)
                             : nullptr);
     }
     for (size_t i = 0; i < cfg_.pmus.size(); ++i) {
         pmus_.push_back(cfg_.pmus[i].used
                             ? std::make_unique<PmuSim>(
                                   cfg_.params, static_cast<uint32_t>(i),
-                                  cfg_.pmus[i])
+                                  cfg_.pmus[i], opts_.simMode)
                             : nullptr);
     }
     for (size_t i = 0; i < cfg_.ags.size(); ++i) {
         ags_.push_back(cfg_.ags[i].used
                            ? std::make_unique<AgSim>(
                                  cfg_.params, static_cast<uint32_t>(i),
-                                 cfg_.ags[i], mem_)
+                                 cfg_.ags[i], mem_, opts_.simMode)
                            : nullptr);
     }
     for (size_t i = 0; i < cfg_.boxes.size(); ++i) {

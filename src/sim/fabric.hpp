@@ -42,6 +42,10 @@ struct SimOptions
         kDense,    ///< tick every unit and stream each cycle
     };
     Mode mode = Mode::kActivity;
+    /** Datapath engine (sim/execplan.hpp): re-interpret the config per
+     *  lane, or run the pre-lowered execution plans. Orthogonal to
+     *  `mode`; every combination is bit-exact with every other. */
+    SimMode simMode = SimMode::kInterp;
     /** Dense mode only: fatal after this many cycles without progress.
      *  (Activity mode detects deadlock exactly: empty active set.) */
     uint32_t deadlockWindow = 50'000;

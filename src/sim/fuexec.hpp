@@ -2,21 +2,170 @@
  * @file
  * Functional-unit datapath semantics: one 32-bit operation per FU per
  * cycle. Shared by the PCU SIMD pipeline, the PMU/AG scalar datapaths,
- * and the pattern-IR reference evaluator, so functional behaviour is
- * defined exactly once.
+ * the pattern-IR reference evaluator, and the specialized execution
+ * plans (execplan.hpp), so functional behaviour is defined exactly
+ * once.
+ *
+ * The semantics live in the inline fuApply so that the monomorphic
+ * per-stage kernels instantiated by the specializer (mapKernel<OP>)
+ * constant-fold the switch away and leave a bare lane loop the
+ * compiler can vectorize. fuExec is the dynamic-dispatch wrapper that
+ * additionally range-checks the opcode.
+ *
+ * All integer arithmetic is defined for every input: add/sub/mul/MA
+ * wrap modulo 2^32 (two's complement), division and remainder by zero
+ * yield 0, INT_MIN / -1 wraps to INT_MIN (and INT_MIN % -1 is 0), and
+ * |INT_MIN| wraps to INT_MIN. Shifts use only the low 5 bits of the
+ * shift amount, like the real barrel shifter.
  */
 
 #ifndef PLAST_SIM_FUEXEC_HPP
 #define PLAST_SIM_FUEXEC_HPP
 
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
 #include "arch/opcodes.hpp"
+#include "base/logging.hpp"
 #include "base/types.hpp"
 
 namespace plast
 {
 
-/** Execute one FU operation on word operands. */
-Word fuExec(FuOp op, Word a, Word b = 0, Word c = 0);
+/** Core FU semantics; `op` must be a valid FuOp (< kNumOps). Unused
+ *  trailing operands are ignored, but callers pass the op's full
+ *  operand list explicitly — there are no defaults. */
+inline Word
+fuApply(FuOp op, Word a, Word b, Word c)
+{
+    switch (op) {
+      case FuOp::kNop:
+        return a;
+      case FuOp::kIAdd:
+        return a + b; // unsigned wrap == two's-complement add
+      case FuOp::kISub:
+        return a - b;
+      case FuOp::kIMul:
+        // Low 32 bits of the product == wrapped signed multiply.
+        return static_cast<Word>(static_cast<uint64_t>(a) *
+                                 static_cast<uint64_t>(b));
+      case FuOp::kIDiv: {
+        int32_t ia = wordToInt(a);
+        int32_t ib = wordToInt(b);
+        if (ib == 0)
+            return 0;
+        if (ia == INT32_MIN && ib == -1)
+            return a; // quotient wraps back to INT_MIN
+        return intToWord(ia / ib);
+      }
+      case FuOp::kIMod: {
+        int32_t ia = wordToInt(a);
+        int32_t ib = wordToInt(b);
+        if (ib == 0)
+            return 0;
+        if (ia == INT32_MIN && ib == -1)
+            return 0; // remainder of the wrapped quotient
+        return intToWord(ia % ib);
+      }
+      case FuOp::kIMin:
+        return intToWord(std::min(wordToInt(a), wordToInt(b)));
+      case FuOp::kIMax:
+        return intToWord(std::max(wordToInt(a), wordToInt(b)));
+      case FuOp::kIAbs:
+        return wordToInt(a) < 0 ? Word{0} - a : a; // |INT_MIN| wraps
+      case FuOp::kAnd:
+        return a & b;
+      case FuOp::kOr:
+        return a | b;
+      case FuOp::kXor:
+        return a ^ b;
+      case FuOp::kNot:
+        return ~a;
+      case FuOp::kShl:
+        return a << (b & 31u);
+      case FuOp::kShr:
+        return a >> (b & 31u);
+      case FuOp::kILt:
+        return wordToInt(a) < wordToInt(b) ? 1 : 0;
+      case FuOp::kILe:
+        return wordToInt(a) <= wordToInt(b) ? 1 : 0;
+      case FuOp::kIGt:
+        return wordToInt(a) > wordToInt(b) ? 1 : 0;
+      case FuOp::kIGe:
+        return wordToInt(a) >= wordToInt(b) ? 1 : 0;
+      case FuOp::kIEq:
+        return a == b ? 1 : 0;
+      case FuOp::kINe:
+        return a != b ? 1 : 0;
+      case FuOp::kFAdd:
+        return floatToWord(wordToFloat(a) + wordToFloat(b));
+      case FuOp::kFSub:
+        return floatToWord(wordToFloat(a) - wordToFloat(b));
+      case FuOp::kFMul:
+        return floatToWord(wordToFloat(a) * wordToFloat(b));
+      case FuOp::kFDiv:
+        return floatToWord(wordToFloat(a) / wordToFloat(b));
+      case FuOp::kFMin:
+        return floatToWord(std::min(wordToFloat(a), wordToFloat(b)));
+      case FuOp::kFMax:
+        return floatToWord(std::max(wordToFloat(a), wordToFloat(b)));
+      case FuOp::kFAbs:
+        return floatToWord(std::fabs(wordToFloat(a)));
+      case FuOp::kFNeg:
+        return floatToWord(-wordToFloat(a));
+      case FuOp::kFLt:
+        return wordToFloat(a) < wordToFloat(b) ? 1 : 0;
+      case FuOp::kFLe:
+        return wordToFloat(a) <= wordToFloat(b) ? 1 : 0;
+      case FuOp::kFGt:
+        return wordToFloat(a) > wordToFloat(b) ? 1 : 0;
+      case FuOp::kFGe:
+        return wordToFloat(a) >= wordToFloat(b) ? 1 : 0;
+      case FuOp::kFEq:
+        return wordToFloat(a) == wordToFloat(b) ? 1 : 0;
+      case FuOp::kFNe:
+        return wordToFloat(a) != wordToFloat(b) ? 1 : 0;
+      case FuOp::kFExp:
+        return floatToWord(std::exp(wordToFloat(a)));
+      case FuOp::kFLog:
+        return floatToWord(std::log(wordToFloat(a)));
+      case FuOp::kFSqrt:
+        return floatToWord(std::sqrt(wordToFloat(a)));
+      case FuOp::kFRecip:
+        return floatToWord(1.0f / wordToFloat(a));
+      case FuOp::kI2F:
+        return floatToWord(static_cast<float>(wordToInt(a)));
+      case FuOp::kF2I:
+        return intToWord(static_cast<int32_t>(wordToFloat(a)));
+      case FuOp::kMux:
+        return a != 0 ? b : c;
+      case FuOp::kFMA:
+        return floatToWord(wordToFloat(a) * wordToFloat(b) +
+                           wordToFloat(c));
+      case FuOp::kIMA:
+        // a*b+c wrapped modulo 2^32, matching kIAdd/kIMul semantics.
+        return static_cast<Word>(static_cast<uint64_t>(a) *
+                                     static_cast<uint64_t>(b) +
+                                 static_cast<uint64_t>(c));
+      case FuOp::kNumOps:
+        break;
+    }
+    return 0; // unreachable for valid ops; fuExec panics first
+}
+
+/** Execute one FU operation on word operands, panicking on an opcode
+ *  outside the ISA. Call sites state the op's full operand list
+ *  explicitly (unused operands are 0). Inline so per-word interpreter
+ *  loops (scalar address stages, reference evaluator) pay no call. */
+inline Word
+fuExec(FuOp op, Word a, Word b, Word c)
+{
+    panic_if(static_cast<uint32_t>(op) >=
+                 static_cast<uint32_t>(FuOp::kNumOps),
+             "fuExec: unknown op %d", static_cast<int>(op));
+    return fuApply(op, a, b, c);
+}
 
 } // namespace plast
 

@@ -13,13 +13,14 @@ namespace plast
 // ====================================================================
 
 AgSim::AgSim(const ArchParams &params, uint32_t index, const AgCfg &cfg,
-             MemSystem &mem)
+             MemSystem &mem, SimMode mode)
     : params_(params), index_(index), cfg_(cfg), lanes_(params.pcu.lanes),
-      mem_(mem)
+      mem_(mem), mode_(mode)
 {
     // AG datapaths mirror the PMU scalar datapath (§3.4).
     ports.size(params.pmu.scalarIns, 2, 32, 1, 1, 32);
     chain_.configure(cfg_.chain, lanes_);
+    trialChain_.configure(cfg_.chain, lanes_);
     std::vector<uint8_t> vecs;
     stageRefs(cfg_.addrStages, scalarRefs_, vecs);
     for (uint8_t ref : chainScalarRefs(cfg_.chain))
@@ -27,12 +28,6 @@ AgSim::AgSim(const ArchParams &params, uint32_t index, const AgCfg &cfg,
     std::sort(scalarRefs_.begin(), scalarRefs_.end());
     scalarRefs_.erase(std::unique(scalarRefs_.begin(), scalarRefs_.end()),
                       scalarRefs_.end());
-}
-
-bool
-AgSim::busy() const
-{
-    return state_ != State::kIdle;
 }
 
 void
@@ -101,6 +96,7 @@ AgSim::tryStart(Cycles now)
     consumeTokens(cfg_.ctrl, ports);
     selfStarted_ = true;
     chain_.reset(resolveBounds(cfg_.chain, ports));
+    trialValid_ = false; // new run: scalars and chain position changed
     fill_ = static_cast<uint32_t>(cfg_.addrStages.size());
     state_ = State::kRunning;
     runStart_ = now;
@@ -121,14 +117,22 @@ AgSim::issueDense(Cycles now)
     }
 
     // Compute the command address from a copy of the chain; commit the
-    // advance only if the coalescing unit accepts the command.
-    ChainState trial = chain_;
-    Wavefront wf;
-    trial.issueInto(wf);
-    ScalarRegs regs;
-    Word word_idx =
-        evalScalarStages(cfg_.addrStages, cfg_.addrReg, wf, ports, regs);
-    Addr byte_addr = cfg_.base + static_cast<Addr>(word_idx) * 4;
+    // advance only if the coalescing unit accepts the command. The
+    // specialized engine memoizes the trial: between a rejection and
+    // the retry nothing the address depends on (chain position,
+    // run-constant scalars) can change, so re-submits skip the stage
+    // interpretation. The interpreter re-evaluates every attempt.
+    if (mode_ != SimMode::kSpecialized || !trialValid_) {
+        trialChain_.copyRunStateFrom(chain_);
+        Wavefront &wf = wfScratch_;
+        trialChain_.issueInto(wf);
+        ScalarRegs regs;
+        Word word_idx = evalScalarStages(cfg_.addrStages, cfg_.addrReg,
+                                         wf, ports, regs);
+        trialByteAddr_ = cfg_.base + static_cast<Addr>(word_idx) * 4;
+        trialValid_ = true;
+    }
+    const Addr byte_addr = trialByteAddr_;
 
     uint64_t id = nextCmdId_;
     if (write) {
@@ -159,13 +163,18 @@ AgSim::issueDense(Cycles now)
         cmd.id = id;
         cmd.words = cfg_.wordsPerCmd;
         cmd.issuedAt = now;
+        if (!dataPool_.empty()) {
+            cmd.data = std::move(dataPool_.back());
+            dataPool_.pop_back();
+        }
         cmd.data.assign(cfg_.wordsPerCmd, 0);
         dense_.push_back(std::move(cmd));
         stats_.wordsLoaded += cfg_.wordsPerCmd;
     }
     ++nextCmdId_;
     ++stats_.denseCmds;
-    chain_ = trial;
+    chain_.copyRunStateFrom(trialChain_);
+    trialValid_ = false; // chain advanced: next command, new address
     return true;
 }
 
@@ -190,9 +199,9 @@ AgSim::issueSparse(Cycles now)
         return false;
     }
 
-    ChainState trial = chain_;
-    Wavefront wf;
-    trial.issueInto(wf);
+    trialChain_.copyRunStateFrom(chain_);
+    Wavefront &wf = wfScratch_;
+    trialChain_.issueInto(wf);
 
     const Vec &av = ports.vecIn[cfg_.addrVecIn].front();
     uint32_t mask = wf.mask & av.mask;
@@ -205,7 +214,7 @@ AgSim::issueSparse(Cycles now)
 
     uint64_t id = nextCmdId_++;
     ++stats_.sparseVecs;
-    chain_ = trial;
+    chain_.copyRunStateFrom(trialChain_);
 
     if (write) {
         const Vec &dv = ports.vecIn[cfg_.dataVecIn].front();
@@ -278,6 +287,7 @@ AgSim::drainResponses(Cycles now)
             if (front.pushed >= front.words) {
                 traceAsync(trace_, traceTrack_, TraceName::kDramCmd,
                            front.issuedAt, now + 1, front.id);
+                dataPool_.push_back(std::move(front.data));
                 dense_.pop_front();
             }
         }
@@ -314,34 +324,36 @@ void
 AgSim::deliverWords(uint64_t cmdId, uint32_t wordOffset, const Word *data,
                     uint32_t count)
 {
-    for (auto &cmd : dense_) {
-        if (cmd.id != cmdId)
-            continue;
-        panic_if(wordOffset + count > cmd.words,
-                 "AG %u: burst overflows command", index_);
-        std::copy(data, data + count, cmd.data.begin() + wordOffset);
-        cmd.received += count;
-        requestWake();
-        return;
-    }
-    panic("AG %u: deliverWords for unknown command %llu", index_,
-          static_cast<unsigned long long>(cmdId));
+    // Commands are queued in id order (ids allocate monotonically and
+    // retire from the front), so the scan is a binary search.
+    auto it = std::lower_bound(
+        dense_.begin(), dense_.end(), cmdId,
+        [](const DenseCmd &cmd, uint64_t id) { return cmd.id < id; });
+    panic_if(it == dense_.end() || it->id != cmdId,
+             "AG %u: deliverWords for unknown command %llu", index_,
+             static_cast<unsigned long long>(cmdId));
+    DenseCmd &cmd = *it;
+    panic_if(wordOffset + count > cmd.words,
+             "AG %u: burst overflows command", index_);
+    std::copy(data, data + count, cmd.data.begin() + wordOffset);
+    cmd.received += count;
+    requestWake();
 }
 
 void
 AgSim::deliverLane(uint64_t cmdId, uint32_t lane, Word data)
 {
-    for (auto &cmd : sparse_) {
-        if (cmd.id != cmdId)
-            continue;
-        cmd.data.lane[lane] = data;
-        panic_if(cmd.remaining == 0, "AG %u: extra lane delivery", index_);
-        --cmd.remaining;
-        requestWake();
-        return;
-    }
-    panic("AG %u: deliverLane for unknown command %llu", index_,
-          static_cast<unsigned long long>(cmdId));
+    auto it = std::lower_bound(
+        sparse_.begin(), sparse_.end(), cmdId,
+        [](const SparseCmd &cmd, uint64_t id) { return cmd.id < id; });
+    panic_if(it == sparse_.end() || it->id != cmdId,
+             "AG %u: deliverLane for unknown command %llu", index_,
+             static_cast<unsigned long long>(cmdId));
+    SparseCmd &cmd = *it;
+    cmd.data.lane[lane] = data;
+    panic_if(cmd.remaining == 0, "AG %u: extra lane delivery", index_);
+    --cmd.remaining;
+    requestWake();
 }
 
 void
@@ -578,7 +590,9 @@ MemSystem::step(Cycles now)
                     data ^= Word{1} << corruptBit;
                 w.ag->deliverLane(w.cmdId, w.lane, data);
             } else {
-                std::vector<Word> buf(w.wordCount);
+                std::array<Word, kBurstBytes / 4> buf;
+                panic_if(w.wordCount > buf.size(),
+                         "burst waiter wider than a line");
                 for (uint32_t i = 0; i < w.wordCount; ++i) {
                     Addr a = w.lineOffset + static_cast<Addr>(i) * 4;
                     buf[i] = dram_.readWord(a);

@@ -18,6 +18,7 @@
 #include "arch/params.hpp"
 #include "base/stateio.hpp"
 #include "sim/dram.hpp"
+#include "sim/execplan.hpp"
 #include "sim/unitcommon.hpp"
 
 namespace plast
@@ -59,10 +60,10 @@ class AgSim : public SimUnit
 {
   public:
     AgSim(const ArchParams &params, uint32_t index, const AgCfg &cfg,
-          MemSystem &mem);
+          MemSystem &mem, SimMode mode = SimMode::kInterp);
 
     void step(Cycles now) override;
-    bool busy() const override;
+    bool busy() const override { return state_ != State::kIdle; }
 
     // Callbacks from the memory system.
     void deliverWords(uint64_t cmdId, uint32_t wordOffset, const Word *data,
@@ -106,6 +107,8 @@ class AgSim : public SimUnit
         io(ar, stats_.sparseVecs);
         io(ar, stats_.wordsLoaded);
         io(ar, stats_.wordsStored);
+        if constexpr (!Ar::kSaving)
+            trialValid_ = false;
     }
 
   private:
@@ -167,6 +170,7 @@ class AgSim : public SimUnit
     AgCfg cfg_;
     uint32_t lanes_;
     MemSystem &mem_;
+    SimMode mode_;
 
     State state_ = State::kIdle;
     bool selfStarted_ = false;
@@ -182,6 +186,22 @@ class AgSim : public SimUnit
     bool sparsePendingWrite_ = false;
     uint64_t outstandingWrites_ = 0;
     std::vector<uint8_t> scalarRefs_;
+    /** Speculative-issue staging (issueDense/issueSparse compute the
+     *  next address on a copy of the chain and commit only if the
+     *  coalescer accepts). Members so the per-cycle path reuses their
+     *  capacity; re-derived every attempt, never checkpointed. */
+    ChainState trialChain_;
+    Wavefront wfScratch_;
+    /** Specialized-engine memo: a dense command's address depends only
+     *  on the chain position and run-constant scalars, so a command
+     *  rejected by the coalescer re-submits the cached address instead
+     *  of re-interpreting the stage program every polling cycle.
+     *  trialChain_ keeps the matching advanced chain state. Derived —
+     *  invalidated at run start, on issue, and on restore. */
+    bool trialValid_ = false;
+    Addr trialByteAddr_ = 0;
+    /** Recycled DenseCmd::data buffers (host-side cache, no state). */
+    std::vector<std::vector<Word>> dataPool_;
 
     Cycles runStart_ = 0; ///< cycle the current run's tokens fired
     Stats stats_;
@@ -293,7 +313,7 @@ class MemSystem : public SimObject
         uint32_t outstanding = 0;
         /** coalescing cache: pending line -> burst slot */
         std::map<Addr, uint64_t> mergeTable;
-        std::deque<uint64_t> issueQueue;
+        Ring<uint64_t> issueQueue;
     };
 
     uint64_t allocBurst(Addr lineAddr, bool write);

@@ -8,8 +8,23 @@
 namespace plast
 {
 
-PcuSim::PcuSim(const ArchParams &params, uint32_t index, const PcuCfg &cfg)
-    : params_(params), index_(index), cfg_(cfg), lanes_(params.pcu.lanes)
+namespace
+{
+
+constexpr std::array<Word, kMaxLanes> kZeroLanes{};
+constexpr auto kLaneIdLanes = [] {
+    std::array<Word, kMaxLanes> a{};
+    for (uint32_t i = 0; i < kMaxLanes; ++i)
+        a[i] = i;
+    return a;
+}();
+
+} // namespace
+
+PcuSim::PcuSim(const ArchParams &params, uint32_t index, const PcuCfg &cfg,
+               SimMode mode)
+    : params_(params), index_(index), cfg_(cfg),
+      lanes_(params.pcu.lanes), mode_(mode), plan_(buildPcuPlan(cfg))
 {
     fatal_if(cfg_.stages.empty(), "PCU %u configured with no stages",
              index);
@@ -25,8 +40,15 @@ PcuSim::PcuSim(const ArchParams &params, uint32_t index, const PcuCfg &cfg)
 
     chain_.configure(cfg_.chain, lanes_);
     pipe_.resize(cfg_.stages.size());
+    wfPool_.reserve(pipe_.size());
+    for (size_t s = 0; s < pipe_.size(); ++s)
+        wfPool_.push_back(std::make_unique<Wavefront>());
     acc_.resize(cfg_.stages.size());
     coalesceBuf_.resize(params.pcu.vectorOuts);
+    // Worst case before a coalesced emission: lanes-1 carried words
+    // plus a full wavefront of incoming valid lanes.
+    for (auto &buf : coalesceBuf_)
+        buf.reserve(2 * lanes_);
     coalesceCount_.resize(params.pcu.vectorOuts, 0);
 
     stageRefs(cfg_.stages, scalarRefs_, vectorRefs_);
@@ -35,6 +57,30 @@ PcuSim::PcuSim(const ArchParams &params, uint32_t index, const PcuCfg &cfg)
     std::sort(scalarRefs_.begin(), scalarRefs_.end());
     scalarRefs_.erase(std::unique(scalarRefs_.begin(), scalarRefs_.end()),
                       scalarRefs_.end());
+}
+
+std::unique_ptr<Wavefront>
+PcuSim::grabSlot()
+{
+    panic_if(wfPool_.empty(), "PCU %u: wavefront pool exhausted", index_);
+    std::unique_ptr<Wavefront> wf = std::move(wfPool_.back());
+    wfPool_.pop_back();
+    // Reset only the registers this config (or an injected fault) can
+    // have dirtied: everything else provably still holds the zeros a
+    // freshly constructed Wavefront would, so recycling is invisible.
+    uint32_t dirty = plan_.touchedRegs | extraDirtyRegs_;
+    while (dirty != 0) {
+        uint32_t r = static_cast<uint32_t>(__builtin_ctz(dirty));
+        dirty &= dirty - 1;
+        wf->regs[r].fill(0);
+    }
+    return wf;
+}
+
+void
+PcuSim::recycleSlot(std::unique_ptr<Wavefront> wf)
+{
+    wfPool_.push_back(std::move(wf));
 }
 
 void
@@ -89,7 +135,7 @@ PcuSim::advancePipeline(Cycles now)
     // Retire from the final stage.
     if (pipe_[S - 1]) {
         if (tryRetire(*pipe_[S - 1], now)) {
-            pipe_[S - 1].reset();
+            recycleSlot(std::move(pipe_[S - 1]));
             moved = true;
         } else {
             classify(CycleClass::kOutputBackpressure);
@@ -101,7 +147,6 @@ PcuSim::advancePipeline(Cycles now)
     for (size_t s = S - 1; s >= 1; --s) {
         if (!pipe_[s] && pipe_[s - 1]) {
             pipe_[s] = std::move(pipe_[s - 1]);
-            pipe_[s - 1].reset();
             applyStage(s, *pipe_[s]);
             moved = true;
         }
@@ -148,17 +193,17 @@ PcuSim::tryIssue(Cycles now)
         if (!ports.vecIn[ref].canPop())
             return false;
     }
-    Wavefront wf;
-    chain_.issueInto(wf);
-    wf.issuedAt = now;
+    std::unique_ptr<Wavefront> wf = grabSlot();
+    chain_.issueInto(*wf);
+    wf->issuedAt = now;
     for (uint8_t ref : vectorRefs_) {
         const Vec &v = ports.vecIn[ref].front();
-        wf.vecIn[ref] = v;
-        wf.mask &= v.mask;
+        wf->vecIn[ref] = v;
+        wf->mask &= v.mask;
         ports.vecIn[ref].pop();
     }
-    applyStage(0, wf);
-    pipe_[0] = wf;
+    applyStage(0, *wf);
+    pipe_[0] = std::move(wf);
     ++stats_.wavefronts;
     if (state_ == State::kRunning && chain_.done())
         state_ = State::kDraining;
@@ -188,9 +233,49 @@ PcuSim::operandValue(const Operand &op, const Wavefront &wf,
     return 0;
 }
 
+const Word *
+PcuSim::operandLanes(const Operand &op, const Wavefront &wf,
+                     Word *scratch) const
+{
+    switch (op.kind) {
+      case OperandKind::kNone:
+        return kZeroLanes.data();
+      case OperandKind::kReg:
+        return wf.regs[op.index].data();
+      case OperandKind::kVectorIn:
+        return wf.vecIn[op.index].lane.data();
+      case OperandKind::kLaneId:
+        return kLaneIdLanes.data();
+      case OperandKind::kImm:
+        std::fill(scratch, scratch + lanes_, op.imm);
+        return scratch;
+      case OperandKind::kScalarIn:
+        std::fill(scratch, scratch + lanes_,
+                  ports.scalIn[op.index].front());
+        return scratch;
+      case OperandKind::kCounter: {
+        if (static_cast<int8_t>(op.index) == wf.vecCtr) {
+            int64_t base = wf.ctr[op.index];
+            for (uint32_t l = 0; l < lanes_; ++l)
+                scratch[l] = static_cast<Word>(
+                    base + static_cast<int64_t>(l) * wf.vecStep);
+        } else {
+            std::fill(scratch, scratch + lanes_,
+                      static_cast<Word>(wf.ctr[op.index]));
+        }
+        return scratch;
+      }
+    }
+    return kZeroLanes.data();
+}
+
 void
 PcuSim::applyStage(size_t idx, Wavefront &wf)
 {
+    if (mode_ == SimMode::kSpecialized) {
+        applyStagePlanned(idx, wf);
+        return;
+    }
     const StageCfg &st = cfg_.stages[idx];
     switch (st.kind) {
       case StageKind::kMap: {
@@ -214,7 +299,7 @@ PcuSim::applyStage(size_t idx, Wavefront &wf)
             Word a = wf.valid(i) ? operandValue(st.a, wf, i) : ident;
             Word b = wf.valid(i + dist) ? operandValue(st.a, wf, i + dist)
                                         : ident;
-            wf.regs[st.dstReg][i] = fuExec(st.op, a, b);
+            wf.regs[st.dstReg][i] = fuExec(st.op, a, b, 0);
             if (wf.valid(i) || wf.valid(i + dist))
                 newValid |= (1u << i);
             ++stats_.laneOps;
@@ -229,7 +314,7 @@ PcuSim::applyStage(size_t idx, Wavefront &wf)
         for (uint32_t l = 0; l < lanes_; ++l) {
             if (wf.valid(l)) {
                 acc_[idx][l] = fuExec(st.op, acc_[idx][l],
-                                      operandValue(st.a, wf, l));
+                                      operandValue(st.a, wf, l), 0);
                 ++stats_.laneOps;
             }
             wf.regs[st.dstReg][l] = acc_[idx][l];
@@ -253,14 +338,102 @@ PcuSim::applyStage(size_t idx, Wavefront &wf)
     }
 }
 
+void
+PcuSim::applyStagePlanned(size_t idx, Wavefront &wf)
+{
+    const StagePlan &st = plan_.stages[idx];
+    switch (st.kind) {
+      case StageKind::kMap: {
+        const Word *a = operandLanes(st.a, wf, opScratch_[0].data());
+        const Word *b = st.arity >= 2
+                            ? operandLanes(st.b, wf, opScratch_[1].data())
+                            : kZeroLanes.data();
+        const Word *c = st.arity >= 3
+                            ? operandLanes(st.c, wf, opScratch_[2].data())
+                            : kZeroLanes.data();
+        Word *dst = wf.regs[st.dstReg].data();
+        if (st.kernel != nullptr) {
+            st.kernel(a, b, c, dst, lanes_);
+        } else {
+            for (uint32_t l = 0; l < lanes_; ++l)
+                dst[l] = fuExec(st.op, a[l], b[l], c[l]);
+        }
+        if (st.setsMask) {
+            // Clearing an already-invalid lane is a no-op, so the
+            // unconditional sweep matches the interpreter's
+            // valid-guarded clearValid exactly.
+            uint32_t m = wf.mask;
+            for (uint32_t l = 0; l < lanes_; ++l) {
+                if (dst[l] == 0)
+                    m &= ~(1u << l);
+            }
+            wf.mask = m;
+        }
+        stats_.laneOps += wf.popcountValid();
+        break;
+      }
+      case StageKind::kReduceStep: {
+        const uint32_t dist = st.reduceDist;
+        const Word ident = st.identity;
+        const Word *src = operandLanes(st.a, wf, opScratch_[0].data());
+        Word *dst = wf.regs[st.dstReg].data();
+        uint32_t newValid = wf.mask;
+        for (uint32_t i = 0; i + dist < lanes_; i += 2 * dist) {
+            // In-place (src == dst) is safe: writes land at i, later
+            // reads only at indices > i — same order the interpreter
+            // observes.
+            Word a = wf.valid(i) ? src[i] : ident;
+            Word b = wf.valid(i + dist) ? src[i + dist] : ident;
+            dst[i] = fuApply(st.op, a, b, 0);
+            if (wf.valid(i) || wf.valid(i + dist))
+                newValid |= (1u << i);
+            ++stats_.laneOps;
+        }
+        wf.mask = newValid;
+        break;
+      }
+      case StageKind::kAccum: {
+        if (wf.firstAtLevel(st.accLevel))
+            acc_[idx].fill(st.identity);
+        const Word *src = operandLanes(st.a, wf, opScratch_[0].data());
+        Word *dst = wf.regs[st.dstReg].data();
+        Word *acc = acc_[idx].data();
+        for (uint32_t l = 0; l < lanes_; ++l) {
+            if (wf.valid(l)) {
+                acc[l] = fuApply(st.op, acc[l], src[l], 0);
+                ++stats_.laneOps;
+            }
+            dst[l] = acc[l];
+        }
+        wf.setValid(0);
+        break;
+      }
+      case StageKind::kShift: {
+        const Word *src = operandLanes(st.a, wf, opScratch_[0].data());
+        Word *dst = wf.regs[st.dstReg].data();
+        // Sequential lane order is load-bearing when src == dst and
+        // shiftAmt > 0: lane l reads the value lane l-shift just wrote,
+        // exactly as the interpreter does.
+        for (uint32_t l = 0; l < lanes_; ++l) {
+            int s = static_cast<int>(l) - st.shiftAmt;
+            dst[l] = (s >= 0 && s < static_cast<int>(lanes_))
+                         ? src[static_cast<uint32_t>(s)]
+                         : 0;
+        }
+        stats_.laneOps += lanes_;
+        break;
+      }
+    }
+}
+
 bool
 PcuSim::tryRetire(const Wavefront &wf, Cycles now)
 {
-    // Phase 1: every triggered emission must be able to push.
-    for (size_t p = 0; p < cfg_.vecOuts.size(); ++p) {
+    // Phase 1: every triggered emission must be able to push. Only the
+    // plan's live ports are scanned; disabled ports provably never
+    // emit.
+    for (uint8_t p : plan_.liveVecOuts) {
         const VecOutCfg &vo = cfg_.vecOuts[p];
-        if (!vo.enabled)
-            continue;
         bool trig = vo.cond.always || wf.lastAtLevel(vo.cond.level);
         if (!trig)
             continue;
@@ -275,20 +448,16 @@ PcuSim::tryRetire(const Wavefront &wf, Cycles now)
             return false;
         }
     }
-    for (size_t p = 0; p < cfg_.scalOuts.size(); ++p) {
+    for (uint8_t p : plan_.liveScalOuts) {
         const ScalOutCfg &so = cfg_.scalOuts[p];
-        if (!so.enabled || so.countOfVecOut >= 0)
-            continue;
         bool trig = so.cond.always || wf.lastAtLevel(so.cond.level);
         if (trig && !ports.scalOut[p].canPush())
             return false;
     }
 
     // Phase 2: perform the emissions.
-    for (size_t p = 0; p < cfg_.vecOuts.size(); ++p) {
+    for (uint8_t p : plan_.liveVecOuts) {
         const VecOutCfg &vo = cfg_.vecOuts[p];
-        if (!vo.enabled)
-            continue;
         bool trig = vo.cond.always || wf.lastAtLevel(vo.cond.level);
         if (!trig)
             continue;
@@ -318,10 +487,8 @@ PcuSim::tryRetire(const Wavefront &wf, Cycles now)
             ports.vecOut[p].push(v);
         }
     }
-    for (size_t p = 0; p < cfg_.scalOuts.size(); ++p) {
+    for (uint8_t p : plan_.liveScalOuts) {
         const ScalOutCfg &so = cfg_.scalOuts[p];
-        if (!so.enabled || so.countOfVecOut >= 0)
-            continue;
         bool trig = so.cond.always || wf.lastAtLevel(so.cond.level);
         if (trig)
             ports.scalOut[p].push(wf.regs[so.srcReg][0]);
@@ -336,41 +503,38 @@ PcuSim::finishRun(Cycles now)
 {
     // Flush partial coalesce buffers, then counts, then done tokens.
     if (!flushedCoalesce_) {
-        for (size_t p = 0; p < coalesceBuf_.size(); ++p) {
-            if (coalesceBuf_[p].empty())
-                continue;
-            if (!ports.vecOut[p].canPush())
-                return false;
-        }
-        for (size_t p = 0; p < coalesceBuf_.size(); ++p) {
-            if (coalesceBuf_[p].empty())
-                continue;
-            Vec v;
-            for (uint32_t l = 0; l < coalesceBuf_[p].size(); ++l) {
-                v.lane[l] = coalesceBuf_[p][l];
-                v.setValid(l);
+        if (plan_.anyCoalesce) {
+            for (size_t p = 0; p < coalesceBuf_.size(); ++p) {
+                if (coalesceBuf_[p].empty())
+                    continue;
+                if (!ports.vecOut[p].canPush())
+                    return false;
             }
-            coalesceBuf_[p].clear();
-            ports.vecOut[p].push(v);
+            for (size_t p = 0; p < coalesceBuf_.size(); ++p) {
+                if (coalesceBuf_[p].empty())
+                    continue;
+                Vec v;
+                for (uint32_t l = 0; l < coalesceBuf_[p].size(); ++l) {
+                    v.lane[l] = coalesceBuf_[p][l];
+                    v.setValid(l);
+                }
+                coalesceBuf_[p].clear();
+                ports.vecOut[p].push(v);
+            }
         }
         flushedCoalesce_ = true;
     }
 
     // FlatMap size outputs.
-    for (size_t p = 0; p < cfg_.scalOuts.size(); ++p) {
-        const ScalOutCfg &so = cfg_.scalOuts[p];
-        if (!so.enabled || so.countOfVecOut < 0)
-            continue;
+    for (uint8_t p : plan_.countScalOuts) {
         if (!ports.scalOut[p].canPush())
             return false;
     }
     if (!canPushDone(cfg_.ctrl, ports))
         return false;
 
-    for (size_t p = 0; p < cfg_.scalOuts.size(); ++p) {
+    for (uint8_t p : plan_.countScalOuts) {
         const ScalOutCfg &so = cfg_.scalOuts[p];
-        if (!so.enabled || so.countOfVecOut < 0)
-            continue;
         ports.scalOut[p].push(static_cast<Word>(
             coalesceCount_[static_cast<size_t>(so.countOfVecOut)]));
     }
@@ -394,9 +558,12 @@ PcuSim::injectRegFlip(uint32_t reg, uint32_t lane, uint32_t bit)
     // registers have the most downstream consumers left.
     for (size_t s = pipe_.size(); s-- > 0;)
     {
-        if (!pipe_[s].has_value())
+        if (!pipe_[s])
             continue;
         pipe_[s]->regs[reg][lane] ^= Word{1} << bit;
+        // The flipped register may now be nonzero outside the config's
+        // touched set; widen the pool reset set permanently.
+        extraDirtyRegs_ |= 1u << reg;
         return true;
     }
     return false;

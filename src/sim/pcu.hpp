@@ -6,16 +6,26 @@
  * tree steps, the shift network, accumulators, FlatMap valid-word
  * coalescing on vector outputs, and token-gated execution runs are all
  * modelled per cycle.
+ *
+ * Construction lowers the PcuCfg into a PcuExecPlan (execplan.hpp);
+ * evaluate() is thereby split into plan-build (once) and plan-execute
+ * (per cycle). Under SimMode::kSpecialized the per-cycle path runs the
+ * plan's monomorphic kernels over contiguous lane arrays; kInterp
+ * keeps the reference per-lane interpretation of the raw StageCfg.
+ * Both modes share the plan's liveness sets (which output ports to
+ * scan, which registers to reset) and the pooled wavefront slots that
+ * replace per-issue std::optional<Wavefront> copies.
  */
 
 #ifndef PLAST_SIM_PCU_HPP
 #define PLAST_SIM_PCU_HPP
 
-#include <optional>
+#include <memory>
 #include <vector>
 
 #include "arch/config.hpp"
 #include "arch/params.hpp"
+#include "sim/execplan.hpp"
 #include "sim/unitcommon.hpp"
 
 namespace plast
@@ -24,7 +34,8 @@ namespace plast
 class PcuSim : public SimUnit
 {
   public:
-    PcuSim(const ArchParams &params, uint32_t index, const PcuCfg &cfg);
+    PcuSim(const ArchParams &params, uint32_t index, const PcuCfg &cfg,
+           SimMode mode = SimMode::kInterp);
 
     void step(Cycles now) override;
     bool busy() const override { return state_ != State::kIdle; }
@@ -38,6 +49,7 @@ class PcuSim : public SimUnit
     };
     const Stats &stats() const { return stats_; }
     const std::string &name() const { return cfg_.name; }
+    const PcuExecPlan &plan() const { return plan_; }
 
     /**
      * Fault injection: flip bit `bit` of pipeline register `reg` in
@@ -55,11 +67,25 @@ class PcuSim : public SimUnit
         io(ar, state_);
         io(ar, selfStarted_);
         io(ar, chain_);
-        io(ar, pipe_);
+        // Pipeline slots are pool-recycled pointers but keep the
+        // std::optional tape encoding (has-flag, then contents), so
+        // checkpoints are bit-identical across sim modes and with
+        // pre-pool tapes.
+        for (auto &slot : pipe_) {
+            uint64_t has = slot ? 1 : 0;
+            io(ar, has);
+            if (has && !slot)
+                slot = grabSlot(); // loading into an empty latch
+            if (!has && slot)
+                recycleSlot(std::move(slot));
+            if (has)
+                slot->serializeState(ar);
+        }
         io(ar, acc_);
         io(ar, coalesceBuf_);
         io(ar, coalesceCount_);
         io(ar, flushedCoalesce_);
+        io(ar, extraDirtyRegs_);
         io(ar, runStart_);
         io(ar, retiredWf_);
         io(ar, stats_.runs);
@@ -75,28 +101,46 @@ class PcuSim : public SimUnit
     bool tryIssue(Cycles now);
     bool tryRetire(const Wavefront &wf, Cycles now);
     void applyStage(size_t idx, Wavefront &wf);
+    void applyStagePlanned(size_t idx, Wavefront &wf);
     Word operandValue(const Operand &op, const Wavefront &wf,
                       uint32_t lane) const;
+    /** Resolve an operand to a contiguous lane array (the wavefront's
+     *  own storage where possible, else broadcast/iota into scratch). */
+    const Word *operandLanes(const Operand &op, const Wavefront &wf,
+                             Word *scratch) const;
     bool finishRun(Cycles now);
+    std::unique_ptr<Wavefront> grabSlot();
+    void recycleSlot(std::unique_ptr<Wavefront> wf);
 
     ArchParams params_;
     uint32_t index_;
     PcuCfg cfg_;
     uint32_t lanes_;
+    SimMode mode_;
+    PcuExecPlan plan_;
 
     State state_ = State::kIdle;
     bool selfStarted_ = false;
     ChainState chain_;
-    std::vector<std::optional<Wavefront>> pipe_;
+    /** One latch per stage; null = bubble. Slots cycle through wfPool_
+     *  so the steady state allocates nothing. */
+    std::vector<std::unique_ptr<Wavefront>> pipe_;
+    std::vector<std::unique_ptr<Wavefront>> wfPool_;
     /** Persistent accumulator registers, one set per accum stage. */
     std::vector<std::array<Word, kMaxLanes>> acc_;
     /** FlatMap coalescing buffers, one per vector output port. */
     std::vector<std::vector<Word>> coalesceBuf_;
     std::vector<uint64_t> coalesceCount_;
     bool flushedCoalesce_ = false;
+    /** Registers dirtied outside the datapath (injectRegFlip): added to
+     *  the per-issue reset set forever after, and checkpointed, so pool
+     *  recycling stays invisible even under fault campaigns. */
+    uint32_t extraDirtyRegs_ = 0;
 
     std::vector<uint8_t> scalarRefs_;
     std::vector<uint8_t> vectorRefs_;
+    /** Broadcast/iota staging for operandLanes, one per operand slot. */
+    std::array<std::array<Word, kMaxLanes>, 3> opScratch_{};
 
     Cycles runStart_ = 0;    ///< cycle the current run's tokens fired
     uint64_t retiredWf_ = 0; ///< retire id for wavefront trace intervals

@@ -1,6 +1,7 @@
 #include "sim/pmu.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "base/logging.hpp"
 #include "sim/fuexec.hpp"
@@ -8,8 +9,10 @@
 namespace plast
 {
 
-PmuSim::PmuSim(const ArchParams &params, uint32_t index, const PmuCfg &cfg)
-    : params_(params), index_(index), cfg_(cfg), lanes_(params.pcu.lanes)
+PmuSim::PmuSim(const ArchParams &params, uint32_t index, const PmuCfg &cfg,
+               SimMode mode)
+    : params_(params), index_(index), cfg_(cfg), lanes_(params.pcu.lanes),
+      mode_(mode)
 {
     ports.size(params.pmu.scalarIns, params.pmu.vectorIns, 64,
                params.pmu.scalarOuts, params.pmu.vectorOuts, 64);
@@ -29,6 +32,10 @@ PmuSim::PmuSim(const ArchParams &params, uint32_t index, const PmuCfg &cfg)
         port.scalarRefs.erase(
             std::unique(port.scalarRefs.begin(), port.scalarRefs.end()),
             port.scalarRefs.end());
+        port.addrScratch.reserve(lanes_);
+        port.activeScratch.reserve(lanes_);
+        port.plan = buildPmuPortPlan(pcfg, write, cfg_.scratch,
+                                     params.pmu.banks, lanes_);
         fatal_if(pcfg.enabled &&
                      pcfg.addrStages.size() > params.pmu.stages,
                  "PMU %u: %zu address stages exceed the %u physical stages",
@@ -83,6 +90,7 @@ PmuSim::stepPort(Port &port, Cycles now)
         if (!pcfg.ctrl.tokenIns.empty())
             traceInstant(trace_, port.track, TraceName::kTokens, now);
         port.chain.reset(resolveBounds(pcfg.chain, ports));
+        port.runConstsValid = false; // new run: scalars may have changed
         port.fill = static_cast<uint32_t>(pcfg.addrStages.size());
         port.appendCursor = 0;
         if (pcfg.clearEvery > 0 && port.runCount % pcfg.clearEvery == 0) {
@@ -131,6 +139,8 @@ PmuSim::stepPort(Port &port, Cycles now)
             port.state = Port::State::kIdle;
             return true;
         }
+        if (mode_ == SimMode::kSpecialized && port.plan.fastAccess)
+            return portAccessPlanned(port);
         return portAccess(port);
       }
     }
@@ -150,8 +160,7 @@ PmuSim::portAccess(Port &port)
                 classify(CycleClass::kInputStarved);
                 return false;
             }
-            Wavefront wf;
-            port.chain.issueInto(wf);
+            port.chain.issueInto(port.wfScratch);
             scratch_.fifoPush(ports.vecIn[pcfg.dataVecIn].front());
             ports.vecIn[pcfg.dataVecIn].pop();
             ++stats_.writes;
@@ -165,8 +174,7 @@ PmuSim::portAccess(Port &port)
             classify(CycleClass::kOutputBackpressure);
             return false;
         }
-        Wavefront wf;
-        port.chain.issueInto(wf);
+        port.chain.issueInto(port.wfScratch);
         ports.vecOut[pcfg.dataVecOut].push(scratch_.fifoPop());
         ++stats_.reads;
         return true;
@@ -178,8 +186,7 @@ PmuSim::portAccess(Port &port)
             classify(CycleClass::kInputStarved);
             return false;
         }
-        Wavefront wf;
-        port.chain.issueInto(wf);
+        port.chain.issueInto(port.wfScratch);
         const Vec &dv = ports.vecIn[pcfg.dataVecIn].front();
         for (uint32_t l = 0; l < lanes_; ++l) {
             if (dv.valid(l)) {
@@ -211,11 +218,12 @@ PmuSim::portAccess(Port &port)
         }
     }
 
-    Wavefront wf;
+    Wavefront &wf = port.wfScratch;
     port.chain.issueInto(wf);
 
     // Resolve per-lane word addresses.
-    std::vector<uint32_t> addrs;
+    std::vector<uint32_t> &addrs = port.addrScratch;
+    addrs.clear();
     uint32_t access_mask = wf.mask;
     if (pcfg.addrVecIn >= 0) {
         const Vec &av = ports.vecIn[pcfg.addrVecIn].front();
@@ -250,7 +258,7 @@ PmuSim::portAccess(Port &port)
             Word w = dv.lane[l];
             if (pcfg.accumulate) {
                 Word old = scratch_.read(buf, addrs[l]);
-                w = fuExec(pcfg.accumOp, old, w);
+                w = fuExec(pcfg.accumOp, old, w, 0);
             }
             scratch_.write(buf, addrs[l], w);
             ++stats_.wordsWritten;
@@ -276,10 +284,160 @@ PmuSim::portAccess(Port &port)
         port.busy = 0; // one word fanned out, conflict-free
         return true;
     }
-    std::vector<uint32_t> active;
+    std::vector<uint32_t> &active = port.activeScratch;
+    active.clear();
     for (uint32_t l = 0; l < lanes_; ++l) {
         if ((access_mask >> l) & 1u)
             active.push_back(addrs[l]);
+    }
+    port.busy = scratch_.conflictCycles(active) - 1;
+    return true;
+}
+
+/**
+ * Specialized access path (PmuPortPlan::fastAccess): the address comes
+ * from the pre-lowered affine form instead of re-interpreting the
+ * stage program, and the data moves through a raw scratchpad row when
+ * the per-word semantics are provably inert. Every guard falls back to
+ * the exact per-word machinery, so this path is bit-identical to
+ * portAccess() for the port shapes the plan covers.
+ */
+bool
+PmuSim::portAccessPlanned(Port &port)
+{
+    const PmuPortCfg &pcfg = *port.cfg;
+
+    // Readiness checks: same order and classification as portAccess.
+    if (port.isWrite) {
+        if (pcfg.dataVecIn < 0 || !ports.vecIn[pcfg.dataVecIn].canPop()) {
+            classify(CycleClass::kInputStarved);
+            return false;
+        }
+    } else {
+        if (pcfg.dataVecOut < 0 ||
+            !ports.vecOut[pcfg.dataVecOut].canPush()) {
+            classify(CycleClass::kOutputBackpressure);
+            return false;
+        }
+    }
+
+    Wavefront &wf = port.wfScratch;
+    port.chain.issueInto(wf);
+
+    if (!port.runConstsValid) {
+        port.plan.addr.evalSlots(port.runConsts, [&](Word idx) {
+            return ports.scalIn[idx].front();
+        });
+        port.runConstsValid = true;
+    }
+    Word base = port.runConsts[port.plan.addr.baseSlot];
+    for (const auto &[level, slot] : port.plan.addr.terms)
+        base += port.runConsts[slot] * static_cast<Word>(wf.ctr[level]);
+
+    uint32_t access_mask = wf.mask;
+    const uint32_t buf = port.bufIdx;
+
+    if (port.isWrite) {
+        const Vec &dv = ports.vecIn[pcfg.dataVecIn].front();
+        access_mask &= dv.mask;
+        if (pcfg.vecLinear) {
+            if (Word *row = scratch_.rawRowMut(buf, base, lanes_)) {
+                for (uint32_t l = 0; l < lanes_; ++l) {
+                    if (!((access_mask >> l) & 1u))
+                        continue;
+                    Word w = dv.lane[l];
+                    if (pcfg.accumulate)
+                        w = fuExec(pcfg.accumOp, row[l], w, 0);
+                    row[l] = w;
+                }
+            } else {
+                for (uint32_t l = 0; l < lanes_; ++l) {
+                    if (!((access_mask >> l) & 1u))
+                        continue;
+                    Word w = dv.lane[l];
+                    if (pcfg.accumulate)
+                        w = fuExec(pcfg.accumOp,
+                                   scratch_.read(buf, base + l), w, 0);
+                    scratch_.write(buf, base + l, w);
+                }
+            }
+            stats_.wordsWritten +=
+                static_cast<uint32_t>(std::popcount(access_mask));
+        } else {
+            access_mask &= 1u; // scalar access: lane 0 only
+            if (access_mask) {
+                Word w = dv.lane[0];
+                if (Word *row = scratch_.rawRowMut(buf, base, 1)) {
+                    if (pcfg.accumulate)
+                        w = fuExec(pcfg.accumOp, row[0], w, 0);
+                    row[0] = w;
+                } else {
+                    if (pcfg.accumulate)
+                        w = fuExec(pcfg.accumOp,
+                                   scratch_.read(buf, base), w, 0);
+                    scratch_.write(buf, base, w);
+                }
+                ++stats_.wordsWritten;
+            }
+        }
+        ports.vecIn[pcfg.dataVecIn].pop();
+        ++stats_.writes;
+    } else {
+        Vec out;
+        if (pcfg.vecLinear) {
+            out.mask = access_mask;
+            if (const Word *row = scratch_.rawRow(buf, base, lanes_)) {
+                for (uint32_t l = 0; l < lanes_; ++l) {
+                    if ((access_mask >> l) & 1u)
+                        out.lane[l] = row[l];
+                }
+            } else {
+                for (uint32_t l = 0; l < lanes_; ++l) {
+                    if ((access_mask >> l) & 1u)
+                        out.lane[l] = scratch_.read(buf, base + l);
+                }
+            }
+        } else if (pcfg.broadcast) {
+            out.mask = access_mask;
+            if (const Word *row = scratch_.rawRow(buf, base, 1)) {
+                const Word w = row[0];
+                for (uint32_t l = 0; l < lanes_; ++l) {
+                    if ((access_mask >> l) & 1u)
+                        out.lane[l] = w;
+                }
+            } else {
+                for (uint32_t l = 0; l < lanes_; ++l) {
+                    if ((access_mask >> l) & 1u)
+                        out.lane[l] = scratch_.read(buf, base);
+                }
+            }
+        } else {
+            access_mask &= 1u; // scalar access: lane 0 only
+            out.mask = access_mask;
+            if (access_mask) {
+                if (const Word *row = scratch_.rawRow(buf, base, 1))
+                    out.lane[0] = row[0];
+                else
+                    out.lane[0] = scratch_.read(buf, base);
+            }
+        }
+        stats_.wordsRead +=
+            static_cast<uint32_t>(std::popcount(access_mask));
+        ports.vecOut[pcfg.dataVecOut].push(out);
+        ++stats_.reads;
+    }
+
+    if (port.plan.conflictFree) {
+        port.busy = 0;
+        return true;
+    }
+    // Unprovable geometry (e.g. fewer banks than lanes): rebuild the
+    // active address list and count conflicts exactly as portAccess.
+    std::vector<uint32_t> &active = port.activeScratch;
+    active.clear();
+    for (uint32_t l = 0; l < lanes_; ++l) {
+        if ((access_mask >> l) & 1u)
+            active.push_back(pcfg.vecLinear ? base + l : base);
     }
     port.busy = scratch_.conflictCycles(active) - 1;
     return true;

@@ -15,6 +15,7 @@
 
 #include "arch/config.hpp"
 #include "arch/params.hpp"
+#include "sim/execplan.hpp"
 #include "sim/scratchpad.hpp"
 #include "sim/unitcommon.hpp"
 
@@ -24,7 +25,8 @@ namespace plast
 class PmuSim : public SimUnit
 {
   public:
-    PmuSim(const ArchParams &params, uint32_t index, const PmuCfg &cfg);
+    PmuSim(const ArchParams &params, uint32_t index, const PmuCfg &cfg,
+           SimMode mode = SimMode::kInterp);
 
     void step(Cycles now) override;
     bool busy() const override;
@@ -88,6 +90,21 @@ class PmuSim : public SimUnit
         uint16_t track = 0;      ///< trace track of this port
         Cycles runStart = 0;     ///< cycle this run's tokens fired
         std::vector<uint8_t> scalarRefs;
+        /** Issue/address staging reused across accesses so the hot
+         *  path never allocates. Fully re-derived per access (a port's
+         *  config fixes which fields each access writes before any
+         *  read), so none of it is checkpointed. */
+        Wavefront wfScratch;
+        std::vector<uint32_t> addrScratch;
+        std::vector<uint32_t> activeScratch;
+        /** Lowered address path (derived, rebuilt on construction). */
+        PmuPortPlan plan;
+        /** PmuAddrPlan slot values for the current run. Evaluated
+         *  lazily on first access — run start and checkpoint restore
+         *  just clear the valid flag — so they are never on the tape
+         *  and restore needs no stream-ordering guarantees. */
+        std::vector<Word> runConsts;
+        bool runConstsValid = false;
 
         template <class Ar>
         void
@@ -102,16 +119,20 @@ class PmuSim : public SimUnit
             io(ar, runCount);
             io(ar, appendCursor);
             io(ar, runStart);
+            if constexpr (!Ar::kSaving)
+                runConstsValid = false;
         }
     };
 
     bool stepPort(Port &port, Cycles now);
     bool portAccess(Port &port);
+    bool portAccessPlanned(Port &port);
 
     ArchParams params_;
     uint32_t index_;
     PmuCfg cfg_;
     uint32_t lanes_;
+    SimMode mode_;
 
     Scratchpad scratch_;
     Port write_, write2_, read_;

@@ -56,16 +56,6 @@ Scheduler::rearmAll()
 }
 
 void
-Scheduler::wakeUnit(SimObject *u)
-{
-    if (u->inRun_ || u->wakeQueued_)
-        return;
-    u->wakeQueued_ = true;
-    wakePending_.push_back(u);
-    traceInstant(trace_, u->traceTrack(), TraceName::kWake, curCycle_);
-}
-
-void
 Scheduler::streamDirty(StreamBase *s)
 {
     if (s->inDirty_)
@@ -74,13 +64,27 @@ Scheduler::streamDirty(StreamBase *s)
     dirty_.push_back(s);
 }
 
+namespace
+{
+struct TimerAfter
+{
+    bool
+    operator()(const std::pair<Cycles, StreamBase *> &a,
+               const std::pair<Cycles, StreamBase *> &b) const
+    {
+        return a.first > b.first;
+    }
+};
+} // namespace
+
 void
 Scheduler::scheduleArrival(Cycles cycle, StreamBase *s)
 {
     if (s->armedAt_ == cycle)
         return;
     s->armedAt_ = cycle;
-    timers_[cycle].push_back(s);
+    timers_.emplace_back(cycle, s);
+    std::push_heap(timers_.begin(), timers_.end(), TimerAfter{});
 }
 
 void
@@ -112,13 +116,13 @@ Scheduler::runCycle(Cycles now)
     curCycle_ = now;
 
     // Due arrival timers feed this cycle's commit phase.
-    while (!timers_.empty() && timers_.begin()->first <= now) {
-        for (StreamBase *s : timers_.begin()->second) {
-            if (s->armedAt_ == timers_.begin()->first)
-                s->armedAt_ = kNeverCycle;
-            streamDirty(s);
-        }
-        timers_.erase(timers_.begin());
+    while (!timers_.empty() && timers_.front().first <= now) {
+        std::pop_heap(timers_.begin(), timers_.end(), TimerAfter{});
+        auto [cycle, s] = timers_.back();
+        timers_.pop_back();
+        if (s->armedAt_ == cycle)
+            s->armedAt_ = kNeverCycle;
+        streamDirty(s);
     }
 
     // Phase 1: evaluate awake units in deterministic order. A unit is
@@ -197,7 +201,7 @@ Scheduler::canFastForward() const
 Cycles
 Scheduler::nextEventCycle() const
 {
-    return timers_.empty() ? kNeverCycle : timers_.begin()->first;
+    return timers_.empty() ? kNeverCycle : timers_.front().first;
 }
 
 } // namespace plast

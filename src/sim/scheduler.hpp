@@ -30,9 +30,10 @@
 #ifndef PLAST_SIM_SCHEDULER_HPP
 #define PLAST_SIM_SCHEDULER_HPP
 
-#include <map>
+#include <utility>
 #include <vector>
 
+#include "base/trace.hpp"
 #include "sim/simobject.hpp"
 
 namespace plast
@@ -53,8 +54,19 @@ class Scheduler
     void addStream(StreamBase *s);
 
     // ---- wake rules --------------------------------------------------
-    /** Evaluate `u` starting next cycle. */
-    void wakeUnit(SimObject *u);
+    /** Evaluate `u` starting next cycle. Inline: this is the hottest
+     *  scheduler entry point (every stream delivery and every rejected
+     *  memory submit lands here). */
+    void
+    wakeUnit(SimObject *u)
+    {
+        if (u->inRun_ || u->wakeQueued_)
+            return;
+        u->wakeQueued_ = true;
+        wakePending_.push_back(u);
+        traceInstant(trace_, u->traceTrack(), TraceName::kWake,
+                     curCycle_);
+    }
     /** The memory phase must run this cycle (an AG submitted). */
     void memWork() { memWork_ = true; }
     /** Commit `s` at the next commit phase. */
@@ -119,7 +131,11 @@ class Scheduler
     bool memWork_ = false; ///< memory phase forced this cycle
     std::vector<StreamBase *> dirty_;      ///< commit next commit phase
     std::vector<StreamBase *> commitRun_;  ///< scratch for runCycle
-    std::map<Cycles, std::vector<StreamBase *>> timers_;
+    /** Min-heap of pending arrival commits (cycle, stream). Entries
+     *  are lazily invalidated: a stream re-armed to a different cycle
+     *  leaves its old entry behind, which fires as a harmless no-op
+     *  commit — exactly the semantics the old per-cycle map had. */
+    std::vector<std::pair<Cycles, StreamBase *>> timers_;
     std::vector<StreamBase *> deliveredHost_;
     bool progress_ = false;
 

@@ -113,10 +113,11 @@ Scratchpad::conflictCycles(const std::vector<uint32_t> &addrs) const
         return 1;
     if (cfg_.mode == BankingMode::kDup)
         return 1;
-    std::vector<uint32_t> perBank(banks_, 0);
+    perBankScratch_.assign(banks_, 0);
+    uint32_t worst = 1;
     for (uint32_t a : addrs)
-        ++perBank[wrap(a) % banks_];
-    return std::max(1u, *std::max_element(perBank.begin(), perBank.end()));
+        worst = std::max(worst, ++perBankScratch_[wrap(a) % banks_]);
+    return worst;
 }
 
 void

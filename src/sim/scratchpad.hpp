@@ -9,11 +9,11 @@
 #ifndef PLAST_SIM_SCRATCHPAD_HPP
 #define PLAST_SIM_SCRATCHPAD_HPP
 
-#include <deque>
 #include <map>
 #include <vector>
 
 #include "arch/config.hpp"
+#include "base/ring.hpp"
 #include "base/stateio.hpp"
 #include "base/types.hpp"
 
@@ -40,6 +40,35 @@ class Scratchpad
      * bank (1 in duplication mode — every bank holds a copy).
      */
     uint32_t conflictCycles(const std::vector<uint32_t> &addrs) const;
+
+    // ---- Specialized-path raw row access -----------------------------
+    //
+    // The PMU fast path (PmuPortPlan::fastAccess) reads/writes rows of
+    // the backing array directly. A row is only handed out when the
+    // per-word read()/write() semantics are provably inert for every
+    // word in the span: in range, no wrap mid-span, and no pending
+    // poison that a read would scrub or a write would clear. Otherwise
+    // nullptr sends the caller down the exact per-word path.
+
+    /** Contiguous `span` words starting at (wrapped) `addr`, or
+     *  nullptr when read() side effects could differ. */
+    const Word *
+    rawRow(uint32_t buf, uint32_t addr, uint32_t span) const
+    {
+        if (ecc_ && !poison_.empty())
+            return nullptr;
+        return rowPtr(buf, addr, span);
+    }
+
+    /** Mutable row; writes clear check bits, so any pending poison
+     *  forces the per-word path. */
+    Word *
+    rawRowMut(uint32_t buf, uint32_t addr, uint32_t span)
+    {
+        if (!poison_.empty())
+            return nullptr;
+        return const_cast<Word *>(rowPtr(buf, addr, span));
+    }
 
     // FIFO-mode operations (vector granularity).
     void fifoPush(const Vec &v);
@@ -114,6 +143,20 @@ class Scratchpad
     }
 
   private:
+    const Word *
+    rowPtr(uint32_t buf, uint32_t addr, uint32_t span) const
+    {
+        // Per-word callers compute addr + l in uint32, wrapping at
+        // 2^32; a row must not paper over that wrap.
+        if (addr > ~uint32_t{0} - span)
+            return nullptr;
+        addr = wrap(addr);
+        if (buf >= cfg_.numBufs ||
+            static_cast<uint64_t>(addr) + span > cfg_.sizeWords)
+            return nullptr;
+        return &data_[static_cast<size_t>(buf) * cfg_.sizeWords + addr];
+    }
+
     uint32_t
     wrap(uint32_t addr) const
     {
@@ -139,7 +182,7 @@ class Scratchpad
     ScratchCfg cfg_;
     uint32_t banks_ = 16;
     std::vector<Word> data_;
-    std::deque<Vec> fifo_;
+    Ring<Vec> fifo_;
     bool ecc_ = false;
     // Mutable: reads perform ECC decode (scrub / detect) as a side
     // effect, and read() is const for normal datapath callers.
@@ -147,6 +190,8 @@ class Scratchpad
     mutable EccStats eccStats_;
     mutable bool uncorrectable_ = false;
     mutable Cycles corruptedAt_ = ~Cycles{0};
+    // Per-call workspace for conflictCycles(): reused, never state.
+    mutable std::vector<uint32_t> perBankScratch_;
 };
 
 } // namespace plast

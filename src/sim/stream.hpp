@@ -25,10 +25,10 @@
 #define PLAST_SIM_STREAM_HPP
 
 #include <cstdint>
-#include <deque>
 #include <string>
 
 #include "base/logging.hpp"
+#include "base/ring.hpp"
 #include "base/stateio.hpp"
 #include "base/types.hpp"
 #include "sim/scheduler.hpp"
@@ -305,9 +305,9 @@ class Stream : public StreamBase
         }
     };
 
-    std::deque<InFlight> inFlight_;
-    std::deque<T> queue_;
-    std::deque<T> pushBuf_;
+    Ring<InFlight> inFlight_;
+    Ring<T> queue_;
+    Ring<T> pushBuf_;
     uint32_t stagedPushes_ = 0;
     uint32_t stagedPops_ = 0;
 };

@@ -1,5 +1,7 @@
 #include "sim/wavefront.hpp"
 
+#include <algorithm>
+
 namespace plast
 {
 
@@ -13,6 +15,12 @@ ChainState::issueInto(Wavefront &wf)
     wf.vecStep = 1;
 
     const size_t n = cfg_.ctrs.size();
+    // Define the full counter snapshot, not just the configured depth:
+    // issue targets may be recycled pool wavefronts (sim/pcu.cpp), and
+    // a fresh Wavefront zero-initialises ctr — reuse must match. The
+    // live slots are overwritten below, so only the tail needs zeroing.
+    std::fill(wf.ctr.begin() + static_cast<long>(n), wf.ctr.end(), 0);
+
     if (n == 0) {
         // Empty chain: one wavefront per run, single "lane 0" index.
         panic_if(oneshotFired_, "empty chain issued twice");
@@ -33,24 +41,36 @@ ChainState::issueInto(Wavefront &wf)
     // every lane sees the same indices; vectorized chains mask lanes at
     // or beyond the innermost bound.
     const CounterCfg &inner = cfg_.ctrs[n - 1];
+    const uint32_t full = lanes_ >= 32 ? ~0u : (1u << lanes_) - 1;
     if (inner.vectorized) {
         wf.vecCtr = static_cast<int8_t>(n - 1);
         wf.vecStep = inner.step;
-        for (uint32_t l = 0; l < lanes_; ++l) {
-            int64_t v = cur_[n - 1] + static_cast<int64_t>(l) * inner.step;
-            if (v < bounds_[n - 1])
-                wf.setValid(l);
+        if (inner.step > 0) {
+            // Valid lanes are the contiguous prefix where
+            // cur + l*step < bound: ceil((bound - cur) / step) lanes.
+            int64_t left = bounds_[n - 1] - cur_[n - 1];
+            if (left > 0) {
+                int64_t k = (left + inner.step - 1) / inner.step;
+                wf.mask = k >= lanes_ ? full
+                                      : (1u << static_cast<uint32_t>(k)) - 1;
+            }
+        } else {
+            for (uint32_t l = 0; l < lanes_; ++l) {
+                int64_t v =
+                    cur_[n - 1] + static_cast<int64_t>(l) * inner.step;
+                if (v < bounds_[n - 1])
+                    wf.setValid(l);
+            }
         }
     } else {
-        for (uint32_t l = 0; l < lanes_; ++l)
-            wf.setValid(l);
+        wf.mask = full;
     }
 
     // First/last flags per level: level k is "first" when counters
     // k..n-1 are all at their starting value, "last" when this is the
     // final wavefront for counters k..n-1.
     bool first_inner = true, last_inner = true;
-    std::vector<bool> first(n), last(n);
+    std::array<bool, kMaxCtrs> first{}, last{};
     for (size_t i = n; i-- > 0;) {
         const CounterCfg &cc = cfg_.ctrs[i];
         int64_t per = (cc.vectorized ? cc.step * lanes_ : cc.step);

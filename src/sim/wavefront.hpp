@@ -118,6 +118,18 @@ class ChainState
      */
     void issueInto(Wavefront &wf);
 
+    /** Copy another identically-configured chain's run position without
+     *  touching configuration. Reuses vector capacity, so the AG's
+     *  speculative trial-issue does not allocate per attempt. */
+    void
+    copyRunStateFrom(const ChainState &o)
+    {
+        cur_.assign(o.cur_.begin(), o.cur_.end());
+        bounds_.assign(o.bounds_.begin(), o.bounds_.end());
+        done_ = o.done_;
+        oneshotFired_ = o.oneshotFired_;
+    }
+
     /** Checkpoint the run-position state (cfg_/lanes_ are rebuilt from
      *  the FabricConfig and never serialized). */
     template <class Ar>

@@ -1,81 +1,142 @@
-/** @file FU opcode semantics, arities, identities — incl. property
- *  sweeps over every reducible operator. */
+/** @file FU opcode semantics, arities, identities — golden values for
+ *  every opcode (including shift-by->=32 and signed-overflow edges),
+ *  specialized-kernel equivalence with the dynamic dispatcher, and
+ *  property sweeps over every reducible operator. */
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
+#include <limits>
+#include <set>
+#include <string>
 
 #include "arch/opcodes.hpp"
 #include "base/rng.hpp"
+#include "sim/execplan.hpp"
 #include "sim/fuexec.hpp"
 
 using namespace plast;
 
+namespace
+{
+constexpr int32_t kIntMin = std::numeric_limits<int32_t>::min();
+constexpr int32_t kIntMax = std::numeric_limits<int32_t>::max();
+} // namespace
+
 TEST(FuExec, IntegerArithmetic)
 {
-    EXPECT_EQ(wordToInt(fuExec(FuOp::kIAdd, intToWord(3), intToWord(4))),
+    EXPECT_EQ(wordToInt(fuExec(FuOp::kIAdd, intToWord(3), intToWord(4), 0)),
               7);
-    EXPECT_EQ(wordToInt(fuExec(FuOp::kISub, intToWord(3), intToWord(4))),
+    EXPECT_EQ(wordToInt(fuExec(FuOp::kISub, intToWord(3), intToWord(4), 0)),
               -1);
-    EXPECT_EQ(wordToInt(fuExec(FuOp::kIMul, intToWord(-3), intToWord(4))),
-              -12);
-    EXPECT_EQ(wordToInt(fuExec(FuOp::kIDiv, intToWord(9), intToWord(2))),
+    EXPECT_EQ(
+        wordToInt(fuExec(FuOp::kIMul, intToWord(-3), intToWord(4), 0)),
+        -12);
+    EXPECT_EQ(wordToInt(fuExec(FuOp::kIDiv, intToWord(9), intToWord(2), 0)),
               4);
-    EXPECT_EQ(wordToInt(fuExec(FuOp::kIMod, intToWord(9), intToWord(4))),
+    EXPECT_EQ(wordToInt(fuExec(FuOp::kIMod, intToWord(9), intToWord(4), 0)),
               1);
-    EXPECT_EQ(wordToInt(fuExec(FuOp::kIMin, intToWord(-2), intToWord(5))),
-              -2);
-    EXPECT_EQ(wordToInt(fuExec(FuOp::kIMax, intToWord(-2), intToWord(5))),
-              5);
-    EXPECT_EQ(wordToInt(fuExec(FuOp::kIAbs, intToWord(-7))), 7);
+    EXPECT_EQ(
+        wordToInt(fuExec(FuOp::kIMin, intToWord(-2), intToWord(5), 0)),
+        -2);
+    EXPECT_EQ(
+        wordToInt(fuExec(FuOp::kIMax, intToWord(-2), intToWord(5), 0)),
+        5);
+    EXPECT_EQ(wordToInt(fuExec(FuOp::kIAbs, intToWord(-7), 0, 0)), 7);
 }
 
 TEST(FuExec, DivisionByZeroIsDefined)
 {
-    EXPECT_EQ(fuExec(FuOp::kIDiv, intToWord(5), intToWord(0)), 0u);
-    EXPECT_EQ(fuExec(FuOp::kIMod, intToWord(5), intToWord(0)), 0u);
+    EXPECT_EQ(fuExec(FuOp::kIDiv, intToWord(5), intToWord(0), 0), 0u);
+    EXPECT_EQ(fuExec(FuOp::kIMod, intToWord(5), intToWord(0), 0), 0u);
+}
+
+/** Signed overflow is defined two's-complement wrapping — the edge
+ *  inputs that would be UB for naive int arithmetic. */
+TEST(FuExec, SignedOverflowWraps)
+{
+    EXPECT_EQ(
+        wordToInt(fuExec(FuOp::kIAdd, intToWord(kIntMax), intToWord(1), 0)),
+        kIntMin);
+    EXPECT_EQ(wordToInt(fuExec(FuOp::kISub, intToWord(kIntMin),
+                               intToWord(1), 0)),
+              kIntMax);
+    EXPECT_EQ(wordToInt(fuExec(FuOp::kIMul, intToWord(kIntMin),
+                               intToWord(-1), 0)),
+              kIntMin);
+    EXPECT_EQ(wordToInt(fuExec(FuOp::kIMul, intToWord(65536),
+                               intToWord(65536), 0)),
+              0);
+    EXPECT_EQ(wordToInt(fuExec(FuOp::kIMul, intToWord(48271),
+                               intToWord(2147483647), 0)),
+              wordToInt(static_cast<Word>(48271ull * 2147483647ull)));
+    // INT_MIN / -1 wraps back to INT_MIN; the matching remainder is 0.
+    EXPECT_EQ(wordToInt(fuExec(FuOp::kIDiv, intToWord(kIntMin),
+                               intToWord(-1), 0)),
+              kIntMin);
+    EXPECT_EQ(wordToInt(fuExec(FuOp::kIMod, intToWord(kIntMin),
+                               intToWord(-1), 0)),
+              0);
+    EXPECT_EQ(wordToInt(fuExec(FuOp::kIAbs, intToWord(kIntMin), 0, 0)),
+              kIntMin);
+    EXPECT_EQ(wordToInt(fuExec(FuOp::kIMA, intToWord(kIntMax),
+                               intToWord(2), intToWord(3))),
+              wordToInt(static_cast<Word>(2ull * kIntMax + 3ull)));
 }
 
 TEST(FuExec, Bitwise)
 {
-    EXPECT_EQ(fuExec(FuOp::kAnd, 0xff00ff00u, 0x0ff00ff0u), 0x0f000f00u);
-    EXPECT_EQ(fuExec(FuOp::kOr, 0xf0u, 0x0fu), 0xffu);
-    EXPECT_EQ(fuExec(FuOp::kXor, 0xffu, 0x0fu), 0xf0u);
-    EXPECT_EQ(fuExec(FuOp::kNot, 0u), 0xffffffffu);
-    EXPECT_EQ(fuExec(FuOp::kShl, 1u, 4u), 16u);
-    EXPECT_EQ(fuExec(FuOp::kShr, 16u, 4u), 1u);
+    EXPECT_EQ(fuExec(FuOp::kAnd, 0xff00ff00u, 0x0ff00ff0u, 0), 0x0f000f00u);
+    EXPECT_EQ(fuExec(FuOp::kOr, 0xf0u, 0x0fu, 0), 0xffu);
+    EXPECT_EQ(fuExec(FuOp::kXor, 0xffu, 0x0fu, 0), 0xf0u);
+    EXPECT_EQ(fuExec(FuOp::kNot, 0u, 0, 0), 0xffffffffu);
+    EXPECT_EQ(fuExec(FuOp::kShl, 1u, 4u, 0), 16u);
+    EXPECT_EQ(fuExec(FuOp::kShr, 16u, 4u, 0), 1u);
+}
+
+/** The barrel shifter consumes only the low 5 bits of the amount, so
+ *  shift-by->=32 is defined (and not UB as `1u << 32` would be). */
+TEST(FuExec, ShiftAmountIsMasked)
+{
+    EXPECT_EQ(fuExec(FuOp::kShl, 0xdeadbeefu, 32u, 0), 0xdeadbeefu);
+    EXPECT_EQ(fuExec(FuOp::kShr, 0xdeadbeefu, 32u, 0), 0xdeadbeefu);
+    EXPECT_EQ(fuExec(FuOp::kShl, 1u, 33u, 0), 2u);
+    EXPECT_EQ(fuExec(FuOp::kShr, 4u, 33u, 0), 2u);
+    EXPECT_EQ(fuExec(FuOp::kShl, 1u, 63u, 0), 0x80000000u);
+    EXPECT_EQ(fuExec(FuOp::kShr, 0x80000000u, 63u, 0), 1u);
+    EXPECT_EQ(fuExec(FuOp::kShl, 5u, 100u, 0), 5u << 4);
 }
 
 TEST(FuExec, Comparisons)
 {
-    EXPECT_EQ(fuExec(FuOp::kILt, intToWord(-1), intToWord(0)), 1u);
-    EXPECT_EQ(fuExec(FuOp::kIGe, intToWord(-1), intToWord(0)), 0u);
-    EXPECT_EQ(fuExec(FuOp::kFLt, floatToWord(1.5f), floatToWord(2.0f)),
+    EXPECT_EQ(fuExec(FuOp::kILt, intToWord(-1), intToWord(0), 0), 1u);
+    EXPECT_EQ(fuExec(FuOp::kIGe, intToWord(-1), intToWord(0), 0), 0u);
+    EXPECT_EQ(fuExec(FuOp::kFLt, floatToWord(1.5f), floatToWord(2.0f), 0),
               1u);
-    EXPECT_EQ(fuExec(FuOp::kFEq, floatToWord(2.0f), floatToWord(2.0f)),
+    EXPECT_EQ(fuExec(FuOp::kFEq, floatToWord(2.0f), floatToWord(2.0f), 0),
               1u);
-    EXPECT_EQ(fuExec(FuOp::kFNe, floatToWord(2.0f), floatToWord(2.0f)),
+    EXPECT_EQ(fuExec(FuOp::kFNe, floatToWord(2.0f), floatToWord(2.0f), 0),
               0u);
 }
 
 TEST(FuExec, FloatArithmetic)
 {
+    EXPECT_FLOAT_EQ(wordToFloat(fuExec(FuOp::kFAdd, floatToWord(1.5f),
+                                       floatToWord(2.25f), 0)),
+                    3.75f);
+    EXPECT_FLOAT_EQ(wordToFloat(fuExec(FuOp::kFMul, floatToWord(-2.0f),
+                                       floatToWord(3.0f), 0)),
+                    -6.0f);
     EXPECT_FLOAT_EQ(
-        wordToFloat(fuExec(FuOp::kFAdd, floatToWord(1.5f),
-                           floatToWord(2.25f))),
-        3.75f);
+        wordToFloat(fuExec(FuOp::kFSqrt, floatToWord(9.0f), 0, 0)), 3.0f);
     EXPECT_FLOAT_EQ(
-        wordToFloat(fuExec(FuOp::kFMul, floatToWord(-2.0f),
-                           floatToWord(3.0f))),
-        -6.0f);
+        wordToFloat(fuExec(FuOp::kFRecip, floatToWord(4.0f), 0, 0)),
+        0.25f);
     EXPECT_FLOAT_EQ(
-        wordToFloat(fuExec(FuOp::kFSqrt, floatToWord(9.0f))), 3.0f);
+        wordToFloat(fuExec(FuOp::kFExp, floatToWord(0.0f), 0, 0)), 1.0f);
     EXPECT_FLOAT_EQ(
-        wordToFloat(fuExec(FuOp::kFRecip, floatToWord(4.0f))), 0.25f);
-    EXPECT_FLOAT_EQ(
-        wordToFloat(fuExec(FuOp::kFExp, floatToWord(0.0f))), 1.0f);
-    EXPECT_FLOAT_EQ(
-        wordToFloat(fuExec(FuOp::kFLog, floatToWord(1.0f))), 0.0f);
+        wordToFloat(fuExec(FuOp::kFLog, floatToWord(1.0f), 0, 0)), 0.0f);
 }
 
 TEST(FuExec, TernaryOps)
@@ -89,6 +150,139 @@ TEST(FuExec, TernaryOps)
     EXPECT_EQ(wordToInt(fuExec(FuOp::kIMA, intToWord(5), intToWord(7),
                                intToWord(-3))),
               32);
+}
+
+// --------------------------------------------------------------------
+// Golden values for every opcode
+// --------------------------------------------------------------------
+
+namespace
+{
+
+struct Golden
+{
+    FuOp op;
+    Word a, b, c;
+    Word expect;
+};
+
+/** At least one pinned input/output triple per opcode: the contract the
+ *  interpreter, the specialized kernels, and the reference evaluator
+ *  all share. */
+const Golden kGoldens[] = {
+    {FuOp::kNop, 0x1234u, 0xffffu, 0xeeeeu, 0x1234u},
+    {FuOp::kIAdd, intToWord(20), intToWord(22), 0, intToWord(42)},
+    {FuOp::kIAdd, intToWord(kIntMax), intToWord(kIntMax), 0,
+     intToWord(-2)},
+    {FuOp::kISub, intToWord(-5), intToWord(-9), 0, intToWord(4)},
+    {FuOp::kIMul, intToWord(-7), intToWord(6), 0, intToWord(-42)},
+    {FuOp::kIDiv, intToWord(-9), intToWord(2), 0, intToWord(-4)},
+    {FuOp::kIDiv, intToWord(7), intToWord(0), 0, 0u},
+    {FuOp::kIMod, intToWord(-9), intToWord(2), 0, intToWord(-1)},
+    {FuOp::kIMod, intToWord(7), intToWord(0), 0, 0u},
+    {FuOp::kIMin, intToWord(kIntMin), intToWord(kIntMax), 0,
+     intToWord(kIntMin)},
+    {FuOp::kIMax, intToWord(kIntMin), intToWord(kIntMax), 0,
+     intToWord(kIntMax)},
+    {FuOp::kIAbs, intToWord(-42), 0, 0, intToWord(42)},
+    {FuOp::kIAbs, intToWord(42), 0, 0, intToWord(42)},
+    {FuOp::kAnd, 0xffff0000u, 0x0f0f0f0fu, 0, 0x0f0f0000u},
+    {FuOp::kOr, 0xffff0000u, 0x0f0f0f0fu, 0, 0xffff0f0fu},
+    {FuOp::kXor, 0xffff0000u, 0x0f0f0f0fu, 0, 0xf0f00f0fu},
+    {FuOp::kNot, 0x0000ffffu, 0, 0, 0xffff0000u},
+    {FuOp::kShl, 0x3u, 30u, 0, 0xc0000000u},
+    {FuOp::kShr, 0xc0000000u, 30u, 0, 0x3u},
+    {FuOp::kILt, intToWord(3), intToWord(3), 0, 0u},
+    {FuOp::kILe, intToWord(3), intToWord(3), 0, 1u},
+    {FuOp::kIGt, intToWord(4), intToWord(3), 0, 1u},
+    {FuOp::kIGe, intToWord(2), intToWord(3), 0, 0u},
+    {FuOp::kIEq, 0xabcdu, 0xabcdu, 0, 1u},
+    {FuOp::kINe, 0xabcdu, 0xabcdu, 0, 0u},
+    {FuOp::kFAdd, floatToWord(0.5f), floatToWord(0.25f), 0,
+     floatToWord(0.75f)},
+    {FuOp::kFSub, floatToWord(1.0f), floatToWord(4.0f), 0,
+     floatToWord(-3.0f)},
+    {FuOp::kFMul, floatToWord(1.5f), floatToWord(-2.0f), 0,
+     floatToWord(-3.0f)},
+    {FuOp::kFDiv, floatToWord(1.0f), floatToWord(-4.0f), 0,
+     floatToWord(-0.25f)},
+    {FuOp::kFMin, floatToWord(-1.0f), floatToWord(2.0f), 0,
+     floatToWord(-1.0f)},
+    {FuOp::kFMax, floatToWord(-1.0f), floatToWord(2.0f), 0,
+     floatToWord(2.0f)},
+    {FuOp::kFAbs, floatToWord(-3.5f), 0, 0, floatToWord(3.5f)},
+    {FuOp::kFNeg, floatToWord(3.5f), 0, 0, floatToWord(-3.5f)},
+    {FuOp::kFLt, floatToWord(-0.0f), floatToWord(0.0f), 0, 0u},
+    {FuOp::kFLe, floatToWord(-0.0f), floatToWord(0.0f), 0, 1u},
+    {FuOp::kFGt, floatToWord(2.0f), floatToWord(1.0f), 0, 1u},
+    {FuOp::kFGe, floatToWord(1.0f), floatToWord(2.0f), 0, 0u},
+    {FuOp::kFEq, floatToWord(-0.0f), floatToWord(0.0f), 0, 1u},
+    {FuOp::kFNe, floatToWord(1.0f), floatToWord(2.0f), 0, 1u},
+    {FuOp::kFExp, floatToWord(1.0f), 0, 0,
+     floatToWord(std::exp(1.0f))},
+    {FuOp::kFLog, floatToWord(std::exp(1.0f)), 0, 0,
+     floatToWord(std::log(std::exp(1.0f)))},
+    {FuOp::kFSqrt, floatToWord(16.0f), 0, 0, floatToWord(4.0f)},
+    {FuOp::kFRecip, floatToWord(-2.0f), 0, 0, floatToWord(-0.5f)},
+    {FuOp::kI2F, intToWord(-3), 0, 0, floatToWord(-3.0f)},
+    {FuOp::kF2I, floatToWord(-3.7f), 0, 0, intToWord(-3)},
+    {FuOp::kMux, 7u, 0x1111u, 0x2222u, 0x1111u},
+    {FuOp::kMux, 0u, 0x1111u, 0x2222u, 0x2222u},
+    {FuOp::kFMA, floatToWord(-2.0f), floatToWord(3.0f),
+     floatToWord(10.0f), floatToWord(4.0f)},
+    {FuOp::kIMA, intToWord(-4), intToWord(5), intToWord(6),
+     intToWord(-14)},
+};
+
+} // namespace
+
+TEST(FuExec, GoldenValuesCoverEveryOpcode)
+{
+    std::set<int> covered;
+    for (const Golden &g : kGoldens) {
+        EXPECT_EQ(fuExec(g.op, g.a, g.b, g.c), g.expect)
+            << fuOpName(g.op) << "(" << g.a << ", " << g.b << ", " << g.c
+            << ")";
+        covered.insert(static_cast<int>(g.op));
+    }
+    EXPECT_EQ(covered.size(), static_cast<size_t>(FuOp::kNumOps))
+        << "every opcode needs at least one golden triple";
+}
+
+/** The specializer's monomorphic kernels compute exactly what the
+ *  dynamic dispatcher does — on the goldens and on random fuzz. */
+TEST(FuExec, MapKernelsMatchDynamicDispatch)
+{
+    for (const Golden &g : kGoldens) {
+        MapKernel k = mapKernelFor(g.op);
+        if (k == nullptr)
+            continue; // generic-fallback op, dispatches through fuExec
+        std::array<Word, kMaxLanes> a{}, b{}, c{}, dst{};
+        a.fill(g.a);
+        b.fill(g.b);
+        c.fill(g.c);
+        k(a.data(), b.data(), c.data(), dst.data(), kMaxLanes);
+        for (uint32_t l = 0; l < kMaxLanes; ++l)
+            EXPECT_EQ(dst[l], g.expect) << fuOpName(g.op) << " lane " << l;
+    }
+
+    Rng rng(7);
+    for (int op = 0; op < static_cast<int>(FuOp::kNumOps); ++op) {
+        MapKernel k = mapKernelFor(static_cast<FuOp>(op));
+        if (k == nullptr)
+            continue;
+        std::array<Word, kMaxLanes> a{}, b{}, c{}, dst{};
+        for (uint32_t l = 0; l < kMaxLanes; ++l) {
+            a[l] = static_cast<Word>(rng.next());
+            b[l] = static_cast<Word>(rng.next());
+            c[l] = static_cast<Word>(rng.next());
+        }
+        k(a.data(), b.data(), c.data(), dst.data(), kMaxLanes);
+        for (uint32_t l = 0; l < kMaxLanes; ++l)
+            EXPECT_EQ(dst[l],
+                      fuExec(static_cast<FuOp>(op), a[l], b[l], c[l]))
+                << fuOpName(static_cast<FuOp>(op)) << " lane " << l;
+    }
 }
 
 TEST(Opcodes, ArityMatchesSemantics)
@@ -126,9 +320,9 @@ TEST_P(ReducibleOps, IdentityIsNeutral)
                      : intToWord(static_cast<int32_t>(
                            rng.nextBounded(1 << 20)) -
                        (1 << 19));
-        EXPECT_EQ(fuExec(op, ident, x), x)
+        EXPECT_EQ(fuExec(op, ident, x, 0), x)
             << fuOpName(op) << " identity not left-neutral";
-        EXPECT_EQ(fuExec(op, x, ident), x)
+        EXPECT_EQ(fuExec(op, x, ident, 0), x)
             << fuOpName(op) << " identity not right-neutral";
     }
 }
@@ -149,8 +343,8 @@ TEST_P(ReducibleOps, Associative)
             b = floatToWord(rng.nextFloat(-10, 10));
             c = floatToWord(rng.nextFloat(-10, 10));
         }
-        EXPECT_EQ(fuExec(op, fuExec(op, a, b), c),
-                  fuExec(op, a, fuExec(op, b, c)))
+        EXPECT_EQ(fuExec(op, fuExec(op, a, b, 0), c, 0),
+                  fuExec(op, a, fuExec(op, b, c, 0), 0))
             << fuOpName(op);
     }
 }

@@ -21,12 +21,13 @@ struct PcuHarness
     std::unique_ptr<ControlStream> token, done;
     Cycles now = 0;
 
-    explicit PcuHarness(PcuCfg cfg, uint32_t outCapacity = 64)
+    explicit PcuHarness(PcuCfg cfg, uint32_t outCapacity = 64,
+                        SimMode simMode = SimMode::kInterp)
     {
         cfg.used = true;
         cfg.vecOuts.resize(params.pcu.vectorOuts);
         cfg.scalOuts.resize(params.pcu.scalarOuts);
-        pcu = std::make_unique<PcuSim>(params, 0, cfg);
+        pcu = std::make_unique<PcuSim>(params, 0, cfg, simMode);
         (void)outCapacity;
     }
 
@@ -366,3 +367,77 @@ TEST(Pcu, VectorInputConsumedPerWavefront)
     for (uint32_t i = 0; i < 32; ++i)
         EXPECT_EQ(got[i], 2 * i);
 }
+
+namespace
+{
+
+/** Full reduce tree + accumulator summing i over i < n, emitted once. */
+PcuCfg
+reduceSumCfg(int64_t n)
+{
+    PcuCfg cfg;
+    CounterCfg cc;
+    cc.max = n;
+    cc.vectorized = true;
+    cfg.chain.ctrs = {cc};
+    StageCfg move;
+    move.op = FuOp::kNop;
+    move.a = Operand::ctr(0);
+    move.dstReg = 0;
+    cfg.stages = {move};
+    for (uint32_t dist = 1; dist < 16; dist *= 2) {
+        StageCfg red;
+        red.kind = StageKind::kReduceStep;
+        red.op = FuOp::kIAdd;
+        red.a = Operand::reg(0);
+        red.dstReg = 0;
+        red.reduceDist = static_cast<uint8_t>(dist);
+        cfg.stages.push_back(red);
+    }
+    StageCfg acc;
+    acc.kind = StageKind::kAccum;
+    acc.op = FuOp::kIAdd;
+    acc.a = Operand::reg(0);
+    acc.dstReg = 1;
+    acc.accLevel = 0;
+    cfg.stages.push_back(acc);
+    cfg.scalOuts.resize(5);
+    cfg.scalOuts[0].enabled = true;
+    cfg.scalOuts[0].srcReg = 1;
+    cfg.scalOuts[0].cond = EmitCond::lastAtLevel(0);
+    return cfg;
+}
+
+} // namespace
+
+/** Cross-lane reduce trees at non-power-of-two active lane counts, in
+ *  both datapath engines: tail wavefronts with 1..15 valid lanes must
+ *  not pull stale or pool-recycled junk into the tree. */
+class ReduceTails
+    : public ::testing::TestWithParam<std::tuple<SimMode, int64_t>>
+{
+};
+
+TEST_P(ReduceTails, PartialWavefrontSumsExactly)
+{
+    auto [simMode, n] = GetParam();
+    PcuHarness h(reduceSumCfg(n), 64, simMode);
+    ScalarStream *out = h.bindScalOut(0);
+    h.step(static_cast<int>(n) + 50);
+    ASSERT_TRUE(out->canPop());
+    EXPECT_EQ(wordToInt(out->front()), n * (n - 1) / 2);
+    out->pop();
+    EXPECT_FALSE(out->canPop()) << "fold must emit exactly once";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BothEngines, ReduceTails,
+    ::testing::Combine(::testing::Values(SimMode::kInterp,
+                                         SimMode::kSpecialized),
+                       ::testing::Values<int64_t>(1, 3, 7, 15, 17, 23,
+                                                  31, 33, 100)),
+    [](const ::testing::TestParamInfo<std::tuple<SimMode, int64_t>>
+           &info) {
+        return std::string(simModeName(std::get<0>(info.param))) + "_" +
+               std::to_string(std::get<1>(info.param));
+    });

@@ -546,6 +546,76 @@ INSTANTIATE_TEST_SUITE_P(ThreeApps, CheckpointRestore,
                          ::testing::Values("InnerProduct", "GEMM",
                                            "Kmeans"));
 
+// ---- satellite: checkpoints cross the datapath-engine boundary ------
+
+/** The checkpoint tape encodes only architectural state — execution
+ *  plans (sim/execplan.hpp) are derived from the config at fabric
+ *  construction — so a snapshot saved under either datapath engine
+ *  restores into a fabric running the other engine and resumes bit-
+ *  and cycle-exactly. Parameter: (engine that saves, engine that
+ *  resumes). */
+class CrossEngineCheckpoint
+    : public ::testing::TestWithParam<std::pair<SimMode, SimMode>>
+{
+};
+
+TEST_P(CrossEngineCheckpoint, SnapshotRestoresAcrossEngines)
+{
+    auto [saveMode, resumeMode] = GetParam();
+    setVerbose(false);
+    apps::AppInstance app = appByName("GEMM");
+    ArchParams params = eccParams(true);
+
+    Runner probe(app.prog, params);
+    app.load(probe);
+    Runner::Result ref;
+    ASSERT_TRUE(probe.tryRun(ref).ok());
+
+    SimOptions save;
+    save.simMode = saveMode;
+    save.checkpointEvery = std::max<Cycles>(1, ref.cycles / 4);
+    save.keepCheckpoints = 8;
+    Runner r(app.prog, params, save);
+    app.load(r);
+    Runner::Result out;
+    ASSERT_TRUE(r.tryRun(out).ok());
+    EXPECT_EQ(out.cycles, ref.cycles)
+        << "engine choice must not perturb execution";
+
+    Fabric *orig = r.mutableFabric();
+    const auto &ring = orig->autoCheckpoints();
+    ASSERT_GE(ring.size(), 2u);
+    FabricCheckpoint cp = ring[ring.size() / 2];
+    ASSERT_GT(cp.cycle, 0u);
+
+    SimOptions resume;
+    resume.simMode = resumeMode;
+    Fabric fresh(r.mapResult().fabric, resume);
+    ASSERT_TRUE(fresh.restoreCheckpoint(cp).ok());
+    RunResult rr = fresh.runChecked();
+    ASSERT_TRUE(rr.status.ok()) << rr.status.message();
+    EXPECT_EQ(fresh.now(), orig->now());
+
+    for (uint32_t s = 0; s < app.prog.numArgOuts; ++s)
+        EXPECT_EQ(fresh.argOut(s), orig->argOut(s)) << "argOut " << s;
+    ASSERT_EQ(fresh.dram().sizeBytes(), orig->dram().sizeBytes());
+    for (Addr a = 0; a < orig->dram().sizeBytes(); a += sizeof(Word))
+        ASSERT_EQ(fresh.dram().readWord(a), orig->dram().readWord(a))
+            << "DRAM word at byte " << a;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairs, CrossEngineCheckpoint,
+    ::testing::Values(
+        std::make_pair(SimMode::kInterp, SimMode::kSpecialized),
+        std::make_pair(SimMode::kSpecialized, SimMode::kInterp),
+        std::make_pair(SimMode::kSpecialized, SimMode::kSpecialized)),
+    [](const ::testing::TestParamInfo<std::pair<SimMode, SimMode>>
+           &info) {
+        return std::string(simModeName(info.param.first)) + "_to_" +
+               std::string(simModeName(info.param.second));
+    });
+
 // ---- checkpoint text round trip -------------------------------------
 
 TEST(Resilience, CheckpointTextRoundTrip)

@@ -1,0 +1,250 @@
+/** @file Specialized datapath engine (sim/execplan.hpp): bit-exact
+ *  parity against the interpreter on every benchmark — completion
+ *  cycle, argOut streams, DRAM images and architectural counters —
+ *  plus plan-construction invariants (dead-port elision, kernel
+ *  coverage) and the interaction with the dense scheduler. */
+
+#include <gtest/gtest.h>
+
+#include "apps/apps.hpp"
+#include "sim/execplan.hpp"
+#include "sim/fabric.hpp"
+
+using namespace plast;
+
+namespace
+{
+
+SimOptions
+withEngine(SimMode simMode,
+           SimOptions::Mode mode = SimOptions::Mode::kActivity)
+{
+    SimOptions o;
+    o.mode = mode;
+    o.simMode = simMode;
+    return o;
+}
+
+struct ModeResult
+{
+    Cycles cycles = 0;
+    std::vector<std::deque<Word>> argOuts;
+    std::vector<std::vector<Word>> dramBufs;
+    StatSet stats;
+    uint64_t laneOps = 0;
+};
+
+ModeResult
+runApp(const apps::AppSpec &spec, SimOptions opts)
+{
+    setVerbose(false);
+    apps::AppInstance app = spec.make(apps::Scale::kTiny);
+    Runner r(std::move(app.prog), ArchParams::plasticineFinal(), opts);
+    app.load(r);
+    Runner::Result res = r.run();
+
+    ModeResult out;
+    out.cycles = res.cycles;
+    out.argOuts = res.argOuts;
+    out.stats = res.stats;
+    out.laneOps = r.fabric()->totalLaneOps();
+    for (size_t m = 0; m < r.program().mems.size(); ++m) {
+        if (r.program().mems[m].kind == pir::MemKind::kDram)
+            out.dramBufs.push_back(
+                r.readDram(static_cast<pir::MemId>(m)));
+    }
+    return out;
+}
+
+void
+expectBitExact(const ModeResult &interp, const ModeResult &spec)
+{
+    EXPECT_EQ(interp.cycles, spec.cycles) << "completion cycle";
+    EXPECT_EQ(interp.stats.get("cycles"), spec.stats.get("cycles"))
+        << "post-drain cycle count";
+    EXPECT_EQ(interp.laneOps, spec.laneOps) << "FU lane-op count";
+
+    ASSERT_EQ(interp.argOuts.size(), spec.argOuts.size());
+    for (size_t s = 0; s < interp.argOuts.size(); ++s)
+        EXPECT_EQ(interp.argOuts[s], spec.argOuts[s])
+            << "argOut slot " << s;
+
+    ASSERT_EQ(interp.dramBufs.size(), spec.dramBufs.size());
+    for (size_t m = 0; m < interp.dramBufs.size(); ++m)
+        EXPECT_EQ(interp.dramBufs[m], spec.dramBufs[m])
+            << "DRAM buffer " << m;
+
+    // Every architectural activity counter must agree: specialization
+    // may only change host wall-clock, never the simulated machine.
+    // Per-unit host accounting (".cycles." stepped/asleep split) is
+    // excluded: it is scheduler-dependent, not engine-dependent, and
+    // this helper also serves the cross-scheduler combination.
+    for (const auto &[name, value] : interp.stats.all()) {
+        bool unitWork = (name.rfind("pcu", 0) == 0 ||
+                         name.rfind("pmu", 0) == 0 ||
+                         name.rfind("ag", 0) == 0 ||
+                         name.rfind("box", 0) == 0) &&
+                        name.find(".cycles.") == std::string::npos;
+        if (name.rfind("stream.", 0) == 0 || name.rfind("net.", 0) == 0 ||
+            name.rfind("mem.", 0) == 0 || name.rfind("dram", 0) == 0 ||
+            unitWork) {
+            EXPECT_EQ(value, spec.stats.get(name)) << name;
+        }
+    }
+}
+
+} // namespace
+
+/** Interp and specialized engines must be indistinguishable at the
+ *  architectural level on every benchmark. */
+class SpecializedParity : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    const apps::AppSpec &
+    spec() const
+    {
+        for (const auto &s : apps::allApps()) {
+            if (s.name == GetParam())
+                return s;
+        }
+        ADD_FAILURE() << "unknown benchmark";
+        return apps::allApps().front();
+    }
+};
+
+TEST_P(SpecializedParity, MatchesInterpBitExactly)
+{
+    ModeResult interp = runApp(spec(), withEngine(SimMode::kInterp));
+    ModeResult specd = runApp(spec(), withEngine(SimMode::kSpecialized));
+    expectBitExact(interp, specd);
+}
+
+/** The engine axis is orthogonal to the scheduler axis: specialized
+ *  under the dense scheduler matches interp under activity. */
+TEST_P(SpecializedParity, DenseSpecializedMatchesActivityInterp)
+{
+    ModeResult interp = runApp(spec(), withEngine(SimMode::kInterp));
+    ModeResult specd = runApp(
+        spec(),
+        withEngine(SimMode::kSpecialized, SimOptions::Mode::kDense));
+    expectBitExact(interp, specd);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, SpecializedParity,
+    ::testing::Values("InnerProduct", "OuterProduct", "Black-Scholes",
+                      "TPC-H Query 6", "GEMM", "GDA", "LogReg", "SGD",
+                      "Kmeans", "CNN", "SMDV", "PageRank", "BFS"),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string n = info.param;
+        for (char &c : n) {
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return n;
+    });
+
+/** The specialized fabric still validates bit-exactly against the
+ *  golden reference evaluator end to end. */
+TEST(Specialized, ValidatedAgainstReference)
+{
+    setVerbose(false);
+    apps::AppInstance app = apps::makeInnerProduct(apps::Scale::kTiny);
+    Runner r(std::move(app.prog), ArchParams::plasticineFinal(),
+             withEngine(SimMode::kSpecialized));
+    app.load(r);
+    Runner::Result res = r.runValidated();
+    EXPECT_GT(res.cycles, 0u);
+}
+
+/** Runner::setSimMode selects the engine before the fabric exists. */
+TEST(Specialized, RunnerSetSimMode)
+{
+    setVerbose(false);
+    apps::AppInstance app = apps::makeInnerProduct(apps::Scale::kTiny);
+
+    apps::AppInstance ref = apps::makeInnerProduct(apps::Scale::kTiny);
+    Runner rref(std::move(ref.prog));
+    ref.load(rref);
+    Cycles want = rref.run().cycles;
+
+    Runner r(std::move(app.prog));
+    r.setSimMode(SimMode::kSpecialized);
+    app.load(r);
+    EXPECT_EQ(r.run().cycles, want);
+}
+
+// --------------------------------------------------------------------
+// Plan-construction invariants
+// --------------------------------------------------------------------
+
+namespace
+{
+
+PcuCfg
+twoStageCfg()
+{
+    const ArchParams params = ArchParams::plasticineFinal();
+    PcuCfg cfg;
+    cfg.used = true;
+    cfg.name = "planned";
+    StageCfg mul;
+    mul.kind = StageKind::kMap;
+    mul.op = FuOp::kFMul;
+    mul.a = Operand::vectorIn(0);
+    mul.b = Operand::vectorIn(1);
+    mul.dstReg = 2;
+    StageCfg red;
+    red.kind = StageKind::kReduceStep;
+    red.op = FuOp::kFAdd;
+    red.a = Operand::reg(2);
+    red.dstReg = 2;
+    red.reduceDist = 1;
+    cfg.stages = {mul, red};
+    cfg.vecOuts.resize(params.pcu.vectorOuts);
+    cfg.scalOuts.resize(params.pcu.scalarOuts);
+    cfg.scalOuts[0].enabled = true;
+    cfg.scalOuts[0].srcReg = 2;
+    return cfg;
+}
+
+} // namespace
+
+TEST(ExecPlan, ResolvesStagesAndElidesDeadPorts)
+{
+    PcuExecPlan plan = buildPcuPlan(twoStageCfg());
+
+    ASSERT_EQ(plan.stages.size(), 2u);
+    EXPECT_EQ(plan.stages[0].kind, StageKind::kMap);
+    EXPECT_NE(plan.stages[0].kernel, nullptr)
+        << "kFMul gets a monomorphic kernel";
+    EXPECT_EQ(plan.stages[0].arity, 2u);
+    EXPECT_EQ(plan.stages[1].kind, StageKind::kReduceStep);
+    EXPECT_EQ(plan.stages[1].identity, floatToWord(0.0f))
+        << "kFAdd reduction identity";
+
+    // Only reg 2 is ever touched -> pool recycling zeroes one register.
+    EXPECT_EQ(plan.touchedRegs, 1u << 2);
+
+    // One live scalar out, zero live vector outs, no coalescing: the
+    // retire loops skip every disabled port without testing it.
+    EXPECT_TRUE(plan.liveVecOuts.empty());
+    ASSERT_EQ(plan.liveScalOuts.size(), 1u);
+    EXPECT_EQ(plan.liveScalOuts[0], 0u);
+    EXPECT_TRUE(plan.countScalOuts.empty());
+    EXPECT_FALSE(plan.anyCoalesce);
+}
+
+TEST(ExecPlan, TranscendentalsFallBackToGenericExec)
+{
+    // Plans never inline libm-backed ops; those stages run through the
+    // dynamic dispatcher so every engine shares one libm call site.
+    EXPECT_EQ(mapKernelFor(FuOp::kFExp), nullptr);
+    EXPECT_EQ(mapKernelFor(FuOp::kFLog), nullptr);
+    EXPECT_EQ(mapKernelFor(FuOp::kFSqrt), nullptr);
+    EXPECT_EQ(mapKernelFor(FuOp::kFRecip), nullptr);
+    // Everything else is monomorphic.
+    EXPECT_NE(mapKernelFor(FuOp::kIAdd), nullptr);
+    EXPECT_NE(mapKernelFor(FuOp::kFMA), nullptr);
+    EXPECT_NE(mapKernelFor(FuOp::kMux), nullptr);
+}
