@@ -16,6 +16,7 @@
 
 #include "apps/apps.hpp"
 #include "base/logging.hpp"
+#include "common.hpp"
 #include "pir/builder.hpp"
 #include "sim/pmu.hpp"
 
@@ -115,9 +116,11 @@ smdvWithCache(uint32_t lines)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setVerbose(false);
+    std::string json_path = bench::statsJsonPath(argc, argv);
+    StatSet json_stats;
 
     std::printf("=== ablation 1: scratchpad banking under conflicting "
                 "parallel reads ===\n");
@@ -128,6 +131,8 @@ main()
     std::printf("  duplication mode:          %6llu cycles  (%.1fx)\n",
                 static_cast<unsigned long long>(dup),
                 static_cast<double>(strided) / dup);
+    json_stats.set("banking.strided.cycles", strided);
+    json_stats.set("banking.dup.cycles", dup);
 
     std::printf("\n=== ablation 2: coarse-grained pipelining of a tile "
                 "loop (load -> compute -> store) ===\n");
@@ -139,13 +144,19 @@ main()
                 "N-buffered tiles)\n",
                 static_cast<unsigned long long>(meta),
                 static_cast<double>(seq) / meta);
+    json_stats.set("pipelining.sequential.cycles", seq);
+    json_stats.set("pipelining.metapipe.cycles", meta);
 
     std::printf("\n=== ablation 3: coalescing-cache size on SMDV "
                 "gathers ===\n");
     for (uint32_t lines : {1u, 4u, 32u}) {
+        Cycles c = smdvWithCache(lines);
         std::printf("  %2u merge entries: %6llu cycles\n", lines,
-                    static_cast<unsigned long long>(
-                        smdvWithCache(lines)));
+                    static_cast<unsigned long long>(c));
+        json_stats.set("coalescer.lines" + std::to_string(lines) +
+                           ".cycles",
+                       c);
     }
+    bench::writeStatsJson(json_path, json_stats, "ablation");
     return 0;
 }

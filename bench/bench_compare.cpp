@@ -1,0 +1,323 @@
+/**
+ * @file
+ * The perf-regression gate: diffs two stats-JSON / manifest files and
+ * exits nonzero when the current run regressed past the noise
+ * thresholds. This is what turns the committed BENCH_*.json baselines
+ * from decoration into a contract — a PR that slows a gated metric
+ * fails CI instead of silently rotting the perf trajectory.
+ *
+ *   bench_compare BASELINE.json CURRENT.json [options]
+ *     --tol=F            relative slack for deterministic counters
+ *                        (default 0: cycle counts and op counters must
+ *                        match the baseline exactly)
+ *     --time-tol=F       relative slack for wall-clock keys
+ *                        (default 2.0: up to 3x slower still passes —
+ *                        CI machines are noisy; catch order-of-
+ *                        magnitude rot, not jitter)
+ *     --time-slack-us=N  absolute wall-clock slack added on top
+ *                        (default 50000: microsecond-scale phases are
+ *                        pure noise)
+ *     --verbose          print every compared key
+ *
+ * Inputs are JSON objects; nested objects flatten with '.' (so run
+ * manifests diff as naturally as flat bench stats). String/bool/null
+ * values and arrays are provenance, not measurements — skipped. A key
+ * is wall-clock-like when it contains "wall", "seconds" or "_us";
+ * everything else is deterministic. Only keys present in BOTH files
+ * are gated; disappeared keys are reported (a metric silently vanishing
+ * is itself suspicious) but do not fail the gate, since baselines
+ * predating a schema addition must keep working.
+ *
+ * Exit codes: 0 pass, 1 regression(s), 2 usage / parse error.
+ */
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+namespace
+{
+
+// ---- minimal JSON reader (objects, numbers; rest skipped) -----------
+
+struct Parser
+{
+    const std::string &text;
+    size_t pos = 0;
+    std::string error;
+
+    explicit Parser(const std::string &t) : text(t) {}
+
+    bool
+    fail(const std::string &msg)
+    {
+        if (error.empty())
+            error = msg + " at offset " + std::to_string(pos);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+    }
+
+    bool
+    expect(char c)
+    {
+        skipWs();
+        if (pos >= text.size() || text[pos] != c)
+            return fail(std::string("expected '") + c + "'");
+        ++pos;
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        skipWs();
+        if (pos >= text.size() || text[pos] != '"')
+            return fail("expected string");
+        ++pos;
+        out.clear();
+        while (pos < text.size() && text[pos] != '"') {
+            char c = text[pos++];
+            if (c == '\\' && pos < text.size()) {
+                char e = text[pos++];
+                switch (e) {
+                  case 'n': out.push_back('\n'); break;
+                  case 't': out.push_back('\t'); break;
+                  case 'u':
+                    // \uXXXX: keep the raw escape; keys never use it.
+                    out += "\\u";
+                    break;
+                  default: out.push_back(e); break;
+                }
+            } else {
+                out.push_back(c);
+            }
+        }
+        if (pos >= text.size())
+            return fail("unterminated string");
+        ++pos;
+        return true;
+    }
+
+    /** Parse any value; numeric leaves land in `out` under `prefix`. */
+    bool
+    parseValue(const std::string &prefix,
+               std::map<std::string, double> &out)
+    {
+        skipWs();
+        if (pos >= text.size())
+            return fail("unexpected end of input");
+        char c = text[pos];
+        if (c == '{')
+            return parseObject(prefix, out);
+        if (c == '[') {
+            // Arrays are structure, not gateable scalars: skip.
+            ++pos;
+            int depth = 1;
+            bool inStr = false;
+            while (pos < text.size() && depth > 0) {
+                char a = text[pos++];
+                if (inStr) {
+                    if (a == '\\')
+                        ++pos;
+                    else if (a == '"')
+                        inStr = false;
+                } else if (a == '"') {
+                    inStr = true;
+                } else if (a == '[') {
+                    ++depth;
+                } else if (a == ']') {
+                    --depth;
+                }
+            }
+            return depth == 0 || fail("unterminated array");
+        }
+        if (c == '"') {
+            std::string s;
+            return parseString(s); // provenance: skipped
+        }
+        if (std::strncmp(text.c_str() + pos, "true", 4) == 0) {
+            pos += 4;
+            return true;
+        }
+        if (std::strncmp(text.c_str() + pos, "false", 5) == 0) {
+            pos += 5;
+            return true;
+        }
+        if (std::strncmp(text.c_str() + pos, "null", 4) == 0) {
+            pos += 4;
+            return true;
+        }
+        // Number.
+        size_t start = pos;
+        while (pos < text.size() &&
+               (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+                text[pos] == '-' || text[pos] == '+' ||
+                text[pos] == '.' || text[pos] == 'e' ||
+                text[pos] == 'E'))
+            ++pos;
+        if (pos == start)
+            return fail("expected value");
+        try {
+            out[prefix] = std::stod(text.substr(start, pos - start));
+        } catch (...) {
+            return fail("bad number");
+        }
+        return true;
+    }
+
+    bool
+    parseObject(const std::string &prefix,
+                std::map<std::string, double> &out)
+    {
+        if (!expect('{'))
+            return false;
+        skipWs();
+        if (pos < text.size() && text[pos] == '}') {
+            ++pos;
+            return true;
+        }
+        for (;;) {
+            std::string key;
+            if (!parseString(key))
+                return false;
+            if (!expect(':'))
+                return false;
+            std::string full =
+                prefix.empty() ? key : prefix + "." + key;
+            if (!parseValue(full, out))
+                return false;
+            skipWs();
+            if (pos < text.size() && text[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            return expect('}');
+        }
+    }
+};
+
+bool
+loadFlat(const char *path, std::map<std::string, double> &out,
+         std::string &err)
+{
+    std::ifstream is(path);
+    if (!is) {
+        err = std::string("cannot open ") + path;
+        return false;
+    }
+    std::stringstream ss;
+    ss << is.rdbuf();
+    std::string text = ss.str();
+    Parser p(text);
+    if (!p.parseObject("", out)) {
+        err = std::string(path) + ": " + p.error;
+        return false;
+    }
+    return true;
+}
+
+bool
+isTimeKey(const std::string &key)
+{
+    return key.find("wall") != std::string::npos ||
+           key.find("seconds") != std::string::npos ||
+           key.find("_us") != std::string::npos ||
+           key.find("timings_us") != std::string::npos;
+}
+
+double
+flagValue(int argc, char **argv, const char *name, double dflt)
+{
+    size_t n = std::strlen(name);
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], name, n) == 0 && argv[i][n] == '=')
+            return std::atof(argv[i] + n + 1);
+    }
+    return dflt;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3) {
+        std::fprintf(stderr,
+                     "usage: bench_compare BASELINE.json CURRENT.json "
+                     "[--tol=F] [--time-tol=F] [--time-slack-us=N] "
+                     "[--verbose]\n");
+        return 2;
+    }
+    double tol = flagValue(argc, argv, "--tol", 0.0);
+    double timeTol = flagValue(argc, argv, "--time-tol", 2.0);
+    double timeSlackUs = flagValue(argc, argv, "--time-slack-us", 50000);
+    bool verbose = false;
+    for (int i = 3; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--verbose") == 0)
+            verbose = true;
+    }
+
+    std::map<std::string, double> base, cur;
+    std::string err;
+    if (!loadFlat(argv[1], base, err) || !loadFlat(argv[2], cur, err)) {
+        std::fprintf(stderr, "bench_compare: %s\n", err.c_str());
+        return 2;
+    }
+    if (base.empty()) {
+        // An empty baseline means the trajectory starts now: pass, so
+        // the first CI run after committing a stub baseline succeeds.
+        std::printf("baseline %s is empty; nothing to gate\n", argv[1]);
+        return 0;
+    }
+
+    int regressions = 0, improved = 0, compared = 0, missing = 0;
+    for (const auto &[key, bval] : base) {
+        auto it = cur.find(key);
+        if (it == cur.end()) {
+            std::printf("MISSING   %s (baseline %.0f, absent now)\n",
+                        key.c_str(), bval);
+            ++missing;
+            continue;
+        }
+        double cval = it->second;
+        ++compared;
+        bool timey = isTimeKey(key);
+        double relTol = timey ? timeTol : tol;
+        double slack = timey ? timeSlackUs : 0.0;
+        double limit = bval * (1.0 + relTol) + slack;
+        if (cval > limit) {
+            std::printf("REGRESSION %s: %.0f -> %.0f (limit %.0f, "
+                        "%+.1f%%)\n",
+                        key.c_str(), bval, cval, limit,
+                        bval > 0 ? 100.0 * (cval - bval) / bval : 0.0);
+            ++regressions;
+        } else if (cval < bval) {
+            ++improved;
+            if (verbose)
+                std::printf("improved  %s: %.0f -> %.0f\n", key.c_str(),
+                            bval, cval);
+        } else if (verbose) {
+            std::printf("ok        %s: %.0f -> %.0f\n", key.c_str(),
+                        bval, cval);
+        }
+    }
+
+    std::printf("bench_compare: %d compared, %d regressions, "
+                "%d improved, %d missing (tol=%g, time-tol=%g, "
+                "time-slack-us=%g)\n",
+                compared, regressions, improved, missing, tol, timeTol,
+                timeSlackUs);
+    return regressions ? 1 : 0;
+}

@@ -15,11 +15,11 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 
 #include "apps/apps.hpp"
 #include "base/logging.hpp"
 #include "base/stats.hpp"
+#include "common.hpp"
 #include "compiler/mapper.hpp"
 
 using namespace plast;
@@ -54,14 +54,8 @@ int
 main(int argc, char **argv)
 {
     setVerbose(false);
-    bool tiny = false;
-    std::string json_path;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--tiny") == 0)
-            tiny = true;
-        else if (std::strncmp(argv[i], "--stats-json=", 13) == 0)
-            json_path = argv[i] + 13;
-    }
+    bool tiny = bench::argPresent(argc, argv, "--tiny");
+    std::string json_path = bench::statsJsonPath(argc, argv);
     apps::Scale scale = tiny ? apps::Scale::kTiny : apps::Scale::kDefault;
     ArchParams params = ArchParams::plasticineFinal();
     StatSet json_stats;
@@ -133,11 +127,6 @@ main(int argc, char **argv)
                 "negotiated router is hop-optimal per multicast "
                 "terminal when uncongested, so n_hops <= g_hops must "
                 "hold on every benchmark.\n");
-    if (!json_path.empty()) {
-        std::ofstream os(json_path);
-        fatal_if(!os, "cannot open %s", json_path.c_str());
-        json_stats.dumpJson(os);
-        std::printf("stats: %s\n", json_path.c_str());
-    }
+    bench::writeStatsJson(json_path, json_stats, "mapper", params);
     return regressions == 0 ? 0 : 1;
 }

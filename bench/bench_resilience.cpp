@@ -14,6 +14,7 @@
 
 #include "apps/apps.hpp"
 #include "base/logging.hpp"
+#include "common.hpp"
 #include "model/area.hpp"
 #include "model/power.hpp"
 
@@ -36,11 +37,9 @@ int
 main(int argc, char **argv)
 {
     setVerbose(false);
-    bool tiny = false;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--tiny") == 0)
-            tiny = true;
-    }
+    bool tiny = bench::argPresent(argc, argv, "--tiny");
+    std::string json_path = bench::statsJsonPath(argc, argv);
+    StatSet json_stats;
     apps::Scale scale = tiny ? apps::Scale::kTiny : apps::Scale::kDefault;
     ArchParams params = ArchParams::plasticineFinal();
 
@@ -93,6 +92,13 @@ main(int argc, char **argv)
             spec.name.c_str(), (unsigned long long)res.cycles,
             words / 1e3, save_s * 1e6, restore_s * 1e6,
             words / save_s / 1e6, (ckpt_s / base_s - 1.0) * 100.0);
+        json_stats.set(spec.name + ".cycles", res.cycles);
+        json_stats.set(spec.name + ".tapeWords",
+                       static_cast<uint64_t>(words));
+        bench::setScaled(json_stats, spec.name + ".save_us",
+                         save_s * 1e6, 1.0);
+        bench::setScaled(json_stats, spec.name + ".restore_us",
+                         restore_s * 1e6, 1.0);
     }
 
     std::printf("\n=== SECDED ECC overhead (analytical models) ===\n");
@@ -113,5 +119,9 @@ main(int argc, char **argv)
                 a_off, a_on, (a_on / a_off - 1.0) * 100.0);
     std::printf("%-22s | %10.2f %10.2f | %+7.2f%%\n", "peak power (W)",
                 p_off, p_on, (p_on / p_off - 1.0) * 100.0);
+    bench::setScaled(json_stats, "ecc.chipAreaRatioMilli", a_on / a_off);
+    bench::setScaled(json_stats, "ecc.peakPowerRatioMilli",
+                     p_on / p_off);
+    bench::writeStatsJson(json_path, json_stats, "resilience", params);
     return 0;
 }

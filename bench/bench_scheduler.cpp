@@ -20,10 +20,10 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 
 #include "apps/apps.hpp"
 #include "base/logging.hpp"
+#include "common.hpp"
 
 using namespace plast;
 
@@ -91,16 +91,9 @@ int
 main(int argc, char **argv)
 {
     setVerbose(false);
-    bool tiny = false, paper = false;
-    std::string json_path;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--tiny") == 0)
-            tiny = true;
-        else if (std::strcmp(argv[i], "--paper") == 0)
-            paper = true;
-        else if (std::strncmp(argv[i], "--stats-json=", 13) == 0)
-            json_path = argv[i] + 13;
-    }
+    bool tiny = bench::argPresent(argc, argv, "--tiny");
+    bool paper = bench::argPresent(argc, argv, "--paper");
+    std::string json_path = bench::statsJsonPath(argc, argv);
     apps::Scale scale = tiny ? apps::Scale::kTiny : apps::Scale::kDefault;
 
     SimOptions dense;
@@ -154,12 +147,7 @@ main(int argc, char **argv)
                 "%6.2fx\n",
                 "total", "", "", dense_total, act_total, spec_total,
                 dense_total / act_total, dense_total / spec_total);
-    if (!json_path.empty()) {
-        std::ofstream os(json_path);
-        fatal_if(!os, "cannot open %s", json_path.c_str());
-        json_stats.dumpJson(os);
-        std::printf("stats: %s\n", json_path.c_str());
-    }
+    bench::writeStatsJson(json_path, json_stats, "scheduler");
     if (paper)
         runPaperScaleInnerProduct();
     return 0;

@@ -8,15 +8,18 @@
 #include <cstdio>
 
 #include "base/logging.hpp"
+#include "common.hpp"
 #include "model/tuning.hpp"
 
 using namespace plast;
 using model::Tuner;
 
 int
-main()
+main(int argc, char **argv)
 {
     setVerbose(false);
+    std::string json_path = bench::statsJsonPath(argc, argv);
+    StatSet json_stats;
     std::printf("=== Table 3: design space and selected parameters ===\n");
     std::printf("%-28s %-22s %s\n", "Component / parameter", "Range",
                 "Selected");
@@ -63,13 +66,21 @@ main()
             }
         }
         for (size_t i = 0; i < vals.size(); ++i) {
-            if (cnt[i])
+            if (cnt[i]) {
                 std::printf("  %u:%.0f%%", vals[i],
                             100.0 * avg[i] / cnt[i]);
-            else
+                // Average overhead in milli-units (x1000) per value.
+                bench::setScaled(json_stats,
+                                 Tuner::axisName(axis) + ".val" +
+                                     std::to_string(vals[i]) +
+                                     ".avgOverheadMilli",
+                                 avg[i] / cnt[i]);
+            } else {
                 std::printf("  %u:x", vals[i]);
+            }
         }
         std::printf("\n");
     }
+    bench::writeStatsJson(json_path, json_stats, "table3");
     return 0;
 }

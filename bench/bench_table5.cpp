@@ -7,14 +7,16 @@
 
 #include <cstdio>
 
+#include "common.hpp"
 #include "model/area.hpp"
 #include "model/power.hpp"
 
 using namespace plast;
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string json_path = bench::statsJsonPath(argc, argv);
     ArchParams params = ArchParams::plasticineFinal();
     model::AreaModel area;
     model::AreaModel::Breakdown b = area.chipBreakdown(params);
@@ -39,5 +41,14 @@ main()
                 tflops);
     std::printf("On-chip scratchpad: %.1f MB (paper: 16 MB)\n",
                 params.numPmus() * params.pmu.totalBytes() / 1.0e6);
+
+    // Model outputs in milli-units (mm^2, W x1000) so the area/power
+    // trajectory is gateable alongside the measured benches.
+    StatSet json_stats;
+    bench::setScaled(json_stats, "area.pcuMilliMm2", b.pcuEach);
+    bench::setScaled(json_stats, "area.pmuMilliMm2", b.pmuEach);
+    bench::setScaled(json_stats, "area.chipMilliMm2", b.chip);
+    bench::setScaled(json_stats, "power.peakMilliW", power.peak(params));
+    bench::writeStatsJson(json_path, json_stats, "table5", params);
     return 0;
 }

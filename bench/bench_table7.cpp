@@ -16,9 +16,9 @@
 
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 
 #include "apps/apps.hpp"
+#include "common.hpp"
 #include "fpga/fpga_model.hpp"
 #include "base/logging.hpp"
 #include "model/power.hpp"
@@ -61,14 +61,8 @@ int
 main(int argc, char **argv)
 {
     setVerbose(false);
-    bool tiny = false;
-    std::string json_path;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--tiny") == 0)
-            tiny = true;
-        else if (std::strncmp(argv[i], "--stats-json=", 13) == 0)
-            json_path = argv[i] + 13;
-    }
+    bool tiny = bench::argPresent(argc, argv, "--tiny");
+    std::string json_path = bench::statsJsonPath(argc, argv);
     apps::Scale scale = tiny ? apps::Scale::kTiny : apps::Scale::kDefault;
     StatSet json_stats;
 
@@ -129,11 +123,6 @@ main(int argc, char **argv)
                 "shape comparison. Utilizations are the mapper's unit "
                 "counts over the 64+64-unit fabric; FU%% is measured "
                 "lane occupancy.\n");
-    if (!json_path.empty()) {
-        std::ofstream os(json_path);
-        fatal_if(!os, "cannot open %s", json_path.c_str());
-        json_stats.dumpJson(os);
-        std::printf("stats: %s\n", json_path.c_str());
-    }
+    bench::writeStatsJson(json_path, json_stats, "table7", params);
     return 0;
 }

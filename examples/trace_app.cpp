@@ -6,8 +6,13 @@
  *   trace_app GEMM --trace=gemm.json --report
  *
  * writes a Chrome trace-event JSON (load it at ui.perfetto.dev or
- * chrome://tracing) and prints the post-run bottleneck report. Also
- * supports epoch-sampled utilization CSV and a flat stats JSON dump.
+ * chrome://tracing) and prints the post-run bottleneck report. The
+ * trace carries two processes on one timeline: the fabric's simulated
+ * cycles (pid 1) and the host's wall-clock compile/build/run phases
+ * (pid 2) — so "why is the sim slow" and "why is the program slow" are
+ * answered by the same file. Also supports epoch-sampled utilization
+ * CSV, a flat stats JSON dump, a Prometheus-style metric exposition
+ * and the per-run manifest.
  */
 
 #include <cstdio>
@@ -17,6 +22,8 @@
 
 #include "apps/apps.hpp"
 #include "base/logging.hpp"
+#include "base/metrics.hpp"
+#include "base/profile.hpp"
 #include "runtime/bottleneck.hpp"
 #include "runtime/runner.hpp"
 
@@ -37,6 +44,8 @@ usage()
         "  --trace=<path>          write Chrome trace-event JSON\n"
         "  --util-csv=<path>       write epoch utilization CSV\n"
         "  --stats-json=<path>     write flat stats JSON\n"
+        "  --metrics=<path>        write Prometheus-style text exposition\n"
+        "  --manifest=<path>       write the per-run manifest JSON\n"
         "  --epoch=<cycles>        utilization epoch length (default 1024)\n"
         "  --report                print the bottleneck report\n"
         "apps:");
@@ -66,7 +75,8 @@ main(int argc, char **argv)
     }
 
     std::string app_name = argv[1];
-    std::string trace_path, csv_path, json_path;
+    std::string trace_path, csv_path, json_path, metrics_path,
+        manifest_path;
     apps::Scale scale = apps::Scale::kTiny;
     SimOptions opts;
     bool report = false;
@@ -89,6 +99,10 @@ main(int argc, char **argv)
             csv_path = v;
         } else if (!(v = flagValue(arg, "--stats-json")).empty()) {
             json_path = v;
+        } else if (!(v = flagValue(arg, "--metrics")).empty()) {
+            metrics_path = v;
+        } else if (!(v = flagValue(arg, "--manifest")).empty()) {
+            manifest_path = v;
         } else if (!(v = flagValue(arg, "--epoch")).empty()) {
             opts.trace.epochCycles = std::stoul(v);
         } else if (std::strcmp(arg, "--report") == 0) {
@@ -151,6 +165,25 @@ main(int argc, char **argv)
         fatal_if(!os, "cannot open %s", json_path.c_str());
         res.stats.dumpJson(os);
         std::printf("stats: %s\n", json_path.c_str());
+    }
+    if (!metrics_path.empty()) {
+        // The unified exposition: simulator counters plus host phase
+        // timings through one MetricRegistry, scrape-ready.
+        MetricRegistry reg;
+        reg.importStats(res.stats, "sim.");
+        for (const auto &[phase, us] :
+             HostProfiler::instance().totalsUs())
+            reg.setCounter("host.phase_us." + phase, us);
+        std::ofstream os(metrics_path);
+        fatal_if(!os, "cannot open %s", metrics_path.c_str());
+        reg.writePrometheus(os);
+        std::printf("metrics: %s\n", metrics_path.c_str());
+    }
+    if (!manifest_path.empty()) {
+        std::ofstream os(manifest_path);
+        fatal_if(!os, "cannot open %s", manifest_path.c_str());
+        runner.writeManifest(os, res);
+        std::printf("manifest: %s\n", manifest_path.c_str());
     }
     if (report) {
         BottleneckReport rep = analyzeBottlenecks(*fab);

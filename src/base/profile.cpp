@@ -1,0 +1,103 @@
+#include "base/profile.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+namespace plast
+{
+
+namespace
+{
+
+uint64_t
+monotonicNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
+
+HostProfiler::HostProfiler() : epochNs_(monotonicNs())
+{
+    // Kill switch for overhead A/B runs and batch jobs that want zero
+    // telemetry: PLAST_HOST_PROFILE=0 disables span recording.
+    const char *env = std::getenv("PLAST_HOST_PROFILE");
+    if (env && std::strcmp(env, "0") == 0)
+        enabled_ = false;
+}
+
+HostProfiler &
+HostProfiler::instance()
+{
+    static HostProfiler prof;
+    return prof;
+}
+
+uint64_t
+HostProfiler::nowUs() const
+{
+    return (monotonicNs() - epochNs_) / 1000;
+}
+
+void
+HostProfiler::record(const char *name, uint64_t beginUs, uint64_t endUs)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    if (spans_.size() >= kMaxSpans) {
+        ++dropped_;
+        return;
+    }
+    spans_.push_back({name, beginUs, endUs});
+}
+
+uint64_t
+HostProfiler::dropped() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return dropped_;
+}
+
+std::vector<HostProfiler::Span>
+HostProfiler::spans() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return spans_;
+}
+
+std::map<std::string, uint64_t>
+HostProfiler::totalsUs() const
+{
+    std::map<std::string, uint64_t> totals;
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const Span &s : spans_)
+        totals[s.name] += s.endUs - s.beginUs;
+    return totals;
+}
+
+void
+HostProfiler::clear()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    spans_.clear();
+    dropped_ = 0;
+}
+
+void
+writeHostSpansJson(std::ostream &os, const HostProfiler &prof)
+{
+    os << ",\n{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":2,"
+          "\"args\":{\"name\":\"host (wall-clock us)\"}}";
+    os << ",\n{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":2,"
+          "\"tid\":0,\"args\":{\"name\":\"host phases\"}}";
+    for (const HostProfiler::Span &s : prof.spans()) {
+        os << ",\n{\"ph\":\"X\",\"name\":\"" << s.name
+           << "\",\"pid\":2,\"tid\":0,\"ts\":" << s.beginUs
+           << ",\"dur\":" << s.endUs - s.beginUs << "}";
+    }
+}
+
+} // namespace plast

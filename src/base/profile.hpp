@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Host-side wall-clock phase profiling. The cycle-level trace
+ * (trace.hpp) answers "where did the *simulated* time go"; this layer
+ * answers "where did the *host* time go" — compile, place-and-route,
+ * plan-build, input loading, the run loop, checkpoints — so one
+ * Perfetto timeline can interleave host phases with simulated-cycle
+ * events (host spans render as a second process, see
+ * writeHostSpansJson).
+ *
+ * Usage is RAII:
+ *
+ *     { ScopedSpan span("compile.route"); routeAll(); }
+ *
+ * Spans nest naturally (Perfetto renders containment); names are
+ * static dotted phase labels, not dynamic strings. The profiler is a
+ * process-wide singleton, enabled by default; recording a span is two
+ * steady_clock reads and one mutex-guarded vector push, so per-phase
+ * (not per-cycle) instrumentation is far below measurement noise.
+ * Phase totals feed RunManifest timings (runtime/manifest.hpp).
+ */
+
+#ifndef PLAST_BASE_PROFILE_HPP
+#define PLAST_BASE_PROFILE_HPP
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace plast
+{
+
+class HostProfiler
+{
+  public:
+    struct Span
+    {
+        const char *name; ///< static phase label ("compile.route")
+        uint64_t beginUs; ///< wall-clock us since profiler epoch
+        uint64_t endUs;
+    };
+
+    static HostProfiler &instance();
+
+    /** Microseconds since the profiler epoch (process start). */
+    uint64_t nowUs() const;
+
+    bool enabled() const { return enabled_; }
+    void setEnabled(bool on) { enabled_ = on; }
+
+    void record(const char *name, uint64_t beginUs, uint64_t endUs);
+
+    /** Snapshot of all recorded spans (chronological by end time). */
+    std::vector<Span> spans() const;
+
+    /** Wall-clock total per phase name, in microseconds. Nested spans
+     *  are counted under their own name only (no double attribution
+     *  of a child into its parent's key). */
+    std::map<std::string, uint64_t> totalsUs() const;
+
+    /** Drop all recorded spans (a new run's profile starts clean). */
+    void clear();
+
+    /** Spans discarded after the retention cap filled (long fuzz or
+     *  campaign processes; phase spans are coarse, so hitting the cap
+     *  means millions of runs, not a hot loop). */
+    uint64_t dropped() const;
+
+  private:
+    HostProfiler();
+
+    static constexpr size_t kMaxSpans = 1u << 20;
+
+    mutable std::mutex mu_;
+    std::vector<Span> spans_;
+    uint64_t dropped_ = 0;
+    uint64_t epochNs_ = 0;
+    bool enabled_ = true;
+};
+
+/** RAII span: records [construction, destruction) into the global
+ *  profiler. `name` must outlive the profiler (use string literals). */
+class ScopedSpan
+{
+  public:
+    explicit ScopedSpan(const char *name)
+        : name_(name), prof_(HostProfiler::instance())
+    {
+        if (prof_.enabled())
+            begin_ = prof_.nowUs();
+    }
+
+    ~ScopedSpan()
+    {
+        if (prof_.enabled())
+            prof_.record(name_, begin_, prof_.nowUs());
+    }
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+  private:
+    const char *name_;
+    HostProfiler &prof_;
+    uint64_t begin_ = 0;
+};
+
+/**
+ * Emit the profiler's spans as Chrome trace-event JSON fragments
+ * (ph "X" complete events) on process id 2 ("host"), one per span,
+ * each preceded by ",\n". Callers splice this into a traceEvents
+ * array that already holds at least one event (TraceSink emits the
+ * simulated-cycle events as pid 1). Timestamps are wall-clock
+ * microseconds since the profiler epoch — a different time base from
+ * the cycle events, shared only for side-by-side display.
+ */
+void writeHostSpansJson(std::ostream &os, const HostProfiler &prof);
+
+} // namespace plast
+
+#endif // PLAST_BASE_PROFILE_HPP

@@ -1,6 +1,7 @@
 #include "base/trace.hpp"
 
 #include "base/logging.hpp"
+#include "base/profile.hpp"
 
 namespace plast
 {
@@ -83,7 +84,8 @@ jsonEscape(const std::string &s)
 } // namespace
 
 void
-TraceSink::writeChromeJson(std::ostream &os) const
+TraceSink::writeChromeJson(std::ostream &os,
+                           const HostProfiler *host) const
 {
     os << "{\"traceEvents\":[";
     bool first = true;
@@ -93,6 +95,10 @@ TraceSink::writeChromeJson(std::ostream &os) const
         first = false;
         os << "\n";
     };
+
+    sep();
+    os << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":1,"
+          "\"args\":{\"name\":\"fabric (simulated cycles as us)\"}}";
 
     // Track metadata: one "thread" per track, sorted by track id.
     for (size_t t = 0; t < tracks_.size(); ++t) {
@@ -138,6 +144,9 @@ TraceSink::writeChromeJson(std::ostream &os) const
             break;
         }
     });
+
+    if (host)
+        writeHostSpansJson(os, *host);
 
     os << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{"
        << "\"dropped\":" << dropped_ << ",\"tracks\":" << tracks_.size()

@@ -43,6 +43,8 @@
 namespace plast
 {
 
+class HostProfiler;
+
 /** Compile-time switch; runtime code gates sink creation on this. */
 inline constexpr bool kTracingCompiled = PLAST_TRACING != 0;
 
@@ -149,8 +151,12 @@ class TraceSink
             fn(buf_[(start + i) % cap_]);
     }
 
-    /** Chrome trace-event JSON (Perfetto / chrome://tracing). */
-    void writeChromeJson(std::ostream &os) const;
+    /** Chrome trace-event JSON (Perfetto / chrome://tracing). The
+     *  simulated-cycle events render as process 1; when `host` is
+     *  non-null its wall-clock phase spans are appended as process 2,
+     *  giving one timeline with both time bases side by side. */
+    void writeChromeJson(std::ostream &os,
+                         const HostProfiler *host = nullptr) const;
 
   private:
     void

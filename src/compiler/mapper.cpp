@@ -8,6 +8,7 @@
 
 #include "arch/geometry.hpp"
 #include "base/logging.hpp"
+#include "base/profile.hpp"
 #include "base/rng.hpp"
 #include "compiler/precheck.hpp"
 #include "compiler/router.hpp"
@@ -2163,23 +2164,31 @@ MapResult
 Mapper::run()
 {
     MapResult result;
-    analyze();
-    if (ok_)
-        createPcus();
-    if (ok_)
-        createPmus();
-    if (ok_)
-        createAgs();
-    if (ok_)
-        createBoxes();
-    if (ok_)
-        wireScalars();
-    if (ok_)
-        wireControl();
+    {
+        ScopedSpan span("compile.partition");
+        analyze();
+    }
+    {
+        ScopedSpan span("compile.codegen");
+        if (ok_)
+            createPcus();
+        if (ok_)
+            createPmus();
+        if (ok_)
+            createAgs();
+        if (ok_)
+            createBoxes();
+        if (ok_)
+            wireScalars();
+        if (ok_)
+            wireControl();
+    }
 
     FabricConfig fab;
-    if (ok_)
+    if (ok_) {
+        ScopedSpan span("compile.placeroute");
         ok_ = placeAndRoute(fab);
+    }
 
     rep_.ok = ok_;
     rep_.error = error_;
@@ -2231,9 +2240,12 @@ MapResult
 compileProgram(const Program &prog, const ArchParams &params,
                const UnitMask &mask, const CompileOptions &opts)
 {
+    ScopedSpan compileSpan("compile");
+
     // Fast structured rejection: total demand vs capacity, before any
     // placement work and with the binding resource named.
     if (opts.runPrecheck) {
+        ScopedSpan span("compile.precheck");
         CompileDiagnostics pre = precheckProgram(prog, params, mask);
         if (!pre.feasible) {
             MapResult r;

@@ -113,6 +113,18 @@ class ResilientRunner
     /** Execute under `plan`, recovering as needed, and classify. */
     ResilienceReport run(const FaultPlan &plan);
 
+    /**
+     * Manifest of the most recent run(): the standard Runner manifest
+     * with the outcome replaced by the resilience classification and
+     * the recovery/correction counters folded into the metric
+     * snapshot under "resilience.*". Empty before the first run().
+     */
+    const RunManifest &lastManifest() const { return lastManifest_; }
+    void writeLastManifest(std::ostream &os) const
+    {
+        lastManifest_.writeJson(os);
+    }
+
   private:
     SimOptions simOptions() const;
     Cycles attemptCap() const;
@@ -124,9 +136,13 @@ class ResilientRunner
     ArchParams params_;
     ResilienceOptions opts_;
     std::map<pir::MemId, std::vector<Word>> inputs_;
+    void recordManifest(const Runner &runner, const Runner::Result &res,
+                        const ResilienceReport &rep);
+
     GoldenOutputs golden_;
     Cycles goldenCycles_ = 0;
     bool haveGolden_ = false;
+    RunManifest lastManifest_;
 };
 
 } // namespace plast::resilience

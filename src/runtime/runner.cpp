@@ -1,6 +1,9 @@
 #include "runtime/runner.hpp"
 
+#include "arch/cfgio.hpp"
 #include "base/logging.hpp"
+#include "base/profile.hpp"
+#include "pir/serialize.hpp"
 #include "pir/validate.hpp"
 
 namespace plast
@@ -65,6 +68,7 @@ Runner::tryCompile()
 {
     if (compiled_)
         return Status();
+    ScopedSpan span("host.compile");
     // Structural validation first: program shapes the compiler cannot
     // map get a diagnosis naming the construct, not a mapper error.
     std::vector<std::string> problems =
@@ -101,6 +105,7 @@ Runner::ensureCompiled()
 void
 Runner::buildFabric()
 {
+    ScopedSpan span("host.build-fabric");
     fabric_ = std::make_unique<Fabric>(map_.fabric, simOpts_);
     if (injector_)
         fabric_->armFaults(injector_);
@@ -181,6 +186,7 @@ Runner::readDram(MemId id) const
 Evaluator
 Runner::runReference() const
 {
+    ScopedSpan span("host.reference");
     Evaluator ev(prog_, params_.pcu.lanes);
     for (const auto &[mid, data] : host_) {
         auto &buf = ev.dramBuf(mid);
@@ -250,6 +256,42 @@ Runner::compareWithReference(const Evaluator &ev, const Result &res) const
         }
     }
     return Status();
+}
+
+RunManifest
+Runner::buildManifest(const Result &res, Status st) const
+{
+    RunManifest m;
+    m.program = prog_.name;
+    m.pirHash = fnv1a64(pir::programToText(prog_));
+    m.archHash = fnv1a64(archParamsText(params_));
+    m.schedMode = simOpts_.mode == SimOptions::Mode::kDense
+                      ? "dense"
+                      : "activity";
+    m.simMode = simModeName(simOpts_.simMode);
+    m.arch = params_.describe();
+    m.compiled = compiled_;
+    if (compiled_)
+        m.configHash = fnv1a64(configToText(map_.fabric));
+    const compiler::CompileDiagnostics &d = map_.report.diag;
+    m.binding = d.binding;
+    m.placementAttempts = d.placementAttempts;
+    m.routeRounds = d.routeRounds;
+    m.routedHops = d.routedHops;
+    m.spills = static_cast<uint32_t>(d.spills.size());
+    m.outcome = statusCodeName(st.code());
+    if (!st.ok())
+        m.detail = st.message();
+    m.cycles = res.cycles;
+    m.timingsUs = HostProfiler::instance().totalsUs();
+    m.metrics = res.stats.all();
+    return m;
+}
+
+void
+Runner::writeManifest(std::ostream &os, const Result &res, Status st) const
+{
+    buildManifest(res, st).writeJson(os);
 }
 
 Runner::Result

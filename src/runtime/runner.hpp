@@ -20,6 +20,7 @@
 #include "compiler/mapper.hpp"
 #include "pir/eval.hpp"
 #include "pir/ir.hpp"
+#include "runtime/manifest.hpp"
 #include "sim/fabric.hpp"
 
 namespace plast
@@ -77,6 +78,19 @@ class Runner
      * fabric result.
      */
     Result runValidated(Cycles maxCycles = 500'000'000);
+
+    /**
+     * The structured record of a finished (or failed) run: identity
+     * hashes, modes, compile summary, outcome, phase timings and the
+     * metric snapshot (runtime/manifest.hpp). `st` is the run's final
+     * status — pass the Status a try* call returned, or default-ok
+     * after a fatal-API run() that returned. Callable after tryCompile
+     * alone (cycles 0, metrics empty) to record compile outcomes.
+     */
+    RunManifest buildManifest(const Result &res, Status st = Status()) const;
+    /** buildManifest + schema-stable JSON emission. */
+    void writeManifest(std::ostream &os, const Result &res,
+                       Status st = Status()) const;
 
     /** DRAM contents after run() (by buffer). */
     std::vector<Word> readDram(pir::MemId id) const;

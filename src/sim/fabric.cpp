@@ -6,6 +6,7 @@
 
 #include "arch/cfgio.hpp"
 #include "base/logging.hpp"
+#include "base/profile.hpp"
 #include "resilience/fault.hpp"
 
 namespace plast
@@ -17,6 +18,13 @@ Fabric::Fabric(const FabricConfig &cfg, SimOptions opts)
     fatal_if(cfg_.rootBox < 0 ||
                  cfg_.rootBox >= static_cast<int>(cfg_.boxes.size()),
              "fabric config has no root controller");
+
+    // Specialized-mode unit construction lowers the config into flat
+    // execution plans (sim/execplan.hpp); account that host work to
+    // its own phase so plan-build cost is visible next to sim time.
+    ScopedSpan buildSpan(opts_.simMode == SimMode::kSpecialized
+                             ? "sim.plan-build"
+                             : "sim.build-units");
 
     for (size_t i = 0; i < cfg_.pcus.size(); ++i) {
         pcus_.push_back(cfg_.pcus[i].used
@@ -431,6 +439,7 @@ Fabric::run(Cycles maxCycles)
 RunResult
 Fabric::runChecked(Cycles maxCycles)
 {
+    ScopedSpan span("sim.run");
     return opts_.mode == SimOptions::Mode::kDense
                ? runDenseChecked(maxCycles)
                : runActivityChecked(maxCycles);
@@ -781,6 +790,7 @@ Fabric::heldStreams() const
 FabricCheckpoint
 Fabric::saveCheckpoint()
 {
+    ScopedSpan span("sim.checkpoint");
     FabricCheckpoint cp;
     cp.cycle = now_;
     cp.cfgHash = cfgHash_;
@@ -793,6 +803,7 @@ Fabric::saveCheckpoint()
 Status
 Fabric::restoreCheckpoint(const FabricCheckpoint &cp)
 {
+    ScopedSpan span("sim.restore");
     if (cp.cfgHash != cfgHash_) {
         return Status(StatusCode::kInvalidArgument,
                       "checkpoint was taken from a differently "
@@ -876,6 +887,7 @@ Fabric::classSums(std::array<uint64_t, kNumCycleClasses> &by,
 void
 Fabric::sampleEpoch()
 {
+    ScopedSpan span("sim.epoch-sample");
     EpochRow row;
     row.cycle = now_;
     std::array<uint64_t, kNumCycleClasses> cur;
@@ -898,7 +910,7 @@ Fabric::writeTrace(std::ostream &os) const
 {
     fatal_if(!trace_, "writeTrace: tracing was not enabled "
                       "(SimOptions::trace.enabled)");
-    trace_->writeChromeJson(os);
+    trace_->writeChromeJson(os, &HostProfiler::instance());
 }
 
 void

@@ -1,0 +1,419 @@
+/** @file Unified telemetry: MetricRegistry semantics (histogram
+ *  bucket edges, counter wrap, expositions), host-phase profiling
+ *  spans and the merged Perfetto timeline, RunManifest schema
+ *  stability, and interp-vs-specialized stats parity. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/apps.hpp"
+#include "base/logging.hpp"
+#include "base/metrics.hpp"
+#include "base/profile.hpp"
+#include "base/trace.hpp"
+#include "runtime/manifest.hpp"
+#include "runtime/runner.hpp"
+
+using namespace plast;
+
+// ---- Histogram ------------------------------------------------------
+
+TEST(Histogram, ValueOnEdgeBelongsToThatBucket)
+{
+    Histogram h({10, 20, 30});
+    h.observe(10); // exactly on edge 0
+    h.observe(11); // first bucket with 11 <= edge -> edge 20
+    h.observe(20); // exactly on edge 1
+    h.observe(30); // exactly on edge 2
+    EXPECT_EQ(h.buckets()[0], 1u);
+    EXPECT_EQ(h.buckets()[1], 2u);
+    EXPECT_EQ(h.buckets()[2], 1u);
+    EXPECT_EQ(h.buckets()[3], 0u); // overflow empty
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.sum(), 71u);
+}
+
+TEST(Histogram, OverflowBucketCatchesAboveLastEdge)
+{
+    Histogram h({10, 20});
+    h.observe(21);
+    h.observe(1000);
+    EXPECT_EQ(h.buckets()[0], 0u);
+    EXPECT_EQ(h.buckets()[1], 0u);
+    EXPECT_EQ(h.buckets()[2], 2u);
+    EXPECT_EQ(h.count(), 2u);
+}
+
+TEST(Histogram, ZeroLandsInFirstBucket)
+{
+    Histogram h({0, 5});
+    h.observe(0);
+    EXPECT_EQ(h.buckets()[0], 1u);
+}
+
+TEST(Histogram, EmptyEdgesIsPureCountSum)
+{
+    Histogram h(std::vector<uint64_t>{});
+    h.observe(7);
+    h.observe(9);
+    ASSERT_EQ(h.buckets().size(), 1u);
+    EXPECT_EQ(h.buckets()[0], 2u);
+    EXPECT_EQ(h.sum(), 16u);
+}
+
+TEST(Histogram, CumulativeCountsAreMonotone)
+{
+    Histogram h({1, 2, 4});
+    for (uint64_t v : {0u, 1u, 2u, 3u, 4u, 5u})
+        h.observe(v);
+    EXPECT_EQ(h.cumulative(0), 2u); // 0, 1
+    EXPECT_EQ(h.cumulative(1), 3u); // + 2
+    EXPECT_EQ(h.cumulative(2), 5u); // + 3, 4
+    EXPECT_EQ(h.count(), 6u);       // + overflow (5)
+}
+
+// ---- MetricRegistry -------------------------------------------------
+
+TEST(MetricRegistry, CounterIncrementsWrapModulo64)
+{
+    MetricRegistry reg;
+    reg.setCounter("c", ~0ull);
+    reg.count("c", 2); // wraps: 2^64 - 1 + 2 == 1 (mod 2^64)
+    EXPECT_EQ(reg.counterValue("c"), 1u);
+}
+
+TEST(MetricRegistry, GaugeLastWriteWins)
+{
+    MetricRegistry reg;
+    reg.gauge("g", 5);
+    reg.gauge("g", -3);
+    EXPECT_EQ(reg.gaugeValue("g"), -3);
+    EXPECT_EQ(reg.gaugeValue("missing"), 0);
+}
+
+TEST(MetricRegistry, HistogramGetOrCreateIsStable)
+{
+    MetricRegistry reg;
+    Histogram &a = reg.histogram("h", {1, 2});
+    a.observe(1);
+    Histogram &b = reg.histogram("h", {1, 2});
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(reg.findHistogram("h")->count(), 1u);
+    EXPECT_EQ(reg.findHistogram("nope"), nullptr);
+}
+
+TEST(MetricRegistry, ImportStatsIsIdempotentAndPrefixed)
+{
+    StatSet s;
+    s.set("cycles", 100);
+    s.set("pcu00.laneOps", 7);
+    MetricRegistry reg;
+    reg.importStats(s, "sim.");
+    reg.importStats(s, "sim."); // set-semantics: no double counting
+    EXPECT_EQ(reg.counterValue("sim.cycles"), 100u);
+    EXPECT_EQ(reg.counterValue("sim.pcu00.laneOps"), 7u);
+    EXPECT_FALSE(reg.hasCounter("cycles"));
+}
+
+TEST(MetricRegistry, JsonExpositionGolden)
+{
+    MetricRegistry reg;
+    reg.count("b.counter", 3);
+    reg.gauge("a.gauge", -2);
+    Histogram &h = reg.histogram("lat", {10, 20});
+    h.observe(5);
+    h.observe(15);
+    h.observe(99);
+    std::ostringstream os;
+    reg.writeJson(os);
+    EXPECT_EQ(os.str(), "{\n"
+                        "  \"a.gauge\": -2,\n"
+                        "  \"b.counter\": 3,\n"
+                        "  \"lat.bucket.le_10\": 1,\n"
+                        "  \"lat.bucket.le_20\": 1,\n"
+                        "  \"lat.bucket.overflow\": 1,\n"
+                        "  \"lat.count\": 3,\n"
+                        "  \"lat.sum\": 119\n"
+                        "}\n");
+}
+
+TEST(MetricRegistry, PrometheusExpositionGolden)
+{
+    MetricRegistry reg;
+    reg.count("compile.route.rounds", 4);
+    reg.gauge("fabric.pcus", 64);
+    Histogram &h = reg.histogram("span.us", {10});
+    h.observe(3);
+    h.observe(50);
+    std::ostringstream os;
+    reg.writePrometheus(os);
+    EXPECT_EQ(os.str(),
+              "# TYPE plast_compile_route_rounds counter\n"
+              "plast_compile_route_rounds 4\n"
+              "# TYPE plast_fabric_pcus gauge\n"
+              "plast_fabric_pcus 64\n"
+              "# TYPE plast_span_us histogram\n"
+              "plast_span_us_bucket{le=\"10\"} 1\n"
+              "plast_span_us_bucket{le=\"+Inf\"} 2\n"
+              "plast_span_us_sum 53\n"
+              "plast_span_us_count 2\n");
+}
+
+TEST(MetricRegistry, ClearEmptiesEverything)
+{
+    MetricRegistry reg;
+    reg.count("c");
+    reg.gauge("g", 1);
+    reg.histogram("h", {1}).observe(1);
+    reg.clear();
+    std::ostringstream os;
+    reg.writeJson(os);
+    EXPECT_EQ(os.str(), "{\n}\n");
+}
+
+// ---- HostProfiler ---------------------------------------------------
+
+TEST(HostProfiler, ScopedSpanRecordsAndTotalsAccumulate)
+{
+    HostProfiler &prof = HostProfiler::instance();
+    prof.clear();
+    { ScopedSpan s("test.phase"); }
+    { ScopedSpan s("test.phase"); }
+    auto spans = prof.spans();
+    ASSERT_EQ(spans.size(), 2u);
+    EXPECT_STREQ(spans[0].name, "test.phase");
+    EXPECT_LE(spans[0].beginUs, spans[0].endUs);
+    auto totals = prof.totalsUs();
+    EXPECT_EQ(totals.count("test.phase"), 1u);
+    prof.clear();
+    EXPECT_TRUE(prof.spans().empty());
+    EXPECT_EQ(prof.dropped(), 0u);
+}
+
+TEST(HostProfiler, DisabledSpansRecordNothing)
+{
+    HostProfiler &prof = HostProfiler::instance();
+    prof.clear();
+    prof.setEnabled(false);
+    { ScopedSpan s("test.off"); }
+    prof.setEnabled(true);
+    EXPECT_TRUE(prof.spans().empty());
+}
+
+TEST(HostProfiler, HostSpanJsonFragmentsAreWellFormed)
+{
+    HostProfiler &prof = HostProfiler::instance();
+    prof.clear();
+    { ScopedSpan s("test.json"); }
+    std::ostringstream os;
+    writeHostSpansJson(os, prof);
+    std::string out = os.str();
+    EXPECT_NE(out.find("\"name\":\"host (wall-clock us)\""),
+              std::string::npos);
+    EXPECT_NE(out.find("\"name\":\"test.json\",\"pid\":2"),
+              std::string::npos);
+    // Fragments splice after an existing event: must start with ",".
+    EXPECT_EQ(out.rfind(",\n{", 0), 0u);
+    prof.clear();
+}
+
+// ---- merged Perfetto timeline --------------------------------------
+
+TEST(Telemetry, TraceMergesHostSpansWithSimCycles)
+{
+    if (!kTracingCompiled)
+        GTEST_SKIP() << "tracing compiled out";
+    setVerbose(false);
+    HostProfiler::instance().clear();
+    apps::AppInstance app = apps::allApps()[0].make(apps::Scale::kTiny);
+    SimOptions opts;
+    opts.trace.enabled = true;
+    Runner runner(app.prog, ArchParams::plasticineFinal(), opts);
+    app.load(runner);
+    runner.run();
+    std::ostringstream os;
+    runner.fabric()->writeTrace(os);
+    std::string out = os.str();
+    // One JSON document, two Perfetto "processes": the fabric's
+    // simulated-cycle events (pid 1) and the host phases (pid 2).
+    EXPECT_NE(out.find("\"name\":\"fabric (simulated cycles as us)\""),
+              std::string::npos);
+    EXPECT_NE(out.find("\"name\":\"host (wall-clock us)\""),
+              std::string::npos);
+    // The instrumented phases all made it onto the host track.
+    for (const char *phase : {"compile", "compile.placeroute",
+                              "host.build-fabric", "sim.run"}) {
+        EXPECT_NE(out.find(std::string("\"name\":\"") + phase +
+                           "\",\"pid\":2"),
+                  std::string::npos)
+            << "missing host span " << phase;
+    }
+    // Document closes the traceEvents array and the outer object.
+    EXPECT_NE(out.find("\n],\"displayTimeUnit\""), std::string::npos);
+    EXPECT_EQ(out.substr(out.size() - 3), "}}\n");
+}
+
+// ---- RunManifest ----------------------------------------------------
+
+TEST(RunManifest, SerializationIsByteStableAndOrdered)
+{
+    setVerbose(false);
+    // Freeze host timings so two serializations are byte-identical.
+    HostProfiler &prof = HostProfiler::instance();
+    prof.clear();
+    prof.setEnabled(false);
+
+    apps::AppInstance app = apps::allApps()[0].make(apps::Scale::kTiny);
+    Runner runner(app.prog, ArchParams::plasticineFinal());
+    app.load(runner);
+    Runner::Result res = runner.run();
+    RunManifest m = runner.buildManifest(res);
+    prof.setEnabled(true);
+
+    std::ostringstream a, b;
+    m.writeJson(a);
+    m.writeJson(b);
+    EXPECT_EQ(a.str(), b.str());
+
+    // Fixed top-level key order: every later key appears after the
+    // earlier one (golden order; add keys, never reorder).
+    const char *order[] = {"\"schema\"",     "\"program\"",
+                           "\"pir_hash\"",   "\"arch_hash\"",
+                           "\"config_hash\"", "\"seed\"",
+                           "\"sched_mode\"", "\"sim_mode\"",
+                           "\"arch\"",       "\"compile\"",
+                           "\"outcome\"",    "\"cycles\"",
+                           "\"timings_us\"", "\"metrics\""};
+    size_t prev = 0;
+    for (const char *key : order) {
+        size_t at = a.str().find(key);
+        ASSERT_NE(at, std::string::npos) << "missing key " << key;
+        EXPECT_GT(at, prev) << key << " out of order";
+        prev = at;
+    }
+    EXPECT_NE(a.str().find("\"schema\": \"plast.run-manifest.v1\""),
+              std::string::npos);
+    EXPECT_NE(a.str().find("\"outcome\": \"ok\""), std::string::npos);
+    EXPECT_EQ(m.compiled, true);
+    EXPECT_NE(m.pirHash, 0u);
+    EXPECT_NE(m.archHash, 0u);
+    EXPECT_NE(m.configHash, 0u);
+    EXPECT_EQ(m.cycles, res.cycles);
+    EXPECT_FALSE(m.metrics.empty());
+}
+
+TEST(RunManifest, HashesAreContentAddresses)
+{
+    setVerbose(false);
+    apps::AppInstance a1 = apps::allApps()[0].make(apps::Scale::kTiny);
+    apps::AppInstance a2 = apps::allApps()[0].make(apps::Scale::kTiny);
+    apps::AppInstance other =
+        apps::allApps()[1].make(apps::Scale::kTiny);
+
+    Runner r1(a1.prog, ArchParams::plasticineFinal());
+    Runner r2(a2.prog, ArchParams::plasticineFinal());
+    Runner r3(other.prog, ArchParams::plasticineFinal());
+    ASSERT_TRUE(r1.tryCompile().ok());
+    ASSERT_TRUE(r2.tryCompile().ok());
+    ASSERT_TRUE(r3.tryCompile().ok());
+
+    RunManifest m1 = r1.buildManifest({});
+    RunManifest m2 = r2.buildManifest({});
+    RunManifest m3 = r3.buildManifest({});
+    EXPECT_EQ(m1.pirHash, m2.pirHash);
+    EXPECT_EQ(m1.configHash, m2.configHash);
+    EXPECT_EQ(m1.archHash, m3.archHash); // same params
+    EXPECT_NE(m1.pirHash, m3.pirHash);   // different program
+}
+
+TEST(RunManifest, Fnv1a64MatchesReferenceVectors)
+{
+    // Published FNV-1a test vectors (64-bit).
+    EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ull);
+    EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+    EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(RunManifest, ArchParamsTextCoversTuningKnobs)
+{
+    // Any tuned parameter must perturb the hash pre-image; spot-check
+    // a few fields from each block.
+    ArchParams p = ArchParams::plasticineFinal();
+    std::string base = archParamsText(p);
+    ArchParams q = p;
+    q.pcu.lanes *= 2;
+    EXPECT_NE(archParamsText(q), base);
+    q = p;
+    q.pmu.bankKilobytes *= 2;
+    EXPECT_NE(archParamsText(q), base);
+    q = p;
+    q.dram.ecc = !q.dram.ecc;
+    EXPECT_NE(archParamsText(q), base);
+}
+
+// ---- interp vs specialized stats parity ----------------------------
+
+namespace
+{
+
+/**
+ * Counters whose values legitimately depend on the datapath engine.
+ * Everything else in Fabric::dumpStats is architectural — it counts
+ * events of the simulated machine, which is bit-exact across engines —
+ * and must match between interp and specialized runs.
+ *
+ *   trace.*   the specialized engine elides per-stage trace emission
+ *             when tracing is disabled at build time and may batch
+ *             events differently when enabled.
+ */
+bool
+engineSpecific(const std::string &key)
+{
+    return key.rfind("trace.", 0) == 0;
+}
+
+StatSet
+runWithEngine(const apps::AppSpec &spec, SimMode engine)
+{
+    apps::AppInstance app = spec.make(apps::Scale::kTiny);
+    SimOptions opts;
+    opts.simMode = engine;
+    Runner runner(app.prog, ArchParams::plasticineFinal(), opts);
+    app.load(runner);
+    return runner.run().stats;
+}
+
+} // namespace
+
+TEST(Telemetry, StatsParityInterpVsSpecialized)
+{
+    setVerbose(false);
+    for (const char *name : {"InnerProduct", "GEMM", "BFS"}) {
+        const apps::AppSpec *spec = nullptr;
+        for (const auto &s : apps::allApps()) {
+            if (s.name == name)
+                spec = &s;
+        }
+        ASSERT_NE(spec, nullptr) << name;
+        StatSet interp = runWithEngine(*spec, SimMode::kInterp);
+        StatSet special = runWithEngine(*spec, SimMode::kSpecialized);
+
+        for (const auto &[key, val] : interp.all()) {
+            if (engineSpecific(key))
+                continue;
+            EXPECT_TRUE(special.has(key))
+                << name << ": " << key << " missing from specialized";
+            EXPECT_EQ(special.get(key), val)
+                << name << ": " << key << " diverges between engines";
+        }
+        for (const auto &[key, val] : special.all()) {
+            if (engineSpecific(key))
+                continue;
+            EXPECT_TRUE(interp.has(key))
+                << name << ": " << key << " missing from interp";
+        }
+    }
+}
