@@ -1,5 +1,6 @@
 #include "base/logging.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -9,19 +10,21 @@ namespace plast
 
 namespace
 {
-bool gVerbose = true;
+// Atomic: the serve daemon's workers consult the flag while a test
+// harness (or the daemon's own quiet mode) may flip it concurrently.
+std::atomic<bool> gVerbose{true};
 } // namespace
 
 void
 setVerbose(bool verbose)
 {
-    gVerbose = verbose;
+    gVerbose.store(verbose, std::memory_order_relaxed);
 }
 
 bool
 verbose()
 {
-    return gVerbose;
+    return gVerbose.load(std::memory_order_relaxed);
 }
 
 std::string
@@ -76,7 +79,7 @@ warnImpl(const std::string &msg)
 void
 informImpl(const std::string &msg)
 {
-    if (gVerbose)
+    if (gVerbose.load(std::memory_order_relaxed))
         std::fprintf(stdout, "info: %s\n", msg.c_str());
 }
 

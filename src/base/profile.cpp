@@ -1,8 +1,10 @@
 #include "base/profile.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <set>
 
 namespace plast
 {
@@ -27,7 +29,7 @@ HostProfiler::HostProfiler() : epochNs_(monotonicNs())
     // telemetry: PLAST_HOST_PROFILE=0 disables span recording.
     const char *env = std::getenv("PLAST_HOST_PROFILE");
     if (env && std::strcmp(env, "0") == 0)
-        enabled_ = false;
+        enabled_.store(false, std::memory_order_relaxed);
 }
 
 HostProfiler &
@@ -35,6 +37,14 @@ HostProfiler::instance()
 {
     static HostProfiler prof;
     return prof;
+}
+
+uint32_t
+HostProfiler::currentTid()
+{
+    static std::atomic<uint32_t> next{0};
+    thread_local uint32_t tid = next.fetch_add(1, std::memory_order_relaxed);
+    return tid;
 }
 
 uint64_t
@@ -46,12 +56,13 @@ HostProfiler::nowUs() const
 void
 HostProfiler::record(const char *name, uint64_t beginUs, uint64_t endUs)
 {
+    uint32_t tid = currentTid();
     std::lock_guard<std::mutex> lk(mu_);
     if (spans_.size() >= kMaxSpans) {
         ++dropped_;
         return;
     }
-    spans_.push_back({name, beginUs, endUs});
+    spans_.push_back({name, tid, beginUs, endUs});
 }
 
 uint64_t
@@ -78,6 +89,18 @@ HostProfiler::totalsUs() const
     return totals;
 }
 
+std::map<std::string, uint64_t>
+HostProfiler::totalsUs(uint32_t tid, uint64_t sinceUs) const
+{
+    std::map<std::string, uint64_t> totals;
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const Span &s : spans_) {
+        if (s.tid == tid && s.beginUs >= sinceUs)
+            totals[s.name] += s.endUs - s.beginUs;
+    }
+    return totals;
+}
+
 void
 HostProfiler::clear()
 {
@@ -91,11 +114,24 @@ writeHostSpansJson(std::ostream &os, const HostProfiler &prof)
 {
     os << ",\n{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":2,"
           "\"args\":{\"name\":\"host (wall-clock us)\"}}";
-    os << ",\n{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":2,"
-          "\"tid\":0,\"args\":{\"name\":\"host phases\"}}";
-    for (const HostProfiler::Span &s : prof.spans()) {
+    // One Perfetto thread track per recording thread: concurrent
+    // runners (serve workers) keep their span nesting intact instead
+    // of interleaving on a single row.
+    std::vector<HostProfiler::Span> spans = prof.spans();
+    std::set<uint32_t> tids;
+    for (const HostProfiler::Span &s : spans)
+        tids.insert(s.tid);
+    if (tids.empty())
+        tids.insert(0);
+    for (uint32_t tid : tids) {
+        os << ",\n{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":2,"
+              "\"tid\":"
+           << tid << ",\"args\":{\"name\":\"host phases (thread " << tid
+           << ")\"}}";
+    }
+    for (const HostProfiler::Span &s : spans) {
         os << ",\n{\"ph\":\"X\",\"name\":\"" << s.name
-           << "\",\"pid\":2,\"tid\":0,\"ts\":" << s.beginUs
+           << "\",\"pid\":2,\"tid\":" << s.tid << ",\"ts\":" << s.beginUs
            << ",\"dur\":" << s.endUs - s.beginUs << "}";
     }
 }

@@ -18,11 +18,21 @@
  * steady_clock reads and one mutex-guarded vector push, so per-phase
  * (not per-cycle) instrumentation is far below measurement noise.
  * Phase totals feed RunManifest timings (runtime/manifest.hpp).
+ *
+ * Concurrency: the profiler is shared by every thread in the process
+ * (the serve daemon runs one Runner per worker thread). Each span
+ * records the small dense id of the thread that produced it
+ * (currentTid), so concurrent runners interleave without corrupting
+ * each other's nesting: writeHostSpansJson renders each thread as its
+ * own named Perfetto track, and totalsUs(tid, sinceUs) carves out one
+ * job's phases from the shared timeline. The enable flag is atomic
+ * and the sink is mutex-guarded; record() is safe from any thread.
  */
 
 #ifndef PLAST_BASE_PROFILE_HPP
 #define PLAST_BASE_PROFILE_HPP
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -39,6 +49,7 @@ class HostProfiler
     struct Span
     {
         const char *name; ///< static phase label ("compile.route")
+        uint32_t tid;     ///< dense id of the recording thread
         uint64_t beginUs; ///< wall-clock us since profiler epoch
         uint64_t endUs;
     };
@@ -48,18 +59,32 @@ class HostProfiler
     /** Microseconds since the profiler epoch (process start). */
     uint64_t nowUs() const;
 
-    bool enabled() const { return enabled_; }
-    void setEnabled(bool on) { enabled_ = on; }
+    /** Dense id of the calling thread (0 for the first thread that
+     *  ever records; each new thread gets the next integer). Stable
+     *  for the thread's lifetime. */
+    static uint32_t currentTid();
+
+    bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+    void setEnabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
 
     void record(const char *name, uint64_t beginUs, uint64_t endUs);
 
-    /** Snapshot of all recorded spans (chronological by end time). */
+    /** Snapshot of all recorded spans (chronological by end time per
+     *  thread; threads interleave). */
     std::vector<Span> spans() const;
 
-    /** Wall-clock total per phase name, in microseconds. Nested spans
-     *  are counted under their own name only (no double attribution
-     *  of a child into its parent's key). */
+    /** Wall-clock total per phase name, in microseconds, over every
+     *  thread. Nested spans are counted under their own name only (no
+     *  double attribution of a child into its parent's key). */
     std::map<std::string, uint64_t> totalsUs() const;
+
+    /** Per-thread, windowed totals: only spans recorded by `tid` that
+     *  began at or after `sinceUs` count. This is what a per-job
+     *  manifest wants when many jobs share the process profiler — the
+     *  worker's own phases since the job started, nothing from
+     *  neighboring workers. */
+    std::map<std::string, uint64_t> totalsUs(uint32_t tid,
+                                             uint64_t sinceUs) const;
 
     /** Drop all recorded spans (a new run's profile starts clean). */
     void clear();
@@ -78,7 +103,7 @@ class HostProfiler
     std::vector<Span> spans_;
     uint64_t dropped_ = 0;
     uint64_t epochNs_ = 0;
-    bool enabled_ = true;
+    std::atomic<bool> enabled_{true};
 };
 
 /** RAII span: records [construction, destruction) into the global
@@ -110,12 +135,13 @@ class ScopedSpan
 
 /**
  * Emit the profiler's spans as Chrome trace-event JSON fragments
- * (ph "X" complete events) on process id 2 ("host"), one per span,
- * each preceded by ",\n". Callers splice this into a traceEvents
- * array that already holds at least one event (TraceSink emits the
- * simulated-cycle events as pid 1). Timestamps are wall-clock
- * microseconds since the profiler epoch — a different time base from
- * the cycle events, shared only for side-by-side display.
+ * (ph "X" complete events) on process id 2 ("host"), one thread track
+ * per recording thread, each span preceded by ",\n". Callers splice
+ * this into a traceEvents array that already holds at least one event
+ * (TraceSink emits the simulated-cycle events as pid 1). Timestamps
+ * are wall-clock microseconds since the profiler epoch — a different
+ * time base from the cycle events, shared only for side-by-side
+ * display.
  */
 void writeHostSpansJson(std::ostream &os, const HostProfiler &prof);
 

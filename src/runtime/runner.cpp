@@ -12,8 +12,22 @@ namespace plast
 using namespace pir;
 
 Runner::Runner(Program prog, ArchParams params, SimOptions simOpts)
-    : prog_(std::move(prog)), params_(params), simOpts_(simOpts)
+    : prog_(std::move(prog)), params_(params), simOpts_(simOpts),
+      profTid_(HostProfiler::currentTid()),
+      profSinceUs_(HostProfiler::instance().nowUs())
 {
+}
+
+void
+Runner::adoptCompiled(std::shared_ptr<const compiler::MapResult> map)
+{
+    panic_if(compiled_, "adoptCompiled after compilation");
+    panic_if(!map || !map->report.ok,
+             "adoptCompiled with a null or failed compile result");
+    panic_if(configTweak_ != nullptr,
+             "adoptCompiled would discard a pending config tweak");
+    shared_ = std::move(map);
+    compiled_ = true;
 }
 
 void
@@ -78,8 +92,10 @@ Runner::tryCompile()
                       strfmt("validation of '%s' failed: %s",
                              prog_.name.c_str(), problems[0].c_str()));
     }
-    map_ = compiler::compileProgram(prog_, params_, mask_, copts_);
-    if (!map_.report.ok) {
+    compiler::MapResult mr =
+        compiler::compileProgram(prog_, params_, mask_, copts_);
+    if (!mr.report.ok) {
+        map_ = std::move(mr);
         return Status(StatusCode::kCompileError,
                       strfmt("compilation of '%s' failed: %s\n%s",
                              prog_.name.c_str(),
@@ -87,11 +103,14 @@ Runner::tryCompile()
                              map_.report.diag.summary().c_str()));
     }
     if (configTweak_)
-        configTweak_(map_.fabric);
+        configTweak_(mr.fabric);
+    // Freeze: the compile result is immutable from here on, so the
+    // serve config cache can hand it to other runners without copying.
+    shared_ = std::make_shared<const compiler::MapResult>(std::move(mr));
     compiled_ = true;
     if (verbose())
         inform("%s: %s", prog_.name.c_str(),
-               map_.report.summary(params_).c_str());
+               shared_->report.summary(params_).c_str());
     return Status();
 }
 
@@ -106,7 +125,8 @@ void
 Runner::buildFabric()
 {
     ScopedSpan span("host.build-fabric");
-    fabric_ = std::make_unique<Fabric>(map_.fabric, simOpts_);
+    const compiler::MapResult &map = mapResult();
+    fabric_ = std::make_unique<Fabric>(map.fabric, simOpts_);
     if (injector_)
         fabric_->armFaults(injector_);
 
@@ -116,12 +136,12 @@ Runner::buildFabric()
         if (prog_.mems[m].kind != MemKind::kDram)
             continue;
         max_extent =
-            std::max(max_extent, map_.dramBase[m] +
+            std::max(max_extent, map.dramBase[m] +
                                      prog_.mems[m].sizeWords * 4 + 64);
     }
     fabric_->dram().reserve(max_extent);
     for (auto &[mid, data] : host_) {
-        Addr base = map_.dramBase[mid];
+        Addr base = map.dramBase[mid];
         for (size_t w = 0; w < data.size(); ++w)
             fabric_->dram().writeWord(base + w * 4, data[w]);
     }
@@ -177,7 +197,7 @@ Runner::readDram(MemId id) const
 {
     panic_if(!fabric_, "readDram before run()");
     std::vector<Word> out(prog_.mems.at(id).sizeWords);
-    Addr base = map_.dramBase[id];
+    Addr base = mapResult().dramBase[id];
     for (size_t w = 0; w < out.size(); ++w)
         out[w] = fabric_->dram().readWord(base + w * 4);
     return out;
@@ -272,8 +292,8 @@ Runner::buildManifest(const Result &res, Status st) const
     m.arch = params_.describe();
     m.compiled = compiled_;
     if (compiled_)
-        m.configHash = fnv1a64(configToText(map_.fabric));
-    const compiler::CompileDiagnostics &d = map_.report.diag;
+        m.configHash = fnv1a64(configToText(mapResult().fabric));
+    const compiler::CompileDiagnostics &d = mapResult().report.diag;
     m.binding = d.binding;
     m.placementAttempts = d.placementAttempts;
     m.routeRounds = d.routeRounds;
@@ -283,7 +303,12 @@ Runner::buildManifest(const Result &res, Status st) const
     if (!st.ok())
         m.detail = st.message();
     m.cycles = res.cycles;
-    m.timingsUs = HostProfiler::instance().totalsUs();
+    // Only this runner's own phases: the constructing thread's spans
+    // since construction. Under the serve worker pool every runner
+    // shares the process profiler; the unfiltered totals would blend
+    // all workers' compiles and runs into every job's manifest.
+    m.timingsUs =
+        HostProfiler::instance().totalsUs(profTid_, profSinceUs_);
     m.metrics = res.stats.all();
     return m;
 }

@@ -36,7 +36,10 @@ class Runner
     /** Host-visible input/output staging for a DRAM buffer. */
     std::vector<Word> &dram(pir::MemId id);
 
-    const compiler::MappingReport &report() const { return map_.report; }
+    const compiler::MappingReport &report() const
+    {
+        return mapResult().report;
+    }
     const pir::Program &program() const { return prog_; }
 
     struct Result
@@ -108,6 +111,25 @@ class Runner
      *  run; both engines are bit-exact (see DESIGN.md §13). */
     void setSimMode(SimMode mode);
 
+    // ---- compiled-config sharing (the serve daemon's config cache) ---
+    /** The frozen compile result, shareable across runners without
+     *  copying the FabricConfig. Null until tryCompile succeeded. */
+    std::shared_ptr<const compiler::MapResult> sharedMapResult() const
+    {
+        return shared_;
+    }
+    /**
+     * Skip compilation entirely and reuse a compile result produced by
+     * another runner for the *same* (program, ArchParams) pair — this
+     * is how a config-cache hit avoids paying place-and-route twice.
+     * Must be called before the first compile; incompatible with
+     * setConfigTweak/setUnitMask/setCompileOptions (those exist to
+     * perturb a fresh compile). The caller owns the content-address
+     * discipline: adopting a result compiled from a different program
+     * is undefined behavior by construction.
+     */
+    void adoptCompiled(std::shared_ptr<const compiler::MapResult> map);
+
     /**
      * Install a hook that mutates the compiled FabricConfig before the
      * fabric is instantiated. Used by the fuzz harness to inject
@@ -127,8 +149,12 @@ class Runner
     /** Fault injector armed on every fabric the runner builds (and
      *  installed as the DRAM fault hook). */
     void setFaultInjector(resilience::FaultInjector *inj);
-    /** The full compile result (placement, DRAM layout). */
-    const compiler::MapResult &mapResult() const { return map_; }
+    /** The full compile result (placement, DRAM layout). After a
+     *  failed compile this still carries the diagnostics. */
+    const compiler::MapResult &mapResult() const
+    {
+        return shared_ ? *shared_ : map_;
+    }
     /** Staged host input buffers (reusable across runners, e.g. when
      *  recovery recompiles onto a degraded fabric). */
     const std::map<pir::MemId, std::vector<Word>> &hostBuffers() const
@@ -157,7 +183,16 @@ class Runner
     compiler::UnitMask mask_;
     compiler::CompileOptions copts_;
     resilience::FaultInjector *injector_ = nullptr;
+    /** Failed-compile diagnostics only; successful compiles freeze
+     *  into shared_ (shareable via the serve config cache). */
     compiler::MapResult map_;
+    std::shared_ptr<const compiler::MapResult> shared_;
+    /** Host-profiler window of this runner's own phases: the thread
+     *  that constructed it and spans recorded since construction —
+     *  keeps per-job manifest timings honest when many runners share
+     *  one process (the serve worker pool). */
+    uint32_t profTid_ = 0;
+    uint64_t profSinceUs_ = 0;
     std::map<pir::MemId, std::vector<Word>> host_;
     std::unique_ptr<Fabric> fabric_;
     bool haveCounts_ = false;

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * The content-addressed, single-flight LRU cache underneath the serve
+ * daemon. Two instantiations exist:
+ *
+ *   ConfigCache  (pirHash, archHash)            -> compiled MapResult
+ *   ResultCache  (pirHash, archHash, inputsHash,
+ *                 optionsHash)                  -> finished JobOutcome
+ *
+ * Keys are FNV-1a 64-bit hashes over the same canonical text
+ * serializations the run-manifest layer uses (runtime/manifest.hpp):
+ * programToText for programs, archParamsText for parameters — so a
+ * manifest's (pir_hash, arch_hash) pair IS the config cache address,
+ * byte-for-byte, and the hash-stability goldens in
+ * tests/test_serve.cpp tie both layers together.
+ *
+ * Semantics:
+ *
+ *  - single-flight: the first thread to miss a key inserts a pending
+ *    entry and builds the value outside the lock; every concurrent
+ *    requester of the same key blocks until the build completes and
+ *    then counts as a HIT (it did not pay for the build — which is
+ *    the entire point: identical kernels never pay place-and-route
+ *    twice, identical jobs never simulate twice).
+ *  - deterministic accounting: every acquire() is assigned a sequence
+ *    number under the cache lock; the (seq, key, hit) access log
+ *    replayed serially through a fresh cache of the same capacity
+ *    reproduces the hit/miss sequence exactly (the deterministic-
+ *    replay test). Eviction decisions happen at miss time (placeholder
+ *    insertion), not at build completion, precisely so the access
+ *    order fully determines them.
+ *  - LRU eviction: capacity is counted in entries; pending entries are
+ *    pinned (they cannot be evicted while a builder or waiters hold
+ *    them). When every entry is pending the cache may transiently
+ *    exceed capacity rather than deadlock — sized-below-worker-count
+ *    caches are a configuration smell, not a crash.
+ *  - negative caching: failed builds (e.g. compile errors) are cached
+ *    like successes. The simulator stack is deterministic, so a
+ *    failure is as content-addressable as a config; duplicate bad
+ *    programs should not recompile either.
+ */
+
+#ifndef PLAST_SERVE_CACHE_HPP
+#define PLAST_SERVE_CACHE_HPP
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace plast::serve
+{
+
+/** Up-to-four-part content address; unused parts stay zero. */
+struct CacheKey
+{
+    uint64_t pir = 0;     ///< fnv1a64(programToText(prog))
+    uint64_t arch = 0;    ///< fnv1a64(archParamsText(params))
+    uint64_t inputs = 0;  ///< fnv1a64(staged input image); 0 for configs
+    uint64_t options = 0; ///< fnv1a64(execution-mode text); 0 for configs
+
+    bool
+    operator<(const CacheKey &o) const
+    {
+        if (pir != o.pir)
+            return pir < o.pir;
+        if (arch != o.arch)
+            return arch < o.arch;
+        if (inputs != o.inputs)
+            return inputs < o.inputs;
+        return options < o.options;
+    }
+    bool
+    operator==(const CacheKey &o) const
+    {
+        return pir == o.pir && arch == o.arch && inputs == o.inputs &&
+               options == o.options;
+    }
+};
+
+/** One acquire() in cache-lock order (the deterministic replay log). */
+struct CacheAccess
+{
+    uint64_t seq = 0;
+    CacheKey key;
+    bool hit = false;
+};
+
+struct CacheStats
+{
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    size_t size = 0;
+    size_t capacity = 0;
+};
+
+template <typename V>
+class SingleFlightCache
+{
+  public:
+    using ValuePtr = std::shared_ptr<const V>;
+    using Builder = std::function<ValuePtr()>;
+
+    /** `capacity` in entries (min 1). */
+    explicit SingleFlightCache(size_t capacity)
+        : capacity_(capacity == 0 ? 1 : capacity)
+    {
+    }
+
+    struct Acquired
+    {
+        ValuePtr value;
+        bool hit = false;
+        uint64_t seq = 0; ///< global cache-access sequence number
+    };
+
+    /**
+     * Look up `key`; on miss, run `build` (outside the lock — builds
+     * of distinct keys proceed in parallel) and publish the value.
+     * Concurrent requesters of a key being built block and return the
+     * published value as a hit.
+     */
+    Acquired
+    acquire(const CacheKey &key, const Builder &build)
+    {
+        Acquired out;
+        std::unique_lock<std::mutex> lk(mu_);
+        out.seq = nextSeq_++;
+        auto it = entries_.find(key);
+        if (it != entries_.end()) {
+            Entry &e = it->second;
+            ++hits_;
+            out.hit = true;
+            recordAccess(out.seq, key, true);
+            touch(key, e);
+            if (!e.ready) {
+                ++e.waiters;
+                ready_.wait(lk, [&e] { return e.ready; });
+                --e.waiters;
+            }
+            out.value = e.value;
+            return out;
+        }
+        // Miss: insert the pending entry and decide eviction NOW, so
+        // the access order alone determines cache contents (replay
+        // determinism), then build outside the lock.
+        ++misses_;
+        recordAccess(out.seq, key, false);
+        Entry &e = entries_[key];
+        e.ready = false;
+        lru_.push_front(key);
+        e.lruPos = lru_.begin();
+        maybeEvict();
+        lk.unlock();
+
+        ValuePtr built = build();
+
+        lk.lock();
+        // The entry can have been evicted only if it was ready —
+        // pending entries are pinned, so it is still here.
+        Entry &pub = entries_.at(key);
+        pub.value = built;
+        pub.ready = true;
+        ready_.notify_all();
+        out.value = built;
+        return out;
+    }
+
+    /** Value if present AND ready; null otherwise (never blocks,
+     *  never counts as an access). */
+    ValuePtr
+    peek(const CacheKey &key) const
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        auto it = entries_.find(key);
+        if (it == entries_.end() || !it->second.ready)
+            return nullptr;
+        return it->second.value;
+    }
+
+    CacheStats
+    stats() const
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        CacheStats s;
+        s.hits = hits_;
+        s.misses = misses_;
+        s.evictions = evictions_;
+        s.size = entries_.size();
+        s.capacity = capacity_;
+        return s;
+    }
+
+    /** The (seq, key, hit) log in lock order; enable before first use.
+     *  Drives the deterministic-replay machinery (joblog.hpp). */
+    void
+    setLogging(bool on)
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        logging_ = on;
+    }
+    std::vector<CacheAccess>
+    accessLog() const
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        return log_;
+    }
+
+  private:
+    struct Entry
+    {
+        ValuePtr value;
+        bool ready = false;
+        uint32_t waiters = 0;
+        typename std::list<CacheKey>::iterator lruPos;
+    };
+
+    void
+    recordAccess(uint64_t seq, const CacheKey &key, bool hit)
+    {
+        if (logging_)
+            log_.push_back({seq, key, hit});
+    }
+
+    void
+    touch(const CacheKey &key, Entry &e)
+    {
+        lru_.erase(e.lruPos);
+        lru_.push_front(key);
+        e.lruPos = lru_.begin();
+    }
+
+    void
+    maybeEvict()
+    {
+        while (entries_.size() > capacity_) {
+            // Walk from the cold end; skip pinned (pending or waited-
+            // on) entries.
+            auto victim = lru_.end();
+            for (auto it = std::prev(lru_.end());; --it) {
+                const Entry &e = entries_.at(*it);
+                if (e.ready && e.waiters == 0) {
+                    victim = it;
+                    break;
+                }
+                if (it == lru_.begin())
+                    break;
+            }
+            if (victim == lru_.end())
+                return; // everything pinned: transient overflow
+            entries_.erase(*victim);
+            lru_.erase(victim);
+            ++evictions_;
+        }
+    }
+
+    const size_t capacity_;
+    mutable std::mutex mu_;
+    std::condition_variable ready_;
+    std::map<CacheKey, Entry> entries_;
+    std::list<CacheKey> lru_; ///< front = most recently used
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+    uint64_t evictions_ = 0;
+    uint64_t nextSeq_ = 0;
+    bool logging_ = false;
+    std::vector<CacheAccess> log_;
+};
+
+} // namespace plast::serve
+
+#endif // PLAST_SERVE_CACHE_HPP

@@ -1,0 +1,211 @@
+#include "serve/joblog.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "base/logging.hpp"
+
+namespace plast::serve
+{
+
+namespace
+{
+
+constexpr const char *kHeader = "plast.joblog.v1";
+
+std::string
+hex64(uint64_t v)
+{
+    char buf[17];
+    snprintf(buf, sizeof buf, "%016llx",
+             static_cast<unsigned long long>(v));
+    return buf;
+}
+
+} // namespace
+
+void
+writeJobLog(std::ostream &os, const std::vector<JobResult> &results)
+{
+    std::vector<const JobResult *> ordered;
+    ordered.reserve(results.size());
+    for (const JobResult &r : results)
+        ordered.push_back(&r);
+    std::sort(ordered.begin(), ordered.end(),
+              [](const JobResult *a, const JobResult *b) {
+                  return a->seq < b->seq;
+              });
+    os << kHeader << "\n";
+    for (const JobResult *r : ordered) {
+        os << "job id=" << r->id << " seq=" << r->seq
+           << " worker=" << r->worker << " pir=" << hex64(r->pirHash)
+           << " arch=" << hex64(r->archHash)
+           << " inputs=" << hex64(r->inputsHash)
+           << " options=" << hex64(r->optionsHash)
+           << " chit=" << (r->configHit ? 1 : 0)
+           << " rhit=" << (r->resultHit ? 1 : 0) << " result="
+           << hex64(r->outcome ? r->outcome->resultHash : 0)
+           << " cycles=" << (r->outcome ? r->outcome->cycles : 0)
+           << " outcome="
+           << (r->outcome ? r->outcome->outcome : "lost")
+           // src is free-form (app names contain spaces) so it is
+           // last: everything after "src=" to end of line.
+           << " src=" << r->source << "\n";
+    }
+}
+
+bool
+readJobLog(std::istream &is, std::vector<JobLogEntry> &out,
+           std::string *err)
+{
+    auto fail = [&](const std::string &m) {
+        if (err)
+            *err = m;
+        return false;
+    };
+    std::string line;
+    if (!std::getline(is, line) || line != kHeader)
+        return fail("missing '" + std::string(kHeader) + "' header");
+    size_t lineno = 1;
+    while (std::getline(is, line)) {
+        ++lineno;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        std::string tag;
+        ls >> tag;
+        if (tag != "job")
+            return fail(strfmt("line %zu: expected 'job', got '%s'",
+                               lineno, tag.c_str()));
+        JobLogEntry e;
+        bool haveSrc = false;
+        std::string tok;
+        while (ls >> tok) {
+            size_t eq = tok.find('=');
+            if (eq == std::string::npos)
+                return fail(strfmt("line %zu: bad token '%s'", lineno,
+                                   tok.c_str()));
+            std::string key = tok.substr(0, eq);
+            std::string val = tok.substr(eq + 1);
+            if (key == "src") {
+                // Free-form remainder of the line.
+                std::string rest;
+                std::getline(ls, rest);
+                e.source = val + rest;
+                haveSrc = true;
+                break;
+            }
+            try {
+                if (key == "id")
+                    e.id = std::stoull(val);
+                else if (key == "seq")
+                    e.seq = std::stoull(val);
+                else if (key == "worker")
+                    e.worker =
+                        static_cast<uint32_t>(std::stoul(val));
+                else if (key == "pir")
+                    e.pirHash = std::stoull(val, nullptr, 16);
+                else if (key == "arch")
+                    e.archHash = std::stoull(val, nullptr, 16);
+                else if (key == "inputs")
+                    e.inputsHash = std::stoull(val, nullptr, 16);
+                else if (key == "options")
+                    e.optionsHash = std::stoull(val, nullptr, 16);
+                else if (key == "chit")
+                    e.configHit = val == "1";
+                else if (key == "rhit")
+                    e.resultHit = val == "1";
+                else if (key == "result")
+                    e.resultHash = std::stoull(val, nullptr, 16);
+                else if (key == "cycles")
+                    e.cycles = std::stoull(val);
+                else if (key == "outcome")
+                    e.outcome = val;
+                else
+                    return fail(strfmt("line %zu: unknown key '%s'",
+                                       lineno, key.c_str()));
+            } catch (const std::exception &) {
+                return fail(strfmt("line %zu: bad value '%s' for '%s'",
+                                   lineno, val.c_str(), key.c_str()));
+            }
+        }
+        if (!haveSrc)
+            return fail(strfmt("line %zu: missing src=", lineno));
+        out.push_back(std::move(e));
+    }
+    return true;
+}
+
+ReplayReport
+replayLog(const std::vector<JobLogEntry> &log,
+          const std::vector<JobSpec> &specs, const ServeOptions &opts,
+          bool checkConfigHits)
+{
+    std::map<std::string, const JobSpec *> bySource;
+    for (const JobSpec &s : specs)
+        bySource[s.source] = &s;
+
+    std::vector<const JobLogEntry *> ordered;
+    ordered.reserve(log.size());
+    for (const JobLogEntry &e : log)
+        ordered.push_back(&e);
+    std::sort(ordered.begin(), ordered.end(),
+              [](const JobLogEntry *a, const JobLogEntry *b) {
+                  return a->seq < b->seq;
+              });
+
+    ServeOptions ropts = opts;
+    ropts.workers = 1;
+    ropts.logAccesses = false;
+    Server server(ropts);
+
+    ReplayReport rep;
+    auto diff = [&](const JobLogEntry &e, const char *field,
+                    std::string logged, std::string replayed) {
+        rep.mismatches.push_back(
+            {e.id, field, std::move(logged), std::move(replayed)});
+    };
+    for (const JobLogEntry *ep : ordered) {
+        const JobLogEntry &e = *ep;
+        auto it = bySource.find(e.source);
+        if (it == bySource.end()) {
+            diff(e, "source", e.source, "<no spec>");
+            continue;
+        }
+        ++rep.jobs;
+        JobSpec spec = *it->second; // copy: executeJob takes by value
+        spec.id = e.id;
+        JobResult got = server.executeJob(std::move(spec));
+        if (got.resultHit)
+            ++rep.resultHits;
+        if (got.resultHit != e.resultHit)
+            diff(e, "rhit", std::to_string(e.resultHit),
+                 std::to_string(got.resultHit));
+        if (checkConfigHits && got.configHit != e.configHit)
+            diff(e, "chit", std::to_string(e.configHit),
+                 std::to_string(got.configHit));
+        uint64_t gotHash =
+            got.outcome ? got.outcome->resultHash : 0;
+        if (gotHash != e.resultHash)
+            diff(e, "result", hex64(e.resultHash), hex64(gotHash));
+        Cycles gotCycles = got.outcome ? got.outcome->cycles : 0;
+        if (gotCycles != e.cycles)
+            diff(e, "cycles", std::to_string(e.cycles),
+                 std::to_string(gotCycles));
+        std::string gotOutcome =
+            got.outcome ? got.outcome->outcome : "lost";
+        if (gotOutcome != e.outcome)
+            diff(e, "outcome", e.outcome, gotOutcome);
+        if (got.pirHash != e.pirHash)
+            diff(e, "pir", hex64(e.pirHash), hex64(got.pirHash));
+        if (got.inputsHash != e.inputsHash)
+            diff(e, "inputs", hex64(e.inputsHash),
+                 hex64(got.inputsHash));
+    }
+    return rep;
+}
+
+} // namespace plast::serve

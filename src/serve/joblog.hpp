@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The serve daemon's job log: a line-oriented text record of every
+ * finished job (content hashes, cache hit flags, outcome, result
+ * hash) plus the machinery to replay a log serially and prove the
+ * concurrent run was deterministic.
+ *
+ * Replay contract: result-cache behavior is *fully* determined by the
+ * cache-access sequence numbers — seq is assigned under the cache
+ * lock, hit/miss is decided at that same instant, and LRU/eviction
+ * decisions happen at miss time — so re-executing the logged jobs
+ * serially in seq order through a fresh server (same capacities, same
+ * options) must reproduce every job's resultHit flag, outcome and
+ * resultHash bit-for-bit, no matter how many workers produced the
+ * log. Config-cache hits cross a second lock nested inside the
+ * result-cache build, so their interleaving is only totally ordered
+ * when the log came from a single worker; replayLog checks them
+ * strictly only when `checkConfigHits` is set (pass true for
+ * workers=1 logs).
+ */
+
+#ifndef PLAST_SERVE_JOBLOG_HPP
+#define PLAST_SERVE_JOBLOG_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "serve/server.hpp"
+
+namespace plast::serve
+{
+
+/** One parsed job-log line (field-for-field what writeJobLog emits). */
+struct JobLogEntry
+{
+    uint64_t id = 0;
+    uint64_t seq = 0;
+    uint32_t worker = 0;
+    uint64_t pirHash = 0;
+    uint64_t archHash = 0;
+    uint64_t inputsHash = 0;
+    uint64_t optionsHash = 0;
+    bool configHit = false;
+    bool resultHit = false;
+    uint64_t resultHash = 0;
+    Cycles cycles = 0;
+    std::string outcome;
+    std::string source; ///< replay join key (free-form, last on the line)
+};
+
+/** Header line + one "job ..." line per result, in seq order. */
+void writeJobLog(std::ostream &os, const std::vector<JobResult> &results);
+
+/** Parse a job log; false + err on malformed input. */
+bool readJobLog(std::istream &is, std::vector<JobLogEntry> &out,
+                std::string *err = nullptr);
+
+struct ReplayMismatch
+{
+    uint64_t id = 0;
+    std::string field;
+    std::string logged;
+    std::string replayed;
+};
+
+struct ReplayReport
+{
+    size_t jobs = 0;
+    size_t resultHits = 0;
+    std::vector<ReplayMismatch> mismatches;
+    bool ok() const { return mismatches.empty(); }
+};
+
+/**
+ * Re-execute a job log serially: a fresh single-threaded server with
+ * `opts` capacities runs the logged jobs in seq order (specs joined
+ * by JobSpec::source — regenerate the original traffic to get them)
+ * and every job's resultHit / outcome / cycles / resultHash is
+ * compared against the log. `checkConfigHits` additionally compares
+ * configHit (only meaningful for single-worker logs, see above).
+ */
+ReplayReport replayLog(const std::vector<JobLogEntry> &log,
+                       const std::vector<JobSpec> &specs,
+                       const ServeOptions &opts,
+                       bool checkConfigHits = false);
+
+} // namespace plast::serve
+
+#endif // PLAST_SERVE_JOBLOG_HPP

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * A bounded, thread-safe, multi-producer/multi-consumer job queue —
+ * the admission edge of the serve daemon. Producers block when the
+ * queue is full (backpressure instead of unbounded memory growth
+ * under overload), consumers block when it is empty, and close()
+ * drains gracefully: queued work is still delivered, then every
+ * blocked consumer wakes with "no more work".
+ *
+ * The implementation is a classic two-condition-variable monitor;
+ * depth and high-water counters feed the serve metrics.
+ */
+
+#ifndef PLAST_SERVE_QUEUE_HPP
+#define PLAST_SERVE_QUEUE_HPP
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace plast::serve
+{
+
+template <typename T>
+class BoundedQueue
+{
+  public:
+    explicit BoundedQueue(size_t capacity)
+        : capacity_(capacity == 0 ? 1 : capacity)
+    {
+    }
+
+    /** Block until there is room (or the queue closes). Returns false
+     *  when the queue was closed — the item was not enqueued. */
+    bool
+    push(T item)
+    {
+        std::unique_lock<std::mutex> lk(mu_);
+        notFull_.wait(lk, [&] {
+            return closed_ || items_.size() < capacity_;
+        });
+        if (closed_)
+            return false;
+        items_.push_back(std::move(item));
+        if (items_.size() > highWater_)
+            highWater_ = items_.size();
+        ++pushed_;
+        notEmpty_.notify_one();
+        return true;
+    }
+
+    /** Block until an item is available. Empty optional means the
+     *  queue is closed AND drained — the consumer should exit. */
+    std::optional<T>
+    pop()
+    {
+        std::unique_lock<std::mutex> lk(mu_);
+        notEmpty_.wait(lk, [&] { return closed_ || !items_.empty(); });
+        if (items_.empty())
+            return std::nullopt;
+        T item = std::move(items_.front());
+        items_.pop_front();
+        notFull_.notify_one();
+        return item;
+    }
+
+    /** Reject new pushes; queued items still drain through pop(). */
+    void
+    close()
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        closed_ = true;
+        notEmpty_.notify_all();
+        notFull_.notify_all();
+    }
+
+    size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        return items_.size();
+    }
+
+    /** Deepest the queue ever got (backpressure telemetry). */
+    size_t
+    highWater() const
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        return highWater_;
+    }
+
+    uint64_t
+    pushed() const
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        return pushed_;
+    }
+
+    size_t capacity() const { return capacity_; }
+
+  private:
+    const size_t capacity_;
+    mutable std::mutex mu_;
+    std::condition_variable notEmpty_;
+    std::condition_variable notFull_;
+    std::deque<T> items_;
+    size_t highWater_ = 0;
+    uint64_t pushed_ = 0;
+    bool closed_ = false;
+};
+
+} // namespace plast::serve
+
+#endif // PLAST_SERVE_QUEUE_HPP

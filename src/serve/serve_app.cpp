@@ -1,0 +1,301 @@
+/**
+ * @file
+ * The compile-and-serve daemon CLI: feed .pir programs (the fuzzer's
+ * seed-file wire format: arch header + inject line + program text) or
+ * seeded synthetic traffic through the multi-tenant server and report
+ * throughput, cache effectiveness and per-job outcomes.
+ *
+ *   serve_app --traffic --jobs=96 --uniques=12 --workers=8
+ *   serve_app --workers=4 --repeat=8 tests/corpus/seed.pir ...
+ *   serve_app --traffic --log=jobs.log
+ *   serve_app --traffic --replay=jobs.log     # prove determinism
+ *   serve_app --traffic --metrics=serve.json  # unified metric dump
+ *
+ * Exit status: 0 = every job ok and (for --replay) the replay
+ * matched; 1 = some job failed or the replay diverged; 2 = usage or
+ * IO errors. Job failures are typed outcomes, never daemon crashes.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "base/logging.hpp"
+#include "base/metrics.hpp"
+#include "base/profile.hpp"
+#include "fuzz/harness.hpp"
+#include "serve/joblog.hpp"
+#include "serve/server.hpp"
+#include "serve/traffic.hpp"
+
+using namespace plast;
+
+namespace
+{
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: serve_app [options] [file.pir ...]\n"
+        "  --workers=N        worker pool size (default 4)\n"
+        "  --queue=N          bounded queue depth (default 64)\n"
+        "  --config-cache=N   config cache capacity (default 256)\n"
+        "  --result-cache=N   result cache capacity (default 256)\n"
+        "  --no-result-cache  always re-execute duplicate jobs\n"
+        "  --validate         run the reference evaluator on every\n"
+        "                     executed job (mismatch = typed outcome)\n"
+        "  --max-cycles=N     default per-job cycle budget\n"
+        "  --repeat=N         submit each .pir file N times (default 1)\n"
+        "  --traffic          generate seeded synthetic traffic from\n"
+        "                     the app suite instead of reading files\n"
+        "  --jobs=N           traffic: total submissions (default 64)\n"
+        "  --uniques=N        traffic: distinct identities (default 8)\n"
+        "  --seed=N           traffic: duplication-pattern seed\n"
+        "  --log=FILE         write the job log (replayable)\n"
+        "  --replay=FILE      replay a job log serially against the\n"
+        "                     same traffic/files; exit 1 on divergence\n"
+        "  --metrics=FILE     write serve.* metrics as JSON\n"
+        "  --quiet            suppress the per-job report\n");
+}
+
+bool
+parseU64(const char *s, uint64_t &out)
+{
+    char *end = nullptr;
+    out = std::strtoull(s, &end, 0);
+    return end && *end == '\0' && end != s;
+}
+
+bool
+loadPirFile(const std::string &path, std::vector<serve::JobSpec> &out)
+{
+    std::ifstream is(path);
+    if (!is) {
+        std::fprintf(stderr, "serve_app: cannot open '%s'\n",
+                     path.c_str());
+        return false;
+    }
+    fuzz::FuzzCase c;
+    std::string err;
+    if (!fuzz::readSeedFile(is, c, &err)) {
+        std::fprintf(stderr, "serve_app: %s: %s\n", path.c_str(),
+                     err.c_str());
+        return false;
+    }
+    serve::JobSpec spec;
+    spec.source = "file:" + path;
+    spec.prog = std::move(c.prog);
+    spec.params = c.params;
+    // load stays null: wire jobs stage inputs by the fill-by-name
+    // convention, same as fuzz replay. Fault injection modes are a
+    // fuzzer concern and are ignored here.
+    out.push_back(std::move(spec));
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    serve::ServeOptions sopts;
+    serve::TrafficOptions topts;
+    bool traffic = false;
+    bool quiet = false;
+    uint64_t repeat = 1;
+    std::string logPath, replayPath, metricsPath;
+    std::vector<std::string> files;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto val = [&](const char *prefix) -> const char * {
+            size_t n = std::strlen(prefix);
+            return a.compare(0, n, prefix) == 0 ? a.c_str() + n
+                                                : nullptr;
+        };
+        uint64_t n = 0;
+        if (const char *v = val("--workers=")) {
+            if (!parseU64(v, n) || n == 0)
+                return usage(), 2;
+            sopts.workers = static_cast<uint32_t>(n);
+        } else if (const char *v2 = val("--queue=")) {
+            if (!parseU64(v2, n) || n == 0)
+                return usage(), 2;
+            sopts.queueDepth = n;
+        } else if (const char *v3 = val("--config-cache=")) {
+            if (!parseU64(v3, n))
+                return usage(), 2;
+            sopts.configCacheCapacity = n;
+        } else if (const char *v4 = val("--result-cache=")) {
+            if (!parseU64(v4, n))
+                return usage(), 2;
+            sopts.resultCacheCapacity = n;
+        } else if (a == "--no-result-cache") {
+            sopts.resultCache = false;
+        } else if (a == "--validate") {
+            sopts.validate = true;
+        } else if (const char *v5 = val("--max-cycles=")) {
+            if (!parseU64(v5, n) || n == 0)
+                return usage(), 2;
+            sopts.maxCycles = n;
+        } else if (const char *v6 = val("--repeat=")) {
+            if (!parseU64(v6, repeat) || repeat == 0)
+                return usage(), 2;
+        } else if (a == "--traffic") {
+            traffic = true;
+        } else if (const char *v7 = val("--jobs=")) {
+            if (!parseU64(v7, n) || n == 0)
+                return usage(), 2;
+            topts.jobs = n;
+        } else if (const char *v8 = val("--uniques=")) {
+            if (!parseU64(v8, n) || n == 0)
+                return usage(), 2;
+            topts.uniques = n;
+        } else if (const char *v9 = val("--seed=")) {
+            if (!parseU64(v9, topts.seed))
+                return usage(), 2;
+        } else if (const char *v10 = val("--log=")) {
+            logPath = v10;
+        } else if (const char *v11 = val("--replay=")) {
+            replayPath = v11;
+        } else if (const char *v12 = val("--metrics=")) {
+            metricsPath = v12;
+        } else if (a == "--quiet") {
+            quiet = true;
+        } else if (a == "--help" || a == "-h") {
+            return usage(), 0;
+        } else if (!a.empty() && a[0] == '-') {
+            std::fprintf(stderr, "serve_app: unknown option '%s'\n",
+                         a.c_str());
+            return usage(), 2;
+        } else {
+            files.push_back(a);
+        }
+    }
+    if (!traffic && files.empty()) {
+        std::fprintf(stderr,
+                     "serve_app: need .pir files or --traffic\n");
+        return usage(), 2;
+    }
+
+    // Assemble the job stream.
+    std::vector<serve::JobSpec> specs;
+    if (traffic) {
+        specs = serve::makeTraffic(topts);
+    } else {
+        std::vector<serve::JobSpec> fileSpecs;
+        for (const std::string &f : files) {
+            if (!loadPirFile(f, fileSpecs))
+                return 2;
+        }
+        for (uint64_t r = 0; r < repeat; ++r)
+            for (const serve::JobSpec &s : fileSpecs)
+                specs.push_back(s);
+    }
+
+    // Replay mode: check a previous run's log against this stream.
+    if (!replayPath.empty()) {
+        std::ifstream is(replayPath);
+        if (!is) {
+            std::fprintf(stderr, "serve_app: cannot open '%s'\n",
+                         replayPath.c_str());
+            return 2;
+        }
+        std::vector<serve::JobLogEntry> log;
+        std::string err;
+        if (!serve::readJobLog(is, log, &err)) {
+            std::fprintf(stderr, "serve_app: %s: %s\n",
+                         replayPath.c_str(), err.c_str());
+            return 2;
+        }
+        serve::ReplayReport rep =
+            serve::replayLog(log, specs, sopts);
+        std::printf("replayed %zu jobs: %zu result hits, %zu "
+                    "mismatches\n",
+                    rep.jobs, rep.resultHits, rep.mismatches.size());
+        for (const serve::ReplayMismatch &m : rep.mismatches)
+            std::printf("  job %llu %s: logged %s, replay %s\n",
+                        static_cast<unsigned long long>(m.id),
+                        m.field.c_str(), m.logged.c_str(),
+                        m.replayed.c_str());
+        return rep.ok() ? 0 : 1;
+    }
+
+    // Serve.
+    uint64_t t0 = HostProfiler::instance().nowUs();
+    serve::Server server(sopts);
+    server.start();
+    for (serve::JobSpec &s : specs)
+        server.submit(std::move(s));
+    server.drain();
+    uint64_t wallUs = HostProfiler::instance().nowUs() - t0;
+
+    std::vector<serve::JobResult> results = server.results();
+    size_t failed = 0;
+    for (const serve::JobResult &r : results) {
+        bool ok = r.outcome && r.outcome->outcome == "ok";
+        if (!ok)
+            ++failed;
+        if (!quiet) {
+            std::printf(
+                "job %4llu %-28s %-16s cycles=%-10llu %s%s w%u\n",
+                static_cast<unsigned long long>(r.id),
+                r.source.c_str(),
+                r.outcome ? r.outcome->outcome.c_str() : "lost",
+                static_cast<unsigned long long>(
+                    r.outcome ? r.outcome->cycles : 0),
+                r.resultHit ? "R" : "-", r.configHit ? "C" : "-",
+                r.worker);
+        }
+    }
+
+    serve::CacheStats cfg = server.configCacheStats();
+    serve::CacheStats res = server.resultCacheStats();
+    double secs = static_cast<double>(wallUs) / 1e6;
+    std::printf("served %zu jobs in %.3f s (%.1f jobs/s) on %u "
+                "workers, %zu failed\n",
+                results.size(), secs,
+                secs > 0 ? static_cast<double>(results.size()) / secs
+                         : 0.0,
+                sopts.workers, failed);
+    std::printf("config cache: %llu hits / %llu misses, %llu "
+                "evictions, %zu entries\n",
+                static_cast<unsigned long long>(cfg.hits),
+                static_cast<unsigned long long>(cfg.misses),
+                static_cast<unsigned long long>(cfg.evictions),
+                cfg.size);
+    std::printf("result cache: %llu hits / %llu misses, %llu "
+                "evictions, %zu entries\n",
+                static_cast<unsigned long long>(res.hits),
+                static_cast<unsigned long long>(res.misses),
+                static_cast<unsigned long long>(res.evictions),
+                res.size);
+
+    if (!logPath.empty()) {
+        std::ofstream os(logPath);
+        if (!os) {
+            std::fprintf(stderr, "serve_app: cannot write '%s'\n",
+                         logPath.c_str());
+            return 2;
+        }
+        serve::writeJobLog(os, results);
+    }
+    if (!metricsPath.empty()) {
+        MetricRegistry reg;
+        server.exportMetrics(reg);
+        reg.setCounter("serve.wall_us", wallUs);
+        std::ofstream os(metricsPath);
+        if (!os) {
+            std::fprintf(stderr, "serve_app: cannot write '%s'\n",
+                         metricsPath.c_str());
+            return 2;
+        }
+        reg.writeJson(os);
+    }
+    return failed == 0 ? 0 : 1;
+}

@@ -1,0 +1,317 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+
+#include "base/logging.hpp"
+#include "base/profile.hpp"
+#include "fuzz/diff.hpp"
+#include "pir/serialize.hpp"
+#include "runtime/manifest.hpp"
+#include "runtime/runner.hpp"
+#include "sim/execplan.hpp"
+
+namespace plast::serve
+{
+
+namespace
+{
+
+/** Incremental FNV-1a 64 over mixed binary fields (same constants as
+ *  the string fnv1a64 in runtime/manifest.cpp, so text hashes and
+ *  binary hashes share one hash family). */
+struct Fnv
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+
+    void
+    byte(uint8_t b)
+    {
+        h ^= b;
+        h *= 0x100000001b3ull;
+    }
+    void
+    u32(uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            byte(static_cast<uint8_t>(v >> (8 * i)));
+    }
+    void
+    u64(uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            byte(static_cast<uint8_t>(v >> (8 * i)));
+    }
+    void
+    str(const std::string &s)
+    {
+        for (unsigned char c : s)
+            byte(c);
+        byte(0); // terminator: "ab"+"c" != "a"+"bc"
+    }
+};
+
+} // namespace
+
+uint64_t
+hashProgram(const pir::Program &prog)
+{
+    return fnv1a64(pir::programToText(prog));
+}
+
+uint64_t
+hashArch(const ArchParams &params)
+{
+    return fnv1a64(archParamsText(params));
+}
+
+uint64_t
+hashInputs(const std::map<pir::MemId, std::vector<Word>> &bufs)
+{
+    Fnv f;
+    for (const auto &[mid, data] : bufs) {
+        f.u32(static_cast<uint32_t>(mid));
+        f.u64(data.size());
+        for (Word w : data)
+            f.u32(w);
+    }
+    return f.h;
+}
+
+uint64_t
+hashOptions(const ServeOptions &opts, Cycles jobMaxCycles)
+{
+    Fnv f;
+    f.str(opts.simOpts.mode == SimOptions::Mode::kDense ? "dense"
+                                                        : "activity");
+    f.str(simModeName(opts.simOpts.simMode));
+    f.u64(jobMaxCycles ? jobMaxCycles : opts.maxCycles);
+    f.byte(opts.validate ? 1 : 0);
+    return f.h;
+}
+
+uint64_t
+hashOutcome(const JobOutcome &out)
+{
+    Fnv f;
+    f.str(out.outcome);
+    f.u64(out.cycles);
+    f.u64(out.argOuts.size());
+    for (const auto &stream : out.argOuts) {
+        f.u64(stream.size());
+        for (Word w : stream)
+            f.u32(w);
+    }
+    f.u64(out.dram.size());
+    for (const auto &buf : out.dram) {
+        f.u64(buf.size());
+        for (Word w : buf)
+            f.u32(w);
+    }
+    return f.h;
+}
+
+Server::Server(ServeOptions opts)
+    : opts_(opts), queue_(opts.queueDepth),
+      configCache_(opts.configCacheCapacity),
+      resultCache_(opts.resultCacheCapacity)
+{
+    configCache_.setLogging(opts_.logAccesses);
+    resultCache_.setLogging(opts_.logAccesses);
+}
+
+Server::~Server()
+{
+    drain();
+}
+
+void
+Server::start()
+{
+    panic_if(started_, "Server::start called twice");
+    started_ = true;
+    workers_.reserve(opts_.workers);
+    for (uint32_t w = 0; w < opts_.workers; ++w)
+        workers_.emplace_back([this, w] { workerLoop(w); });
+}
+
+uint64_t
+Server::submit(JobSpec spec)
+{
+    if (draining_.load(std::memory_order_relaxed))
+        return 0;
+    spec.id = nextId_.fetch_add(1, std::memory_order_relaxed);
+    Queued q;
+    q.enqueuedUs = HostProfiler::instance().nowUs();
+    uint64_t id = spec.id;
+    q.spec = std::move(spec);
+    if (!queue_.push(std::move(q)))
+        return 0;
+    return id;
+}
+
+void
+Server::drain()
+{
+    draining_.store(true, std::memory_order_relaxed);
+    queue_.close();
+    for (std::thread &t : workers_) {
+        if (t.joinable())
+            t.join();
+    }
+    workers_.clear();
+}
+
+std::vector<JobResult>
+Server::results() const
+{
+    std::lock_guard<std::mutex> lk(resultsMu_);
+    std::vector<JobResult> out = results_;
+    std::sort(out.begin(), out.end(),
+              [](const JobResult &a, const JobResult &b) {
+                  return a.id < b.id;
+              });
+    return out;
+}
+
+void
+Server::workerLoop(uint32_t idx)
+{
+    while (auto q = queue_.pop()) {
+        uint64_t startUs = HostProfiler::instance().nowUs();
+        JobResult rec = executeJob(std::move(q->spec), idx);
+        uint64_t doneUs = HostProfiler::instance().nowUs();
+        rec.waitUs = static_cast<double>(startUs - q->enqueuedUs);
+        rec.execUs = static_cast<double>(doneUs - startUs);
+        std::lock_guard<std::mutex> lk(resultsMu_);
+        results_.push_back(std::move(rec));
+    }
+}
+
+std::shared_ptr<const JobOutcome>
+Server::computeOutcome(Runner &runner, const JobSpec &job, JobResult &rec)
+{
+    CacheKey ck;
+    ck.pir = rec.pirHash;
+    ck.arch = rec.archHash;
+    auto acq = configCache_.acquire(ck, [&]() -> ConfigCache::ValuePtr {
+        auto cc = std::make_shared<CompiledConfig>();
+        cc->status = runner.tryCompile();
+        cc->map = runner.sharedMapResult();
+        if (!cc->map) {
+            // Failed compile: freeze a diagnostics copy so duplicate
+            // bad programs are refused from cache, with the same
+            // typed status a fresh compile would produce.
+            cc->map = std::make_shared<const compiler::MapResult>(
+                runner.mapResult());
+        }
+        return cc;
+    });
+    rec.configHit = acq.hit;
+    if (!opts_.resultCache)
+        rec.seq = acq.seq;
+
+    auto out = std::make_shared<JobOutcome>();
+    const CompiledConfig &cc = *acq.value;
+    Status st;
+    Runner::Result res;
+    if (!cc.status.ok()) {
+        st = cc.status;
+    } else {
+        if (acq.hit)
+            runner.adoptCompiled(cc.map);
+        Cycles mc = job.maxCycles ? job.maxCycles : opts_.maxCycles;
+        st = opts_.validate ? runner.tryRunValidated(res, mc)
+                            : runner.tryRun(res, mc);
+    }
+    out->outcome = statusCodeName(st.code());
+    out->detail = st.ok() ? "" : st.message();
+    out->cycles = res.cycles;
+    out->stats = res.stats;
+    out->argOuts = res.argOuts;
+    out->dram.resize(job.prog.mems.size());
+    if (runner.fabric()) {
+        for (size_t m = 0; m < job.prog.mems.size(); ++m) {
+            if (job.prog.mems[m].kind == pir::MemKind::kDram)
+                out->dram[m] =
+                    runner.readDram(static_cast<pir::MemId>(m));
+        }
+    }
+    out->resultHash = hashOutcome(*out);
+    return out;
+}
+
+JobResult
+Server::executeJob(JobSpec job, uint32_t worker)
+{
+    JobResult rec;
+    rec.id = job.id;
+    rec.source = job.source;
+    rec.worker = worker;
+
+    // Stage: each job gets its own Runner (and thus its own Fabric) —
+    // nothing mutable is shared between workers except the caches.
+    Runner runner(job.prog, job.params, opts_.simOpts);
+    if (job.load)
+        job.load(runner);
+    else
+        fuzz::fillInputs(runner, job.prog);
+
+    rec.pirHash = hashProgram(job.prog);
+    rec.archHash = hashArch(job.params);
+    rec.inputsHash = hashInputs(runner.hostBuffers());
+    rec.optionsHash = hashOptions(opts_, job.maxCycles);
+
+    if (opts_.resultCache) {
+        CacheKey rk{rec.pirHash, rec.archHash, rec.inputsHash,
+                    rec.optionsHash};
+        auto acq = resultCache_.acquire(
+            rk, [&] { return computeOutcome(runner, job, rec); });
+        rec.seq = acq.seq;
+        rec.resultHit = acq.hit;
+        rec.outcome = acq.value;
+    } else {
+        rec.outcome = computeOutcome(runner, job, rec);
+    }
+    return rec;
+}
+
+void
+Server::exportMetrics(MetricRegistry &reg) const
+{
+    reg.setCounter("serve.workers", opts_.workers);
+    reg.setCounter("serve.queue.capacity", queue_.capacity());
+    reg.setCounter("serve.queue.high_water", queueHighWater());
+    reg.setCounter("serve.jobs.submitted", queue_.pushed());
+
+    CacheStats cs = configCache_.stats();
+    reg.setCounter("serve.cache.config.hits", cs.hits);
+    reg.setCounter("serve.cache.config.misses", cs.misses);
+    reg.setCounter("serve.cache.config.evictions", cs.evictions);
+    reg.setCounter("serve.cache.config.size", cs.size);
+    CacheStats rs = resultCache_.stats();
+    reg.setCounter("serve.cache.result.hits", rs.hits);
+    reg.setCounter("serve.cache.result.misses", rs.misses);
+    reg.setCounter("serve.cache.result.evictions", rs.evictions);
+    reg.setCounter("serve.cache.result.size", rs.size);
+
+    static const std::vector<uint64_t> kUsEdges = {
+        100,     1'000,     10'000,     100'000,
+        1'000'000, 10'000'000, 100'000'000};
+    Histogram &wait = reg.histogram("serve.job.wait_us", kUsEdges);
+    Histogram &exec = reg.histogram("serve.job.exec_us", kUsEdges);
+
+    std::lock_guard<std::mutex> lk(resultsMu_);
+    reg.setCounter("serve.jobs.completed", results_.size());
+    uint64_t cycles = 0;
+    for (const JobResult &r : results_) {
+        reg.count("serve.outcome." +
+                  (r.outcome ? r.outcome->outcome : "lost"));
+        wait.observe(static_cast<uint64_t>(r.waitUs));
+        exec.observe(static_cast<uint64_t>(r.execUs));
+        if (r.outcome)
+            cycles += r.outcome->cycles;
+    }
+    reg.setCounter("serve.cycles_total", cycles);
+}
+
+} // namespace plast::serve

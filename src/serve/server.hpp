@@ -1,0 +1,226 @@
+/**
+ * @file
+ * The multi-tenant compile-and-serve daemon core (DESIGN.md §15): a
+ * bounded job queue in front of a fixed worker pool, where each worker
+ * owns an independent Runner/Fabric per job and two content-addressed
+ * single-flight caches collapse duplicate work:
+ *
+ *   config cache   (pirHash, archHash)          — identical kernels
+ *                  never pay place-and-route twice; a hit adopts the
+ *                  frozen compiler::MapResult another worker produced.
+ *   result cache   (pirHash, archHash, inputsHash, optionsHash) — the
+ *                  simulator is deterministic end to end, so a
+ *                  bit-identical job (same program, architecture,
+ *                  staged inputs and execution options) is served its
+ *                  memoized outcome without simulating again. This is
+ *                  what makes hot duplicate traffic cheap.
+ *
+ * Hashes are the manifest layer's platform-stable FNV-1a over
+ * canonical text serializations (runtime/manifest.hpp), so a run
+ * manifest's (pir_hash, arch_hash) is literally the config cache
+ * address.
+ *
+ * Every job produces a JobResult — outcome, cycles, content hashes,
+ * hit flags and a result hash over argOuts + DRAM image — and the
+ * ordered log of those records replays deterministically
+ * (serve/joblog.hpp). Failures never kill the daemon: compile errors,
+ * deadlocks, watchdog trips and validation mismatches come back as
+ * typed outcomes (the PR 4/5 never-fail stack is the foundation).
+ */
+
+#ifndef PLAST_SERVE_SERVER_HPP
+#define PLAST_SERVE_SERVER_HPP
+
+#include <atomic>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/metrics.hpp"
+#include "base/status.hpp"
+#include "compiler/mapper.hpp"
+#include "pir/ir.hpp"
+#include "serve/cache.hpp"
+#include "serve/queue.hpp"
+#include "sim/fabric.hpp"
+
+namespace plast
+{
+class Runner;
+}
+
+namespace plast::serve
+{
+
+/** One unit of work: a PIR program, the architecture to compile it
+ *  for, and how to stage its inputs. */
+struct JobSpec
+{
+    uint64_t id = 0;    ///< assigned by Server::submit
+    std::string source; ///< replayable origin ("app:GEMM", "fuzz:7", ...)
+    pir::Program prog;
+    ArchParams params = ArchParams::plasticineFinal();
+    /** Stage inputs into the runner's DRAM buffers; null = the
+     *  fill-by-name convention (fuzz::fillInputs), which is what wire
+     *  jobs parsed from .pir files use. Must be deterministic — the
+     *  staged image is part of the result-cache content address. */
+    std::function<void(Runner &)> load;
+    /** Per-job cycle budget (0 = the server default). Part of the
+     *  result-cache options hash. */
+    Cycles maxCycles = 0;
+};
+
+/** The memoized, shareable part of a finished job: everything a
+ *  bit-identical resubmission should be served without re-running. */
+struct JobOutcome
+{
+    std::string outcome; ///< statusCodeName of the final status
+    std::string detail;  ///< status message ("" when ok)
+    Cycles cycles = 0;
+    StatSet stats; ///< architectural counters (Fabric::dumpStats)
+    std::vector<std::deque<Word>> argOuts;
+    /** Post-run DRAM readback per program DRAM mem (empty when the
+     *  fabric was never built, e.g. compile errors). Index i holds
+     *  the buffer for the i-th DRAM MemDecl, in MemId order. */
+    std::vector<std::vector<Word>> dram;
+    /** FNV-1a over outcome + argOuts + DRAM image (the compact
+     *  bit-exactness witness the stress/replay tests compare). */
+    uint64_t resultHash = 0;
+};
+
+/** Per-submission record (one line of the job log). */
+struct JobResult
+{
+    uint64_t id = 0;
+    std::string source;
+    uint64_t seq = 0; ///< cache-access order (the replay order)
+    uint64_t pirHash = 0;
+    uint64_t archHash = 0;
+    uint64_t inputsHash = 0;
+    uint64_t optionsHash = 0;
+    bool resultHit = false; ///< served from the result cache
+    bool configHit = false; ///< compile skipped via the config cache
+    uint32_t worker = 0;
+    double waitUs = 0; ///< submit -> dequeue (not replayed)
+    double execUs = 0; ///< dequeue -> done (not replayed)
+    std::shared_ptr<const JobOutcome> outcome;
+};
+
+struct ServeOptions
+{
+    uint32_t workers = 4;
+    size_t queueDepth = 64;
+    size_t configCacheCapacity = 256;
+    size_t resultCacheCapacity = 256;
+    /** Serve memoized outcomes for bit-identical jobs (default on;
+     *  the config cache is always on). */
+    bool resultCache = true;
+    /** Run the reference evaluator and compare bit-exactly on every
+     *  executed job (kMismatch outcome on divergence). Expensive;
+     *  off in production-shaped runs, on in paranoid ones. */
+    bool validate = false;
+    Cycles maxCycles = 500'000'000;
+    SimOptions simOpts;
+    /** Record cache access logs for deterministic replay. */
+    bool logAccesses = true;
+};
+
+/** A config-cache entry: the typed compile status plus the frozen
+ *  compile result (diagnostics on failure — negative entries keep the
+ *  exact status a fresh compile would have returned, down to
+ *  validation-error vs compile-error). `map` is never null. */
+struct CompiledConfig
+{
+    Status status;
+    std::shared_ptr<const compiler::MapResult> map;
+};
+
+using ConfigCache = SingleFlightCache<CompiledConfig>;
+using ResultCache = SingleFlightCache<JobOutcome>;
+
+// ---- content addressing ---------------------------------------------
+/** fnv1a64(programToText(prog)) — identical to RunManifest::pirHash. */
+uint64_t hashProgram(const pir::Program &prog);
+/** fnv1a64(archParamsText(params)) — identical to
+ *  RunManifest::archHash. */
+uint64_t hashArch(const ArchParams &params);
+/** FNV-1a over the staged host input buffers (MemId + words, in id
+ *  order). */
+uint64_t hashInputs(const std::map<pir::MemId, std::vector<Word>> &bufs);
+/** FNV-1a over the execution options that shape a result: scheduler
+ *  mode, sim mode, cycle budget, validate flag. */
+uint64_t hashOptions(const ServeOptions &opts, Cycles jobMaxCycles);
+/** The bit-exactness witness over a finished outcome. */
+uint64_t hashOutcome(const JobOutcome &out);
+
+class Server
+{
+  public:
+    explicit Server(ServeOptions opts);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Spawn the worker pool. */
+    void start();
+
+    /** Enqueue a job (blocks under backpressure). Returns the job id,
+     *  or 0 if the server is already draining. */
+    uint64_t submit(JobSpec spec);
+
+    /** Close the queue, let queued jobs finish, join the workers.
+     *  Idempotent; the destructor calls it. */
+    void drain();
+
+    /** All finished jobs, sorted by id. Call after drain() for the
+     *  complete set (calling earlier snapshots what has finished). */
+    std::vector<JobResult> results() const;
+
+    CacheStats configCacheStats() const { return configCache_.stats(); }
+    CacheStats resultCacheStats() const { return resultCache_.stats(); }
+    size_t queueHighWater() const { return queue_.highWater(); }
+    const ServeOptions &options() const { return opts_; }
+
+    /** Counters + latency histograms into the unified metric model
+     *  (serve.* namespace; see DESIGN.md §15). */
+    void exportMetrics(MetricRegistry &reg) const;
+
+    /**
+     * Execute one job synchronously on the calling thread against this
+     * server's caches — the serial-replay entry point (and what the
+     * workers run). `worker` tags the result only.
+     */
+    JobResult executeJob(JobSpec job, uint32_t worker = 0);
+
+  private:
+    struct Queued
+    {
+        JobSpec spec;
+        uint64_t enqueuedUs = 0;
+    };
+
+    void workerLoop(uint32_t idx);
+    std::shared_ptr<const JobOutcome>
+    computeOutcome(Runner &runner, const JobSpec &job, JobResult &rec);
+
+    ServeOptions opts_;
+    BoundedQueue<Queued> queue_;
+    ConfigCache configCache_;
+    ResultCache resultCache_;
+    std::vector<std::thread> workers_;
+    std::atomic<uint64_t> nextId_{1};
+    std::atomic<bool> draining_{false};
+    bool started_ = false;
+
+    mutable std::mutex resultsMu_;
+    std::vector<JobResult> results_;
+};
+
+} // namespace plast::serve
+
+#endif // PLAST_SERVE_SERVER_HPP

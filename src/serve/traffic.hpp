@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Seeded synthetic traffic for the serve daemon: a duplicate-heavy
+ * job stream over a small set of unique job identities, drawn from
+ * the paper's app suite (apps::allApps). Deterministic — the same
+ * TrafficOptions always produce the same ordered std::vector<JobSpec>
+ * (same programs, same staged inputs, same duplication pattern),
+ * which is what makes job logs replayable (joblog.hpp) and the
+ * bench_serve hit-rate numbers exact rather than statistical.
+ *
+ * Unique identity i is app `i % napps` at the chosen scale, variant
+ * `i / napps`. Variants beyond the first wrap get a distinct per-job
+ * cycle budget: same program, same architecture (config cache HIT),
+ * different options hash (result cache MISS) — the traffic shape that
+ * exercises the two cache layers independently. The budget deltas are
+ * far above any tiny app's runtime, so variant outcomes stay
+ * bit-identical to variant 0.
+ */
+
+#ifndef PLAST_SERVE_TRAFFIC_HPP
+#define PLAST_SERVE_TRAFFIC_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/apps.hpp"
+#include "serve/server.hpp"
+
+namespace plast::serve
+{
+
+struct TrafficOptions
+{
+    uint64_t seed = 1;
+    /** Distinct job identities (app x variant). */
+    size_t uniques = 8;
+    /** Total submissions. The first `uniques` cover each identity
+     *  once (in identity order); the rest are seeded uniform draws —
+     *  expected duplicate fraction 1 - uniques/jobs. */
+    size_t jobs = 64;
+    apps::Scale scale = apps::Scale::kTiny;
+};
+
+/** The ordered, fully deterministic job stream. JobSpec::source
+ *  encodes the identity ("app:GEMM/v0") and is the replay join key. */
+std::vector<JobSpec> makeTraffic(const TrafficOptions &opts);
+
+} // namespace plast::serve
+
+#endif // PLAST_SERVE_TRAFFIC_HPP
