@@ -32,6 +32,10 @@ enum class StatusCode
     kMismatch,         ///< generic result divergence (fuzz oracle)
     kInvalidArgument,  ///< caller misuse (bad CLI flag, bad checkpoint)
     kInternal,         ///< invariant violation surfaced non-fatally
+    kCancelled,        ///< cooperative cancel honored mid-run
+    kDeadlineExceeded, ///< per-job wall-clock deadline passed mid-run
+    kShed,             ///< admission control rejected the job (overload)
+    kCircuitOpen,      ///< tenant circuit breaker fast-failed the job
 };
 
 inline const char *
@@ -50,6 +54,10 @@ statusCodeName(StatusCode code)
     case StatusCode::kMismatch: return "mismatch";
     case StatusCode::kInvalidArgument: return "invalid-argument";
     case StatusCode::kInternal: return "internal";
+    case StatusCode::kCancelled: return "cancelled";
+    case StatusCode::kDeadlineExceeded: return "deadline-exceeded";
+    case StatusCode::kShed: return "shed";
+    case StatusCode::kCircuitOpen: return "circuit-open";
     }
     return "unknown";
 }

@@ -46,6 +46,8 @@ ResilientRunner::runGolden()
 {
     Runner runner(prog_, params_);
     runner.setHostBuffers(inputs_);
+    if (cancel_)
+        runner.setCancelToken(cancel_);
     Runner::Result res;
     Status st = runner.tryRun(res);
     if (!st.ok())
@@ -152,6 +154,8 @@ ResilientRunner::run(const FaultPlan &plan)
         r->setUnitMask(mask);
         r->setHostBuffers(inputs_);
         r->setFaultInjector(&injector);
+        if (cancel_)
+            r->setCancelToken(cancel_);
         return r;
     };
 
@@ -160,6 +164,7 @@ ResilientRunner::run(const FaultPlan &plan)
     if (!st.ok()) {
         rep.cls = RunClass::kCompileError;
         rep.finalStatus = st;
+        harvestOutputs(*runner, Runner::Result{});
         recordManifest(*runner, Runner::Result{}, rep);
         return rep;
     }
@@ -170,6 +175,13 @@ ResilientRunner::run(const FaultPlan &plan)
 
     uint32_t attempts = 0;
     while (!st.ok()) {
+        if (st.code() == StatusCode::kCancelled ||
+            st.code() == StatusCode::kDeadlineExceeded) {
+            // A cancel/deadline trip is the caller reclaiming the
+            // worker, not a fault — recovery must not spend more time.
+            rep.detail += "aborted by caller: " + st.message() + "\n";
+            break;
+        }
         if (++attempts > opts_.maxRecoveries) {
             rep.detail += strfmt("recovery budget (%u) exhausted\n",
                                  opts_.maxRecoveries);
@@ -266,6 +278,7 @@ ResilientRunner::run(const FaultPlan &plan)
 
     harvestCounters(rep, *runner, injector);
     rep.finalStatus = st;
+    harvestOutputs(*runner, res);
 
     if (!st.ok()) {
         rep.cls = RunClass::kDetectedUnrecoverable;
@@ -288,6 +301,21 @@ ResilientRunner::run(const FaultPlan &plan)
     }
     recordManifest(*runner, res, rep);
     return rep;
+}
+
+void
+ResilientRunner::harvestOutputs(Runner &runner, const Runner::Result &res)
+{
+    lastResult_ = res;
+    lastDram_.clear();
+    if (!runner.fabric())
+        return; // compile error or never built — nothing to read back
+    for (size_t m = 0; m < prog_.mems.size(); ++m) {
+        if (prog_.mems[m].kind != pir::MemKind::kDram)
+            continue;
+        auto mid = static_cast<pir::MemId>(m);
+        lastDram_[mid] = runner.readDram(mid);
+    }
 }
 
 void

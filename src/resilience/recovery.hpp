@@ -104,6 +104,13 @@ class ResilientRunner
     /** Input staging (before runGolden / run). */
     void setInputs(std::map<pir::MemId, std::vector<Word>> bufs);
 
+    /** Cooperative cancellation: the token is armed on every runner
+     *  the orchestrator builds (golden, attempts, remaps). A cancel or
+     *  deadline trip aborts the recovery loop immediately — it is a
+     *  caller decision, not a fault to recover from — and surfaces as
+     *  kDetectedUnrecoverable with the typed status in finalStatus. */
+    void setCancelToken(const CancelToken *tok) { cancel_ = tok; }
+
     /** Fault-free reference execution: records golden outputs and the
      *  cycle horizon the recovery thresholds derive from. */
     Status runGolden();
@@ -125,6 +132,15 @@ class ResilientRunner
         lastManifest_.writeJson(os);
     }
 
+    /** Outputs of the most recent run()'s final attempt — what a
+     *  serving layer returns to the tenant. Valid whenever the final
+     *  attempt built a fabric (empty on compile errors). */
+    const Runner::Result &lastResult() const { return lastResult_; }
+    const std::map<pir::MemId, std::vector<Word>> &lastDram() const
+    {
+        return lastDram_;
+    }
+
   private:
     SimOptions simOptions() const;
     Cycles attemptCap() const;
@@ -136,13 +152,17 @@ class ResilientRunner
     ArchParams params_;
     ResilienceOptions opts_;
     std::map<pir::MemId, std::vector<Word>> inputs_;
+    const CancelToken *cancel_ = nullptr;
     void recordManifest(const Runner &runner, const Runner::Result &res,
                         const ResilienceReport &rep);
+    void harvestOutputs(Runner &runner, const Runner::Result &res);
 
     GoldenOutputs golden_;
     Cycles goldenCycles_ = 0;
     bool haveGolden_ = false;
     RunManifest lastManifest_;
+    Runner::Result lastResult_;
+    std::map<pir::MemId, std::vector<Word>> lastDram_;
 };
 
 } // namespace plast::resilience

@@ -66,6 +66,14 @@ Runner::setFaultInjector(resilience::FaultInjector *inj)
         fabric_->armFaults(inj);
 }
 
+void
+Runner::setCancelToken(const CancelToken *tok)
+{
+    cancel_ = tok;
+    if (fabric_)
+        fabric_->setCancelToken(tok);
+}
+
 std::vector<Word> &
 Runner::dram(MemId id)
 {
@@ -129,6 +137,8 @@ Runner::buildFabric()
     fabric_ = std::make_unique<Fabric>(map.fabric, simOpts_);
     if (injector_)
         fabric_->armFaults(injector_);
+    if (cancel_)
+        fabric_->setCancelToken(cancel_);
 
     // Load the DRAM image.
     Addr max_extent = 0;

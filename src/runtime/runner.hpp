@@ -149,6 +149,11 @@ class Runner
     /** Fault injector armed on every fabric the runner builds (and
      *  installed as the DRAM fault hook). */
     void setFaultInjector(resilience::FaultInjector *inj);
+    /** Cooperative cancellation token armed on every fabric the runner
+     *  builds: tryRun returns kCancelled / kDeadlineExceeded when it
+     *  fires mid-simulation (partial stats and argOuts are still
+     *  harvested for post-mortems). */
+    void setCancelToken(const CancelToken *tok);
     /** The full compile result (placement, DRAM layout). After a
      *  failed compile this still carries the diagnostics. */
     const compiler::MapResult &mapResult() const
@@ -183,6 +188,7 @@ class Runner
     compiler::UnitMask mask_;
     compiler::CompileOptions copts_;
     resilience::FaultInjector *injector_ = nullptr;
+    const CancelToken *cancel_ = nullptr;
     /** Failed-compile diagnostics only; successful compiles freeze
      *  into shared_ (shareable via the serve config cache). */
     compiler::MapResult map_;

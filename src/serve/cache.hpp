@@ -38,11 +38,21 @@
  *    like successes. The simulator stack is deterministic, so a
  *    failure is as content-addressable as a config; duplicate bad
  *    programs should not recompile either.
+ *  - abandonment + handoff: a builder may return null to ABANDON the
+ *    build (a cancelled or deadline-expired job must never publish its
+ *    wall-clock-dependent outcome as the key's cached value). When the
+ *    leader abandons, the single-flight slot is handed to a waiting
+ *    follower — which runs its own builder — so a cancellation never
+ *    poisons the key for healthy requesters; with no waiters the
+ *    placeholder is erased and the next acquire is a fresh miss.
+ *    Followers holding a CancelToken can likewise give up waiting
+ *    (Acquired::gaveUp) when their own budget expires mid-wait.
  */
 
 #ifndef PLAST_SERVE_CACHE_HPP
 #define PLAST_SERVE_CACHE_HPP
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -51,6 +61,9 @@
 #include <memory>
 #include <mutex>
 #include <vector>
+
+#include "base/cancel.hpp"
+#include "base/profile.hpp"
 
 namespace plast::serve
 {
@@ -95,6 +108,7 @@ struct CacheStats
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t evictions = 0;
+    uint64_t abandoned = 0; ///< builds that returned null (cancelled)
     size_t size = 0;
     size_t capacity = 0;
 };
@@ -116,7 +130,8 @@ class SingleFlightCache
     {
         ValuePtr value;
         bool hit = false;
-        uint64_t seq = 0; ///< global cache-access sequence number
+        bool gaveUp = false; ///< follower left the wait (token fired)
+        uint64_t seq = 0;    ///< global cache-access sequence number
     };
 
     /**
@@ -124,9 +139,16 @@ class SingleFlightCache
      * of distinct keys proceed in parallel) and publish the value.
      * Concurrent requesters of a key being built block and return the
      * published value as a hit.
+     *
+     * A null return from `build` abandons the entry instead of
+     * publishing it (see the header comment); the caller gets a null
+     * value and must produce its own, uncached outcome. A non-null
+     * `cancel` lets a blocked follower give up waiting once its token
+     * fires — it returns with gaveUp set and a null value.
      */
     Acquired
-    acquire(const CacheKey &key, const Builder &build)
+    acquire(const CacheKey &key, const Builder &build,
+            const CancelToken *cancel = nullptr)
     {
         Acquired out;
         std::unique_lock<std::mutex> lk(mu_);
@@ -138,24 +160,61 @@ class SingleFlightCache
             out.hit = true;
             recordAccess(out.seq, key, true);
             touch(key, e);
-            if (!e.ready) {
-                ++e.waiters;
-                ready_.wait(lk, [&e] { return e.ready; });
-                --e.waiters;
+            if (e.ready) {
+                out.value = e.value;
+                return out;
             }
-            out.value = e.value;
-            return out;
+            // Pending: wait for the leader to publish — or to abandon,
+            // in which case one follower inherits the build slot.
+            ++e.waiters;
+            for (;;) {
+                if (cancel) {
+                    // Sliced wait so an expiring token is noticed even
+                    // when no notify arrives.
+                    ready_.wait_for(
+                        lk, std::chrono::milliseconds(5),
+                        [&e] { return e.ready || !e.building; });
+                } else {
+                    ready_.wait(lk,
+                                [&e] { return e.ready || !e.building; });
+                }
+                if (e.ready) {
+                    --e.waiters;
+                    out.value = e.value;
+                    return out;
+                }
+                if (cancel &&
+                    (cancel->cancelRequested() ||
+                     cancel->expired(
+                         HostProfiler::instance().nowUs()))) {
+                    --e.waiters;
+                    dropOrphan(key);
+                    out.gaveUp = true;
+                    return out;
+                }
+                if (!e.building) {
+                    // Leader abandoned; this follower inherits the
+                    // single-flight slot and pays for the build. The
+                    // access stays logged as a hit — the extra build is
+                    // charged to the cancellation, not the access log.
+                    e.building = true;
+                    --e.waiters;
+                    break;
+                }
+            }
+        } else {
+            // Miss: insert the pending entry and decide eviction NOW,
+            // so the access order alone determines cache contents
+            // (replay determinism), then build outside the lock.
+            ++misses_;
+            recordAccess(out.seq, key, false);
+            Entry &e = entries_[key];
+            e.ready = false;
+            e.building = true;
+            lru_.push_front(key);
+            e.lruPos = lru_.begin();
+            maybeEvict();
         }
-        // Miss: insert the pending entry and decide eviction NOW, so
-        // the access order alone determines cache contents (replay
-        // determinism), then build outside the lock.
-        ++misses_;
-        recordAccess(out.seq, key, false);
-        Entry &e = entries_[key];
-        e.ready = false;
-        lru_.push_front(key);
-        e.lruPos = lru_.begin();
-        maybeEvict();
         lk.unlock();
 
         ValuePtr built = build();
@@ -164,10 +223,23 @@ class SingleFlightCache
         // The entry can have been evicted only if it was ready —
         // pending entries are pinned, so it is still here.
         Entry &pub = entries_.at(key);
-        pub.value = built;
-        pub.ready = true;
-        ready_.notify_all();
-        out.value = built;
+        if (built) {
+            pub.value = built;
+            pub.ready = true;
+            pub.building = false;
+            ready_.notify_all();
+            out.value = built;
+            return out;
+        }
+        // Abandoned: hand off to a waiter or erase the placeholder.
+        ++abandoned_;
+        pub.building = false;
+        if (pub.waiters == 0) {
+            lru_.erase(pub.lruPos);
+            entries_.erase(key);
+        } else {
+            ready_.notify_all();
+        }
         return out;
     }
 
@@ -191,6 +263,7 @@ class SingleFlightCache
         s.hits = hits_;
         s.misses = misses_;
         s.evictions = evictions_;
+        s.abandoned = abandoned_;
         s.size = entries_.size();
         s.capacity = capacity_;
         return s;
@@ -216,9 +289,25 @@ class SingleFlightCache
     {
         ValuePtr value;
         bool ready = false;
+        bool building = false; ///< a thread owns the build slot
         uint32_t waiters = 0;
         typename std::list<CacheKey>::iterator lruPos;
     };
+
+    /** Erase a placeholder nobody owns and nobody waits for (the last
+     *  follower gave up after the leader abandoned). */
+    void
+    dropOrphan(const CacheKey &key)
+    {
+        auto it = entries_.find(key);
+        if (it == entries_.end())
+            return;
+        Entry &e = it->second;
+        if (!e.ready && !e.building && e.waiters == 0) {
+            lru_.erase(e.lruPos);
+            entries_.erase(it);
+        }
+    }
 
     void
     recordAccess(uint64_t seq, const CacheKey &key, bool hit)
@@ -267,6 +356,7 @@ class SingleFlightCache
     uint64_t hits_ = 0;
     uint64_t misses_ = 0;
     uint64_t evictions_ = 0;
+    uint64_t abandoned_ = 0;
     uint64_t nextSeq_ = 0;
     bool logging_ = false;
     std::vector<CacheAccess> log_;

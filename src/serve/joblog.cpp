@@ -4,7 +4,9 @@
 #include <istream>
 #include <map>
 #include <ostream>
+#include <set>
 #include <sstream>
+#include <tuple>
 
 #include "base/logging.hpp"
 
@@ -14,7 +16,16 @@ namespace plast::serve
 namespace
 {
 
-constexpr const char *kHeader = "plast.joblog.v1";
+constexpr const char *kHeader = "plast.joblog.v2";
+constexpr const char *kHeaderV1 = "plast.joblog.v1"; ///< still readable
+
+/** Outcomes shaped by wall clock / queue pressure, not job content. */
+bool
+nonDeterministicOutcome(const std::string &outcome)
+{
+    return outcome == "shed" || outcome == "circuit-open" ||
+           outcome == "cancelled" || outcome == "deadline-exceeded";
+}
 
 std::string
 hex64(uint64_t v)
@@ -49,7 +60,8 @@ writeJobLog(std::ostream &os, const std::vector<JobResult> &results)
            << " rhit=" << (r->resultHit ? 1 : 0) << " result="
            << hex64(r->outcome ? r->outcome->resultHash : 0)
            << " cycles=" << (r->outcome ? r->outcome->cycles : 0)
-           << " outcome="
+           << " exe=" << (r->executed ? 1 : 0)
+           << " retries=" << r->retries << " outcome="
            << (r->outcome ? r->outcome->outcome : "lost")
            // src is free-form (app names contain spaces) so it is
            // last: everything after "src=" to end of line.
@@ -67,7 +79,8 @@ readJobLog(std::istream &is, std::vector<JobLogEntry> &out,
         return false;
     };
     std::string line;
-    if (!std::getline(is, line) || line != kHeader)
+    if (!std::getline(is, line) ||
+        (line != kHeader && line != kHeaderV1))
         return fail("missing '" + std::string(kHeader) + "' header");
     size_t lineno = 1;
     while (std::getline(is, line)) {
@@ -122,6 +135,11 @@ readJobLog(std::istream &is, std::vector<JobLogEntry> &out,
                     e.resultHash = std::stoull(val, nullptr, 16);
                 else if (key == "cycles")
                     e.cycles = std::stoull(val);
+                else if (key == "exe")
+                    e.executed = val == "1";
+                else if (key == "retries")
+                    e.retries =
+                        static_cast<uint32_t>(std::stoul(val));
                 else if (key == "outcome")
                     e.outcome = val;
                 else
@@ -168,8 +186,22 @@ replayLog(const std::vector<JobLogEntry> &log,
         rep.mismatches.push_back(
             {e.id, field, std::move(logged), std::move(replayed)});
     };
+    // Keys a cancelled/abandoned build touched in the live run: the
+    // abandonment shifted hit/miss for later requesters of the SAME
+    // key, so rhit is advisory there (outcome/result stay checked).
+    std::set<std::tuple<uint64_t, uint64_t, uint64_t, uint64_t>>
+        tainted;
     for (const JobLogEntry *ep : ordered) {
         const JobLogEntry &e = *ep;
+        auto key = std::make_tuple(e.pirHash, e.archHash, e.inputsHash,
+                                   e.optionsHash);
+        if (!e.executed || nonDeterministicOutcome(e.outcome)) {
+            // Accounted, not replayed: these outcomes exist only under
+            // live queue pressure and wall-clock budgets.
+            ++rep.skipped;
+            tainted.insert(key);
+            continue;
+        }
         auto it = bySource.find(e.source);
         if (it == bySource.end()) {
             diff(e, "source", e.source, "<no spec>");
@@ -178,10 +210,11 @@ replayLog(const std::vector<JobLogEntry> &log,
         ++rep.jobs;
         JobSpec spec = *it->second; // copy: executeJob takes by value
         spec.id = e.id;
+        spec.deadlineMs = 0; // replay is budget-free by definition
         JobResult got = server.executeJob(std::move(spec));
         if (got.resultHit)
             ++rep.resultHits;
-        if (got.resultHit != e.resultHit)
+        if (got.resultHit != e.resultHit && tainted.count(key) == 0)
             diff(e, "rhit", std::to_string(e.resultHit),
                  std::to_string(got.resultHit));
         if (checkConfigHits && got.configHit != e.configHit)

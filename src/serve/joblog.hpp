@@ -45,6 +45,8 @@ struct JobLogEntry
     bool resultHit = false;
     uint64_t resultHash = 0;
     Cycles cycles = 0;
+    bool executed = true; ///< v2 `exe=`; v1 logs default to true
+    uint32_t retries = 0; ///< v2 `retries=`; v1 logs default to 0
     std::string outcome;
     std::string source; ///< replay join key (free-form, last on the line)
 };
@@ -68,6 +70,13 @@ struct ReplayReport
 {
     size_t jobs = 0;
     size_t resultHits = 0;
+    /** Entries accounted for but not re-executed: rejected at
+     *  admission (exe=0) or with a wall-clock-shaped outcome (shed,
+     *  circuit-open, cancelled, deadline-exceeded). A serial replay
+     *  has no queue pressure and no deadline clock, so re-running
+     *  them would diverge by construction — they are counted here
+     *  instead of reported as mismatches. */
+    size_t skipped = 0;
     std::vector<ReplayMismatch> mismatches;
     bool ok() const { return mismatches.empty(); }
 };

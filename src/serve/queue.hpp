@@ -14,6 +14,7 @@
 #ifndef PLAST_SERVE_QUEUE_HPP
 #define PLAST_SERVE_QUEUE_HPP
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -23,6 +24,14 @@
 
 namespace plast::serve
 {
+
+/** Outcome of a bounded-wait tryPush (the admission-control edge). */
+enum class PushResult : uint8_t
+{
+    kOk,       ///< enqueued
+    kTimedOut, ///< queue stayed full for the whole wait budget
+    kClosed,   ///< queue closed — item not enqueued
+};
 
 template <typename T>
 class BoundedQueue
@@ -52,6 +61,31 @@ class BoundedQueue
         return true;
     }
 
+    /**
+     * Bounded-wait push: wait at most `waitUs` microseconds for room.
+     * kTimedOut is the load-shedding signal — the caller turns it into
+     * a typed rejection instead of blocking a submitter indefinitely
+     * behind an overloaded daemon. waitUs == 0 is a pure try.
+     */
+    PushResult
+    tryPush(T item, uint64_t waitUs)
+    {
+        std::unique_lock<std::mutex> lk(mu_);
+        bool room = notFull_.wait_for(
+            lk, std::chrono::microseconds(waitUs),
+            [&] { return closed_ || items_.size() < capacity_; });
+        if (closed_)
+            return PushResult::kClosed;
+        if (!room)
+            return PushResult::kTimedOut;
+        items_.push_back(std::move(item));
+        if (items_.size() > highWater_)
+            highWater_ = items_.size();
+        ++pushed_;
+        notEmpty_.notify_one();
+        return PushResult::kOk;
+    }
+
     /** Block until an item is available. Empty optional means the
      *  queue is closed AND drained — the consumer should exit. */
     std::optional<T>
@@ -65,6 +99,24 @@ class BoundedQueue
         items_.pop_front();
         notFull_.notify_one();
         return item;
+    }
+
+    /**
+     * Remove and return everything queued right now, waking every
+     * producer blocked on a full queue (their pushes then proceed or
+     * time out against the emptied queue). Used by shutdown paths that
+     * must account for never-started work instead of abandoning it.
+     */
+    std::deque<T>
+    drain()
+    {
+        std::deque<T> out;
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            out.swap(items_);
+        }
+        notFull_.notify_all();
+        return out;
     }
 
     /** Reject new pushes; queued items still drain through pop(). */

@@ -11,6 +11,14 @@
  *   serve_app --traffic --replay=jobs.log     # prove determinism
  *   serve_app --traffic --metrics=serve.json  # unified metric dump
  *
+ * Fault campaign (DESIGN.md §16): --faults=K injects a seeded fault
+ * plan into every Kth job, --deadline-sweep subjects submissions to a
+ * cycle of wall-clock budgets, --resilient routes execution through
+ * the checkpoint-rollback orchestrator, and --tolerate-failures flips
+ * the exit criterion from "every job ok" to "every job finished with
+ * a typed outcome and the robustness counters match the job log" —
+ * the overload-safety proof, not the happy-path proof.
+ *
  * Exit status: 0 = every job ok and (for --replay) the replay
  * matched; 1 = some job failed or the replay diverged; 2 = usage or
  * IO errors. Job failures are typed outcomes, never daemon crashes.
@@ -59,7 +67,26 @@ usage()
         "  --replay=FILE      replay a job log serially against the\n"
         "                     same traffic/files; exit 1 on divergence\n"
         "  --metrics=FILE     write serve.* metrics as JSON\n"
-        "  --quiet            suppress the per-job report\n");
+        "  --quiet            suppress the per-job report\n"
+        "robustness (DESIGN.md §16):\n"
+        "  --deadline-ms=N    default wall-clock budget per job\n"
+        "  --max-retries=N    transient-failure re-runs per job\n"
+        "  --shed-depth=N     queue depth that arms load shedding\n"
+        "  --shed-cost-us=N   estimated-cost threshold for shedding\n"
+        "  --submit-wait-us=N bounded admission wait on a full queue\n"
+        "  --breaker=N        consecutive compile failures that open\n"
+        "                     a tenant's circuit breaker\n"
+        "  --resilient        run jobs under checkpoint-rollback\n"
+        "                     recovery (resilience/recovery.hpp)\n"
+        "  --faults=K         traffic: inject a seeded fault plan\n"
+        "                     into every Kth job\n"
+        "  --fault-rate=R     traffic: fault events per 1M cycles\n"
+        "  --fault-hard       traffic: include stuck-unit faults\n"
+        "  --deadline-sweep=a,b,c  traffic: per-job deadlines (ms),\n"
+        "                     assigned cyclically (0 = none)\n"
+        "  --tenants=N        traffic: spread jobs over N tenants\n"
+        "  --tolerate-failures  exit 0 when every job is typed and\n"
+        "                     counters match the log (failures ok)\n");
 }
 
 bool
@@ -107,6 +134,7 @@ main(int argc, char **argv)
     serve::TrafficOptions topts;
     bool traffic = false;
     bool quiet = false;
+    bool tolerateFailures = false;
     uint64_t repeat = 1;
     std::string logPath, replayPath, metricsPath;
     std::vector<std::string> files;
@@ -159,6 +187,61 @@ main(int argc, char **argv)
         } else if (const char *v9 = val("--seed=")) {
             if (!parseU64(v9, topts.seed))
                 return usage(), 2;
+        } else if (const char *vd = val("--deadline-ms=")) {
+            if (!parseU64(vd, n) || n == 0)
+                return usage(), 2;
+            sopts.defaultDeadlineMs = n;
+        } else if (const char *vr = val("--max-retries=")) {
+            if (!parseU64(vr, n))
+                return usage(), 2;
+            sopts.maxRetries = static_cast<uint32_t>(n);
+        } else if (const char *vs = val("--shed-depth=")) {
+            if (!parseU64(vs, n))
+                return usage(), 2;
+            sopts.shedDepth = n;
+        } else if (const char *vc = val("--shed-cost-us=")) {
+            if (!parseU64(vc, n))
+                return usage(), 2;
+            sopts.shedCostUs = n;
+        } else if (const char *vw = val("--submit-wait-us=")) {
+            if (!parseU64(vw, n))
+                return usage(), 2;
+            sopts.submitWaitUs = n;
+        } else if (const char *vb = val("--breaker=")) {
+            if (!parseU64(vb, n))
+                return usage(), 2;
+            sopts.breakerThreshold = static_cast<uint32_t>(n);
+        } else if (a == "--resilient") {
+            sopts.resilient = true;
+        } else if (const char *vf = val("--faults=")) {
+            if (!parseU64(vf, n) || n == 0)
+                return usage(), 2;
+            topts.faultEvery = n;
+        } else if (const char *vfr = val("--fault-rate=")) {
+            char *end = nullptr;
+            topts.faultRate = std::strtod(vfr, &end);
+            if (!end || *end != '\0' || topts.faultRate <= 0)
+                return usage(), 2;
+        } else if (a == "--fault-hard") {
+            topts.includeHard = true;
+        } else if (const char *vds = val("--deadline-sweep=")) {
+            std::stringstream ss(vds);
+            std::string item;
+            while (std::getline(ss, item, ',')) {
+                // 0 is a legal sweep element: that job runs with no
+                // deadline (mixes budgeted and unbudgeted traffic).
+                if (!parseU64(item.c_str(), n))
+                    return usage(), 2;
+                topts.deadlineSweepMs.push_back(n);
+            }
+            if (topts.deadlineSweepMs.empty())
+                return usage(), 2;
+        } else if (const char *vt = val("--tenants=")) {
+            if (!parseU64(vt, n) || n == 0)
+                return usage(), 2;
+            topts.tenants = n;
+        } else if (a == "--tolerate-failures") {
+            tolerateFailures = true;
         } else if (const char *v10 = val("--log=")) {
             logPath = v10;
         } else if (const char *v11 = val("--replay=")) {
@@ -216,8 +299,9 @@ main(int argc, char **argv)
         serve::ReplayReport rep =
             serve::replayLog(log, specs, sopts);
         std::printf("replayed %zu jobs: %zu result hits, %zu "
-                    "mismatches\n",
-                    rep.jobs, rep.resultHits, rep.mismatches.size());
+                    "skipped (rejected/aborted), %zu mismatches\n",
+                    rep.jobs, rep.resultHits, rep.skipped,
+                    rep.mismatches.size());
         for (const serve::ReplayMismatch &m : rep.mismatches)
             std::printf("  job %llu %s: logged %s, replay %s\n",
                         static_cast<unsigned long long>(m.id),
@@ -237,20 +321,33 @@ main(int argc, char **argv)
 
     std::vector<serve::JobResult> results = server.results();
     size_t failed = 0;
+    size_t untyped = 0;
+    uint64_t logShed = 0, logCircuit = 0, logCancelled = 0,
+             logDeadline = 0, logRetries = 0;
     for (const serve::JobResult &r : results) {
-        bool ok = r.outcome && r.outcome->outcome == "ok";
-        if (!ok)
+        const std::string oc = r.outcome ? r.outcome->outcome : "lost";
+        if (oc == "lost")
+            ++untyped;
+        if (oc != "ok")
             ++failed;
+        if (oc == "shed")
+            ++logShed;
+        else if (oc == "circuit-open")
+            ++logCircuit;
+        else if (oc == "cancelled")
+            ++logCancelled;
+        else if (oc == "deadline-exceeded")
+            ++logDeadline;
+        logRetries += r.retries;
         if (!quiet) {
             std::printf(
-                "job %4llu %-28s %-16s cycles=%-10llu %s%s w%u\n",
+                "job %4llu %-28s %-16s cycles=%-10llu %s%s%s r%u w%u\n",
                 static_cast<unsigned long long>(r.id),
-                r.source.c_str(),
-                r.outcome ? r.outcome->outcome.c_str() : "lost",
+                r.source.c_str(), oc.c_str(),
                 static_cast<unsigned long long>(
                     r.outcome ? r.outcome->cycles : 0),
                 r.resultHit ? "R" : "-", r.configHit ? "C" : "-",
-                r.worker);
+                r.executed ? "E" : "-", r.retries, r.worker);
         }
     }
 
@@ -276,6 +373,26 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(res.evictions),
                 res.size);
 
+    // Robustness accounting: the server's live counters must agree
+    // with the job log record for record — any divergence means a job
+    // was double-counted or lost.
+    serve::Server::RobustnessCounters rc = server.robustness();
+    bool countersMatch =
+        rc.shed == logShed && rc.circuitOpen == logCircuit &&
+        rc.cancelled == logCancelled && rc.deadlineMisses == logDeadline &&
+        rc.retries == logRetries;
+    bool allAccounted = results.size() == specs.size();
+    std::printf("robustness: %llu shed, %llu circuit-open, %llu "
+                "cancelled, %llu deadline-exceeded, %llu retries "
+                "(counters %s log; %zu/%zu jobs accounted)\n",
+                static_cast<unsigned long long>(rc.shed),
+                static_cast<unsigned long long>(rc.circuitOpen),
+                static_cast<unsigned long long>(rc.cancelled),
+                static_cast<unsigned long long>(rc.deadlineMisses),
+                static_cast<unsigned long long>(rc.retries),
+                countersMatch ? "match" : "DIVERGE from",
+                results.size(), specs.size());
+
     if (!logPath.empty()) {
         std::ofstream os(logPath);
         if (!os) {
@@ -296,6 +413,12 @@ main(int argc, char **argv)
             return 2;
         }
         reg.writeJson(os);
+    }
+    if (tolerateFailures) {
+        // Overload-safety criterion: every submission finished with a
+        // typed terminal outcome (never hung, never lost) and the
+        // counters reconcile with the log exactly.
+        return untyped == 0 && allAccounted && countersMatch ? 0 : 1;
     }
     return failed == 0 ? 0 : 1;
 }

@@ -1,11 +1,15 @@
 #include "serve/server.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 #include "base/logging.hpp"
 #include "base/profile.hpp"
 #include "fuzz/diff.hpp"
 #include "pir/serialize.hpp"
+#include "resilience/recovery.hpp"
+#include "runtime/bottleneck.hpp"
 #include "runtime/manifest.hpp"
 #include "runtime/runner.hpp"
 #include "sim/execplan.hpp"
@@ -90,6 +94,22 @@ hashOptions(const ServeOptions &opts, Cycles jobMaxCycles)
 }
 
 uint64_t
+hashOptions(const ServeOptions &opts, const JobSpec &job)
+{
+    uint64_t base = hashOptions(opts, job.maxCycles);
+    if (!opts.resilient && job.faultSeed == 0)
+        return base; // plain jobs stay bit-compatible with v1 logs
+    Fnv f;
+    f.u64(base);
+    f.byte(opts.resilient ? 1 : 0);
+    f.u64(job.faultSeed);
+    f.u64(static_cast<uint64_t>(job.faultRate * 1000.0));
+    f.u64(job.faultHorizon);
+    f.byte(job.faultHard ? 1 : 0);
+    return f.h;
+}
+
+uint64_t
 hashOutcome(const JobOutcome &out)
 {
     Fnv f;
@@ -140,13 +160,82 @@ Server::submit(JobSpec spec)
     if (draining_.load(std::memory_order_relaxed))
         return 0;
     spec.id = nextId_.fetch_add(1, std::memory_order_relaxed);
+    if (spec.tenant.empty())
+        spec.tenant = "default";
+    if (spec.deadlineMs == 0)
+        spec.deadlineMs = opts_.defaultDeadlineMs;
+    uint64_t id = spec.id;
+
+    // Circuit breaker: a tenant whose compiles keep failing is
+    // fast-failed before it consumes queue space (every Nth
+    // submission probes; a healthy compile closes the breaker).
+    if (opts_.breakerThreshold && breakerRejects(spec.tenant)) {
+        finishJob(rejectionRecord(
+            spec, StatusCode::kCircuitOpen,
+            strfmt("circuit open for tenant '%s' (%u consecutive "
+                   "compile failures)",
+                   spec.tenant.c_str(), opts_.breakerThreshold)));
+        return id;
+    }
+
+    // Cost-aware shedding: once the queue is deep, jobs whose past
+    // executions of the same (pir, arch) key were expensive are shed.
+    if (opts_.shedDepth && queue_.size() >= opts_.shedDepth) {
+        double est =
+            estimateCostUs(hashProgram(spec.prog), hashArch(spec.params));
+        if (opts_.shedCostUs == 0 ||
+            est >= static_cast<double>(opts_.shedCostUs)) {
+            finishJob(rejectionRecord(
+                spec, StatusCode::kShed,
+                strfmt("queue depth %zu >= shed depth %zu "
+                       "(estimated cost %.0fus)",
+                       queue_.size(), opts_.shedDepth, est)));
+            return id;
+        }
+    }
+
     Queued q;
     q.enqueuedUs = HostProfiler::instance().nowUs();
-    uint64_t id = spec.id;
+    q.token = std::make_shared<CancelToken>();
+    if (spec.deadlineMs)
+        q.token->setDeadlineUs(q.enqueuedUs + spec.deadlineMs * 1000);
+    {
+        std::lock_guard<std::mutex> lk(tokensMu_);
+        tokens_[id] = q.token;
+    }
+    // Keep what a rejection record needs: the spec moves into the
+    // queue and is gone if the push times out.
+    JobSpec rejected;
+    rejected.id = spec.id;
+    rejected.source = spec.source;
+    rejected.tenant = spec.tenant;
     q.spec = std::move(spec);
-    if (!queue_.push(std::move(q)))
-        return 0;
+
+    PushResult pr = queue_.tryPush(std::move(q), opts_.submitWaitUs);
+    if (pr == PushResult::kOk)
+        return id;
+    {
+        std::lock_guard<std::mutex> lk(tokensMu_);
+        tokens_.erase(id);
+    }
+    if (pr == PushResult::kClosed)
+        return 0; // draining: same contract as before
+    finishJob(rejectionRecord(
+        rejected, StatusCode::kShed,
+        strfmt("admission wait (%lluus) exhausted on a full queue",
+               static_cast<unsigned long long>(opts_.submitWaitUs))));
     return id;
+}
+
+bool
+Server::cancelJob(uint64_t id)
+{
+    std::lock_guard<std::mutex> lk(tokensMu_);
+    auto it = tokens_.find(id);
+    if (it == tokens_.end())
+        return false;
+    it->second->requestCancel();
+    return true;
 }
 
 void
@@ -178,17 +267,199 @@ Server::workerLoop(uint32_t idx)
 {
     while (auto q = queue_.pop()) {
         uint64_t startUs = HostProfiler::instance().nowUs();
-        JobResult rec = executeJob(std::move(q->spec), idx);
+        const CancelToken *tok = q->token.get();
+        JobResult rec;
+        if (tok && (tok->cancelRequested() || tok->expired(startUs))) {
+            // The budget died while the job sat in the queue: a typed
+            // record without spending a fabric build on it.
+            rec = rejectionRecord(q->spec,
+                                  tok->cancelRequested()
+                                      ? StatusCode::kCancelled
+                                      : StatusCode::kDeadlineExceeded,
+                                  "expired while queued");
+            rec.worker = idx;
+        } else {
+            rec = executeJob(std::move(q->spec), idx, tok);
+        }
         uint64_t doneUs = HostProfiler::instance().nowUs();
         rec.waitUs = static_cast<double>(startUs - q->enqueuedUs);
         rec.execUs = static_cast<double>(doneUs - startUs);
-        std::lock_guard<std::mutex> lk(resultsMu_);
-        results_.push_back(std::move(rec));
+        finishJob(std::move(rec));
     }
 }
 
+JobResult
+Server::rejectionRecord(const JobSpec &spec, StatusCode code,
+                        const std::string &why)
+{
+    JobResult rec;
+    rec.id = spec.id;
+    rec.source = spec.source;
+    rec.tenant = spec.tenant.empty() ? "default" : spec.tenant;
+    rec.executed = false;
+    rec.seq = kAuxSeqBase + auxSeq_.fetch_add(1, std::memory_order_relaxed);
+    auto out = std::make_shared<JobOutcome>();
+    out->outcome = statusCodeName(code);
+    out->detail = why;
+    out->resultHash = hashOutcome(*out);
+    rec.outcome = std::move(out);
+    return rec;
+}
+
+void
+Server::finishJob(JobResult rec)
+{
+    {
+        std::lock_guard<std::mutex> lk(tokensMu_);
+        tokens_.erase(rec.id);
+    }
+    const std::string oc = rec.outcome ? rec.outcome->outcome : "lost";
+    if (oc == statusCodeName(StatusCode::kShed))
+        shed_.fetch_add(1, std::memory_order_relaxed);
+    else if (oc == statusCodeName(StatusCode::kCircuitOpen))
+        circuitOpen_.fetch_add(1, std::memory_order_relaxed);
+    else if (oc == statusCodeName(StatusCode::kCancelled))
+        cancelled_.fetch_add(1, std::memory_order_relaxed);
+    else if (oc == statusCodeName(StatusCode::kDeadlineExceeded))
+        deadlineMisses_.fetch_add(1, std::memory_order_relaxed);
+    retries_.fetch_add(rec.retries, std::memory_order_relaxed);
+
+    if (rec.executed) {
+        // Only executed jobs teach the cost model and the breaker —
+        // rejections observing themselves would feed back.
+        if (rec.pirHash && rec.execUs > 0)
+            learnCost(rec.pirHash, rec.archHash, rec.execUs);
+        if (opts_.breakerThreshold)
+            breakerObserve(
+                rec.tenant,
+                oc == statusCodeName(StatusCode::kCompileError) ||
+                    oc == statusCodeName(StatusCode::kValidationError));
+    }
+    std::lock_guard<std::mutex> lk(resultsMu_);
+    results_.push_back(std::move(rec));
+}
+
+Server::RobustnessCounters
+Server::robustness() const
+{
+    RobustnessCounters c;
+    c.shed = shed_.load(std::memory_order_relaxed);
+    c.circuitOpen = circuitOpen_.load(std::memory_order_relaxed);
+    c.cancelled = cancelled_.load(std::memory_order_relaxed);
+    c.deadlineMisses = deadlineMisses_.load(std::memory_order_relaxed);
+    c.retries = retries_.load(std::memory_order_relaxed);
+    return c;
+}
+
+double
+Server::estimateCostUs(uint64_t pirHash, uint64_t archHash) const
+{
+    std::lock_guard<std::mutex> lk(costMu_);
+    auto it = costUs_.find({pirHash, archHash});
+    return it == costUs_.end() ? 0.0 : it->second;
+}
+
+void
+Server::learnCost(uint64_t pirHash, uint64_t archHash, double execUs)
+{
+    std::lock_guard<std::mutex> lk(costMu_);
+    double &c = costUs_[{pirHash, archHash}];
+    c = c == 0.0 ? execUs : 0.7 * c + 0.3 * execUs;
+}
+
+bool
+Server::breakerRejects(const std::string &tenant)
+{
+    std::lock_guard<std::mutex> lk(breakerMu_);
+    Breaker &b = breakers_[tenant];
+    if (!b.open)
+        return false;
+    if (opts_.breakerProbeEvery &&
+        ++b.rejectedSinceProbe >= opts_.breakerProbeEvery) {
+        b.rejectedSinceProbe = 0;
+        return false; // admit as a probe
+    }
+    return true;
+}
+
+void
+Server::breakerObserve(const std::string &tenant, bool compileFailed)
+{
+    std::lock_guard<std::mutex> lk(breakerMu_);
+    Breaker &b = breakers_[tenant];
+    if (!compileFailed) {
+        b.fails = 0;
+        b.open = false;
+        return;
+    }
+    if (++b.fails >= opts_.breakerThreshold && !b.open) {
+        b.open = true;
+        b.rejectedSinceProbe = 0;
+    }
+}
+
+bool
+Server::backoffBeforeRetry(uint32_t attempt, uint64_t jobId,
+                           const CancelToken *cancel) const
+{
+    uint64_t us = opts_.retryBackoffUs
+                  << std::min<uint32_t>(attempt, 16);
+    // Deterministic per-(job, attempt) jitter decorrelates retry herds
+    // without a wall-clock RNG.
+    Fnv f;
+    f.u64(jobId);
+    f.u64(attempt);
+    us += f.h % (opts_.retryBackoffUs + 1);
+    us = std::min(us, opts_.retryBackoffCapUs);
+    uint64_t wakeUs = HostProfiler::instance().nowUs() + us;
+    if (cancel && cancel->hasDeadline() && cancel->deadlineUs() <= wakeUs)
+        return false; // the budget would die during the wait
+    while (HostProfiler::instance().nowUs() < wakeUs) {
+        if (cancel && cancel->cancelRequested())
+            return false;
+        std::this_thread::sleep_for(std::chrono::microseconds(
+            std::min<uint64_t>(us, 500)));
+    }
+    return true;
+}
+
+namespace
+{
+
+/** Outcomes shaped by the caller's wall-clock budget, not by job
+ *  content — never published to the result cache. */
+bool
+isAbortOutcome(const std::string &outcome)
+{
+    return outcome == statusCodeName(StatusCode::kCancelled) ||
+           outcome == statusCodeName(StatusCode::kDeadlineExceeded);
+}
+
+/** Failures a clean re-run can fix: hangs blamed on transient token
+ *  loss and uncorrectable upsets. One-shot fault events make the
+ *  retry fault-free. A deadlock only retries when faults were armed —
+ *  a program's genuine deadlock is deterministic and retrying it just
+ *  burns the budget. */
+bool
+isRetryable(StatusCode code, bool faultsArmed)
+{
+    switch (code) {
+      case StatusCode::kWatchdog:
+      case StatusCode::kLivelock:
+      case StatusCode::kUncorrectable:
+        return true;
+      case StatusCode::kDeadlock:
+        return faultsArmed;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
 std::shared_ptr<const JobOutcome>
-Server::computeOutcome(Runner &runner, const JobSpec &job, JobResult &rec)
+Server::computeOutcome(Runner &runner, const JobSpec &job, JobResult &rec,
+                       const CancelToken *cancel)
 {
     CacheKey ck;
     ck.pir = rec.pirHash;
@@ -219,12 +490,52 @@ Server::computeOutcome(Runner &runner, const JobSpec &job, JobResult &rec)
     } else {
         if (acq.hit)
             runner.adoptCompiled(cc.map);
+        if (opts_.resilient)
+            return computeResilient(runner, job, rec, cancel);
+
+        // A seeded fault plan over the compiled fabric; the injector
+        // is shared across retries so fired one-shot events stay fired
+        // and the re-run is clean.
+        std::unique_ptr<resilience::FaultInjector> inj;
+        if (job.faultSeed) {
+            resilience::FaultPlan plan = resilience::FaultPlan::random(
+                job.faultSeed, job.faultRate, job.faultHorizon,
+                runner.mapResult().fabric, resilience::FaultMix::kAll,
+                job.faultHard);
+            inj = std::make_unique<resilience::FaultInjector>(
+                std::move(plan), job.params.dram.ecc);
+            runner.setFaultInjector(inj.get());
+        }
+
         Cycles mc = job.maxCycles ? job.maxCycles : opts_.maxCycles;
-        st = opts_.validate ? runner.tryRunValidated(res, mc)
-                            : runner.tryRun(res, mc);
+        for (uint32_t attempt = 0;; ++attempt) {
+            res = Runner::Result{};
+            st = opts_.validate ? runner.tryRunValidated(res, mc)
+                                : runner.tryRun(res, mc);
+            if (st.ok() || attempt >= opts_.maxRetries ||
+                !isRetryable(st.code(), job.faultSeed != 0))
+                break;
+            if (!backoffBeforeRetry(attempt, job.id, cancel))
+                break;
+            ++rec.retries;
+        }
+        // The injector dies with this scope; disarm the runner so no
+        // dangling hook survives in the fabric.
+        if (inj)
+            runner.setFaultInjector(nullptr);
     }
     out->outcome = statusCodeName(st.code());
     out->detail = st.ok() ? "" : st.message();
+    // A job that stopped without completing gets a partial post-mortem:
+    // which units were mid-flight and what the blocking verdict is.
+    if (runner.fabric() && !st.ok() &&
+        (isAbortOutcome(out->outcome) ||
+         st.code() == StatusCode::kWatchdog ||
+         st.code() == StatusCode::kLivelock ||
+         st.code() == StatusCode::kDeadlock)) {
+        DeadlockReport dr = analyzeDeadlock(*runner.fabric());
+        out->detail += "\npost-mortem: " + dr.verdict;
+    }
     out->cycles = res.cycles;
     out->stats = res.stats;
     out->argOuts = res.argOuts;
@@ -240,12 +551,69 @@ Server::computeOutcome(Runner &runner, const JobSpec &job, JobResult &rec)
     return out;
 }
 
+std::shared_ptr<const JobOutcome>
+Server::computeResilient(Runner &runner, const JobSpec &job,
+                         JobResult &rec, const CancelToken *cancel)
+{
+    // The recovery orchestrator owns its own runners; this worker's
+    // runner only contributes the staged inputs and the compiled
+    // fabric config (for the fault plan).
+    resilience::ResilienceOptions ropts;
+    ropts.maxCycles = job.maxCycles; // 0 derives from the golden run
+    resilience::ResilientRunner rr(job.prog, job.params, ropts);
+    rr.setInputs(runner.hostBuffers());
+    if (cancel)
+        rr.setCancelToken(cancel);
+
+    resilience::FaultPlan plan;
+    if (job.faultSeed) {
+        plan = resilience::FaultPlan::random(
+            job.faultSeed, job.faultRate, job.faultHorizon,
+            runner.mapResult().fabric, resilience::FaultMix::kAll,
+            job.faultHard);
+    }
+    resilience::ResilienceReport rep = rr.run(plan);
+    rec.retries += rep.rollbacks + rep.restarts + rep.remaps;
+
+    auto out = std::make_shared<JobOutcome>();
+    switch (rep.cls) {
+      case resilience::RunClass::kClean:
+      case resilience::RunClass::kMasked:
+      case resilience::RunClass::kCorrected:
+        out->outcome = statusCodeName(StatusCode::kOk);
+        break;
+      case resilience::RunClass::kRecovered:
+      case resilience::RunClass::kSilentCorruption:
+        out->outcome = resilience::runClassName(rep.cls);
+        break;
+      case resilience::RunClass::kCompileError:
+      case resilience::RunClass::kDetectedUnrecoverable:
+        // Keep the typed status (cancelled, deadline-exceeded,
+        // watchdog, ...) so abort outcomes stay recognizable.
+        out->outcome = statusCodeName(rep.finalStatus.code());
+        break;
+    }
+    out->detail = rep.finalStatus.ok()
+                      ? rep.detail
+                      : rep.finalStatus.message() + "\n" + rep.detail;
+    const Runner::Result &res = rr.lastResult();
+    out->cycles = res.cycles;
+    out->stats = res.stats;
+    out->argOuts = res.argOuts;
+    out->dram.resize(job.prog.mems.size());
+    for (const auto &[mid, data] : rr.lastDram())
+        out->dram[mid] = data;
+    out->resultHash = hashOutcome(*out);
+    return out;
+}
+
 JobResult
-Server::executeJob(JobSpec job, uint32_t worker)
+Server::executeJob(JobSpec job, uint32_t worker, const CancelToken *cancel)
 {
     JobResult rec;
     rec.id = job.id;
     rec.source = job.source;
+    rec.tenant = job.tenant.empty() ? "default" : job.tenant;
     rec.worker = worker;
 
     // Stage: each job gets its own Runner (and thus its own Fabric) —
@@ -255,22 +623,52 @@ Server::executeJob(JobSpec job, uint32_t worker)
         job.load(runner);
     else
         fuzz::fillInputs(runner, job.prog);
+    if (cancel)
+        runner.setCancelToken(cancel);
 
     rec.pirHash = hashProgram(job.prog);
     rec.archHash = hashArch(job.params);
     rec.inputsHash = hashInputs(runner.hostBuffers());
-    rec.optionsHash = hashOptions(opts_, job.maxCycles);
+    rec.optionsHash = hashOptions(opts_, job);
 
     if (opts_.resultCache) {
         CacheKey rk{rec.pirHash, rec.archHash, rec.inputsHash,
                     rec.optionsHash};
+        // A cancelled/deadline outcome is this job's record but never
+        // the key's cached value: the builder abandons (returns null)
+        // and the single-flight slot passes to a waiting follower.
+        std::shared_ptr<const JobOutcome> aborted;
         auto acq = resultCache_.acquire(
-            rk, [&] { return computeOutcome(runner, job, rec); });
+            rk,
+            [&]() -> ResultCache::ValuePtr {
+                auto out = computeOutcome(runner, job, rec, cancel);
+                if (isAbortOutcome(out->outcome)) {
+                    aborted = out;
+                    return nullptr;
+                }
+                return out;
+            },
+            cancel);
         rec.seq = acq.seq;
-        rec.resultHit = acq.hit;
-        rec.outcome = acq.value;
+        rec.resultHit = acq.hit && acq.value != nullptr;
+        if (acq.value) {
+            rec.outcome = acq.value;
+        } else if (aborted) {
+            rec.outcome = aborted;
+        } else {
+            // Gave up waiting on another job's in-flight build.
+            auto out = std::make_shared<JobOutcome>();
+            bool wasCancel = cancel && cancel->cancelRequested();
+            out->outcome = statusCodeName(
+                wasCancel ? StatusCode::kCancelled
+                          : StatusCode::kDeadlineExceeded);
+            out->detail = "budget expired while waiting on an "
+                          "in-flight build of the same key";
+            out->resultHash = hashOutcome(*out);
+            rec.outcome = std::move(out);
+        }
     } else {
-        rec.outcome = computeOutcome(runner, job, rec);
+        rec.outcome = computeOutcome(runner, job, rec, cancel);
     }
     return rec;
 }
@@ -281,7 +679,16 @@ Server::exportMetrics(MetricRegistry &reg) const
     reg.setCounter("serve.workers", opts_.workers);
     reg.setCounter("serve.queue.capacity", queue_.capacity());
     reg.setCounter("serve.queue.high_water", queueHighWater());
+    reg.gauge("serve.queue.occupancy",
+              static_cast<int64_t>(queue_.size()));
     reg.setCounter("serve.jobs.submitted", queue_.pushed());
+
+    RobustnessCounters rc = robustness();
+    reg.setCounter("serve.jobs.shed", rc.shed);
+    reg.setCounter("serve.jobs.circuit_open", rc.circuitOpen);
+    reg.setCounter("serve.jobs.cancelled", rc.cancelled);
+    reg.setCounter("serve.jobs.deadline_misses", rc.deadlineMisses);
+    reg.setCounter("serve.retries.total", rc.retries);
 
     CacheStats cs = configCache_.stats();
     reg.setCounter("serve.cache.config.hits", cs.hits);
@@ -292,6 +699,7 @@ Server::exportMetrics(MetricRegistry &reg) const
     reg.setCounter("serve.cache.result.hits", rs.hits);
     reg.setCounter("serve.cache.result.misses", rs.misses);
     reg.setCounter("serve.cache.result.evictions", rs.evictions);
+    reg.setCounter("serve.cache.result.abandoned", rs.abandoned);
     reg.setCounter("serve.cache.result.size", rs.size);
 
     static const std::vector<uint64_t> kUsEdges = {
@@ -303,14 +711,18 @@ Server::exportMetrics(MetricRegistry &reg) const
     std::lock_guard<std::mutex> lk(resultsMu_);
     reg.setCounter("serve.jobs.completed", results_.size());
     uint64_t cycles = 0;
+    uint64_t executed = 0;
     for (const JobResult &r : results_) {
         reg.count("serve.outcome." +
                   (r.outcome ? r.outcome->outcome : "lost"));
         wait.observe(static_cast<uint64_t>(r.waitUs));
         exec.observe(static_cast<uint64_t>(r.execUs));
+        if (r.executed)
+            ++executed;
         if (r.outcome)
             cycles += r.outcome->cycles;
     }
+    reg.setCounter("serve.jobs.executed", executed);
     reg.setCounter("serve.cycles_total", cycles);
 }
 

@@ -26,6 +26,23 @@
  * (serve/joblog.hpp). Failures never kill the daemon: compile errors,
  * deadlocks, watchdog trips and validation mismatches come back as
  * typed outcomes (the PR 4/5 never-fail stack is the foundation).
+ *
+ * Robustness layer (DESIGN.md §16): every job is bounded, cancellable
+ * and recoverable. Submission passes admission control — a per-tenant
+ * circuit breaker over repeated compile failures, cost-aware load
+ * shedding once the queue is deep, and a bounded wait on the full
+ * queue — and rejected work still produces a typed record (kShed /
+ * kCircuitOpen) instead of silently vanishing. Admitted jobs carry a
+ * CancelToken armed with their wall-clock deadline; the fabric polls
+ * it mid-simulation, so a stuck or slow job returns kCancelled /
+ * kDeadlineExceeded within its budget and the worker moves on.
+ * Deadline-typed outcomes are never published to the result cache
+ * (they depend on wall clock, not content); an abandoned single-flight
+ * build is handed off to a waiting follower. Transient failures —
+ * watchdog/livelock trips and uncorrectable upsets from injected
+ * faults — retry with capped exponential backoff; `resilient` mode
+ * routes jobs through the PR 4 checkpoint-rollback orchestrator
+ * instead.
  */
 
 #ifndef PLAST_SERVE_SERVER_HPP
@@ -34,6 +51,7 @@
 #include <atomic>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -72,6 +90,21 @@ struct JobSpec
     /** Per-job cycle budget (0 = the server default). Part of the
      *  result-cache options hash. */
     Cycles maxCycles = 0;
+
+    // ---- robustness knobs (DESIGN.md §16) ----------------------------
+    /** Circuit-breaker key; empty means "default". */
+    std::string tenant;
+    /** Wall-clock budget in ms from submission (0 = the server
+     *  default). NOT part of the options hash: a deadline shapes when
+     *  a job is abandoned, never what it computes. */
+    uint64_t deadlineMs = 0;
+    /** Fault-injection campaign: a non-zero seed arms a seeded random
+     *  fault plan over the compiled fabric for this job. Part of the
+     *  options hash — a faulted execution is a different execution. */
+    uint64_t faultSeed = 0;
+    double faultRate = 200.0; ///< events per million cycles
+    Cycles faultHorizon = 100'000;
+    bool faultHard = false; ///< include stuck-unit (hard) faults
 };
 
 /** The memoized, shareable part of a finished job: everything a
@@ -107,6 +140,15 @@ struct JobResult
     uint32_t worker = 0;
     double waitUs = 0; ///< submit -> dequeue (not replayed)
     double execUs = 0; ///< dequeue -> done (not replayed)
+    /** False when the job never ran: rejected at admission (shed,
+     *  circuit-open) or its budget expired while still queued. Such
+     *  records never touched the caches and are excluded from replay
+     *  determinism checks (their seq lives in a disjoint band). */
+    bool executed = true;
+    /** Same-job re-runs after transient failures (backoff retries, or
+     *  rollback+restart+remap recoveries in resilient mode). */
+    uint32_t retries = 0;
+    std::string tenant;
     std::shared_ptr<const JobOutcome> outcome;
 };
 
@@ -127,6 +169,34 @@ struct ServeOptions
     SimOptions simOpts;
     /** Record cache access logs for deterministic replay. */
     bool logAccesses = true;
+
+    // ---- robustness (DESIGN.md §16) ----------------------------------
+    /** Deadline applied to jobs that do not set their own (0 = none). */
+    uint64_t defaultDeadlineMs = 0;
+    /** Bounded admission wait on a full queue before the job is shed
+     *  with a typed rejection instead of blocking the submitter. */
+    uint64_t submitWaitUs = 1'000'000;
+    /** Queue depth at which cost-aware shedding arms (0 = never). */
+    size_t shedDepth = 0;
+    /** Estimated-cost threshold (EWMA of past exec times for the same
+     *  (pir, arch) key) above which a job is shed once shedDepth is
+     *  reached; 0 sheds on depth alone. */
+    uint64_t shedCostUs = 0;
+    /** Transient-failure re-runs per job (watchdog/livelock trips,
+     *  uncorrectable upsets; one-shot fault events make the re-run
+     *  clean). */
+    uint32_t maxRetries = 0;
+    uint64_t retryBackoffUs = 2'000; ///< base backoff (exponential)
+    uint64_t retryBackoffCapUs = 50'000;
+    /** Consecutive compile failures that open a tenant's circuit
+     *  breaker (0 = breaker off). */
+    uint32_t breakerThreshold = 0;
+    /** Every Nth submission from an open-breaker tenant is admitted as
+     *  a probe; a healthy compile closes the breaker. */
+    uint32_t breakerProbeEvery = 8;
+    /** Route executed jobs through the checkpoint-rollback recovery
+     *  orchestrator (resilience/recovery.hpp) instead of plain runs. */
+    bool resilient = false;
 };
 
 /** A config-cache entry: the typed compile status plus the frozen
@@ -154,6 +224,12 @@ uint64_t hashInputs(const std::map<pir::MemId, std::vector<Word>> &bufs);
 /** FNV-1a over the execution options that shape a result: scheduler
  *  mode, sim mode, cycle budget, validate flag. */
 uint64_t hashOptions(const ServeOptions &opts, Cycles jobMaxCycles);
+/** Job-aware overload: additionally folds the resilient flag and the
+ *  job's fault-plan parameters (a faulted or recovery-orchestrated
+ *  execution is a different execution). Bit-identical to the base
+ *  overload for plain jobs, so v1 logs stay addressable. Deadlines
+ *  are deliberately NOT hashed — see JobSpec::deadlineMs. */
+uint64_t hashOptions(const ServeOptions &opts, const JobSpec &job);
 /** The bit-exactness witness over a finished outcome. */
 uint64_t hashOutcome(const JobOutcome &out);
 
@@ -169,9 +245,20 @@ class Server
     /** Spawn the worker pool. */
     void start();
 
-    /** Enqueue a job (blocks under backpressure). Returns the job id,
-     *  or 0 if the server is already draining. */
+    /**
+     * Enqueue a job through admission control. Returns the job id, or
+     * 0 if the server is already draining. A rejected job (circuit
+     * breaker, load shed, admission timeout) still gets a non-zero id
+     * and a typed JobResult record — callers distinguish rejection
+     * from execution via JobResult::executed / outcome.
+     */
     uint64_t submit(JobSpec spec);
+
+    /** Request cooperative cancellation of a queued or running job.
+     *  The job finishes with a typed kCancelled outcome within one
+     *  cancel-poll window. False when the id is unknown or the job
+     *  already finished. */
+    bool cancelJob(uint64_t id);
 
     /** Close the queue, let queued jobs finish, join the workers.
      *  Idempotent; the destructor calls it. */
@@ -186,6 +273,18 @@ class Server
     size_t queueHighWater() const { return queue_.highWater(); }
     const ServeOptions &options() const { return opts_; }
 
+    /** Robustness counters, updated at the same instant each record is
+     *  written — they match the job log exactly by construction. */
+    struct RobustnessCounters
+    {
+        uint64_t shed = 0;           ///< records with outcome "shed"
+        uint64_t circuitOpen = 0;    ///< outcome "circuit-open"
+        uint64_t cancelled = 0;      ///< outcome "cancelled"
+        uint64_t deadlineMisses = 0; ///< outcome "deadline-exceeded"
+        uint64_t retries = 0;        ///< sum of JobResult::retries
+    };
+    RobustnessCounters robustness() const;
+
     /** Counters + latency histograms into the unified metric model
      *  (serve.* namespace; see DESIGN.md §15). */
     void exportMetrics(MetricRegistry &reg) const;
@@ -193,20 +292,41 @@ class Server
     /**
      * Execute one job synchronously on the calling thread against this
      * server's caches — the serial-replay entry point (and what the
-     * workers run). `worker` tags the result only.
+     * workers run). `worker` tags the result only; `cancel`, when
+     * non-null, is polled by the simulation and the cache wait path.
      */
-    JobResult executeJob(JobSpec job, uint32_t worker = 0);
+    JobResult executeJob(JobSpec job, uint32_t worker = 0,
+                         const CancelToken *cancel = nullptr);
 
   private:
     struct Queued
     {
         JobSpec spec;
         uint64_t enqueuedUs = 0;
+        std::shared_ptr<CancelToken> token;
     };
 
     void workerLoop(uint32_t idx);
     std::shared_ptr<const JobOutcome>
-    computeOutcome(Runner &runner, const JobSpec &job, JobResult &rec);
+    computeOutcome(Runner &runner, const JobSpec &job, JobResult &rec,
+                   const CancelToken *cancel);
+    std::shared_ptr<const JobOutcome>
+    computeResilient(Runner &runner, const JobSpec &job, JobResult &rec,
+                     const CancelToken *cancel);
+    /** Record a job that never ran (admission rejection / queued
+     *  expiry) with a typed outcome in the aux seq band. */
+    JobResult rejectionRecord(const JobSpec &spec, StatusCode code,
+                              const std::string &why);
+    /** Single choke point every record passes through: unregisters the
+     *  cancel token, updates the robustness counters, feeds the cost
+     *  model and the circuit breaker, then appends to results_. */
+    void finishJob(JobResult rec);
+    bool backoffBeforeRetry(uint32_t attempt, uint64_t jobId,
+                            const CancelToken *cancel) const;
+    double estimateCostUs(uint64_t pirHash, uint64_t archHash) const;
+    void learnCost(uint64_t pirHash, uint64_t archHash, double execUs);
+    bool breakerRejects(const std::string &tenant);
+    void breakerObserve(const std::string &tenant, bool compileFailed);
 
     ServeOptions opts_;
     BoundedQueue<Queued> queue_;
@@ -216,6 +336,36 @@ class Server
     std::atomic<uint64_t> nextId_{1};
     std::atomic<bool> draining_{false};
     bool started_ = false;
+
+    /** Live tokens (queued + running) addressable by job id. */
+    mutable std::mutex tokensMu_;
+    std::map<uint64_t, std::shared_ptr<CancelToken>> tokens_;
+
+    /** Per-tenant breaker over consecutive compile failures. */
+    struct Breaker
+    {
+        uint32_t fails = 0;
+        bool open = false;
+        uint64_t rejectedSinceProbe = 0;
+    };
+    mutable std::mutex breakerMu_;
+    std::map<std::string, Breaker> breakers_;
+
+    /** (pirHash, archHash) -> EWMA of exec time, the shed-policy cost
+     *  estimator (unknown keys are admitted). */
+    mutable std::mutex costMu_;
+    std::map<std::pair<uint64_t, uint64_t>, double> costUs_;
+
+    /** Seq band for records that never touched the caches — disjoint
+     *  from (and sorting after) every real cache seq. */
+    static constexpr uint64_t kAuxSeqBase = 1ull << 62;
+    std::atomic<uint64_t> auxSeq_{0};
+
+    std::atomic<uint64_t> shed_{0};
+    std::atomic<uint64_t> circuitOpen_{0};
+    std::atomic<uint64_t> cancelled_{0};
+    std::atomic<uint64_t> deadlineMisses_{0};
+    std::atomic<uint64_t> retries_{0};
 
     mutable std::mutex resultsMu_;
     std::vector<JobResult> results_;

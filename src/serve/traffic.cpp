@@ -50,6 +50,22 @@ makeTraffic(const TrafficOptions &opts)
                        : static_cast<size_t>(
                              rng.nextBounded(opts.uniques));
         out.push_back(uniques[u]);
+        JobSpec &spec = out.back();
+        if (opts.tenants > 1)
+            spec.tenant = "t" + std::to_string(u % opts.tenants);
+        if (!opts.deadlineSweepMs.empty())
+            spec.deadlineMs =
+                opts.deadlineSweepMs[j % opts.deadlineSweepMs.size()];
+        if (opts.faultEvery && j % opts.faultEvery ==
+                                   opts.faultEvery - 1) {
+            // A distinct seed per submission: faulted duplicates are
+            // distinct executions, and the source suffix keeps the
+            // replay join exact.
+            spec.faultSeed = opts.seed * 1'000'003ull + j + 1;
+            spec.faultRate = opts.faultRate;
+            spec.faultHard = opts.includeHard;
+            spec.source += "/f" + std::to_string(spec.faultSeed);
+        }
     }
     return out;
 }

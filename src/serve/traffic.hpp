@@ -39,6 +39,22 @@ struct TrafficOptions
      *  expected duplicate fraction 1 - uniques/jobs. */
     size_t jobs = 64;
     apps::Scale scale = apps::Scale::kTiny;
+
+    // ---- robustness campaign shaping (DESIGN.md §16) -----------------
+    /** Every Kth submission carries a distinct seeded fault plan
+     *  (0 = no faults). Faulted jobs get a "/f<seed>" source suffix —
+     *  they are different executions with their own options hash, so
+     *  the replay join stays exact. */
+    size_t faultEvery = 0;
+    double faultRate = 200.0; ///< events per million cycles
+    bool includeHard = false; ///< draw stuck-unit faults too
+    /** Wall-clock deadlines (ms) assigned cyclically across
+     *  submissions; empty = no per-job deadlines. Deadlines do not
+     *  change a job's identity (not hashed, not replayed). */
+    std::vector<uint64_t> deadlineSweepMs;
+    /** Spread identities across N tenants ("t0".."tN-1") for the
+     *  per-tenant circuit breaker; 0 or 1 = single default tenant. */
+    size_t tenants = 1;
 };
 
 /** The ordered, fully deterministic job stream. JobSpec::source

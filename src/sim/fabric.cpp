@@ -451,6 +451,8 @@ Fabric::runDenseChecked(Cycles maxCycles)
     CtrlBoxSim *root = boxes_.at(cfg_.rootBox).get();
     fatal_if(!root, "root controller not instantiated");
 
+    if (Status c = checkCancel(); !c.ok())
+        return {c, now_, kNeverCycle};
     Cycles last_progress = now_;
     while (root->runsCompleted() == 0) {
         maybeAutoCheckpoint();
@@ -462,6 +464,8 @@ Fabric::runDenseChecked(Cycles maxCycles)
             if (!ecc.ok())
                 return {ecc, now_, eccCorruptedAt()};
         }
+        if (Status c = checkCancel(); !c.ok())
+            return {c, now_, kNeverCycle};
         Status hang = scanHangs(*root);
         if (!hang.ok())
             return {hang, now_, kNeverCycle};
@@ -501,6 +505,8 @@ Fabric::runActivityChecked(Cycles maxCycles)
     CtrlBoxSim *root = boxes_.at(cfg_.rootBox).get();
     fatal_if(!root, "root controller not instantiated");
 
+    if (Status c = checkCancel(); !c.ok())
+        return {c, now_, kNeverCycle};
     while (root->runsCompleted() == 0) {
         if (sched_.idle()) {
             // Nothing can ever happen again: no runnable unit, quiet
@@ -540,6 +546,8 @@ Fabric::runActivityChecked(Cycles maxCycles)
             if (!ecc.ok())
                 return {ecc, now_, eccCorruptedAt()};
         }
+        if (Status c = checkCancel(); !c.ok())
+            return {c, now_, kNeverCycle};
         Status hang = scanHangs(*root);
         if (!hang.ok())
             return {hang, now_, kNeverCycle};
@@ -628,6 +636,37 @@ Fabric::armFaults(resilience::FaultInjector *inj)
 {
     injector_ = inj;
     mem_.setFaultHook(inj);
+}
+
+void
+Fabric::setCancelToken(const CancelToken *tok)
+{
+    cancel_ = tok;
+    nextCancelCheckAt_ = 0; // poll at the next boundary
+}
+
+Status
+Fabric::checkCancel()
+{
+    if (!cancel_ || now_ < nextCancelCheckAt_)
+        return Status();
+    nextCancelCheckAt_ = now_ + std::max<uint32_t>(1, opts_.cancelPollCycles);
+    if (cancel_->cancelRequested()) {
+        return Status(StatusCode::kCancelled,
+                      strfmt("run cancelled cooperatively at cycle %llu",
+                             static_cast<unsigned long long>(now_)));
+    }
+    // The clock read is gated on an armed deadline, so cancel-only
+    // tokens cost one relaxed load per poll window.
+    if (cancel_->hasDeadline() &&
+        cancel_->expired(HostProfiler::instance().nowUs())) {
+        return Status(
+            StatusCode::kDeadlineExceeded,
+            strfmt("deadline exceeded at cycle %llu (budget spent "
+                   "mid-simulation)",
+                   static_cast<unsigned long long>(now_)));
+    }
+    return Status();
 }
 
 void

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "arch/config.hpp"
+#include "base/cancel.hpp"
 #include "base/logging.hpp"
 #include "base/stateio.hpp"
 #include "base/stats.hpp"
@@ -71,6 +72,11 @@ struct SimOptions
      *  completes no iteration for this many cycles while the fabric is
      *  still active (0 = off). */
     Cycles livelockCycles = 0;
+    /** How often (in simulated cycles) runChecked polls the armed
+     *  CancelToken for cooperative cancellation / deadline expiry.
+     *  Bounds the wall-clock reaction latency to roughly
+     *  `cancelPollCycles / simulated-cycles-per-second`. */
+    uint32_t cancelPollCycles = 2048;
 };
 
 /**
@@ -146,6 +152,15 @@ class Fabric
      *  triggered events are applied at cycle boundaries, DRAM events
      *  through the memory system's fault hook. */
     void armFaults(resilience::FaultInjector *inj);
+    /**
+     * Arm (or disarm with nullptr) a cooperative cancellation token.
+     * runChecked polls it every SimOptions::cancelPollCycles simulated
+     * cycles and returns kCancelled / kDeadlineExceeded the moment the
+     * token fires — the fabric state stays intact at the abort cycle,
+     * so post-mortems (analyzeDeadlock / analyzeBottlenecks) and
+     * checkpoints remain valid on a cancelled fabric.
+     */
+    void setCancelToken(const CancelToken *tok);
     /** Earliest ECC-uncorrectable corruption cycle across all PMU
      *  scratchpads (kNeverCycle when clean). */
     Cycles eccCorruptedAt() const;
@@ -207,6 +222,9 @@ class Fabric
     void maybeAutoCheckpoint();
     /** Periodic watchdog / livelock scan; non-ok on a tripped timer. */
     Status scanHangs(const CtrlBoxSim &root);
+    /** Periodic cancel-token poll; non-ok the window after the token
+     *  fires (kCancelled) or its deadline passes (kDeadlineExceeded). */
+    Status checkCancel();
     /** Non-ok when some PMU scratchpad latched an uncorrectable ECC
      *  error (fills RunResult::corruptedAt). */
     Status checkUncorrectable() const;
@@ -306,6 +324,8 @@ class Fabric
     // ---- resilience state --------------------------------------------
     uint64_t cfgHash_ = 0; ///< hash of the config text (checkpoint guard)
     resilience::FaultInjector *injector_ = nullptr;
+    const CancelToken *cancel_ = nullptr;
+    Cycles nextCancelCheckAt_ = 0;
     std::deque<FabricCheckpoint> ckptRing_;
     Cycles nextCheckpointAt_ = 0;
     Cycles nextHangScanAt_ = 0;

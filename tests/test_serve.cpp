@@ -929,3 +929,667 @@ TEST(ServeServer, ExportsServeMetricsNamespace)
     ASSERT_NE(h, nullptr);
     EXPECT_EQ(h->count(), t.jobs);
 }
+
+// ---- robustness: queue edge races -----------------------------------
+
+TEST(ServeQueue, TryPushTimesOutWhenFullThenSucceeds)
+{
+    BoundedQueue<int> q(1);
+    EXPECT_EQ(q.tryPush(1, 0), PushResult::kOk);
+    EXPECT_EQ(q.tryPush(2, 1'000), PushResult::kTimedOut);
+    EXPECT_EQ(q.pop().value(), 1);
+    EXPECT_EQ(q.tryPush(3, 0), PushResult::kOk);
+    q.close();
+    EXPECT_EQ(q.tryPush(4, 0), PushResult::kClosed);
+    EXPECT_EQ(q.pop().value(), 3); // close still drains
+    EXPECT_EQ(q.pushed(), 2u);
+}
+
+TEST(ServeQueue, DrainWakesProducersBlockedOnFullQueue)
+{
+    BoundedQueue<int> q(2);
+    ASSERT_TRUE(q.push(0));
+    ASSERT_TRUE(q.push(1));
+    constexpr int kProducers = 4;
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&q, p] {
+            ASSERT_TRUE(q.push(100 + p)); // blocks: queue is full
+        });
+    }
+    // drain() empties the queue and wakes every blocked producer; the
+    // late pushes then proceed (two immediately, two as pops free
+    // room) — nobody stays parked forever and nothing is lost.
+    std::multiset<int> got;
+    for (int v : q.drain())
+        got.insert(v);
+    EXPECT_EQ(got, (std::multiset<int>{0, 1}));
+    std::multiset<int> late;
+    for (int i = 0; i < kProducers; ++i)
+        late.insert(q.pop().value());
+    for (std::thread &t : producers)
+        t.join();
+    EXPECT_EQ(late, (std::multiset<int>{100, 101, 102, 103}));
+    EXPECT_EQ(q.pushed(), 2u + kProducers);
+}
+
+TEST(ServeQueue, CloseConcurrentWithTryPushNeverLosesItems)
+{
+    // Hammer tryPush from several producers while close() lands in
+    // the middle: every push either enqueued (kOk) or was refused
+    // typed — and exactly the kOk items come out of pop().
+    BoundedQueue<int> q(4);
+    constexpr int kProducers = 4, kPerProducer = 64;
+    std::atomic<int> accepted{0};
+    std::atomic<int> drained{0};
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&, p] {
+            for (int i = 0; i < kPerProducer; ++i) {
+                PushResult pr = q.tryPush(p * kPerProducer + i, 100);
+                if (pr == PushResult::kOk)
+                    accepted.fetch_add(1);
+                else if (pr == PushResult::kClosed)
+                    return;
+            }
+        });
+    }
+    std::thread consumer([&] {
+        while (q.pop().has_value())
+            drained.fetch_add(1); // empty optional: closed AND drained
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    q.close();
+    for (std::thread &t : producers)
+        t.join();
+    consumer.join();
+    EXPECT_EQ(drained.load(), accepted.load())
+        << "every kOk item must come out exactly once";
+    EXPECT_EQ(q.pushed(), static_cast<uint64_t>(accepted.load()));
+}
+
+// ---- robustness: cache abandonment + handoff ------------------------
+
+TEST(ServeCache, AbandonedEntryWithoutWaitersIsErased)
+{
+    SingleFlightCache<int> cache(4);
+    CacheKey k{1, 2, 3, 4};
+    auto a1 = cache.acquire(k, [] { return nullptr; });
+    EXPECT_FALSE(a1.hit);
+    EXPECT_EQ(a1.value, nullptr);
+    EXPECT_EQ(cache.stats().abandoned, 1u);
+    EXPECT_EQ(cache.stats().size, 0u) << "abandoned placeholder leaked";
+    // The key is rebuildable: the next acquire is a fresh miss.
+    auto a2 =
+        cache.acquire(k, [] { return std::make_shared<const int>(7); });
+    EXPECT_FALSE(a2.hit);
+    ASSERT_NE(a2.value, nullptr);
+    EXPECT_EQ(*a2.value, 7);
+    auto a3 = cache.acquire(k, [] {
+        ADD_FAILURE() << "ready entry must not rebuild";
+        return nullptr;
+    });
+    EXPECT_TRUE(a3.hit);
+}
+
+TEST(ServeCache, CancelledLeaderHandsOffToWaitingFollower)
+{
+    SingleFlightCache<int> cache(4);
+    CacheKey k{9, 9, 9, 9};
+    std::mutex mu;
+    std::condition_variable cv;
+    bool followerEngaged = false;
+    std::atomic<int> built{0};
+
+    std::thread leader([&] {
+        auto a = cache.acquire(k, [&]() -> std::shared_ptr<const int> {
+            // Hold the single-flight slot until the follower is (very
+            // likely) parked on the pending entry, then abandon.
+            std::unique_lock<std::mutex> lk(mu);
+            cv.wait(lk, [&] { return followerEngaged; });
+            lk.unlock();
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+            return nullptr; // cancelled: never publish
+        });
+        EXPECT_EQ(a.value, nullptr);
+        EXPECT_FALSE(a.hit);
+    });
+    std::thread follower([&] {
+        {
+            std::lock_guard<std::mutex> lk(mu);
+            followerEngaged = true;
+        }
+        cv.notify_one();
+        auto a = cache.acquire(k, [&] {
+            built.fetch_add(1);
+            return std::make_shared<const int>(42);
+        });
+        // Whether it waited on the leader (hit) or found the erased
+        // placeholder (miss) is timing; the value must be its own.
+        ASSERT_NE(a.value, nullptr);
+        EXPECT_EQ(*a.value, 42);
+    });
+    leader.join();
+    follower.join();
+    EXPECT_EQ(built.load(), 1);
+    EXPECT_EQ(cache.stats().abandoned, 1u);
+    // The follower's build was published under the key.
+    auto after = cache.acquire(k, [] {
+        ADD_FAILURE() << "published value must be served";
+        return nullptr;
+    });
+    EXPECT_TRUE(after.hit);
+    ASSERT_NE(after.value, nullptr);
+    EXPECT_EQ(*after.value, 42);
+}
+
+TEST(ServeCache, FollowerWithFiredTokenGivesUpWaiting)
+{
+    SingleFlightCache<int> cache(4);
+    CacheKey k{5, 5, 5, 5};
+    std::mutex mu;
+    std::condition_variable cv;
+    bool release = false;
+
+    std::thread leader([&] {
+        cache.acquire(k, [&]() -> std::shared_ptr<const int> {
+            std::unique_lock<std::mutex> lk(mu);
+            cv.wait(lk, [&] { return release; });
+            return std::make_shared<const int>(1);
+        });
+    });
+    // Give the leader time to claim the build slot.
+    while (cache.stats().misses == 0)
+        std::this_thread::yield();
+    CancelToken tok;
+    tok.requestCancel();
+    auto a = cache.acquire(
+        k,
+        [&] {
+            ADD_FAILURE() << "a gave-up follower must not build";
+            return nullptr;
+        },
+        &tok);
+    EXPECT_TRUE(a.gaveUp);
+    EXPECT_EQ(a.value, nullptr);
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        release = true;
+    }
+    cv.notify_all();
+    leader.join();
+    // The leader's publish was unaffected by the deserter.
+    auto after = cache.acquire(k, [] { return nullptr; });
+    EXPECT_TRUE(after.hit);
+    ASSERT_NE(after.value, nullptr);
+    EXPECT_EQ(*after.value, 1);
+}
+
+// ---- robustness: deadlines + cancellation ---------------------------
+
+namespace
+{
+
+JobSpec
+tinyAppSpec(const char *source)
+{
+    apps::AppInstance inst = apps::makeInnerProduct(apps::Scale::kTiny);
+    JobSpec spec;
+    spec.source = source;
+    spec.prog = inst.prog;
+    spec.load = inst.load;
+    return spec;
+}
+
+} // namespace
+
+TEST(ServeCancel, PreCancelledTokenAbortsTypedBeforeFirstCycle)
+{
+    JobSpec spec = tinyAppSpec("pre-cancelled");
+    Runner runner(spec.prog, spec.params);
+    spec.load(runner);
+    CancelToken tok;
+    tok.requestCancel();
+    runner.setCancelToken(&tok);
+    Runner::Result res;
+    Status st = runner.tryRun(res);
+    EXPECT_EQ(st.code(), StatusCode::kCancelled);
+    EXPECT_EQ(res.cycles, 0u) << "cancel must beat the first cycle";
+}
+
+TEST(ServeCancel, ExpiredDeadlineTokenAbortsTyped)
+{
+    JobSpec spec = tinyAppSpec("expired");
+    Runner runner(spec.prog, spec.params);
+    spec.load(runner);
+    CancelToken tok;
+    tok.setDeadlineUs(1); // epoch + 1us: long past
+    runner.setCancelToken(&tok);
+    Runner::Result res;
+    Status st = runner.tryRun(res);
+    EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(ServeCancel, CancelledJobNeverPoisonsTheResultCache)
+{
+    // A cancelled leader abandons its single-flight build; the same
+    // key resubmitted healthy must produce the full correct outcome.
+    ServeOptions o;
+    Server server(o);
+    JobSpec spec = tinyAppSpec("victim");
+    Baseline base = runSerialBaseline(spec, o);
+
+    CancelToken tok;
+    tok.requestCancel();
+    JobResult r1 = server.executeJob(spec, 0, &tok);
+    ASSERT_NE(r1.outcome, nullptr);
+    EXPECT_EQ(r1.outcome->outcome, "cancelled");
+    EXPECT_FALSE(r1.resultHit);
+    EXPECT_EQ(server.resultCacheStats().abandoned, 1u);
+
+    JobResult r2 = server.executeJob(spec);
+    expectMatchesBaseline(r2, base);
+    EXPECT_FALSE(r2.resultHit)
+        << "the abandoned build must not have been published";
+    JobResult r3 = server.executeJob(spec);
+    EXPECT_TRUE(r3.resultHit) << "healthy rebuild must be cached";
+    expectMatchesBaseline(r3, base);
+}
+
+TEST(ServeCancel, CancelQueuedJobProducesTypedRecordAndCounters)
+{
+    ServeOptions o;
+    o.workers = 1;
+    Server server(o); // not started: jobs stay queued
+    JobSpec healthy = tinyAppSpec("healthy");
+    Baseline base = runSerialBaseline(healthy, o);
+    uint64_t id1 = server.submit(std::move(healthy));
+    uint64_t id2 = server.submit(tinyAppSpec("doomed"));
+    ASSERT_NE(id1, 0u);
+    ASSERT_NE(id2, 0u);
+    EXPECT_TRUE(server.cancelJob(id2));
+    EXPECT_FALSE(server.cancelJob(9999));
+    server.start();
+    server.drain();
+
+    std::vector<JobResult> results = server.results();
+    ASSERT_EQ(results.size(), 2u);
+    ASSERT_EQ(results[0].id, id1);
+    expectMatchesBaseline(results[0], base);
+    EXPECT_TRUE(results[0].executed);
+    ASSERT_NE(results[1].outcome, nullptr);
+    EXPECT_EQ(results[1].outcome->outcome, "cancelled");
+    EXPECT_FALSE(results[1].executed);
+    EXPECT_FALSE(server.cancelJob(id2)) << "finished job still cancellable?";
+    EXPECT_EQ(server.robustness().cancelled, 1u);
+}
+
+TEST(ServeDeadline, QueuedExpiryIsTypedAndHealthyJobsAreExact)
+{
+    ServeOptions o;
+    o.workers = 2;
+    Server server(o); // not started yet
+    JobSpec healthy = tinyAppSpec("healthy");
+    Baseline base = runSerialBaseline(healthy, o);
+
+    JobSpec doomed = tinyAppSpec("doomed");
+    doomed.deadlineMs = 1;
+    uint64_t idDoomed = server.submit(std::move(doomed));
+    uint64_t idHealthy = server.submit(std::move(healthy));
+    ASSERT_NE(idDoomed, 0u);
+    ASSERT_NE(idHealthy, 0u);
+    // Let the 1ms budget die while the job is still queued.
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    server.start();
+    server.drain();
+
+    std::vector<JobResult> results = server.results();
+    ASSERT_EQ(results.size(), 2u);
+    const JobResult &rd = results[0].id == idDoomed ? results[0]
+                                                    : results[1];
+    const JobResult &rh = results[0].id == idDoomed ? results[1]
+                                                    : results[0];
+    ASSERT_NE(rd.outcome, nullptr);
+    EXPECT_EQ(rd.outcome->outcome, "deadline-exceeded");
+    EXPECT_FALSE(rd.executed);
+    // The worker that skipped the dead job is alive and exact.
+    expectMatchesBaseline(rh, base);
+    EXPECT_EQ(server.robustness().deadlineMisses, 1u);
+    MetricRegistry reg;
+    server.exportMetrics(reg);
+    EXPECT_EQ(reg.counterValue("serve.jobs.deadline_misses"), 1u);
+    EXPECT_EQ(reg.counterValue("serve.jobs.executed"), 1u);
+}
+
+// ---- robustness: admission control ----------------------------------
+
+TEST(ServeShed, FullQueueShedsTypedInsteadOfBlocking)
+{
+    ServeOptions o;
+    o.workers = 1;
+    o.queueDepth = 1;
+    o.submitWaitUs = 1'000; // 1ms bounded wait, then shed
+    Server server(o);       // not started: the queue stays full
+    uint64_t id1 = server.submit(tinyAppSpec("first"));
+    uint64_t id2 = server.submit(tinyAppSpec("second"));
+    uint64_t id3 = server.submit(tinyAppSpec("third"));
+    ASSERT_NE(id1, 0u);
+    ASSERT_NE(id2, 0u);
+    ASSERT_NE(id3, 0u);
+
+    std::vector<JobResult> early = server.results();
+    ASSERT_EQ(early.size(), 2u) << "two typed shed records expected";
+    for (const JobResult &r : early) {
+        ASSERT_NE(r.outcome, nullptr);
+        EXPECT_EQ(r.outcome->outcome, "shed");
+        EXPECT_FALSE(r.executed);
+        EXPECT_GE(r.seq, 1ull << 62) << "aux seq band expected";
+    }
+    EXPECT_EQ(server.robustness().shed, 2u);
+
+    server.start();
+    server.drain();
+    std::vector<JobResult> all = server.results();
+    ASSERT_EQ(all.size(), 3u);
+    for (const JobResult &r : all) {
+        ASSERT_NE(r.outcome, nullptr);
+        EXPECT_EQ(r.outcome->outcome, r.id == id1 ? "ok" : "shed")
+            << "job " << r.id;
+    }
+    MetricRegistry reg;
+    server.exportMetrics(reg);
+    EXPECT_EQ(reg.counterValue("serve.jobs.shed"), 2u);
+    EXPECT_EQ(reg.counterValue("serve.jobs.executed"), 1u);
+}
+
+TEST(ServeShed, DepthPolicySpendsDepthOnUnknownCostOnly)
+{
+    // shedCostUs > 0: past the depth threshold only jobs whose key is
+    // KNOWN to be expensive shed; unknown keys are admitted (the cost
+    // model has never seen them, so shedding them would starve new
+    // tenants). shedCostUs == 0 degrades to pure depth shedding.
+    ServeOptions o;
+    o.workers = 1;
+    o.queueDepth = 8;
+    o.shedDepth = 1;
+    o.shedCostUs = 1'000'000'000; // nothing is that expensive yet
+    {
+        Server server(o); // never started: the queue only deepens
+        ASSERT_NE(server.submit(tinyAppSpec("a")), 0u);
+        ASSERT_NE(server.submit(tinyAppSpec("b")), 0u);
+        ASSERT_NE(server.submit(tinyAppSpec("c")), 0u);
+        EXPECT_EQ(server.robustness().shed, 0u)
+            << "unknown-cost keys must be admitted past the depth";
+    }
+    o.shedCostUs = 0; // depth-only policy
+    Server server(o);
+    ASSERT_NE(server.submit(tinyAppSpec("a")), 0u); // depth 0: admitted
+    ASSERT_NE(server.submit(tinyAppSpec("b")), 0u); // depth 1: shed
+    EXPECT_EQ(server.robustness().shed, 1u);
+    server.start();
+    server.drain();
+    std::vector<JobResult> all = server.results();
+    ASSERT_EQ(all.size(), 2u);
+    for (const JobResult &r : all)
+        ASSERT_NE(r.outcome, nullptr) << "every job typed";
+}
+
+TEST(ServeBreaker, OpensAfterRepeatedCompileFailuresThenProbes)
+{
+    // An uncompilable (program, arch) pair for the breaker tenant.
+    apps::AppInstance inst = apps::makeGemm(apps::Scale::kTiny);
+    JobSpec bad;
+    bad.prog = inst.prog;
+    bad.load = inst.load;
+    bad.tenant = "noisy";
+    bool found = false;
+    for (uint32_t dim : {2u, 1u}) {
+        ArchParams tight;
+        tight.gridCols = dim;
+        tight.gridRows = dim;
+        tight.numAgs = 2;
+        Runner probe(bad.prog, tight, SimOptions{});
+        if (!probe.tryCompile().ok()) {
+            bad.params = tight;
+            found = true;
+            break;
+        }
+    }
+    ASSERT_TRUE(found);
+
+    ServeOptions o;
+    o.workers = 1;
+    o.resultCache = false;
+    o.breakerThreshold = 2;
+    o.breakerProbeEvery = 3;
+    Server server(o);
+    server.start();
+    auto submitAndWait = [&](JobSpec s, size_t expectTotal) {
+        server.submit(std::move(s));
+        while (server.results().size() < expectTotal)
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    };
+    bad.source = "bad-1";
+    submitAndWait(bad, 1);
+    bad.source = "bad-2";
+    submitAndWait(bad, 2); // 2 consecutive failures: breaker opens
+    bad.source = "bad-3";
+    submitAndWait(bad, 3); // fast-failed (no execution)
+    bad.source = "bad-4";
+    submitAndWait(bad, 4); // fast-failed
+    bad.source = "bad-5";
+    submitAndWait(bad, 5); // 3rd rejection candidate = admitted probe
+
+    // An innocent tenant is never affected.
+    JobSpec good = tinyAppSpec("good");
+    good.tenant = "quiet";
+    submitAndWait(std::move(good), 6);
+    server.drain();
+
+    std::vector<JobResult> rs = server.results();
+    ASSERT_EQ(rs.size(), 6u);
+    auto outcomeOf = [&](const char *src) -> std::string {
+        for (const JobResult &r : rs)
+            if (r.source == src)
+                return r.outcome ? r.outcome->outcome : "lost";
+        return "<missing>";
+    };
+    EXPECT_EQ(outcomeOf("bad-1"), "compile-error");
+    EXPECT_EQ(outcomeOf("bad-2"), "compile-error");
+    EXPECT_EQ(outcomeOf("bad-3"), "circuit-open");
+    EXPECT_EQ(outcomeOf("bad-4"), "circuit-open");
+    EXPECT_EQ(outcomeOf("bad-5"), "compile-error")
+        << "every Nth submission must probe the breaker";
+    EXPECT_EQ(outcomeOf("good"), "ok")
+        << "breakers are per-tenant";
+    EXPECT_EQ(server.robustness().circuitOpen, 2u);
+}
+
+// ---- robustness: retries + resilient serving ------------------------
+
+TEST(ServeRetry, TransientFaultsRetryCleanViaOneShotEvents)
+{
+    TrafficOptions t;
+    t.seed = 11;
+    t.uniques = 4;
+    t.jobs = 8;
+    t.faultEvery = 1; // every job faulted, distinct seeds
+    t.faultRate = 20'000;
+    t.includeHard = true;
+    std::vector<JobSpec> specs = makeTraffic(t);
+
+    ServeOptions o;
+    o.workers = 1;
+    o.maxRetries = 3;
+    o.retryBackoffUs = 100;
+    o.retryBackoffCapUs = 1'000;
+    Server server(o);
+    uint32_t totalRetries = 0;
+    bool retriedToOk = false;
+    for (JobSpec &s : specs) {
+        JobResult r = server.executeJob(std::move(s));
+        ASSERT_NE(r.outcome, nullptr);
+        EXPECT_NE(r.outcome->outcome, "lost");
+        totalRetries += r.retries;
+        if (r.retries > 0 && r.outcome->outcome == "ok")
+            retriedToOk = true;
+    }
+    EXPECT_GT(totalRetries, 0u)
+        << "hard faults at this rate must trip at least one watchdog";
+    EXPECT_TRUE(retriedToOk)
+        << "a retry after the one-shot fault fired must run clean";
+}
+
+TEST(ServeResilient, EveryJobFinishesTypedUnderFaultTraffic)
+{
+    TrafficOptions t;
+    t.seed = 13;
+    t.uniques = 4;
+    t.jobs = 16;
+    t.faultEvery = 2;
+    t.faultRate = 20'000;
+    t.includeHard = true;
+    std::vector<JobSpec> specs = makeTraffic(t);
+
+    ServeOptions o;
+    o.workers = 4;
+    o.resilient = true;
+    std::map<std::string, Baseline> baselines;
+    for (const JobSpec &s : specs) {
+        if (s.faultSeed == 0 && baselines.count(s.source) == 0)
+            baselines[s.source] = runSerialBaseline(s, o);
+    }
+
+    Server server(o);
+    server.start();
+    for (JobSpec &s : specs)
+        server.submit(std::move(s));
+    server.drain();
+
+    std::vector<JobResult> results = server.results();
+    ASSERT_EQ(results.size(), t.jobs);
+    uint64_t tallyRetries = 0;
+    for (const JobResult &r : results) {
+        ASSERT_NE(r.outcome, nullptr) << r.source;
+        EXPECT_NE(r.outcome->outcome, "lost") << r.source;
+        tallyRetries += r.retries;
+        if (baselines.count(r.source)) {
+            // Healthy jobs under a resilient server stay bit-exact.
+            EXPECT_EQ(r.outcome->outcome, baselines[r.source].outcome)
+                << r.source;
+            EXPECT_EQ(r.outcome->argOuts, baselines[r.source].argOuts)
+                << r.source;
+            EXPECT_EQ(r.outcome->cycles, baselines[r.source].cycles)
+                << r.source;
+        } else {
+            // Faulted jobs: typed terminal classification only.
+            EXPECT_TRUE(r.outcome->outcome == "ok" ||
+                        r.outcome->outcome == "recovered" ||
+                        r.outcome->outcome == "silent-corruption" ||
+                        r.outcome->outcome == "watchdog" ||
+                        r.outcome->outcome == "livelock" ||
+                        r.outcome->outcome == "deadlock" ||
+                        r.outcome->outcome == "uncorrectable" ||
+                        r.outcome->outcome == "max-cycles")
+                << r.source << ": " << r.outcome->outcome;
+        }
+    }
+    EXPECT_EQ(server.robustness().retries, tallyRetries)
+        << "the retry counter must reconcile with the records";
+}
+
+// ---- robustness: job log v2 + replay accounting ---------------------
+
+TEST(ServeJoblog, V2RoundTripsExecutedFlagAndRetries)
+{
+    JobResult shedded;
+    shedded.id = 7;
+    shedded.seq = (1ull << 62) + 1;
+    shedded.source = "app:GEMM/v0";
+    shedded.executed = false;
+    auto so = std::make_shared<JobOutcome>();
+    so->outcome = "shed";
+    shedded.outcome = so;
+
+    JobResult retried;
+    retried.id = 8;
+    retried.seq = 3;
+    retried.source = "app:FFT/v0";
+    retried.retries = 2;
+    auto ro = std::make_shared<JobOutcome>();
+    ro->outcome = "ok";
+    ro->cycles = 1234;
+    retried.outcome = ro;
+
+    std::stringstream ss;
+    writeJobLog(ss, {shedded, retried});
+    std::vector<JobLogEntry> parsed;
+    std::string err;
+    ASSERT_TRUE(readJobLog(ss, parsed, &err)) << err;
+    ASSERT_EQ(parsed.size(), 2u);
+    // seq order: the executed record first, aux band after.
+    EXPECT_EQ(parsed[0].id, 8u);
+    EXPECT_TRUE(parsed[0].executed);
+    EXPECT_EQ(parsed[0].retries, 2u);
+    EXPECT_EQ(parsed[1].id, 7u);
+    EXPECT_FALSE(parsed[1].executed);
+    EXPECT_EQ(parsed[1].outcome, "shed");
+}
+
+TEST(ServeJoblog, V1LogsStillParseWithDefaults)
+{
+    std::stringstream ss;
+    ss << "plast.joblog.v1\n"
+       << "job id=1 seq=0 worker=0 pir=0000000000000001 "
+          "arch=0000000000000002 inputs=0000000000000003 "
+          "options=0000000000000004 chit=0 rhit=0 "
+          "result=0000000000000005 cycles=10 outcome=ok src=x\n";
+    std::vector<JobLogEntry> parsed;
+    std::string err;
+    ASSERT_TRUE(readJobLog(ss, parsed, &err)) << err;
+    ASSERT_EQ(parsed.size(), 1u);
+    EXPECT_TRUE(parsed[0].executed) << "v1 defaults to executed";
+    EXPECT_EQ(parsed[0].retries, 0u);
+}
+
+TEST(ServeReplay, AccountsForRejectedAndAbortedJobs)
+{
+    // A run with shed + cancelled records must still replay clean:
+    // the non-deterministic records are accounted (skipped), the
+    // executed ones reproduce bit-for-bit.
+    TrafficOptions t;
+    t.seed = 17;
+    t.uniques = 3;
+    t.jobs = 12;
+    std::vector<JobSpec> specs = makeTraffic(t);
+
+    ServeOptions o;
+    o.workers = 1;
+    o.queueDepth = 2;
+    o.submitWaitUs = 500;
+    Server server(o); // not started while submitting: queue fills
+    uint64_t cancelMe = 0;
+    for (size_t j = 0; j < specs.size(); ++j) {
+        uint64_t id = server.submit(std::move(specs[j]));
+        if (j == 1)
+            cancelMe = id;
+    }
+    ASSERT_NE(cancelMe, 0u);
+    server.cancelJob(cancelMe);
+    server.start();
+    server.drain();
+
+    std::vector<JobResult> results = server.results();
+    ASSERT_EQ(results.size(), t.jobs);
+    std::stringstream ss;
+    writeJobLog(ss, results);
+    std::vector<JobLogEntry> log;
+    std::string err;
+    ASSERT_TRUE(readJobLog(ss, log, &err)) << err;
+
+    std::vector<JobSpec> fresh = makeTraffic(t);
+    ReplayReport rep = replayLog(log, fresh, o);
+    EXPECT_TRUE(rep.ok()) << rep.mismatches.size() << " mismatches";
+    EXPECT_GT(rep.skipped, 0u) << "shed/cancelled must be accounted";
+    EXPECT_EQ(rep.jobs + rep.skipped, t.jobs);
+}
