@@ -36,6 +36,11 @@ enum class StatusCode
     kDeadlineExceeded, ///< per-job wall-clock deadline passed mid-run
     kShed,             ///< admission control rejected the job (overload)
     kCircuitOpen,      ///< tenant circuit breaker fast-failed the job
+    kNotFound,         ///< a lookup (e.g. persistent-store probe) missed
+    kCorrupt,          ///< stored record failed validation (torn write,
+                       ///< bit rot, version mismatch); quarantined
+    kUnavailable,      ///< a backing resource is unusable (store dir
+                       ///< inaccessible, lock held); degrade, don't die
 };
 
 inline const char *
@@ -58,6 +63,9 @@ statusCodeName(StatusCode code)
     case StatusCode::kDeadlineExceeded: return "deadline-exceeded";
     case StatusCode::kShed: return "shed";
     case StatusCode::kCircuitOpen: return "circuit-open";
+    case StatusCode::kNotFound: return "not-found";
+    case StatusCode::kCorrupt: return "corrupt";
+    case StatusCode::kUnavailable: return "unavailable";
     }
     return "unknown";
 }

@@ -39,6 +39,32 @@ hex64(uint64_t v)
 } // namespace
 
 void
+writeJobLogHeader(std::ostream &os)
+{
+    os << kHeader << "\n";
+}
+
+void
+writeJobLogLine(std::ostream &os, const JobResult &r)
+{
+    os << "job id=" << r.id << " seq=" << r.seq
+       << " worker=" << r.worker << " pir=" << hex64(r.pirHash)
+       << " arch=" << hex64(r.archHash)
+       << " inputs=" << hex64(r.inputsHash)
+       << " options=" << hex64(r.optionsHash)
+       << " chit=" << (r.configHit ? 1 : 0)
+       << " rhit=" << (r.resultHit ? 1 : 0) << " result="
+       << hex64(r.outcome ? r.outcome->resultHash : 0)
+       << " cycles=" << (r.outcome ? r.outcome->cycles : 0)
+       << " exe=" << (r.executed ? 1 : 0)
+       << " retries=" << r.retries << " outcome="
+       << (r.outcome ? r.outcome->outcome : "lost")
+       // src is free-form (app names contain spaces) so it is
+       // last: everything after "src=" to end of line.
+       << " src=" << r.source << "\n";
+}
+
+void
 writeJobLog(std::ostream &os, const std::vector<JobResult> &results)
 {
     std::vector<const JobResult *> ordered;
@@ -49,109 +75,145 @@ writeJobLog(std::ostream &os, const std::vector<JobResult> &results)
               [](const JobResult *a, const JobResult *b) {
                   return a->seq < b->seq;
               });
-    os << kHeader << "\n";
-    for (const JobResult *r : ordered) {
-        os << "job id=" << r->id << " seq=" << r->seq
-           << " worker=" << r->worker << " pir=" << hex64(r->pirHash)
-           << " arch=" << hex64(r->archHash)
-           << " inputs=" << hex64(r->inputsHash)
-           << " options=" << hex64(r->optionsHash)
-           << " chit=" << (r->configHit ? 1 : 0)
-           << " rhit=" << (r->resultHit ? 1 : 0) << " result="
-           << hex64(r->outcome ? r->outcome->resultHash : 0)
-           << " cycles=" << (r->outcome ? r->outcome->cycles : 0)
-           << " exe=" << (r->executed ? 1 : 0)
-           << " retries=" << r->retries << " outcome="
-           << (r->outcome ? r->outcome->outcome : "lost")
-           // src is free-form (app names contain spaces) so it is
-           // last: everything after "src=" to end of line.
-           << " src=" << r->source << "\n";
-    }
+    writeJobLogHeader(os);
+    for (const JobResult *r : ordered)
+        writeJobLogLine(os, *r);
 }
+
+namespace
+{
+
+/** Parse one "job ..." line; false + msg on malformed input. */
+bool
+parseJobLine(const std::string &line, size_t lineno, JobLogEntry &e,
+             std::string &msg)
+{
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag != "job") {
+        msg = strfmt("line %zu: expected 'job', got '%s'", lineno,
+                     tag.c_str());
+        return false;
+    }
+    bool haveSrc = false;
+    std::string tok;
+    while (ls >> tok) {
+        size_t eq = tok.find('=');
+        if (eq == std::string::npos) {
+            msg = strfmt("line %zu: bad token '%s'", lineno,
+                         tok.c_str());
+            return false;
+        }
+        std::string key = tok.substr(0, eq);
+        std::string val = tok.substr(eq + 1);
+        if (key == "src") {
+            // Free-form remainder of the line.
+            std::string rest;
+            std::getline(ls, rest);
+            e.source = val + rest;
+            haveSrc = true;
+            break;
+        }
+        try {
+            if (key == "id")
+                e.id = std::stoull(val);
+            else if (key == "seq")
+                e.seq = std::stoull(val);
+            else if (key == "worker")
+                e.worker = static_cast<uint32_t>(std::stoul(val));
+            else if (key == "pir")
+                e.pirHash = std::stoull(val, nullptr, 16);
+            else if (key == "arch")
+                e.archHash = std::stoull(val, nullptr, 16);
+            else if (key == "inputs")
+                e.inputsHash = std::stoull(val, nullptr, 16);
+            else if (key == "options")
+                e.optionsHash = std::stoull(val, nullptr, 16);
+            else if (key == "chit")
+                e.configHit = val == "1";
+            else if (key == "rhit")
+                e.resultHit = val == "1";
+            else if (key == "result")
+                e.resultHash = std::stoull(val, nullptr, 16);
+            else if (key == "cycles")
+                e.cycles = std::stoull(val);
+            else if (key == "exe")
+                e.executed = val == "1";
+            else if (key == "retries")
+                e.retries = static_cast<uint32_t>(std::stoul(val));
+            else if (key == "outcome")
+                e.outcome = val;
+            else {
+                msg = strfmt("line %zu: unknown key '%s'", lineno,
+                             key.c_str());
+                return false;
+            }
+        } catch (const std::exception &) {
+            msg = strfmt("line %zu: bad value '%s' for '%s'", lineno,
+                         val.c_str(), key.c_str());
+            return false;
+        }
+    }
+    if (!haveSrc) {
+        msg = strfmt("line %zu: missing src=", lineno);
+        return false;
+    }
+    return true;
+}
+
+} // namespace
 
 bool
 readJobLog(std::istream &is, std::vector<JobLogEntry> &out,
-           std::string *err)
+           std::string *err, std::string *warn)
 {
     auto fail = [&](const std::string &m) {
         if (err)
             *err = m;
         return false;
     };
-    std::string line;
-    if (!std::getline(is, line) ||
-        (line != kHeader && line != kHeaderV1))
+    // Slurp the stream so the final line's termination state is
+    // visible: a SIGKILLed --joblog-sync writer leaves either a
+    // newline-terminated prefix (clean) or a torn final line.
+    std::string all((std::istreambuf_iterator<char>(is)),
+                    std::istreambuf_iterator<char>());
+    bool terminated = !all.empty() && all.back() == '\n';
+    std::vector<std::string> lines;
+    for (size_t pos = 0; pos < all.size();) {
+        size_t nl = all.find('\n', pos);
+        if (nl == std::string::npos) {
+            lines.push_back(all.substr(pos));
+            break;
+        }
+        lines.push_back(all.substr(pos, nl - pos));
+        pos = nl + 1;
+    }
+    if (lines.empty() || (lines[0] != kHeader && lines[0] != kHeaderV1))
         return fail("missing '" + std::string(kHeader) + "' header");
-    size_t lineno = 1;
-    while (std::getline(is, line)) {
-        ++lineno;
+    for (size_t i = 1; i < lines.size(); ++i) {
+        const std::string &line = lines[i];
+        bool last = i + 1 == lines.size();
         if (line.empty() || line[0] == '#')
             continue;
-        std::istringstream ls(line);
-        std::string tag;
-        ls >> tag;
-        if (tag != "job")
-            return fail(strfmt("line %zu: expected 'job', got '%s'",
-                               lineno, tag.c_str()));
         JobLogEntry e;
-        bool haveSrc = false;
-        std::string tok;
-        while (ls >> tok) {
-            size_t eq = tok.find('=');
-            if (eq == std::string::npos)
-                return fail(strfmt("line %zu: bad token '%s'", lineno,
-                                   tok.c_str()));
-            std::string key = tok.substr(0, eq);
-            std::string val = tok.substr(eq + 1);
-            if (key == "src") {
-                // Free-form remainder of the line.
-                std::string rest;
-                std::getline(ls, rest);
-                e.source = val + rest;
-                haveSrc = true;
-                break;
-            }
-            try {
-                if (key == "id")
-                    e.id = std::stoull(val);
-                else if (key == "seq")
-                    e.seq = std::stoull(val);
-                else if (key == "worker")
-                    e.worker =
-                        static_cast<uint32_t>(std::stoul(val));
-                else if (key == "pir")
-                    e.pirHash = std::stoull(val, nullptr, 16);
-                else if (key == "arch")
-                    e.archHash = std::stoull(val, nullptr, 16);
-                else if (key == "inputs")
-                    e.inputsHash = std::stoull(val, nullptr, 16);
-                else if (key == "options")
-                    e.optionsHash = std::stoull(val, nullptr, 16);
-                else if (key == "chit")
-                    e.configHit = val == "1";
-                else if (key == "rhit")
-                    e.resultHit = val == "1";
-                else if (key == "result")
-                    e.resultHash = std::stoull(val, nullptr, 16);
-                else if (key == "cycles")
-                    e.cycles = std::stoull(val);
-                else if (key == "exe")
-                    e.executed = val == "1";
-                else if (key == "retries")
-                    e.retries =
-                        static_cast<uint32_t>(std::stoul(val));
-                else if (key == "outcome")
-                    e.outcome = val;
-                else
-                    return fail(strfmt("line %zu: unknown key '%s'",
-                                       lineno, key.c_str()));
-            } catch (const std::exception &) {
-                return fail(strfmt("line %zu: bad value '%s' for '%s'",
-                                   lineno, val.c_str(), key.c_str()));
-            }
+        std::string msg;
+        bool parsed = parseJobLine(line, i + 1, e, msg);
+        if (last && !terminated) {
+            // Torn final line: the writer died mid-append. Even a
+            // parseable tail is untrustworthy (src= is free-form, so
+            // a cut inside it still "parses") — drop it with a
+            // warning; every terminated record before it stands.
+            if (warn)
+                *warn = strfmt("dropped torn final line %zu "
+                               "(unterminated%s)",
+                               i + 1,
+                               parsed ? "" : "; unparseable too");
+            break;
         }
-        if (!haveSrc)
-            return fail(strfmt("line %zu: missing src=", lineno));
+        if (!parsed)
+            return fail(msg); // terminated garbage is corruption, not
+                              // a torn tail — stays a hard error
         out.push_back(std::move(e));
     }
     return true;
@@ -178,6 +240,11 @@ replayLog(const std::vector<JobLogEntry> &log,
     ServeOptions ropts = opts;
     ropts.workers = 1;
     ropts.logAccesses = false;
+    // Replay is store-free by definition: it must re-derive every
+    // result from scratch, so a replay that matches a store-served
+    // run proves the persisted configs were bit-identical to fresh
+    // compiles (the warm-restart proof).
+    ropts.storeDir.clear();
     Server server(ropts);
 
     ReplayReport rep;

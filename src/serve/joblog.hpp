@@ -54,9 +54,24 @@ struct JobLogEntry
 /** Header line + one "job ..." line per result, in seq order. */
 void writeJobLog(std::ostream &os, const std::vector<JobResult> &results);
 
-/** Parse a job log; false + err on malformed input. */
+/** Streaming (durable-append) form: header once, then one line per
+ *  finished job in finish order — readJobLog/replayLog sort by seq,
+ *  so append order never matters. Flushing per line is the caller's
+ *  policy (serve_app --joblog-sync), which is what leaves a
+ *  replayable prefix behind a SIGKILLed daemon. */
+void writeJobLogHeader(std::ostream &os);
+void writeJobLogLine(std::ostream &os, const JobResult &r);
+
+/**
+ * Parse a job log; false + err on malformed input. A *torn final
+ * line* — the unterminated tail a crashed writer left behind — is
+ * dropped with a note in `warn` (when non-null) instead of failing
+ * the parse: every fully-written record before it is still
+ * replayable. A newline-terminated malformed line, final or not, is
+ * still a hard error (that is corruption, not a crash artifact).
+ */
 bool readJobLog(std::istream &is, std::vector<JobLogEntry> &out,
-                std::string *err = nullptr);
+                std::string *err = nullptr, std::string *warn = nullptr);
 
 struct ReplayMismatch
 {

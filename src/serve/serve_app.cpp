@@ -36,6 +36,7 @@
 #include "fuzz/harness.hpp"
 #include "serve/joblog.hpp"
 #include "serve/server.hpp"
+#include "serve/store.hpp"
 #include "serve/traffic.hpp"
 
 using namespace plast;
@@ -64,9 +65,19 @@ usage()
         "  --uniques=N        traffic: distinct identities (default 8)\n"
         "  --seed=N           traffic: duplication-pattern seed\n"
         "  --log=FILE         write the job log (replayable)\n"
+        "  --joblog-sync      stream the job log durably: append and\n"
+        "                     flush each record as it finishes, so a\n"
+        "                     killed daemon leaves a replayable prefix\n"
         "  --replay=FILE      replay a job log serially against the\n"
         "                     same traffic/files; exit 1 on divergence\n"
         "  --metrics=FILE     write serve.* metrics as JSON\n"
+        "  --store-dir=DIR    persist compiled configs to DIR and\n"
+        "                     serve warm restarts from it (DESIGN.md\n"
+        "                     §17); unusable dirs degrade to\n"
+        "                     in-memory-only serving, never crash\n"
+        "  --store-max-mb=N   evict oldest store records past N MiB\n"
+        "                     (default unbounded)\n"
+        "  --store-no-sync    skip fsync on store publish (tests)\n"
         "  --quiet            suppress the per-job report\n"
         "robustness (DESIGN.md §16):\n"
         "  --deadline-ms=N    default wall-clock budget per job\n"
@@ -135,6 +146,7 @@ main(int argc, char **argv)
     bool traffic = false;
     bool quiet = false;
     bool tolerateFailures = false;
+    bool joblogSync = false;
     uint64_t repeat = 1;
     std::string logPath, replayPath, metricsPath;
     std::vector<std::string> files;
@@ -244,6 +256,16 @@ main(int argc, char **argv)
             tolerateFailures = true;
         } else if (const char *v10 = val("--log=")) {
             logPath = v10;
+        } else if (a == "--joblog-sync") {
+            joblogSync = true;
+        } else if (const char *vsd = val("--store-dir=")) {
+            sopts.storeDir = vsd;
+        } else if (const char *vsm = val("--store-max-mb=")) {
+            if (!parseU64(vsm, n) || n == 0)
+                return usage(), 2;
+            sopts.storeMaxBytes = n * (1ull << 20);
+        } else if (a == "--store-no-sync") {
+            sopts.storeSync = false;
         } else if (const char *v11 = val("--replay=")) {
             replayPath = v11;
         } else if (const char *v12 = val("--metrics=")) {
@@ -290,12 +312,15 @@ main(int argc, char **argv)
             return 2;
         }
         std::vector<serve::JobLogEntry> log;
-        std::string err;
-        if (!serve::readJobLog(is, log, &err)) {
+        std::string err, warn;
+        if (!serve::readJobLog(is, log, &err, &warn)) {
             std::fprintf(stderr, "serve_app: %s: %s\n",
                          replayPath.c_str(), err.c_str());
             return 2;
         }
+        if (!warn.empty())
+            std::fprintf(stderr, "serve_app: %s: %s\n",
+                         replayPath.c_str(), warn.c_str());
         serve::ReplayReport rep =
             serve::replayLog(log, specs, sopts);
         std::printf("replayed %zu jobs: %zu result hits, %zu "
@@ -313,6 +338,28 @@ main(int argc, char **argv)
     // Serve.
     uint64_t t0 = HostProfiler::instance().nowUs();
     serve::Server server(sopts);
+
+    // Durable job-log streaming: one line per finished job, flushed
+    // before the result is visible, so a SIGKILLed daemon leaves a
+    // replayable prefix (at worst one torn final line, which
+    // readJobLog drops with a warning). The hook runs under the
+    // server's results lock, so appends are serialized.
+    std::ofstream syncLog;
+    if (joblogSync && !logPath.empty()) {
+        syncLog.open(logPath);
+        if (!syncLog) {
+            std::fprintf(stderr, "serve_app: cannot write '%s'\n",
+                         logPath.c_str());
+            return 2;
+        }
+        serve::writeJobLogHeader(syncLog);
+        syncLog.flush();
+        server.setResultHook([&syncLog](const serve::JobResult &r) {
+            serve::writeJobLogLine(syncLog, r);
+            syncLog.flush();
+        });
+    }
+
     server.start();
     for (serve::JobSpec &s : specs)
         server.submit(std::move(s));
@@ -372,6 +419,23 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(res.misses),
                 static_cast<unsigned long long>(res.evictions),
                 res.size);
+    if (const serve::ConfigStore *st = server.store()) {
+        serve::StoreStats ss = st->stats();
+        std::printf(
+            "config store (%s): %llu hits / %llu misses, %llu "
+            "writes (%llu failed), %llu quarantined, %llu evicted, "
+            "%llu fallback, %llu records / %llu bytes\n",
+            serve::storeModeName(ss.mode),
+            static_cast<unsigned long long>(ss.hits),
+            static_cast<unsigned long long>(ss.misses),
+            static_cast<unsigned long long>(ss.writes),
+            static_cast<unsigned long long>(ss.writeFailures),
+            static_cast<unsigned long long>(ss.corruptQuarantined),
+            static_cast<unsigned long long>(ss.evicted),
+            static_cast<unsigned long long>(ss.fallback),
+            static_cast<unsigned long long>(ss.records),
+            static_cast<unsigned long long>(ss.bytes));
+    }
 
     // Robustness accounting: the server's live counters must agree
     // with the job log record for record — any divergence means a job
@@ -393,7 +457,19 @@ main(int argc, char **argv)
                 countersMatch ? "match" : "DIVERGE from",
                 results.size(), specs.size());
 
-    if (!logPath.empty()) {
+    // A job log or metrics file the caller can't trust is worse than
+    // none: every writer is checked after the final flush, and a
+    // short write (disk full, quota, yanked volume) is a hard error,
+    // not a silent success.
+    if (joblogSync && !logPath.empty()) {
+        syncLog.flush();
+        if (!syncLog) {
+            std::fprintf(stderr, "serve_app: short write on '%s'\n",
+                         logPath.c_str());
+            return 2;
+        }
+        syncLog.close();
+    } else if (!logPath.empty()) {
         std::ofstream os(logPath);
         if (!os) {
             std::fprintf(stderr, "serve_app: cannot write '%s'\n",
@@ -401,6 +477,12 @@ main(int argc, char **argv)
             return 2;
         }
         serve::writeJobLog(os, results);
+        os.flush();
+        if (!os) {
+            std::fprintf(stderr, "serve_app: short write on '%s'\n",
+                         logPath.c_str());
+            return 2;
+        }
     }
     if (!metricsPath.empty()) {
         MetricRegistry reg;
@@ -413,6 +495,12 @@ main(int argc, char **argv)
             return 2;
         }
         reg.writeJson(os);
+        os.flush();
+        if (!os) {
+            std::fprintf(stderr, "serve_app: short write on '%s'\n",
+                         metricsPath.c_str());
+            return 2;
+        }
     }
     if (tolerateFailures) {
         // Overload-safety criterion: every submission finished with a

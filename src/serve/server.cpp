@@ -137,6 +137,18 @@ Server::Server(ServeOptions opts)
 {
     configCache_.setLogging(opts_.logAccesses);
     resultCache_.setLogging(opts_.logAccesses);
+    if (!opts_.storeDir.empty()) {
+        StoreOptions so;
+        so.dir = opts_.storeDir;
+        so.maxBytes = opts_.storeMaxBytes;
+        so.syncPublish = opts_.storeSync;
+        store_ = ConfigStore::open(std::move(so), &storeStatus_);
+        if (!storeStatus_.ok())
+            warn("config store '%s' degraded to %s: %s",
+                 opts_.storeDir.c_str(),
+                 storeModeName(store_->mode()),
+                 storeStatus_.toString().c_str());
+    }
 }
 
 Server::~Server()
@@ -248,6 +260,10 @@ Server::drain()
             t.join();
     }
     workers_.clear();
+    // Every compile this run produced is durable before drain()
+    // returns — a drained daemon's successor starts fully warm.
+    if (store_)
+        store_->flush();
 }
 
 std::vector<JobResult>
@@ -336,6 +352,8 @@ Server::finishJob(JobResult rec)
                     oc == statusCodeName(StatusCode::kValidationError));
     }
     std::lock_guard<std::mutex> lk(resultsMu_);
+    if (resultHook_)
+        resultHook_(rec);
     results_.push_back(std::move(rec));
 }
 
@@ -464,7 +482,25 @@ Server::computeOutcome(Runner &runner, const JobSpec &job, JobResult &rec,
     CacheKey ck;
     ck.pir = rec.pirHash;
     ck.arch = rec.archHash;
+    bool fromStore = false;
     auto acq = configCache_.acquire(ck, [&]() -> ConfigCache::ValuePtr {
+        // The single-flight miss path: probe the persistent store
+        // before paying for place-and-route. Only this builder runs
+        // per key, so the disk is read once and written once no
+        // matter how many workers want the config.
+        if (store_) {
+            StoredConfig sc;
+            Status st = store_->load(ck.pir, ck.arch, sc);
+            if (st.ok()) {
+                fromStore = true;
+                auto cc = std::make_shared<CompiledConfig>();
+                cc->map = toMapResult(std::move(sc));
+                return cc;
+            }
+            // kNotFound / kCorrupt (quarantined) / kUnavailable all
+            // degrade identically: compile fresh. A re-persist below
+            // repairs a quarantined key.
+        }
         auto cc = std::make_shared<CompiledConfig>();
         cc->status = runner.tryCompile();
         cc->map = runner.sharedMapResult();
@@ -474,6 +510,12 @@ Server::computeOutcome(Runner &runner, const JobSpec &job, JobResult &rec,
             // typed status a fresh compile would produce.
             cc->map = std::make_shared<const compiler::MapResult>(
                 runner.mapResult());
+        } else if (store_) {
+            // Write-behind: the hot path never blocks on fsync.
+            // Failed compiles are never persisted — negative entries
+            // stay in-memory-only, so a store can never refuse a
+            // program a fresh daemon would accept.
+            store_->persist(ck.pir, ck.arch, cc->map);
         }
         return cc;
     });
@@ -488,7 +530,10 @@ Server::computeOutcome(Runner &runner, const JobSpec &job, JobResult &rec,
     if (!cc.status.ok()) {
         st = cc.status;
     } else {
-        if (acq.hit)
+        // Adopt whenever this runner did not compile itself: a cache
+        // hit (another worker compiled) or a store hit (a previous
+        // daemon incarnation compiled).
+        if (acq.hit || fromStore)
             runner.adoptCompiled(cc.map);
         if (opts_.resilient)
             return computeResilient(runner, job, rec, cancel);
@@ -701,6 +746,20 @@ Server::exportMetrics(MetricRegistry &reg) const
     reg.setCounter("serve.cache.result.evictions", rs.evictions);
     reg.setCounter("serve.cache.result.abandoned", rs.abandoned);
     reg.setCounter("serve.cache.result.size", rs.size);
+
+    if (store_) {
+        StoreStats ss = store_->stats();
+        reg.setCounter("serve.store.hits", ss.hits);
+        reg.setCounter("serve.store.misses", ss.misses);
+        reg.setCounter("serve.store.writes", ss.writes);
+        reg.setCounter("serve.store.write_failures", ss.writeFailures);
+        reg.setCounter("serve.store.corrupt_quarantined",
+                       ss.corruptQuarantined);
+        reg.setCounter("serve.store.evicted", ss.evicted);
+        reg.setCounter("serve.store.fallback", ss.fallback);
+        reg.setCounter("serve.store.records", ss.records);
+        reg.setCounter("serve.store.bytes", ss.bytes);
+    }
 
     static const std::vector<uint64_t> kUsEdges = {
         100,     1'000,     10'000,     100'000,

@@ -64,6 +64,7 @@
 #include "pir/ir.hpp"
 #include "serve/cache.hpp"
 #include "serve/queue.hpp"
+#include "serve/store.hpp"
 #include "sim/fabric.hpp"
 
 namespace plast
@@ -197,6 +198,21 @@ struct ServeOptions
     /** Route executed jobs through the checkpoint-rollback recovery
      *  orchestrator (resilience/recovery.hpp) instead of plain runs. */
     bool resilient = false;
+
+    // ---- persistent config store (DESIGN.md §17) ---------------------
+    /** Directory for the crash-safe compiled-config store; empty
+     *  disables persistence. The config-cache miss path probes it
+     *  before compiling, and the single-flight builder persists fresh
+     *  compiles write-behind — a warm-restarted daemon serves
+     *  persisted keys with zero recompiles. An unusable directory
+     *  degrades to in-memory-only serving (never a failed start). */
+    std::string storeDir;
+    /** Store size cap in bytes (0 = unbounded); oldest records are
+     *  evicted past it. */
+    uint64_t storeMaxBytes = 0;
+    /** fsync records and the directory on publish (tests may disable
+     *  to spare IO; the daemon keeps it on). */
+    bool storeSync = true;
 };
 
 /** A config-cache entry: the typed compile status plus the frozen
@@ -273,6 +289,26 @@ class Server
     size_t queueHighWater() const { return queue_.highWater(); }
     const ServeOptions &options() const { return opts_; }
 
+    /** The persistent config store (null when storeDir is empty).
+     *  Mode/degradation is the store's own concern — a disabled store
+     *  still answers stats(). */
+    ConfigStore *store() { return store_.get(); }
+    const ConfigStore *store() const { return store_.get(); }
+    /** Why the store degraded at open (ok when fully read-write or
+     *  when no store was configured). */
+    const Status &storeStatus() const { return storeStatus_; }
+
+    /**
+     * Install a hook invoked for every finished JobResult at the
+     * finishJob choke point (serialized; called with internal
+     * bookkeeping already updated). Powers --joblog-sync durable
+     * append. Must be set before start().
+     */
+    void setResultHook(std::function<void(const JobResult &)> hook)
+    {
+        resultHook_ = std::move(hook);
+    }
+
     /** Robustness counters, updated at the same instant each record is
      *  written — they match the job log exactly by construction. */
     struct RobustnessCounters
@@ -332,6 +368,9 @@ class Server
     BoundedQueue<Queued> queue_;
     ConfigCache configCache_;
     ResultCache resultCache_;
+    std::unique_ptr<ConfigStore> store_;
+    Status storeStatus_;
+    std::function<void(const JobResult &)> resultHook_;
     std::vector<std::thread> workers_;
     std::atomic<uint64_t> nextId_{1};
     std::atomic<bool> draining_{false};

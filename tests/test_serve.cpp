@@ -790,6 +790,63 @@ TEST(ServeJoblog, RejectsMalformedLogs)
     EXPECT_FALSE(readJobLog(noSrc, log, &err));
 }
 
+TEST(ServeJoblog, TornFinalLineIsDroppedWithWarningNotError)
+{
+    // What a SIGKILLed --joblog-sync daemon leaves behind: complete
+    // newline-terminated records, then at most one torn tail. The
+    // prefix must parse; the tail must be dropped with a warning —
+    // even when the cut happens to land where the line still parses
+    // (src= is free-form, so a truncated source "parses" too).
+    JobResult a, b;
+    a.id = 1;
+    a.seq = 1;
+    a.source = "app:one";
+    b.id = 2;
+    b.seq = 2;
+    b.source = "app:two with spaces";
+    std::stringstream full;
+    writeJobLogHeader(full);
+    writeJobLogLine(full, a);
+    writeJobLogLine(full, b);
+    std::string text = full.str();
+
+    // Every possible kill point inside the final record: cut the last
+    // line at each byte (including mid-src and "parses anyway" cuts).
+    size_t lastLineStart = text.rfind("job id=2");
+    ASSERT_NE(lastLineStart, std::string::npos);
+    for (size_t cut = lastLineStart + 1; cut < text.size(); ++cut) {
+        std::istringstream torn(text.substr(0, cut));
+        std::vector<JobLogEntry> log;
+        std::string err, warn;
+        ASSERT_TRUE(readJobLog(torn, log, &err, &warn))
+            << "cut=" << cut << ": " << err;
+        ASSERT_EQ(log.size(), 1u) << "cut=" << cut;
+        EXPECT_EQ(log[0].id, 1u);
+        EXPECT_FALSE(warn.empty()) << "cut=" << cut;
+    }
+
+    // The complete log still parses with no warning.
+    std::istringstream clean(text);
+    std::vector<JobLogEntry> log;
+    std::string err, warn;
+    ASSERT_TRUE(readJobLog(clean, log, &err, &warn)) << err;
+    EXPECT_EQ(log.size(), 2u);
+    EXPECT_TRUE(warn.empty()) << warn;
+    EXPECT_EQ(log[1].source, "app:two with spaces");
+
+    // A torn *first* record right after the header: zero entries,
+    // still not an error.
+    std::stringstream h;
+    writeJobLogHeader(h);
+    std::string headerOnly = h.str();
+    std::istringstream tornFirst(headerOnly + "job id=9 se");
+    log.clear();
+    warn.clear();
+    ASSERT_TRUE(readJobLog(tornFirst, log, &err, &warn)) << err;
+    EXPECT_TRUE(log.empty());
+    EXPECT_FALSE(warn.empty());
+}
+
 TEST(ServeReplay, ConcurrentRunReplaysSeriallyBitForBit)
 {
     TrafficOptions t;

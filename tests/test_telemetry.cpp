@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <filesystem>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -16,6 +18,8 @@
 #include "base/trace.hpp"
 #include "runtime/manifest.hpp"
 #include "runtime/runner.hpp"
+#include "serve/server.hpp"
+#include "serve/traffic.hpp"
 
 using namespace plast;
 
@@ -160,6 +164,62 @@ TEST(MetricRegistry, PrometheusExpositionGolden)
               "plast_span_us_bucket{le=\"+Inf\"} 2\n"
               "plast_span_us_sum 53\n"
               "plast_span_us_count 2\n");
+}
+
+TEST(MetricRegistry, ServeStoreCountersAreExposedInBothFormats)
+{
+    // The persistent-store counters (DESIGN.md §17) ride the same
+    // registry as every other serve.* metric: one warm-restart pair
+    // of runs must surface writes on the cold pass and hits on the
+    // warm pass, in both the flat-JSON and Prometheus expositions.
+    char tmpl[] = "/tmp/plast-telemetry-XXXXXX";
+    char *dir = mkdtemp(tmpl);
+    ASSERT_NE(dir, nullptr);
+
+    serve::TrafficOptions t;
+    t.uniques = 2;
+    t.jobs = 4;
+    serve::ServeOptions o;
+    o.workers = 2;
+    o.storeDir = std::string(dir) + "/store";
+    o.storeSync = false;
+
+    auto runOnce = [&](MetricRegistry &reg) {
+        serve::Server server(o);
+        server.start();
+        for (serve::JobSpec &s : serve::makeTraffic(t))
+            server.submit(std::move(s));
+        server.drain();
+        server.exportMetrics(reg);
+    };
+    MetricRegistry cold, warm;
+    runOnce(cold);
+    runOnce(warm);
+
+    EXPECT_EQ(cold.counterValue("serve.store.writes"), t.uniques);
+    EXPECT_EQ(cold.counterValue("serve.store.hits"), 0u);
+    EXPECT_EQ(warm.counterValue("serve.store.hits"), t.uniques);
+    EXPECT_EQ(warm.counterValue("serve.store.misses"), 0u);
+    for (const char *key :
+         {"serve.store.hits", "serve.store.misses", "serve.store.writes",
+          "serve.store.write_failures", "serve.store.corrupt_quarantined",
+          "serve.store.evicted", "serve.store.fallback",
+          "serve.store.records", "serve.store.bytes"})
+        EXPECT_TRUE(warm.hasCounter(key)) << key;
+
+    std::ostringstream js, prom;
+    warm.writeJson(js);
+    warm.writePrometheus(prom);
+    EXPECT_NE(js.str().find("\"serve.store.hits\": 2"),
+              std::string::npos)
+        << js.str();
+    EXPECT_NE(prom.str().find("plast_serve_store_hits 2"),
+              std::string::npos);
+    EXPECT_NE(prom.str().find("# TYPE plast_serve_store_hits counter"),
+              std::string::npos);
+
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
 }
 
 TEST(MetricRegistry, ClearEmptiesEverything)
